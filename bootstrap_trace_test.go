@@ -1,0 +1,90 @@
+package poseidon
+
+import (
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/trace"
+)
+
+// Validate the hand-built PackedBootstrapping workload trace against the
+// real implementation: run the functional bootstrapper under a recorder
+// and compare the operation mix. The workload generator models the big-N
+// configuration, so absolute counts differ, but the structure — rotations
+// and plaintext multiplications in the transforms, ciphertext products in
+// EvalMod, rescales throughout — must match.
+func TestWorkloadTraceMatchesRealBootstrap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional bootstrap is expensive")
+	}
+	logQ := []int{55}
+	for i := 0; i < 27; i++ {
+		logQ = append(logQ, 45)
+	}
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     9,
+		LogQ:     logQ,
+		LogP:     []int{52, 52, 52, 52, 52},
+		LogScale: 45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(params)
+	kgen := NewKeyGenerator(params, 700)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	encr := NewEncryptor(params, pk, 701)
+
+	boot, err := NewBootstrapper(params, enc, kgen, sk, BootstrapConfig{K: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewTraceRecorder("recorded-bootstrap")
+	boot.Evaluator().SetObserver(rec)
+
+	rng := rand.New(rand.NewSource(702))
+	z := make([]complex128, params.Slots)
+	for i := range z {
+		z[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	ct := encr.Encrypt(enc.Encode(z, 0, params.Scale))
+	if _, err := boot.Bootstrap(ct); err != nil {
+		t.Fatal(err)
+	}
+
+	recorded := rec.Trace().CountByKind()
+	t.Logf("recorded bootstrap op mix: %v", recorded)
+
+	// Structural claims the workload generator encodes:
+	// every kind it emits must actually occur in the real pipeline.
+	for _, k := range []trace.Kind{trace.HAdd, trace.PMult, trace.CMult, trace.Rotation, trace.Rescale} {
+		if recorded[k] == 0 {
+			t.Errorf("real bootstrap performed no %v, but the workload trace models them", k)
+		}
+	}
+	// CMult count is driven by the Chebyshev products; the generator models
+	// ~14 per EvalMod half at full packing. The real run (degree ~216 sine
+	// at N=2^9) lands in the tens — same order.
+	if recorded[trace.CMult] < 10 || recorded[trace.CMult] > 400 {
+		t.Errorf("recorded CMult count %v outside the modeled order of magnitude", recorded[trace.CMult])
+	}
+	// Rotations dominate over CMults in count (transform rotations plus
+	// the BSGS baby/giant steps).
+	if recorded[trace.Rotation] < recorded[trace.CMult]/4 {
+		t.Errorf("rotations (%v) implausibly few vs CMult (%v)",
+			recorded[trace.Rotation], recorded[trace.CMult])
+	}
+
+	// The recorded trace prices on the accelerator like any workload.
+	model, err := NewModel(U280(), PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Simulate(model, DefaultEnergy(), rec.Trace())
+	if rep.TotalTime <= 0 {
+		t.Error("recorded bootstrap trace must be priceable")
+	}
+	t.Logf("recorded bootstrap priced at %.1f ms on the modeled U280 (big-N workload model: ~112 ms)",
+		rep.TotalTime*1e3)
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"poseidon/internal/trace"
+)
+
+func TestSelectTraceBuiltins(t *testing.T) {
+	for _, name := range []string{"LR", "LSTM", "ResNet-20", "PackedBootstrapping"} {
+		tr, err := selectTrace(name, "", 16, 45)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Name != name || len(tr.Ops) == 0 {
+			t.Errorf("%s: bad trace", name)
+		}
+	}
+	if _, err := selectTrace("nope", "", 16, 45); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	if _, err := selectTrace("LR", "x.json", 16, 45); err == nil {
+		t.Error("both selectors should error")
+	}
+}
+
+func TestSelectTraceFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.json")
+
+	src := &trace.Trace{Name: "custom"}
+	src.Add(trace.HAdd, 10, 5)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tr, err := selectTrace("", path, 16, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "custom" || tr.TotalOps() != 5 {
+		t.Errorf("file trace wrong: %+v", tr)
+	}
+
+	if _, err := selectTrace("", filepath.Join(dir, "missing.json"), 16, 45); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestSortedTags(t *testing.T) {
+	tags := sortedTags(map[string]float64{"a": 1, "b": 3, "c": 2})
+	if len(tags) != 3 || tags[0] != "b" || tags[1] != "c" || tags[2] != "a" {
+		t.Errorf("sortedTags wrong order: %v", tags)
+	}
+}

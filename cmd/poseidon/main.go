@@ -1,0 +1,76 @@
+// Command poseidon regenerates every table and figure of the paper's
+// evaluation from the models in this repository. Each subcommand maps to
+// one experiment; `all` runs everything.
+//
+// Usage:
+//
+//	poseidon <experiment> [flags]
+//
+// Experiments: table2 table3 table4 table5 table6 table7 table8 table9
+// table10 table11 table12 fig7 fig8 fig9 fig10 fig11 fig12 cpu all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(*flag.FlagSet, []string) error
+}
+
+var experiments []experiment
+
+func register(name, desc string, run func(*flag.FlagSet, []string) error) {
+	experiments = append(experiments, experiment{name, desc, run})
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	if name == "all" {
+		sort.Slice(experiments, func(i, j int) bool { return experiments[i].name < experiments[j].name })
+		for _, e := range experiments {
+			if e.name == "cpu" {
+				continue // slow; run explicitly
+			}
+			fs := flag.NewFlagSet(e.name, flag.ExitOnError)
+			if err := e.run(fs, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			fs := flag.NewFlagSet(e.name, flag.ExitOnError)
+			if err := e.run(fs, os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: poseidon <experiment> [flags]")
+	fmt.Fprintln(os.Stderr, "\nexperiments:")
+	sorted := append([]experiment(nil), experiments...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+	for _, e := range sorted {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintln(os.Stderr, "  all        run every experiment except cpu")
+}

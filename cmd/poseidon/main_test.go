@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+// Every registered experiment (except the slow CPU measurement) must run
+// without error — the harness stays wired as the models evolve.
+func TestAllExperimentsRun(t *testing.T) {
+	// Silence the experiment output during the test.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	for _, e := range experiments {
+		if e.name == "cpu" {
+			continue
+		}
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			fs := flag.NewFlagSet(e.name, flag.ContinueOnError)
+			if err := e.run(fs, nil); err != nil {
+				t.Fatalf("%s: %v", e.name, err)
+			}
+		})
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"table8", "table9", "table10", "table11", "table12",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "cpu",
+	}
+	have := map[string]bool{}
+	for _, e := range experiments {
+		if e.desc == "" {
+			t.Errorf("%s: missing description", e.name)
+		}
+		have[e.name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("experiment %s not registered", name)
+		}
+	}
+}
+
+func TestCPUExperimentSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU measurement is slow")
+	}
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	fs := flag.NewFlagSet("cpu", flag.ContinueOnError)
+	for _, e := range experiments {
+		if e.name == "cpu" {
+			if err := e.run(fs, []string{"-logn", "9", "-limbs", "4", "-reps", "2"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

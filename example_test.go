@@ -1,0 +1,60 @@
+package poseidon_test
+
+import (
+	"fmt"
+
+	"poseidon"
+)
+
+// Encrypt two vectors, add them homomorphically, decrypt.
+func Example() {
+	params, err := poseidon.NewParameters(poseidon.ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{50, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+	})
+	if err != nil {
+		panic(err)
+	}
+	kit := poseidon.NewKit(params, 42)
+
+	ct1 := kit.EncryptReals([]float64{1, 2, 3})
+	ct2 := kit.EncryptReals([]float64{10, 20, 30})
+	sum := kit.Eval.Add(ct1, ct2)
+
+	vals := kit.DecryptValues(sum)
+	fmt.Printf("%.1f %.1f %.1f\n", real(vals[0]), real(vals[1]), real(vals[2]))
+	// Output: 11.0 22.0 33.0
+}
+
+// Price an FHE workload on the modeled accelerator.
+func ExampleSimulate() {
+	model, err := poseidon.NewModel(poseidon.U280(), poseidon.PaperParams())
+	if err != nil {
+		panic(err)
+	}
+	rep := poseidon.Simulate(model, poseidon.DefaultEnergy(),
+		poseidon.BenchmarkPackedBoot(poseidon.PaperWorkloadSpec()))
+	fmt.Printf("packed bootstrapping: %d ms\n", int(rep.TotalTime*1e3))
+	// Output: packed bootstrapping: 111 ms
+}
+
+// Homomorphic squaring with relinearization and rescale.
+func ExampleKit_EncryptReals() {
+	params, err := poseidon.NewParameters(poseidon.ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{50, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+	})
+	if err != nil {
+		panic(err)
+	}
+	kit := poseidon.NewKit(params, 7)
+	ct := kit.EncryptReals([]float64{3, -4})
+	sq := kit.Eval.Rescale(kit.Eval.MulRelin(ct, ct))
+	vals := kit.DecryptValues(sq)
+	fmt.Printf("%.1f %.1f\n", real(vals[0]), real(vals[1]))
+	// Output: 9.0 16.0
+}

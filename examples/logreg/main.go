@@ -1,0 +1,71 @@
+// Logreg: encrypted logistic-regression inference — the HELR-style workload
+// of the paper's LR benchmark, shrunk to laptop scale. The server scores an
+// encrypted feature vector against a plaintext model: inner product via
+// rotate-and-sum, then a degree-3 polynomial sigmoid, all under encryption.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"poseidon"
+)
+
+const features = 32
+
+func main() {
+	params, err := poseidon.NewParameters(poseidon.ParametersLiteral{
+		LogN:     11,
+		LogQ:     []int{50, 40, 40, 40, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kit := poseidon.NewKit(params, 99)
+	ev := kit.Eval
+
+	// A trained (plaintext) model and a private patient record.
+	weights := make([]float64, features)
+	record := make([]float64, features)
+	for i := 0; i < features; i++ {
+		weights[i] = 0.15 * math.Cos(float64(i)*0.7)
+		record[i] = math.Sin(float64(i) * 0.31)
+	}
+	bias := -0.2
+
+	ct := kit.EncryptReals(record)
+
+	// Inner product w·x: plaintext multiply then rotate-and-sum.
+	wPT := kit.Enc.EncodeReal(weights, ct.Level, params.Scale)
+	z := ev.Rescale(ev.MulPlain(ct, wPT))
+	z = kit.InnerSum(z, features)
+	z = ev.AddConst(z, complex(bias, 0))
+
+	// Degree-3 sigmoid approximation on [-4, 4]:
+	// σ(t) ≈ 0.5 + 0.197·t − 0.004·t³ (the HELR polynomial).
+	t2 := ev.Rescale(ev.MulRelin(z, z))                          // t²
+	t3 := ev.Rescale(ev.MulRelin(t2, ev.DropLevel(z, t2.Level))) // t³
+	term3 := ev.Rescale(ev.MulConst(t3, -0.004))
+	// Align the linear term's scale and level with the cubic term.
+	term1 := ev.MulConstToScale(ev.DropLevel(z, term3.Level+1), 0.197, term3.Scale)
+	score := ev.Add(term1, term3)
+	score = ev.AddConst(score, 0.5)
+
+	got := real(kit.DecryptValues(score)[0])
+
+	// Plaintext reference.
+	zRef := bias
+	for i := range weights {
+		zRef += weights[i] * record[i]
+	}
+	sigRef := 0.5 + 0.197*zRef - 0.004*zRef*zRef*zRef
+
+	fmt.Printf("logit (plaintext):        %.6f\n", zRef)
+	fmt.Printf("sigmoid poly (plaintext): %.6f\n", sigRef)
+	fmt.Printf("sigmoid poly (encrypted): %.6f\n", got)
+	fmt.Printf("absolute error:           %.2e\n", math.Abs(got-sigRef))
+	fmt.Printf("true sigmoid:             %.6f\n", 1/(1+math.Exp(-zRef)))
+}

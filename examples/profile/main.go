@@ -1,0 +1,73 @@
+// Profile: write an FHE program once, run it functionally, and price the
+// recorded operation trace on different Poseidon design points — the
+// record-then-simulate flow that connects the cryptographic library to the
+// accelerator model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"poseidon"
+)
+
+func main() {
+	params, err := poseidon.NewParameters(poseidon.ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{50, 40, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kit := poseidon.NewKit(params, 314)
+
+	// Instrument the evaluator.
+	rec := poseidon.NewTraceRecorder("weighted-score")
+	kit.Eval.SetObserver(rec)
+
+	// The program: a weighted score with a rotate-and-sum reduction.
+	rec.SetPhase("inner-product")
+	x := kit.EncryptReals([]float64{0.2, -0.7, 1.1, 0.4, -0.3, 0.9, 0.1, -0.5})
+	w := kit.Enc.EncodeReal([]float64{1, 2, -1, 0.5, 3, -2, 1.5, 0.25},
+		params.MaxLevel(), params.Scale)
+	score := kit.Eval.Rescale(kit.Eval.MulPlain(x, w))
+	score = kit.InnerSum(score, 8)
+	rec.SetPhase("activation")
+	act := kit.Eval.Rescale(kit.Eval.MulRelin(score, score))
+
+	fmt.Printf("functional result (x·w)² = %.4f\n",
+		real(kit.DecryptValues(act)[0]))
+
+	// Price the recorded trace across design points.
+	tr := rec.Trace()
+	fmt.Printf("\nrecorded %d basic operations; modeled cost at N=2^16, L=44:\n", len(tr.Ops))
+	em := poseidon.DefaultEnergy()
+	for _, pt := range []struct {
+		name string
+		cfg  poseidon.Config
+	}{
+		{"U280, 512 lanes, HFAuto", poseidon.U280()},
+		{"U280, 128 lanes", withLanes(poseidon.U280(), 128)},
+		{"U280, naive automorphism", withNaive(poseidon.U280())},
+		{"SmartSSD (near-data)", poseidon.SmartSSD()},
+	} {
+		model, err := poseidon.NewModel(pt.cfg, poseidon.PaperParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := poseidon.Simulate(model, em, tr)
+		fmt.Printf("  %-28s %8.3f ms   %.3g J\n", pt.name, rep.TotalTime*1e3, rep.TotalEnergy)
+	}
+}
+
+func withLanes(c poseidon.Config, lanes int) poseidon.Config {
+	c.Lanes = lanes
+	return c
+}
+
+func withNaive(c poseidon.Config) poseidon.Config {
+	c.Auto = poseidon.NaiveAutoCore
+	return c
+}

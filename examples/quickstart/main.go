@@ -1,0 +1,51 @@
+// Quickstart: encrypt two vectors, compute (a+b)·a homomorphically, and
+// decrypt — the smallest end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"poseidon"
+)
+
+func main() {
+	params, err := poseidon.NewParameters(poseidon.ParametersLiteral{
+		LogN:     11,
+		LogQ:     []int{50, 40, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kit := poseidon.NewKit(params, 2024)
+
+	a := []float64{1.5, -2.0, 3.25, 0.5}
+	b := []float64{0.5, 4.0, -1.25, 2.5}
+
+	ctA := kit.EncryptReals(a)
+	ctB := kit.EncryptReals(b)
+
+	// (a + b) ⊙ a, all under encryption.
+	sum := kit.Eval.Add(ctA, ctB)
+	prod := kit.Eval.MulRelin(sum, ctA)
+	prod = kit.Eval.Rescale(prod)
+
+	got := kit.DecryptValues(prod)
+	fmt.Println("slot  (a+b)*a   decrypted")
+	for i := range a {
+		want := (a[i] + b[i]) * a[i]
+		fmt.Printf("%4d  %8.4f   %8.4f\n", i, want, real(got[i]))
+	}
+
+	// The same computation priced on the Poseidon accelerator model.
+	model, err := poseidon.NewModel(poseidon.U280(), poseidon.PaperParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	limbs := poseidon.PaperParams().Limbs
+	t := model.Latency(model.HAdd(limbs)) + model.Latency(model.CMult(limbs)) +
+		model.Latency(model.Rescale(limbs))
+	fmt.Printf("\non the modeled U280 accelerator (N=2^16, L=44) this takes %.3f ms\n", t*1e3)
+}

@@ -1,0 +1,131 @@
+package poseidon
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// A full client-server round trip over the wire format: the client encodes
+// and encrypts, serializes the ciphertext; the server deserializes,
+// computes (without any key material beyond evaluation keys), serializes
+// the result; the client decrypts. This is the deployment flow the paper's
+// Fig 1 describes.
+func TestClientServerFlow(t *testing.T) {
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{50, 40, 40, 40, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client side: keys and encryption.
+	client := NewKit(params, 500)
+	record := []float64{0.25, -1.5, 2.0, 0.75}
+	ct := client.EncryptReals(record)
+	wire, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server side: only public evaluation keys.
+	serverEval := NewEvaluator(params, client.RLK, client.RTK)
+	var inbound Ciphertext
+	if err := inbound.UnmarshalBinary(wire); err != nil {
+		t.Fatal(err)
+	}
+	// Compute 2x² − x on the encrypted record.
+	result := serverEval.EvalPoly(&inbound, []float64{0, -1, 2})
+	outWire, err := result.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client decrypts.
+	var outbound Ciphertext
+	if err := outbound.UnmarshalBinary(outWire); err != nil {
+		t.Fatal(err)
+	}
+	got := client.DecryptValues(&outbound)
+	for i, x := range record {
+		want := 2*x*x - x
+		if math.Abs(real(got[i])-want) > 1e-4 {
+			t.Errorf("slot %d: got %.6f want %.6f", i, real(got[i]), want)
+		}
+	}
+}
+
+// The library's rotation, inner sum and conjugation must compose correctly
+// into the rotate-and-sum reduction with complex data.
+func TestComposedReduction(t *testing.T) {
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{50, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit := NewKit(params, 501)
+
+	n := 8
+	vals := make([]complex128, n)
+	var wantSum complex128
+	for i := range vals {
+		vals[i] = complex(float64(i)*0.1, -float64(i)*0.05)
+		wantSum += vals[i]
+	}
+	ct := kit.EncryptValues(vals)
+	sum := kit.InnerSum(ct, n)
+	got := kit.DecryptValues(sum)[0]
+	if cmplx.Abs(got-wantSum) > 1e-5 {
+		t.Errorf("InnerSum %v want %v", got, wantSum)
+	}
+
+	// Conjugate the sum.
+	conj := kit.Eval.Conjugate(sum)
+	gotC := kit.DecryptValues(conj)[0]
+	if cmplx.Abs(gotC-cmplx.Conj(wantSum)) > 1e-5 {
+		t.Errorf("Conjugate %v want %v", gotC, cmplx.Conj(wantSum))
+	}
+}
+
+// The accelerator model and the four benchmarks must be reachable and
+// self-consistent through the public API, including the ablation knobs.
+func TestPublicDesignSpace(t *testing.T) {
+	em := DefaultEnergy()
+	spec := PaperWorkloadSpec()
+	tr := BenchmarkPackedBoot(spec)
+
+	base, err := NewModel(U280(), PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTime := Simulate(base, em, tr).TotalTime
+
+	// Fewer lanes → slower.
+	cfg := U280()
+	cfg.Lanes = 64
+	small, err := NewModel(cfg, PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Simulate(small, em, tr).TotalTime <= baseTime {
+		t.Error("64 lanes should be slower than 512")
+	}
+
+	// Naive automorphism → slower.
+	cfg = U280()
+	cfg.Auto = NaiveAutoCore
+	naive, err := NewModel(cfg, PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Simulate(naive, em, tr).TotalTime <= baseTime {
+		t.Error("naive automorphism should be slower than HFAuto")
+	}
+}

@@ -1,0 +1,113 @@
+// Package arch models the Poseidon accelerator micro-architecture: the five
+// operator core families (MA, MM, NTT, Automorphism, SBT), the 512-lane
+// datapath, the HBM memory system and on-chip scratchpad, and the analytic
+// resource and energy models. The package answers the questions the paper's
+// evaluation asks — latency per FHE basic operation, per-operator time
+// shares, HBM bandwidth utilization, FPGA resource counts, energy and EDP —
+// as functions of the same design parameters the paper sweeps (fusion
+// degree k, lane count, automorphism core design).
+package arch
+
+import "fmt"
+
+// AutoKind selects the automorphism core design — the Table VIII/IX
+// ablation.
+type AutoKind int
+
+const (
+	// HFAutoCore is the paper's sub-vector automorphism: four pipelined
+	// sub-vector stages, C elements per cycle.
+	HFAutoCore AutoKind = iota
+	// NaiveAutoCore resolves one index mapping per cycle (the
+	// "straightforward design" baseline).
+	NaiveAutoCore
+)
+
+func (a AutoKind) String() string {
+	if a == NaiveAutoCore {
+		return "Auto"
+	}
+	return "HFAuto"
+}
+
+// Config fixes one accelerator design point.
+type Config struct {
+	Lanes   int     // vector lanes (paper: 512)
+	FusionK int     // NTT fusion degree (paper: 3)
+	FreqMHz float64 // datapath clock
+
+	HBMGBs        float64 // peak HBM bandwidth, GB/s (U280: 460)
+	HBMEfficiency float64 // achievable fraction of peak on streaming
+
+	ScratchpadMB float64 // on-chip scratchpad (paper: 8.6 MB)
+	LimbBytes    int     // bytes per RNS limb word (paper: 4, 32-bit)
+
+	Auto AutoKind
+
+	// Pipeline fill depths per core family, in cycles.
+	PipeMA, PipeMM, PipeNTT, PipeAuto int
+}
+
+// U280 returns the paper's design point on the Xilinx Alveo U280.
+func U280() Config {
+	return Config{
+		Lanes:         512,
+		FusionK:       3,
+		FreqMHz:       300,
+		HBMGBs:        460,
+		HBMEfficiency: 0.85,
+		ScratchpadMB:  8.6,
+		LimbBytes:     4,
+		Auto:          HFAutoCore,
+		PipeMA:        4,
+		PipeMM:        18,
+		PipeNTT:       32,
+		PipeAuto:      16,
+	}
+}
+
+// Validate checks the design point for basic sanity.
+func (c Config) Validate() error {
+	if c.Lanes < 1 || c.Lanes&(c.Lanes-1) != 0 {
+		return fmt.Errorf("arch: lanes=%d must be a power of two", c.Lanes)
+	}
+	if c.FusionK < 1 || c.FusionK > 6 {
+		return fmt.Errorf("arch: fusion k=%d out of range [1,6]", c.FusionK)
+	}
+	if c.FreqMHz <= 0 || c.HBMGBs <= 0 {
+		return fmt.Errorf("arch: frequency and bandwidth must be positive")
+	}
+	if c.LimbBytes != 4 && c.LimbBytes != 8 {
+		return fmt.Errorf("arch: limb width %d bytes unsupported (4 or 8)", c.LimbBytes)
+	}
+	return nil
+}
+
+// EffectiveHBM returns the achievable bandwidth in bytes/second.
+func (c Config) EffectiveHBM() float64 {
+	return c.HBMGBs * 1e9 * c.HBMEfficiency
+}
+
+// CyclesPerSec returns the clock rate in Hz.
+func (c Config) CyclesPerSec() float64 { return c.FreqMHz * 1e6 }
+
+// FHEParams describes the ciphertext geometry a workload runs under.
+type FHEParams struct {
+	LogN  int
+	Limbs int // L+1: RNS limbs of a full-level ciphertext
+	Alpha int // special primes (keyswitch digit width)
+}
+
+// N returns the ring degree.
+func (p FHEParams) N() int { return 1 << uint(p.LogN) }
+
+// Dnum returns the keyswitch digit count at the given limb count.
+func (p FHEParams) Dnum(limbs int) int {
+	return (limbs + p.Alpha - 1) / p.Alpha
+}
+
+// PaperParams is the evaluation parameter set used for the Table IV / Fig 7
+// experiments (N = 2^16, L = 44, α = 4).
+func PaperParams() FHEParams {
+	return FHEParams{LogN: 16, Limbs: 45, Alpha: 4}
+}

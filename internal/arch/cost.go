@@ -1,0 +1,349 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Operator identifies one of the paper's five operator core families (SBT
+// is folded into MM/NTT cycle costs but tracked for resources), plus the
+// data-movement pseudo-operator used in the Fig 7 breakdown.
+type Operator int
+
+const (
+	MA Operator = iota
+	MM
+	NTT
+	Auto
+	Mem // HBM exposure not hidden behind compute
+	numOperators
+)
+
+func (o Operator) String() string {
+	switch o {
+	case MA:
+		return "MA"
+	case MM:
+		return "MM"
+	case NTT:
+		return "NTT"
+	case Auto:
+		return "Automorphism"
+	case Mem:
+		return "Mem"
+	}
+	return fmt.Sprintf("Operator(%d)", int(o))
+}
+
+// Profile is the cost of one basic FHE operation on the accelerator:
+// busy cycles per operator family plus the HBM traffic it generates.
+type Profile struct {
+	Name     string
+	Cycles   [numOperators]float64
+	HBMBytes float64
+}
+
+// add merges another profile's costs (for composing basic ops).
+func (p *Profile) add(o Profile) {
+	for i := range p.Cycles {
+		p.Cycles[i] += o.Cycles[i]
+	}
+	p.HBMBytes += o.HBMBytes
+}
+
+// scale multiplies all costs by f.
+func (p *Profile) scale(f float64) {
+	for i := range p.Cycles {
+		p.Cycles[i] *= f
+	}
+	p.HBMBytes *= f
+}
+
+// TotalComputeCycles sums core-busy cycles across families.
+func (p Profile) TotalComputeCycles() float64 {
+	t := 0.0
+	for op, c := range p.Cycles {
+		if Operator(op) != Mem {
+			t += c
+		}
+	}
+	return t
+}
+
+// Model evaluates operation costs for one design point and ciphertext
+// geometry.
+type Model struct {
+	Cfg    Config
+	Params FHEParams
+}
+
+// NewModel validates and builds a cost model.
+func NewModel(cfg Config, params FHEParams) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if params.LogN < 3 || params.Limbs < 1 || params.Alpha < 1 {
+		return nil, fmt.Errorf("arch: invalid FHE parameters %+v", params)
+	}
+	return &Model{Cfg: cfg, Params: params}, nil
+}
+
+// lanes returns the lane count as float.
+func (m *Model) lanes() float64 { return float64(m.Cfg.Lanes) }
+
+// nttPasses is the number of fused NTT phases: ceil(logN / k).
+func (m *Model) nttPasses() float64 {
+	return math.Ceil(float64(m.Params.LogN) / float64(m.Cfg.FusionK))
+}
+
+// elemCycles is the pipelined cost of streaming `elems` element-operations
+// through a lane-parallel core family.
+func (m *Model) elemCycles(elems float64, pipe int) float64 {
+	return elems/m.lanes() + float64(pipe)
+}
+
+// nttCycles is the cost of transforming `elems` residues: every fused pass
+// streams the full vector once.
+func (m *Model) nttCycles(elems float64) float64 {
+	return m.nttPasses()*elems/m.lanes() + float64(m.Cfg.PipeNTT)
+}
+
+// autoCycles models the automorphism core. HFAuto moves C-element
+// sub-vectors through 4 pipelined stages; the naive core resolves one index
+// map per cycle — the Table VIII/IX ablation.
+func (m *Model) autoCycles(elems float64) float64 {
+	if m.Cfg.Auto == NaiveAutoCore {
+		return elems + float64(m.Cfg.PipeAuto)
+	}
+	return 4*elems/m.lanes() + float64(m.Cfg.PipeAuto)
+}
+
+// words converts element counts to HBM bytes.
+func (m *Model) words(elems float64) float64 {
+	return elems * float64(m.Cfg.LimbBytes)
+}
+
+// Latency converts a profile into seconds: compute and HBM streaming are
+// overlapped (the scratchpad double-buffers transfers), so the operation
+// takes the larger of the two.
+func (m *Model) Latency(p Profile) float64 {
+	tc := p.TotalComputeCycles() / m.Cfg.CyclesPerSec()
+	tm := p.HBMBytes / m.Cfg.EffectiveHBM()
+	return math.Max(tc, tm)
+}
+
+// BandwidthUtilization is the fraction of peak HBM bandwidth the operation
+// sustains: bytes moved over the op's wall time at full peak (Table VII).
+func (m *Model) BandwidthUtilization(p Profile) float64 {
+	t := m.Latency(p)
+	if t == 0 {
+		return 0
+	}
+	return p.HBMBytes / (t * m.Cfg.HBMGBs * 1e9)
+}
+
+// Shares returns the Fig 7-style time breakdown: each compute family's
+// share of busy cycles, with exposed memory time as the Mem share.
+func (m *Model) Shares(p Profile) map[Operator]float64 {
+	tc := p.TotalComputeCycles() / m.Cfg.CyclesPerSec()
+	tm := p.HBMBytes / m.Cfg.EffectiveHBM()
+	total := math.Max(tc, tm)
+	shares := map[Operator]float64{}
+	if total == 0 {
+		return shares
+	}
+	// Compute families share the compute fraction proportionally to their
+	// busy cycles; the remainder is exposed memory time.
+	computeFrac := math.Min(1, tc/total)
+	sum := p.TotalComputeCycles()
+	for op := MA; op < Mem; op++ {
+		if sum > 0 {
+			shares[op] = computeFrac * p.Cycles[op] / sum
+		} else {
+			shares[op] = 0
+		}
+	}
+	shares[Mem] = 1 - computeFrac
+	return shares
+}
+
+// --- Basic operation profiles -------------------------------------------
+//
+// Throughout, limbs is the active limb count (level+1), E = N·limbs is the
+// per-polynomial element count, and a ciphertext is two polynomials.
+
+// HAdd is ciphertext-ciphertext homomorphic addition: pure MA over both
+// components, streaming both operands in and the sum out.
+func (m *Model) HAdd(limbs int) Profile {
+	e := float64(m.Params.N() * limbs)
+	var p Profile
+	p.Name = "HAdd"
+	p.Cycles[MA] = m.elemCycles(2*e, m.Cfg.PipeMA)
+	p.HBMBytes = m.words(4*e + 2*e)
+	return p
+}
+
+// HAddPlain is ciphertext-plaintext addition (only C0 is touched).
+func (m *Model) HAddPlain(limbs int) Profile {
+	e := float64(m.Params.N() * limbs)
+	var p Profile
+	p.Name = "HAddPlain"
+	p.Cycles[MA] = m.elemCycles(e, m.Cfg.PipeMA)
+	p.HBMBytes = m.words(2*e + e + 2*e)
+	return p
+}
+
+// PMult is ciphertext-plaintext multiplication: MM over both components.
+func (m *Model) PMult(limbs int) Profile {
+	e := float64(m.Params.N() * limbs)
+	var p Profile
+	p.Name = "PMult"
+	p.Cycles[MM] = m.elemCycles(2*e, m.Cfg.PipeMM)
+	p.HBMBytes = m.words(2*e + e + 2*e)
+	return p
+}
+
+// NTTOp is one standalone polynomial transform at the given limb count —
+// reported separately in Table IV because of its weight.
+func (m *Model) NTTOp(limbs int) Profile {
+	e := float64(m.Params.N() * limbs)
+	var p Profile
+	p.Name = "NTT"
+	p.Cycles[NTT] = m.nttCycles(e)
+	p.HBMBytes = m.words(2 * e)
+	return p
+}
+
+// AutomorphismOp is the index-mapping operator on a full ciphertext.
+func (m *Model) AutomorphismOp(limbs int) Profile {
+	e := float64(m.Params.N() * limbs)
+	var p Profile
+	p.Name = "Automorphism"
+	p.Cycles[Auto] = m.autoCycles(2 * e)
+	p.HBMBytes = m.words(4 * e)
+	return p
+}
+
+// keySwitchProfile is the hybrid keyswitch on a single polynomial at the
+// given level: INTT, per-digit RNSconv (ModUp) with MA/MM chains, NTT over
+// the extended basis, MAC against the key digits, then ModDown and the
+// final transforms. The evaluation keys stream from HBM — the dominant
+// traffic.
+func (m *Model) keySwitchProfile(limbs int) Profile {
+	n := float64(m.Params.N())
+	alpha := float64(m.Params.Alpha)
+	dnum := float64(m.Params.Dnum(limbs))
+	l := float64(limbs)
+	e := n * l
+	eqp := n * (l + alpha)
+
+	var p Profile
+	p.Name = "Keyswitch"
+
+	// INTT of the input polynomial.
+	p.Cycles[NTT] += m.nttCycles(e)
+	// Per digit: RNSconv (y_j then the extension inner products — MM+MA
+	// chains over the target basis), forward NTT of the extended digit,
+	// and the MAC against both key components.
+	p.Cycles[MM] += dnum * m.elemCycles(n*alpha*(l+alpha), m.Cfg.PipeMM)
+	p.Cycles[MA] += dnum * m.elemCycles(n*alpha*(l+alpha), m.Cfg.PipeMA)
+	p.Cycles[NTT] += dnum * m.nttCycles(eqp)
+	p.Cycles[MM] += dnum * m.elemCycles(2*eqp, m.Cfg.PipeMM)
+	p.Cycles[MA] += dnum * m.elemCycles(2*eqp, m.Cfg.PipeMA)
+	// ModDown: INTT both accumulators, RNSconv P→Q, subtract, multiply by
+	// P^-1, NTT back.
+	p.Cycles[NTT] += 2 * m.nttCycles(eqp)
+	p.Cycles[MM] += 2 * m.elemCycles(n*alpha*l, m.Cfg.PipeMM)
+	p.Cycles[MA] += 2 * m.elemCycles(n*alpha*l, m.Cfg.PipeMA)
+	p.Cycles[MM] += 2 * m.elemCycles(e, m.Cfg.PipeMM)
+	p.Cycles[MA] += 2 * m.elemCycles(e, m.Cfg.PipeMA)
+	p.Cycles[NTT] += 2 * m.nttCycles(e)
+
+	// Traffic: input poly in, two outputs out, and the key digits
+	// streamed (2 components × dnum digits × extended basis).
+	p.HBMBytes = m.words(e + 2*e + dnum*2*eqp)
+	return p
+}
+
+// Keyswitch is the standalone basic operation (applied to one ciphertext
+// component, as in relinearization or rotation).
+func (m *Model) Keyswitch(limbs int) Profile {
+	return m.keySwitchProfile(limbs)
+}
+
+// CMult is ciphertext-ciphertext multiplication with relinearization:
+// the degree-2 tensor product (4 MM + 1 MA over components) followed by a
+// keyswitch of d2 and the final additions.
+func (m *Model) CMult(limbs int) Profile {
+	e := float64(m.Params.N() * limbs)
+	var p Profile
+	p.Name = "CMult"
+	p.Cycles[MM] = m.elemCycles(4*e, m.Cfg.PipeMM)
+	p.Cycles[MA] = m.elemCycles(e, m.Cfg.PipeMA)
+	p.HBMBytes = m.words(4*e + 2*e)
+	p.add(m.keySwitchProfile(limbs))
+	// Final accumulation of the keyswitch outputs into (d0, d1).
+	p.Cycles[MA] += m.elemCycles(2*e, m.Cfg.PipeMA)
+	p.Name = "CMult"
+	return p
+}
+
+// Rescale divides by the last prime: INTT, the centered correction chain
+// (MA+MM per remaining limb), and the forward transform of the result.
+func (m *Model) Rescale(limbs int) Profile {
+	if limbs < 2 {
+		limbs = 2
+	}
+	n := float64(m.Params.N())
+	e := n * float64(limbs)
+	eOut := n * float64(limbs-1)
+	var p Profile
+	p.Name = "Rescale"
+	p.Cycles[NTT] = 2*m.nttCycles(e) + 2*m.nttCycles(eOut)
+	p.Cycles[MA] = m.elemCycles(2*eOut, m.Cfg.PipeMA)
+	p.Cycles[MM] = m.elemCycles(2*eOut, m.Cfg.PipeMM)
+	// The dropped-limb correction reuses scratchpad-resident data; only
+	// the operands and results move.
+	p.HBMBytes = m.words(2*e + 2*eOut)
+	return p
+}
+
+// Rotation is automorphism on both components plus a keyswitch and the
+// final addition.
+func (m *Model) Rotation(limbs int) Profile {
+	e := float64(m.Params.N() * limbs)
+	var p Profile
+	p.Name = "Rotation"
+	p.Cycles[Auto] = m.autoCycles(2 * e)
+	p.HBMBytes = m.words(4 * e)
+	p.add(m.keySwitchProfile(limbs))
+	p.Cycles[MA] += m.elemCycles(e, m.Cfg.PipeMA)
+	p.Name = "Rotation"
+	return p
+}
+
+// ModUp / ModDown exposed as standalone sub-operations (Eq. 1–3).
+func (m *Model) ModUp(limbs int) Profile {
+	n := float64(m.Params.N())
+	alpha := float64(m.Params.Alpha)
+	l := float64(limbs)
+	var p Profile
+	p.Name = "ModUp"
+	p.Cycles[MM] = m.elemCycles(n*alpha*(l+alpha), m.Cfg.PipeMM)
+	p.Cycles[MA] = m.elemCycles(n*alpha*(l+alpha), m.Cfg.PipeMA)
+	p.HBMBytes = m.words(n*l + n*(l+alpha))
+	return p
+}
+
+// ModDown reduces the extended basis back to Q.
+func (m *Model) ModDown(limbs int) Profile {
+	n := float64(m.Params.N())
+	alpha := float64(m.Params.Alpha)
+	l := float64(limbs)
+	var p Profile
+	p.Name = "ModDown"
+	p.Cycles[MM] = m.elemCycles(n*alpha*l+n*l, m.Cfg.PipeMM)
+	p.Cycles[MA] = m.elemCycles(n*alpha*l+n*l, m.Cfg.PipeMA)
+	p.HBMBytes = m.words(n*(l+alpha) + n*l)
+	return p
+}

@@ -1,0 +1,127 @@
+package arch
+
+import (
+	"testing"
+
+	"poseidon/internal/trace"
+)
+
+func TestProfileArithmetic(t *testing.T) {
+	m := testModel(t)
+	a := m.HAdd(10)
+	b := m.PMult(10)
+	sum := a
+	sum.Cycles = a.Cycles
+	sum.HBMBytes = a.HBMBytes
+	sumCopy := sum
+	sumCopy.HBMBytes += b.HBMBytes
+	if sumCopy.HBMBytes <= a.HBMBytes {
+		t.Error("byte accumulation failed")
+	}
+	if a.TotalComputeCycles() <= 0 {
+		t.Error("compute cycles must be positive")
+	}
+}
+
+func TestModUpModDownProfiles(t *testing.T) {
+	m := testModel(t)
+	up := m.ModUp(20)
+	down := m.ModDown(20)
+	for _, p := range []Profile{up, down} {
+		if p.Cycles[MM] <= 0 || p.Cycles[MA] <= 0 {
+			t.Errorf("%s must use MM and MA", p.Name)
+		}
+		if p.Cycles[NTT] != 0 || p.Cycles[Auto] != 0 {
+			t.Errorf("%s must not use NTT or Auto", p.Name)
+		}
+		if p.HBMBytes <= 0 {
+			t.Errorf("%s must move data", p.Name)
+		}
+	}
+	if up.Name != "ModUp" || down.Name != "ModDown" {
+		t.Error("profile names wrong")
+	}
+}
+
+func TestProfileForCoversAllKinds(t *testing.T) {
+	m := testModel(t)
+	for _, k := range trace.Kinds() {
+		p := m.ProfileFor(k, 10)
+		if p.TotalComputeCycles() <= 0 && p.HBMBytes <= 0 {
+			t.Errorf("%v: empty profile", k)
+		}
+	}
+}
+
+func TestOperatorStrings(t *testing.T) {
+	want := map[Operator]string{
+		MA: "MA", MM: "MM", NTT: "NTT", Auto: "Automorphism", Mem: "Mem",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d: %q want %q", int(op), op.String(), s)
+		}
+	}
+	if Operator(99).String() == "" {
+		t.Error("unknown operator should still render")
+	}
+	if HFAutoCore.String() != "HFAuto" || NaiveAutoCore.String() != "Auto" {
+		t.Error("AutoKind strings wrong")
+	}
+}
+
+func TestLatencyScalesWithLevel(t *testing.T) {
+	m := testModel(t)
+	for _, mk := range []func(int) Profile{m.HAdd, m.PMult, m.CMult, m.Keyswitch, m.Rotation, m.Rescale, m.NTTOp} {
+		lo := m.Latency(mk(5))
+		hi := m.Latency(mk(40))
+		if hi <= lo {
+			t.Errorf("%s: latency must grow with limb count (%.3g vs %.3g)",
+				mk(5).Name, lo, hi)
+		}
+	}
+}
+
+func TestRescaleMinimumLimbs(t *testing.T) {
+	m := testModel(t)
+	// Rescale at 1 limb is clamped to the 2-limb cost, not a panic.
+	p := m.Rescale(1)
+	if p.TotalComputeCycles() <= 0 {
+		t.Error("clamped rescale must still cost something")
+	}
+}
+
+func TestEnergyBreakdownFields(t *testing.T) {
+	m := testModel(t)
+	em := DefaultEnergy()
+	b := em.Energy(m, m.Rotation(30))
+	if b.Auto <= 0 {
+		t.Error("rotation must spend automorphism energy")
+	}
+	if b.Static <= 0 {
+		t.Error("static energy must accrue")
+	}
+	total := b.MA + b.MM + b.NTT + b.Auto + b.HBM + b.Static
+	if b.Total() != total {
+		t.Error("Total() disagrees with the sum of fields")
+	}
+}
+
+// Naive automorphism energy accounting uses a single serial core.
+func TestNaiveAutoEnergyAccounting(t *testing.T) {
+	cfgN := U280()
+	cfgN.Auto = NaiveAutoCore
+	naive, _ := NewModel(cfgN, PaperParams())
+	hf := testModel(t)
+	em := DefaultEnergy()
+
+	// Same element count flows through either core design, so automorphism
+	// energy (per-element) should be comparable even though cycles differ
+	// by the lane factor.
+	eN := em.Energy(naive, naive.AutomorphismOp(10)).Auto
+	eH := em.Energy(hf, hf.AutomorphismOp(10)).Auto
+	ratio := eN / eH
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("auto energy ratio %.2f should be O(1) (same work)", ratio)
+	}
+}

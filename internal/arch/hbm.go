@@ -1,0 +1,85 @@
+package arch
+
+import "fmt"
+
+// HBM channel-level model. The paper's memory system is two HBM2 stacks of
+// 16 channels each, every channel 64 bits wide at up to 1800 Mbps — a
+// theoretical 460 GB/s. A polynomial vector is striped across channels
+// ("we can abstract the multi-channel HBM into a vector memory"), so the
+// achievable bandwidth of a transfer depends on how many channels its
+// stripe actually touches and on the per-channel streaming efficiency.
+type HBMGeometry struct {
+	Stacks         int     // HBM2 stacks on the device
+	ChannelsPer    int     // channels per stack
+	ChannelBits    int     // data width per channel
+	GbpsPerPin     float64 // per-pin data rate, Gbps
+	StreamEff      float64 // sequential-burst efficiency
+	StripeUnitByte int     // bytes of one stripe unit per channel
+}
+
+// U280HBM returns the Alveo U280 geometry the paper reports.
+func U280HBM() HBMGeometry {
+	return HBMGeometry{
+		Stacks:         2,
+		ChannelsPer:    16,
+		ChannelBits:    64,
+		GbpsPerPin:     1.8,
+		StreamEff:      0.85,
+		StripeUnitByte: 256,
+	}
+}
+
+// Channels is the total channel count.
+func (g HBMGeometry) Channels() int { return g.Stacks * g.ChannelsPer }
+
+// PeakBytesPerSec is the aggregate theoretical bandwidth.
+func (g HBMGeometry) PeakBytesPerSec() float64 {
+	return float64(g.Channels()) * float64(g.ChannelBits) / 8 * g.GbpsPerPin * 1e9 / 8 * 8
+}
+
+// PeakGBs is the aggregate bandwidth in GB/s (the paper's "460 GB/s").
+func (g HBMGeometry) PeakGBs() float64 {
+	// channels × width(bytes) × rate(GT/s): 32 × 8 B × 1.8 G/s = 460.8 GB/s
+	return float64(g.Channels()) * float64(g.ChannelBits) / 8 * g.GbpsPerPin
+}
+
+// ChannelsTouched reports how many channels a transfer of `bytes` striped
+// in StripeUnitByte units occupies (capped at the channel count).
+func (g HBMGeometry) ChannelsTouched(bytes float64) int {
+	units := int(bytes) / g.StripeUnitByte
+	if int(bytes)%g.StripeUnitByte != 0 {
+		units++
+	}
+	if units > g.Channels() {
+		return g.Channels()
+	}
+	if units < 1 {
+		return 1
+	}
+	return units
+}
+
+// TransferSeconds models one streaming transfer: bandwidth scales with the
+// channels the stripe covers, derated by the streaming efficiency.
+func (g HBMGeometry) TransferSeconds(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	chans := float64(g.ChannelsTouched(bytes))
+	perChan := float64(g.ChannelBits) / 8 * g.GbpsPerPin * 1e9 * g.StreamEff
+	return bytes / (chans * perChan)
+}
+
+// Validate sanity-checks the geometry.
+func (g HBMGeometry) Validate() error {
+	if g.Stacks < 1 || g.ChannelsPer < 1 || g.ChannelBits < 8 {
+		return fmt.Errorf("arch: degenerate HBM geometry %+v", g)
+	}
+	if g.GbpsPerPin <= 0 || g.StreamEff <= 0 || g.StreamEff > 1 {
+		return fmt.Errorf("arch: invalid HBM rates %+v", g)
+	}
+	if g.StripeUnitByte < 1 {
+		return fmt.Errorf("arch: invalid stripe unit %d", g.StripeUnitByte)
+	}
+	return nil
+}

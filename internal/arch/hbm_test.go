@@ -1,0 +1,92 @@
+package arch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestU280HBMGeometry(t *testing.T) {
+	g := U280HBM()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Channels() != 32 {
+		t.Errorf("channels=%d want 32 (2 stacks × 16)", g.Channels())
+	}
+	// The paper's theoretical bandwidth: ~460 GB/s.
+	if gbs := g.PeakGBs(); math.Abs(gbs-460.8) > 1 {
+		t.Errorf("peak %.1f GB/s want ≈460", gbs)
+	}
+}
+
+func TestChannelsTouched(t *testing.T) {
+	g := U280HBM()
+	cases := []struct {
+		bytes float64
+		want  int
+	}{
+		{1, 1},
+		{256, 1},
+		{257, 2},
+		{256 * 32, 32},
+		{1e9, 32}, // capped at the channel count
+	}
+	for _, c := range cases {
+		if got := g.ChannelsTouched(c.bytes); got != c.want {
+			t.Errorf("ChannelsTouched(%.0f)=%d want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestTransferSecondsScaling(t *testing.T) {
+	g := U280HBM()
+	if g.TransferSeconds(0) != 0 {
+		t.Error("zero bytes take zero time")
+	}
+	// Small transfers use one channel; large ones the full array. A 1 MB
+	// transfer must run ~32× faster per byte than a 256 B one.
+	small := g.TransferSeconds(256) / 256
+	large := g.TransferSeconds(1<<20) / (1 << 20)
+	ratio := small / large
+	if ratio < 28 || ratio > 36 {
+		t.Errorf("per-byte speedup %f want ≈32 (full striping)", ratio)
+	}
+	// Full-array streaming must match the configured effective bandwidth.
+	bytes := 1e9
+	eff := bytes / g.TransferSeconds(bytes)
+	want := g.PeakGBs() * 1e9 * g.StreamEff
+	if math.Abs(eff-want)/want > 0.01 {
+		t.Errorf("effective bandwidth %.3g B/s want %.3g", eff, want)
+	}
+}
+
+func TestHBMValidate(t *testing.T) {
+	bad := U280HBM()
+	bad.Stacks = 0
+	if bad.Validate() == nil {
+		t.Error("zero stacks should fail")
+	}
+	bad = U280HBM()
+	bad.StreamEff = 1.5
+	if bad.Validate() == nil {
+		t.Error("efficiency > 1 should fail")
+	}
+	bad = U280HBM()
+	bad.StripeUnitByte = 0
+	if bad.Validate() == nil {
+		t.Error("zero stripe unit should fail")
+	}
+}
+
+// The config's flat bandwidth numbers must be consistent with the
+// channel-level geometry.
+func TestConfigMatchesGeometry(t *testing.T) {
+	cfg := U280()
+	g := U280HBM()
+	if math.Abs(cfg.HBMGBs-g.PeakGBs()) > 2 {
+		t.Errorf("config peak %.1f GB/s vs geometry %.1f GB/s", cfg.HBMGBs, g.PeakGBs())
+	}
+	if math.Abs(cfg.HBMEfficiency-g.StreamEff) > 1e-9 {
+		t.Errorf("config efficiency %.2f vs geometry %.2f", cfg.HBMEfficiency, g.StreamEff)
+	}
+}

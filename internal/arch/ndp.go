@@ -1,0 +1,69 @@
+package arch
+
+// Near-data-processing variant. The paper's discussion section proposes
+// deploying Poseidon's operator cores next to bulk storage (e.g. a
+// SmartSSD) with an even smaller scratchpad: compute throughput drops (the
+// FPGA on a storage device is smaller and slower) but data no longer
+// crosses the host memory system, so the energy per moved byte falls
+// sharply. This preset models that future-work design point so the
+// tradeoff is explorable.
+
+// SmartSSD returns a near-data design point: a storage-attached FPGA with
+// 128 lanes at 200 MHz behind a 12 GB/s device-internal link.
+func SmartSSD() Config {
+	return Config{
+		Lanes:         128,
+		FusionK:       3,
+		FreqMHz:       200,
+		HBMGBs:        12, // device-internal bandwidth
+		HBMEfficiency: 0.9,
+		ScratchpadMB:  2.0,
+		LimbBytes:     4,
+		Auto:          HFAutoCore,
+		PipeMA:        4,
+		PipeMM:        18,
+		PipeNTT:       32,
+		PipeAuto:      16,
+	}
+}
+
+// NDPEnergy returns the energy model for the near-data variant: moving a
+// byte inside the device costs ~6× less than crossing HBM + host DRAM.
+func NDPEnergy() EnergyModel {
+	e := DefaultEnergy()
+	e.HBMpJB = 9
+	e.StaticW = 6
+	return e
+}
+
+// WorkingSetBytes estimates the scratchpad residency one basic operation
+// needs to avoid spilling intermediates to off-chip memory: the operands,
+// the result, and the operation's largest intermediate, in bytes. The
+// paper sizes its scratchpad at 8.6 MB — enough for Rescale's full reuse
+// (its low bandwidth utilization in Table VII) but deliberately not for
+// entire keyswitch working sets, which stream instead.
+func (m *Model) WorkingSetBytes(p Profile, limbs int) float64 {
+	n := float64(m.Params.N())
+	w := float64(m.Cfg.LimbBytes)
+	l := float64(limbs)
+	alpha := float64(m.Params.Alpha)
+	switch p.Name {
+	case "HAdd", "HAddPlain", "PMult":
+		return 3 * n * l * w // two inputs + one output tile
+	case "Rescale":
+		return 4 * n * l * w // both components + coefficient-domain copies
+	case "NTT", "Automorphism":
+		return 2 * n * l * w
+	case "Keyswitch", "CMult", "Rotation":
+		// One extended digit plus both accumulators must be resident.
+		return 3*n*(l+alpha)*w + 2*n*l*w
+	default:
+		return 2 * n * l * w
+	}
+}
+
+// FitsScratchpad reports whether the op's working set is scratchpad
+// resident at this design point.
+func (m *Model) FitsScratchpad(p Profile, limbs int) bool {
+	return m.WorkingSetBytes(p, limbs) <= m.Cfg.ScratchpadMB*1e6
+}

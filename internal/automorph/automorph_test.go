@@ -1,0 +1,241 @@
+package automorph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"poseidon/internal/numeric"
+)
+
+var testMod = numeric.NewModulus(1073479681)
+
+func randomVec(rng *rand.Rand, n int) []uint64 {
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = rng.Uint64() % testMod.Q
+	}
+	return v
+}
+
+func TestNaiveIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := randomVec(rng, 64)
+	dst := make([]uint64, 64)
+	Naive(dst, src, 1, testMod)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("g=1 should be identity, mismatch at %d", i)
+		}
+	}
+}
+
+func TestNaiveEvenGaloisPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("even Galois element should panic")
+		}
+	}()
+	Naive(make([]uint64, 8), make([]uint64, 8), 4, testMod)
+}
+
+// The automorphism must be a ring homomorphism: applying g to the
+// negacyclic product equals the product of the images. We verify on
+// polynomial evaluation semantics: (sigma_g a)(X) = a(X^g) mod X^N+1.
+func TestNaiveIsSubstitution(t *testing.T) {
+	n := 16
+	rng := rand.New(rand.NewSource(2))
+	a := randomVec(rng, n)
+	g := uint64(3)
+	dst := make([]uint64, n)
+	Naive(dst, a, g, testMod)
+
+	// Build a(X^g) by schoolbook substitution with negacyclic wraparound.
+	want := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		e := (i * int(g)) % (2 * n)
+		neg := false
+		if e >= n {
+			e -= n
+			neg = true
+		}
+		v := a[i]
+		if neg {
+			v = testMod.Neg(v)
+		}
+		want[e] = testMod.Add(want[e], v)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("substitution mismatch at %d: %d != %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestNaiveComposition(t *testing.T) {
+	// sigma_g1 ∘ sigma_g2 = sigma_(g1·g2 mod 2N)
+	n := 128
+	rng := rand.New(rand.NewSource(3))
+	a := randomVec(rng, n)
+	g1, g2 := uint64(5), uint64(9)
+
+	tmp := make([]uint64, n)
+	d1 := make([]uint64, n)
+	Naive(tmp, a, g2, testMod)
+	Naive(d1, tmp, g1, testMod)
+
+	d2 := make([]uint64, n)
+	Naive(d2, a, g1*g2%(uint64(2*n)), testMod)
+
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("composition mismatch at %d", i)
+		}
+	}
+}
+
+func TestNewHFAutoErrors(t *testing.T) {
+	if _, err := NewHFAuto(15, 4); err == nil {
+		t.Error("non-power-of-two N should error")
+	}
+	if _, err := NewHFAuto(16, 3); err == nil {
+		t.Error("non-power-of-two C should error")
+	}
+	if _, err := NewHFAuto(16, 32); err == nil {
+		t.Error("C > N should error")
+	}
+}
+
+func TestHFAutoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		for _, c := range []int{1, 4, 16, n / 2, n} {
+			if c > n || c < 1 {
+				continue
+			}
+			h, err := NewHFAuto(n, c)
+			if err != nil {
+				t.Fatalf("NewHFAuto(%d,%d): %v", n, c, err)
+			}
+			for _, g := range []uint64{1, 3, 5, 7, 25, uint64(2*n - 1), uint64(2*n + 3)} {
+				src := randomVec(rng, n)
+				want := make([]uint64, n)
+				Naive(want, src, g, testMod)
+				got := make([]uint64, n)
+				h.Precompute(g).Apply(got, src, testMod)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("N=%d C=%d g=%d: HFAuto mismatch at index %d (got %d want %d)",
+							n, c, g, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: for random odd g and random data, HFAuto equals Naive.
+func TestHFAutoEquivalenceProperty(t *testing.T) {
+	n, c := 512, 32
+	h, err := NewHFAuto(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, gRaw uint64) bool {
+		g := gRaw | 1 // force odd
+		rng := rand.New(rand.NewSource(seed))
+		src := randomVec(rng, n)
+		want := make([]uint64, n)
+		got := make([]uint64, n)
+		Naive(want, src, g, testMod)
+		h.Precompute(g).Apply(got, src, testMod)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHFAutoIsPermutationWithSigns(t *testing.T) {
+	// Every source element must appear exactly once in the output, possibly
+	// negated: applying to the all-distinct vector 1..N must yield a signed
+	// permutation of it.
+	n, c := 256, 16
+	h, _ := NewHFAuto(n, c)
+	src := make([]uint64, n)
+	for i := range src {
+		src[i] = uint64(i + 1)
+	}
+	dst := make([]uint64, n)
+	h.Precompute(7).Apply(dst, src, testMod)
+	seen := make(map[uint64]bool)
+	for _, v := range dst {
+		orig := v
+		if v > testMod.Q/2 {
+			orig = testMod.Q - v // undo negation
+		}
+		if orig == 0 || orig > uint64(n) {
+			t.Fatalf("unexpected value %d in output", v)
+		}
+		if seen[orig] {
+			t.Fatalf("duplicate source element %d", orig)
+		}
+		seen[orig] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("only %d/%d source elements present", len(seen), n)
+	}
+}
+
+func TestGaloisElementForRotation(t *testing.T) {
+	n := 16
+	if g := GaloisElementForRotation(0, n); g != 1 {
+		t.Errorf("rotation by 0 should be identity, got g=%d", g)
+	}
+	if g := GaloisElementForRotation(1, n); g != 5 {
+		t.Errorf("rotation by 1: g=%d want 5", g)
+	}
+	if g := GaloisElementForRotation(2, n); g != 25 {
+		t.Errorf("rotation by 2: g=%d want 25", g)
+	}
+	// Rotation by slots (N/2) wraps to identity.
+	if g := GaloisElementForRotation(n/2, n); g != 1 {
+		t.Errorf("full-cycle rotation: g=%d want 1", g)
+	}
+	// Negative rotation is the inverse element.
+	gPos := GaloisElementForRotation(3, n)
+	gNeg := GaloisElementForRotation(-3, n)
+	if gPos*gNeg%uint64(2*n) != 1 {
+		t.Errorf("g(3)·g(-3) = %d mod 2N, want 1", gPos*gNeg%uint64(2*n))
+	}
+	if g := GaloisElementConjugate(n); g != uint64(2*n-1) {
+		t.Errorf("conjugate element %d want %d", g, 2*n-1)
+	}
+}
+
+func BenchmarkNaive(b *testing.B) {
+	n := 65536
+	src := randomVec(rand.New(rand.NewSource(1)), n)
+	dst := make([]uint64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Naive(dst, src, 5, testMod)
+	}
+}
+
+func BenchmarkHFAuto(b *testing.B) {
+	n := 65536
+	h, _ := NewHFAuto(n, 512)
+	m := h.Precompute(5)
+	src := randomVec(rand.New(rand.NewSource(1)), n)
+	dst := make([]uint64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Apply(dst, src, testMod)
+	}
+}

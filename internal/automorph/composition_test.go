@@ -1,0 +1,89 @@
+package automorph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// HFAuto must compose like the group it implements: applying g1 then g2
+// equals applying g1·g2 mod 2N.
+func TestHFAutoComposition(t *testing.T) {
+	n, c := 256, 16
+	h, err := NewHFAuto(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(140))
+	src := randomVec(rng, n)
+
+	for _, pair := range [][2]uint64{{3, 5}, {5, 25}, {7, uint64(2*n - 1)}, {9, 11}} {
+		g1, g2 := pair[0], pair[1]
+		tmp := make([]uint64, n)
+		twice := make([]uint64, n)
+		h.Precompute(g1).Apply(tmp, src, testMod)
+		h.Precompute(g2).Apply(twice, tmp, testMod)
+
+		once := make([]uint64, n)
+		h.Precompute(g1*g2%uint64(2*n)).Apply(once, src, testMod)
+		for i := range once {
+			if once[i] != twice[i] {
+				t.Fatalf("g1=%d g2=%d: composition mismatch at %d", g1, g2, i)
+			}
+		}
+	}
+}
+
+// The inverse Galois element must undo the map (HFAuto is a signed
+// permutation, hence invertible).
+func TestHFAutoInverse(t *testing.T) {
+	n, c := 512, 32
+	h, err := NewHFAuto(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(141))
+	twoN := uint64(2 * n)
+	for _, g := range []uint64{3, 5, 13, 77} {
+		gInv := uint64(0)
+		for cand := uint64(1); cand < twoN; cand += 2 {
+			if cand*g%twoN == 1 {
+				gInv = cand
+				break
+			}
+		}
+		if gInv == 0 {
+			t.Fatalf("no inverse for %d", g)
+		}
+		src := randomVec(rng, n)
+		fwd := make([]uint64, n)
+		back := make([]uint64, n)
+		h.Precompute(g).Apply(fwd, src, testMod)
+		h.Precompute(gInv).Apply(back, fwd, testMod)
+		for i := range src {
+			if back[i] != src[i] {
+				t.Fatalf("g=%d: inverse does not restore index %d", g, i)
+			}
+		}
+	}
+}
+
+// Precompute must be reusable across many applications (the paper reuses
+// one routing across all RNS limbs and ciphertext components).
+func TestMapReuse(t *testing.T) {
+	n, c := 128, 8
+	h, _ := NewHFAuto(n, c)
+	m := h.Precompute(5)
+	rng := rand.New(rand.NewSource(142))
+	for rep := 0; rep < 5; rep++ {
+		src := randomVec(rng, n)
+		want := make([]uint64, n)
+		Naive(want, src, 5, testMod)
+		got := make([]uint64, n)
+		m.Apply(got, src, testMod)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rep %d: reused map diverged", rep)
+			}
+		}
+	}
+}

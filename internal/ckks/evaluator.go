@@ -1,0 +1,323 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"poseidon/internal/automorph"
+	"poseidon/internal/numeric"
+	"poseidon/internal/ring"
+)
+
+// Evaluator executes homomorphic operations. It holds the evaluation keys
+// and scratch state; create one per goroutine.
+type Evaluator struct {
+	params   *Parameters
+	rlk      *RelinearizationKey
+	rtks     *RotationKeySet
+	observer OpObserver
+}
+
+// NewEvaluator creates an evaluator. rlk may be nil if Mul is never
+// relinearized; rtks may be nil if no rotations are performed.
+func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKeySet) *Evaluator {
+	return &Evaluator{params: params, rlk: rlk, rtks: rtks}
+}
+
+// Params returns the evaluator's parameter set.
+func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+func sameScale(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// alignLevels drops limbs from the deeper ciphertext so both operands live
+// at the same level, returning aligned views.
+func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext) {
+	if a.Level == b.Level {
+		return a, b
+	}
+	if a.Level > b.Level {
+		a = &Ciphertext{C0: prefix(a.C0, b.Level+1), C1: prefix(a.C1, b.Level+1), Scale: a.Scale, Level: b.Level}
+	} else {
+		b = &Ciphertext{C0: prefix(b.C0, a.Level+1), C1: prefix(b.C1, a.Level+1), Scale: b.Scale, Level: a.Level}
+	}
+	return a, b
+}
+
+// DropLevel returns a view of ct at the lower level newLevel.
+func (ev *Evaluator) DropLevel(ct *Ciphertext, newLevel int) *Ciphertext {
+	if newLevel > ct.Level {
+		panic("ckks: DropLevel cannot raise level")
+	}
+	return &Ciphertext{
+		C0:    prefix(ct.C0, newLevel+1),
+		C1:    prefix(ct.C1, newLevel+1),
+		Scale: ct.Scale,
+		Level: newLevel,
+	}
+}
+
+// Add returns a + b (HAdd, ciphertext-ciphertext). Operand scales must
+// match; levels are aligned automatically.
+func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	a, b = ev.alignLevels(a, b)
+	if !sameScale(a.Scale, b.Scale) {
+		panic(fmt.Sprintf("ckks: Add scale mismatch %g vs %g", a.Scale, b.Scale))
+	}
+	rq := ev.params.RingQ
+	out := &Ciphertext{C0: rq.NewPoly(a.Level + 1), C1: rq.NewPoly(a.Level + 1), Scale: a.Scale, Level: a.Level}
+	rq.Add(out.C0, a.C0, b.C0)
+	rq.Add(out.C1, a.C1, b.C1)
+	ev.observe("HAdd", a.Level)
+	return out
+}
+
+// Sub returns a − b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	a, b = ev.alignLevels(a, b)
+	if !sameScale(a.Scale, b.Scale) {
+		panic(fmt.Sprintf("ckks: Sub scale mismatch %g vs %g", a.Scale, b.Scale))
+	}
+	rq := ev.params.RingQ
+	out := &Ciphertext{C0: rq.NewPoly(a.Level + 1), C1: rq.NewPoly(a.Level + 1), Scale: a.Scale, Level: a.Level}
+	rq.Sub(out.C0, a.C0, b.C0)
+	rq.Sub(out.C1, a.C1, b.C1)
+	ev.observe("HAdd", a.Level)
+	return out
+}
+
+// Neg returns −a.
+func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
+	rq := ev.params.RingQ
+	out := &Ciphertext{C0: rq.NewPoly(a.Level + 1), C1: rq.NewPoly(a.Level + 1), Scale: a.Scale, Level: a.Level}
+	rq.Neg(out.C0, a.C0)
+	rq.Neg(out.C1, a.C1)
+	return out
+}
+
+// AddPlain returns ct + pt (HAdd, ciphertext-plaintext): only C0 changes.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if !sameScale(ct.Scale, pt.Scale) {
+		panic(fmt.Sprintf("ckks: AddPlain scale mismatch %g vs %g", ct.Scale, pt.Scale))
+	}
+	level := ct.Level
+	if pt.Level < level {
+		level = pt.Level
+	}
+	rq := ev.params.RingQ
+	out := &Ciphertext{C0: rq.NewPoly(level + 1), C1: rq.NewPoly(level + 1), Scale: ct.Scale, Level: level}
+	rq.Add(out.C0, prefix(ct.C0, level+1), prefix(pt.Value, level+1))
+	copyInto(out.C1, prefix(ct.C1, level+1))
+	ev.observe("HAddPlain", level)
+	return out
+}
+
+func copyInto(dst, src *ring.Poly) {
+	for i := range dst.Coeffs {
+		copy(dst.Coeffs[i], src.Coeffs[i])
+	}
+	dst.IsNTT = src.IsNTT
+}
+
+// MulPlain returns ct · pt (PMult). The output scale is the product of the
+// operand scales; follow with Rescale to restore Δ.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	level := ct.Level
+	if pt.Level < level {
+		level = pt.Level
+	}
+	rq := ev.params.RingQ
+	out := &Ciphertext{C0: rq.NewPoly(level + 1), C1: rq.NewPoly(level + 1), Scale: ct.Scale * pt.Scale, Level: level}
+	rq.MulCoeffwise(out.C0, prefix(ct.C0, level+1), prefix(pt.Value, level+1))
+	rq.MulCoeffwise(out.C1, prefix(ct.C1, level+1), prefix(pt.Value, level+1))
+	ev.observe("PMult", level)
+	return out
+}
+
+// MulRelin returns a·b with relinearization (CMult): the degree-2 term d2
+// is switched back to degree 1 with the relinearization key. The output
+// scale is the product of the operand scales.
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) *Ciphertext {
+	if ev.rlk == nil {
+		panic("ckks: MulRelin requires a relinearization key")
+	}
+	a, b = ev.alignLevels(a, b)
+	level := a.Level
+	rq := ev.params.RingQ
+
+	d0 := rq.NewPoly(level + 1)
+	d1 := rq.NewPoly(level + 1)
+	d2 := rq.NewPoly(level + 1)
+	rq.MulCoeffwise(d0, a.C0, b.C0)
+	rq.MulCoeffwise(d1, a.C0, b.C1)
+	rq.MulCoeffwiseAdd(d1, a.C1, b.C0)
+	rq.MulCoeffwise(d2, a.C1, b.C1)
+
+	// Keyswitch d2: contributes (p0, p1) ≈ (d2·s² − p1·s, p1).
+	d2c := d2
+	rq.INTT(d2c)
+	p0, p1 := ev.keySwitchCore(level, d2c, &ev.rlk.SwitchingKey)
+
+	out := &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale, Level: level}
+	rq.Add(out.C0, out.C0, p0)
+	rq.Add(out.C1, out.C1, p1)
+	ev.observe("CMult", level)
+	return out
+}
+
+// Rescale divides the ciphertext by the last active prime, dropping one
+// level (the Rescale basic operation).
+func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
+	if ct.Level == 0 {
+		panic("ckks: cannot rescale at level 0")
+	}
+	rq := ev.params.RingQ
+	level := ct.Level
+	c0 := ct.C0.CopyNew()
+	c1 := ct.C1.CopyNew()
+	rq.INTT(c0)
+	rq.INTT(c1)
+
+	out := &Ciphertext{
+		C0:    rq.NewPoly(level),
+		C1:    rq.NewPoly(level),
+		Scale: ct.Scale / float64(ev.params.Q[level]),
+		Level: level - 1,
+	}
+	ev.params.rescaler.Rescale(out.C0.Coeffs, c0.Coeffs)
+	ev.params.rescaler.Rescale(out.C1.Coeffs, c1.Coeffs)
+	rq.NTT(out.C0)
+	rq.NTT(out.C1)
+	ev.observe("Rescale", level)
+	return out
+}
+
+// Rotate rotates the slot vector by `steps` positions (Rotation =
+// automorphism + keyswitch). Requires the corresponding rotation key.
+func (ev *Evaluator) Rotate(ct *Ciphertext, steps int) *Ciphertext {
+	g := automorph.GaloisElementForRotation(steps, ev.params.N)
+	return ev.automorphismKS(ct, g)
+}
+
+// Conjugate conjugates every slot.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
+	g := automorph.GaloisElementConjugate(ev.params.N)
+	return ev.automorphismKS(ct, g)
+}
+
+func (ev *Evaluator) automorphismKS(ct *Ciphertext, g uint64) *Ciphertext {
+	if g == 1 {
+		return ct.CopyNew()
+	}
+	if ev.rtks == nil {
+		panic("ckks: rotation requires rotation keys")
+	}
+	key, ok := ev.rtks.Keys[g]
+	if !ok {
+		panic(fmt.Sprintf("ckks: no rotation key for Galois element %d", g))
+	}
+	rq := ev.params.RingQ
+	level := ct.Level
+
+	c0 := ct.C0.CopyNew()
+	c1 := ct.C1.CopyNew()
+	rq.INTT(c0)
+	rq.INTT(c1)
+	a0 := rq.NewPoly(level + 1)
+	a1 := rq.NewPoly(level + 1)
+	rq.Automorphism(a0, c0, g)
+	rq.Automorphism(a1, c1, g)
+
+	// Keyswitch σ_g(c1) from σ_g(s) to s.
+	p0, p1 := ev.keySwitchCore(level, a1, key)
+	rq.NTT(a0)
+	out := &Ciphertext{C0: a0, C1: p1, Scale: ct.Scale, Level: level}
+	rq.Add(out.C0, out.C0, p0)
+	ev.observe("Rotation", level)
+	return out
+}
+
+// KeySwitch re-encrypts ct from the key underlying swk's target to s —
+// exposed for tests and for the trace generator.
+func (ev *Evaluator) KeySwitch(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
+	rq := ev.params.RingQ
+	c1 := ct.C1.CopyNew()
+	rq.INTT(c1)
+	p0, p1 := ev.keySwitchCore(ct.Level, c1, swk)
+	out := &Ciphertext{C0: ct.C0.CopyNew(), C1: p1, Scale: ct.Scale, Level: ct.Level}
+	rq.Add(out.C0, out.C0, p0)
+	return out
+}
+
+// keySwitchCore is the paper's Keyswitch pipeline: decompose cx (coeff
+// domain, level limbs over Q) into digits, RNSconv/ModUp each digit to
+// Q_l ∪ P, inner-product with the key digits in the NTT domain, then
+// ModDown by P. Returns (p0, p1) in NTT domain at the input level.
+func (ev *Evaluator) keySwitchCore(level int, cx *ring.Poly, key *SwitchingKey) (p0, p1 *ring.Poly) {
+	params := ev.params
+	rq, rp := params.RingQ, params.RingP
+	alpha := params.Alpha()
+	digits := params.Digits(level)
+	n := params.N
+
+	// Accumulators over Q_l and P, NTT domain.
+	acc0Q := rq.NewPoly(level + 1)
+	acc1Q := rq.NewPoly(level + 1)
+	acc0P := rp.NewPoly(alpha)
+	acc1P := rp.NewPoly(alpha)
+	acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = true, true, true, true
+
+	// Scratch for one extended digit.
+	extLimbs := level + 1 + alpha
+	ext := make([][]uint64, extLimbs)
+	backing := make([]uint64, extLimbs*n)
+	for i := range ext {
+		ext[i] = backing[i*n : (i+1)*n]
+	}
+
+	for d := 0; d < digits; d++ {
+		params.decomposer.DecomposeAndExtend(level, d, cx.Coeffs, ext)
+		// NTT the extended digit limb-wise: Q limbs with ringQ tables, P
+		// limbs with ringP tables.
+		for i := 0; i <= level; i++ {
+			rq.Tables[i].Forward(ext[i])
+		}
+		for j := 0; j < alpha; j++ {
+			rp.Tables[j].Forward(ext[level+1+j])
+		}
+		// Multiply-accumulate against the key digit.
+		bd, ad := key.B[d], key.A[d]
+		for i := 0; i <= level; i++ {
+			mod := rq.Moduli[i]
+			macLimb(acc0Q.Coeffs[i], ext[i], bd.Q.Coeffs[i], mod)
+			macLimb(acc1Q.Coeffs[i], ext[i], ad.Q.Coeffs[i], mod)
+		}
+		for j := 0; j < alpha; j++ {
+			mod := rp.Moduli[j]
+			macLimb(acc0P.Coeffs[j], ext[level+1+j], bd.P.Coeffs[j], mod)
+			macLimb(acc1P.Coeffs[j], ext[level+1+j], ad.P.Coeffs[j], mod)
+		}
+	}
+
+	// ModDown: back to coefficient domain, divide by P, return to NTT.
+	rq.INTT(acc0Q)
+	rq.INTT(acc1Q)
+	rp.INTT(acc0P)
+	rp.INTT(acc1P)
+	p0 = rq.NewPoly(level + 1)
+	p1 = rq.NewPoly(level + 1)
+	md := params.modDown[level]
+	md.ModDown(p0.Coeffs, acc0Q.Coeffs, acc0P.Coeffs)
+	md.ModDown(p1.Coeffs, acc1Q.Coeffs, acc1P.Coeffs)
+	rq.NTT(p0)
+	rq.NTT(p1)
+	return p0, p1
+}
+
+// macLimb computes acc[j] += a[j]·b[j] mod q over one limb.
+func macLimb(acc, a, b []uint64, mod numeric.Modulus) {
+	for j := range acc {
+		acc[j] = mod.Add(acc[j], mod.Mul(a[j], b[j]))
+	}
+}

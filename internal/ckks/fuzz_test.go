@@ -1,0 +1,74 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Unmarshal must reject arbitrary byte strings with errors, never panics
+// or oversized allocations.
+func FuzzCiphertextUnmarshal(f *testing.F) {
+	// Seed with a valid ciphertext and a few mutations.
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     8,
+		LogQ:     []int{50, 40},
+		LogP:     []int{51},
+		LogScale: 40,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	kgen := NewKeyGenerator(params, 100)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	encr := NewEncryptor(params, pk, 101)
+	ct := encr.EncryptZero(params.MaxLevel(), params.Scale)
+	valid, err := ct.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:32])
+	f.Add([]byte{})
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(huge[6*8:], 1<<40) // absurd N
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var back Ciphertext
+		_ = back.UnmarshalBinary(data) // must not panic
+		var pt Plaintext
+		_ = pt.UnmarshalBinary(data)
+		var key SecretKey
+		_ = key.UnmarshalBinary(data)
+	})
+}
+
+// A valid ciphertext must survive the fuzz-exercised path unchanged.
+func TestFuzzSeedRoundTrip(t *testing.T) {
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     8,
+		LogQ:     []int{50, 40},
+		LogP:     []int{51},
+		LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgen := NewKeyGenerator(params, 102)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	encr := NewEncryptor(params, pk, 103)
+	ct := encr.EncryptZero(params.MaxLevel(), params.Scale)
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Ciphertext
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !back.C0.Equal(ct.C0) {
+		t.Error("round trip mutated the ciphertext")
+	}
+}

@@ -1,0 +1,148 @@
+package ckks
+
+import (
+	"fmt"
+
+	"poseidon/internal/ring"
+)
+
+// Rotation hoisting (Halevi–Shoup): when one ciphertext feeds many
+// rotations — the BSGS linear transform and every matrix-heavy workload —
+// the expensive part of each keyswitch (digit decomposition, basis
+// extension and the forward NTTs of the extended digits) depends only on
+// the input, not on the Galois element. RotateHoisted performs that work
+// once and replays it per rotation as a cheap NTT-domain permutation,
+// because the decomposition commutes with the automorphism.
+
+// hoistedDecomposition caches the shared per-input keyswitch state.
+type hoistedDecomposition struct {
+	level  int
+	digits [][][]uint64 // [digit][limb][coeff], NTT domain over Q_l ∪ P
+	c0     *ring.Poly   // coefficient-domain copy of C0
+}
+
+// decomposeHoisted performs the shared phase on ct.C1.
+func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) *hoistedDecomposition {
+	params := ev.params
+	rq, rp := params.RingQ, params.RingP
+	level := ct.Level
+	alpha := params.Alpha()
+	digits := params.Digits(level)
+	n := params.N
+
+	c1 := ct.C1.CopyNew()
+	rq.INTT(c1)
+	c0 := ct.C0.CopyNew()
+	rq.INTT(c0)
+
+	hd := &hoistedDecomposition{level: level, c0: c0}
+	extLimbs := level + 1 + alpha
+	for d := 0; d < digits; d++ {
+		ext := make([][]uint64, extLimbs)
+		backing := make([]uint64, extLimbs*n)
+		for i := range ext {
+			ext[i] = backing[i*n : (i+1)*n]
+		}
+		params.decomposer.DecomposeAndExtend(level, d, c1.Coeffs, ext)
+		for i := 0; i <= level; i++ {
+			rq.Tables[i].Forward(ext[i])
+		}
+		for j := 0; j < alpha; j++ {
+			rp.Tables[j].Forward(ext[level+1+j])
+		}
+		hd.digits = append(hd.digits, ext)
+	}
+	return hd
+}
+
+// RotateHoisted rotates ct by every step in steps, sharing one digit
+// decomposition across all of them. Returns a map from step to result.
+// Requires rotation keys for every step.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphertext {
+	if ev.rtks == nil {
+		panic("ckks: rotation requires rotation keys")
+	}
+	params := ev.params
+	rq, rp := params.RingQ, params.RingP
+	level := ct.Level
+	alpha := params.Alpha()
+	n := params.N
+
+	hd := ev.decomposeHoisted(ct)
+	out := make(map[int]*Ciphertext, len(steps))
+	permBuf := make([]uint64, n)
+
+	for _, step := range steps {
+		g := galoisForRotation(step, params.N)
+		if g == 1 {
+			out[step] = ct.CopyNew()
+			continue
+		}
+		key, ok := ev.rtks.Keys[g]
+		if !ok {
+			panic(fmt.Sprintf("ckks: no rotation key for step %d (g=%d)", step, g))
+		}
+		permQ := rq.NTTGaloisPermutation(g)
+		permP := rp.NTTGaloisPermutation(g)
+
+		acc0Q := rq.NewPoly(level + 1)
+		acc1Q := rq.NewPoly(level + 1)
+		acc0P := rp.NewPoly(alpha)
+		acc1P := rp.NewPoly(alpha)
+		acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = true, true, true, true
+
+		for d, ext := range hd.digits {
+			bd, ad := key.B[d], key.A[d]
+			for i := 0; i <= level; i++ {
+				mod := rq.Moduli[i]
+				ring.ApplyPermutationNTT(permBuf, ext[i], permQ)
+				macLimb(acc0Q.Coeffs[i], permBuf, bd.Q.Coeffs[i], mod)
+				macLimb(acc1Q.Coeffs[i], permBuf, ad.Q.Coeffs[i], mod)
+			}
+			for j := 0; j < alpha; j++ {
+				mod := rp.Moduli[j]
+				ring.ApplyPermutationNTT(permBuf, ext[level+1+j], permP)
+				macLimb(acc0P.Coeffs[j], permBuf, bd.P.Coeffs[j], mod)
+				macLimb(acc1P.Coeffs[j], permBuf, ad.P.Coeffs[j], mod)
+			}
+		}
+
+		rq.INTT(acc0Q)
+		rq.INTT(acc1Q)
+		rp.INTT(acc0P)
+		rp.INTT(acc1P)
+		p0 := rq.NewPoly(level + 1)
+		p1 := rq.NewPoly(level + 1)
+		md := params.modDown[level]
+		md.ModDown(p0.Coeffs, acc0Q.Coeffs, acc0P.Coeffs)
+		md.ModDown(p1.Coeffs, acc1Q.Coeffs, acc1P.Coeffs)
+		rq.NTT(p0)
+		rq.NTT(p1)
+
+		a0 := rq.NewPoly(level + 1)
+		rq.Automorphism(a0, hd.c0, g)
+		rq.NTT(a0)
+		res := &Ciphertext{C0: a0, C1: p1, Scale: ct.Scale, Level: level}
+		rq.Add(res.C0, res.C0, p0)
+		ev.observe("Rotation", level)
+		out[step] = res
+	}
+	return out
+}
+
+// galoisForRotation mirrors automorph.GaloisElementForRotation without the
+// import cycle risk growing (kept local for clarity).
+func galoisForRotation(steps, n int) uint64 {
+	half := n / 2
+	s := ((steps % half) + half) % half
+	twoN := uint64(2 * n)
+	g := uint64(1)
+	base := uint64(5)
+	for e := s; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			g = g * base % twoN
+		}
+		base = base * base % twoN
+	}
+	return g
+}

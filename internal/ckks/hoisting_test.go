@@ -1,0 +1,113 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The NTT-domain automorphism permutation must agree with the
+// coefficient-domain automorphism path.
+func TestAutomorphismNTTMatchesCoeffDomain(t *testing.T) {
+	tc := newTestContext(t)
+	rq := tc.params.RingQ
+	rng := rand.New(rand.NewSource(30))
+
+	p := rq.NewPoly(3)
+	for i := range p.Coeffs {
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = rng.Uint64() % rq.Moduli[i].Q
+		}
+	}
+	for _, g := range []uint64{5, 25, uint64(2*tc.params.N - 1)} {
+		// Path 1: coefficient-domain automorphism, then NTT.
+		want := rq.NewPoly(3)
+		rq.Automorphism(want, p, g)
+		rq.NTT(want)
+
+		// Path 2: NTT first, then the evaluation-domain permutation.
+		src := p.CopyNew()
+		rq.NTT(src)
+		got := rq.NewPoly(3)
+		rq.AutomorphismNTT(got, src, g)
+
+		if !got.Equal(want) {
+			t.Fatalf("g=%d: NTT-domain automorphism disagrees with coefficient path", g)
+		}
+	}
+}
+
+func TestAutomorphismNTTPanics(t *testing.T) {
+	tc := newTestContext(t)
+	rq := tc.params.RingQ
+	p := rq.NewPoly(1)
+	func() {
+		defer func() { _ = recover() }()
+		rq.AutomorphismNTT(rq.NewPoly(1), p, 5) // coeff domain input
+		t.Error("coefficient-domain input should panic")
+	}()
+	p.IsNTT = true
+	func() {
+		defer func() { _ = recover() }()
+		rq.AutomorphismNTT(rq.NewPoly(1), p, 4) // even Galois element
+		t.Error("even Galois element should panic")
+	}()
+}
+
+// RotateHoisted must agree with individual Rotate calls on every step.
+func TestRotateHoistedMatchesRotate(t *testing.T) {
+	tc := newTestContext(t)
+	steps := []int{1, 2, 5, -3, 0}
+	rtks := tc.kgen.GenRotationKeys(tc.sk, steps, false)
+	ev := NewEvaluator(tc.params, tc.rlk, rtks)
+	rng := rand.New(rand.NewSource(31))
+	z := randomComplex(rng, tc.params.Slots, 1.0)
+	ct := tc.encryptVec(z)
+
+	hoisted := ev.RotateHoisted(ct, steps)
+	n := tc.params.Slots
+	for _, s := range steps {
+		want := make([]complex128, n)
+		for i := range want {
+			want[i] = z[((i+s)%n+n)%n]
+		}
+		got := tc.decryptVec(hoisted[s])
+		assertClose(t, got, want, 1e-4, "hoisted rotation")
+
+		// And against the plain path.
+		plain := tc.decryptVec(ev.Rotate(ct, s))
+		assertClose(t, got, plain, 1e-4, "hoisted vs plain rotation")
+	}
+}
+
+func TestRotateHoistedAtLowerLevel(t *testing.T) {
+	tc := newTestContext(t)
+	steps := []int{4, -4}
+	rtks := tc.kgen.GenRotationKeys(tc.sk, steps, false)
+	ev := NewEvaluator(tc.params, tc.rlk, rtks)
+	rng := rand.New(rand.NewSource(32))
+	z := randomComplex(rng, tc.params.Slots, 1.0)
+	ct := ev.DropLevel(tc.encryptVec(z), 1)
+
+	hoisted := ev.RotateHoisted(ct, steps)
+	n := tc.params.Slots
+	for _, s := range steps {
+		want := make([]complex128, n)
+		for i := range want {
+			want[i] = z[((i+s)%n+n)%n]
+		}
+		assertClose(t, tc.decryptVec(hoisted[s]), want, 1e-4, "hoisted rotation at level 1")
+	}
+}
+
+func TestRotateHoistedMissingKeyPanics(t *testing.T) {
+	tc := newTestContext(t)
+	rtks := tc.kgen.GenRotationKeys(tc.sk, []int{1}, false)
+	ev := NewEvaluator(tc.params, nil, rtks)
+	ct := tc.encr.EncryptZero(tc.params.MaxLevel(), tc.params.Scale)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing key should panic")
+		}
+	}()
+	ev.RotateHoisted(ct, []int{7})
+}

@@ -1,0 +1,148 @@
+package ckks
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// LinearTransform is an encoded n×n slot-wise matrix multiplication,
+// evaluated with the baby-step/giant-step diagonal method: the matrix is
+// stored as its generalized diagonals, pre-rotated so evaluation needs only
+// ~2·√n rotations.
+type LinearTransform struct {
+	N1    int // baby-step width
+	Level int // evaluation level (input must be at this level)
+	Scale float64
+
+	// diag[d] is the plaintext of diagonal d (already rotated by −(d/N1)·N1
+	// for the giant-step regrouping); nil for all-zero diagonals.
+	diag map[int]*Plaintext
+}
+
+// Rotations returns the rotation steps required to evaluate the transform.
+func (lt *LinearTransform) Rotations() []int {
+	n1 := lt.N1
+	seen := map[int]bool{}
+	var rots []int
+	for d := range lt.diag {
+		i := d % n1
+		j := d - i
+		if i != 0 && !seen[i] {
+			seen[i] = true
+			rots = append(rots, i)
+		}
+		if j != 0 && !seen[j] {
+			seen[j] = true
+			rots = append(rots, j)
+		}
+	}
+	return rots
+}
+
+// NewLinearTransform encodes matrix M (row-major, n×n with n = Slots) for
+// evaluation at the given level. scale is the plaintext scale of the
+// diagonals (the evaluation multiplies the ciphertext scale by it; rescale
+// afterwards). Zero diagonals are skipped.
+func NewLinearTransform(enc *Encoder, m [][]complex128, level int, scale float64) (*LinearTransform, error) {
+	n := enc.params.Slots
+	if len(m) != n {
+		return nil, fmt.Errorf("ckks: matrix has %d rows, want %d", len(m), n)
+	}
+	n1 := 1
+	for n1*n1 < n {
+		n1 <<= 1
+	}
+	lt := &LinearTransform{N1: n1, Level: level, Scale: scale, diag: map[int]*Plaintext{}}
+
+	diagVec := make([]complex128, n)
+	for d := 0; d < n; d++ {
+		nonZero := false
+		for t := 0; t < n; t++ {
+			v := m[t][(t+d)%n]
+			diagVec[t] = v
+			if cmplx.Abs(v) > 1e-14 {
+				nonZero = true
+			}
+		}
+		if !nonZero {
+			continue
+		}
+		// Pre-rotate by −j·n1 for the giant-step factorization.
+		j := (d / n1) * n1
+		rot := make([]complex128, n)
+		for t := 0; t < n; t++ {
+			rot[t] = diagVec[((t-j)%n+n)%n]
+		}
+		lt.diag[d] = enc.Encode(rot, level, scale)
+	}
+	return lt, nil
+}
+
+// EvaluateLinearTransform applies lt to ct: the result encrypts M·slots(ct)
+// with scale ct.Scale·lt.Scale (rescale afterwards). Requires the rotation
+// keys reported by lt.Rotations().
+func (ev *Evaluator) EvaluateLinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	if ct.Level < lt.Level {
+		panic(fmt.Sprintf("ckks: transform needs level %d, ciphertext at %d", lt.Level, ct.Level))
+	}
+	if ct.Level > lt.Level {
+		ct = ev.DropLevel(ct, lt.Level)
+	}
+	n1 := lt.N1
+
+	// Baby steps: rot_i(ct) for every inner index in use, computed with a
+	// single hoisted decomposition of ct.
+	var babySteps []int
+	seen := map[int]bool{}
+	for d := range lt.diag {
+		i := d % n1
+		if i != 0 && !seen[i] {
+			seen[i] = true
+			babySteps = append(babySteps, i)
+		}
+	}
+	inner := map[int]*Ciphertext{0: ct}
+	if len(babySteps) > 0 {
+		for i, r := range ev.RotateHoisted(ct, babySteps) {
+			inner[i] = r
+		}
+	}
+
+	// Giant steps: group by j, multiply-accumulate, rotate group sums.
+	groups := map[int]*Ciphertext{}
+	for d, pt := range lt.diag {
+		i := d % n1
+		j := d - i
+		term := ev.MulPlain(inner[i], pt)
+		if acc, ok := groups[j]; ok {
+			groups[j] = ev.Add(acc, term)
+		} else {
+			groups[j] = term
+		}
+	}
+
+	var out *Ciphertext
+	for j, acc := range groups {
+		if j != 0 {
+			acc = ev.Rotate(acc, j)
+		}
+		if out == nil {
+			out = acc
+		} else {
+			out = ev.Add(out, acc)
+		}
+	}
+	if out == nil {
+		// All-zero matrix: return an encryption-of-zero shaped result.
+		z := ct.CopyNew()
+		for i := range z.C0.Coeffs {
+			for j := range z.C0.Coeffs[i] {
+				z.C0.Coeffs[i][j] = 0
+				z.C1.Coeffs[i][j] = 0
+			}
+		}
+		z.Scale = ct.Scale * lt.Scale
+		return z
+	}
+	return out
+}

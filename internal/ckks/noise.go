@@ -1,0 +1,71 @@
+package ckks
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Noise diagnostics: measure how far a ciphertext's decryption drifts from
+// a known reference, in bits of slot precision. Used by tests and by
+// parameter-tuning experiments; the accelerator paper's workloads all
+// depend on noise budgets holding through deep circuits.
+
+// NoiseEstimator measures slot-level precision against references.
+type NoiseEstimator struct {
+	enc  *Encoder
+	decr *Decryptor
+}
+
+// NewNoiseEstimator builds an estimator from the secret key.
+func NewNoiseEstimator(params *Parameters, sk *SecretKey) *NoiseEstimator {
+	return &NoiseEstimator{enc: NewEncoder(params), decr: NewDecryptor(params, sk)}
+}
+
+// PrecisionStats summarizes the slot error distribution.
+type PrecisionStats struct {
+	MaxErr  float64 // worst absolute slot error
+	AvgErr  float64 // mean absolute slot error
+	MinBits float64 // −log2(MaxErr): guaranteed bits of precision
+	AvgBits float64 // −log2(AvgErr)
+}
+
+// Measure decrypts ct and compares it slot-wise with want.
+func (ne *NoiseEstimator) Measure(ct *Ciphertext, want []complex128) PrecisionStats {
+	got := ne.enc.Decode(ne.decr.Decrypt(ct))
+	var stats PrecisionStats
+	n := len(want)
+	if n == 0 {
+		return stats
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		e := cmplx.Abs(got[i] - want[i])
+		if e > stats.MaxErr {
+			stats.MaxErr = e
+		}
+		sum += e
+	}
+	stats.AvgErr = sum / float64(n)
+	stats.MinBits = safeNegLog2(stats.MaxErr)
+	stats.AvgBits = safeNegLog2(stats.AvgErr)
+	return stats
+}
+
+func safeNegLog2(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log2(x)
+}
+
+// BudgetBits estimates the remaining multiplicative noise budget of ct: the
+// log2 ratio between the active modulus and the current scale, minus a
+// safety margin per remaining level. A non-positive budget means further
+// multiplications will destroy the plaintext.
+func BudgetBits(params *Parameters, ct *Ciphertext) float64 {
+	logQ := 0.0
+	for i := 0; i <= ct.Level; i++ {
+		logQ += math.Log2(float64(params.Q[i]))
+	}
+	return logQ - math.Log2(ct.Scale) - 10 // ~10 bits of headroom for noise
+}

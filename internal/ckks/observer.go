@@ -1,0 +1,19 @@
+package ckks
+
+// OpObserver receives a callback for every basic operation the evaluator
+// executes, with the level it ran at. Observers let application code be
+// profiled into operation traces that the accelerator model can price —
+// write the FHE program once, run it functionally, and cost it on the
+// modeled hardware.
+type OpObserver interface {
+	Observe(op string, level int)
+}
+
+// SetObserver installs (or clears, with nil) the evaluator's observer.
+func (ev *Evaluator) SetObserver(o OpObserver) { ev.observer = o }
+
+func (ev *Evaluator) observe(op string, level int) {
+	if ev.observer != nil {
+		ev.observer.Observe(op, level)
+	}
+}

@@ -1,0 +1,149 @@
+// Package ckks implements the RNS-CKKS approximate homomorphic encryption
+// scheme — the FHE substrate the Poseidon accelerator executes. It provides
+// encoding via the canonical embedding, key generation, encryption, and an
+// evaluator covering every basic operation the paper decomposes into
+// operators: HAdd, PMult, CMult with relinearization, Rescale, Keyswitch
+// (RNSconv/ModUp/ModDown), Rotation, conjugation, and packed bootstrapping.
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"poseidon/internal/numeric"
+	"poseidon/internal/ring"
+	"poseidon/internal/rns"
+)
+
+// Parameters fixes a CKKS instance: ring degree, modulus chain Q, special
+// (keyswitching) modulus chain P, and the default encoding scale.
+// Parameters are immutable after construction and safe to share.
+type Parameters struct {
+	LogN  int
+	N     int
+	Slots int // N/2 complex slots
+
+	Q []uint64 // ciphertext modulus chain, level l uses Q[0..l]
+	P []uint64 // special primes for hybrid keyswitching
+
+	Scale float64 // default encoding scale Δ
+
+	RingQ *ring.Ring
+	RingP *ring.Ring
+
+	decomposer *rns.Decomposer
+	rescaler   *rns.Rescaler
+	modDown    []*rns.ModDownParams // per level, built eagerly
+}
+
+// ParametersLiteral is the user-facing specification: prime bit sizes
+// rather than concrete primes.
+type ParametersLiteral struct {
+	LogN     int
+	LogQ     []int // bit size of each chain prime, q0 first
+	LogP     []int // bit sizes of the special primes
+	LogScale int   // Δ = 2^LogScale
+	LaneC    int   // HFAuto sub-vector width; 0 = default min(512, N)
+}
+
+// NewParameters instantiates the literal: generates distinct NTT-friendly
+// primes of the requested sizes and builds the rings and RNS tooling.
+func NewParameters(lit ParametersLiteral) (*Parameters, error) {
+	if lit.LogN < 3 || lit.LogN > 17 {
+		return nil, fmt.Errorf("ckks: LogN=%d out of range [3,17]", lit.LogN)
+	}
+	if len(lit.LogQ) == 0 {
+		return nil, fmt.Errorf("ckks: empty modulus chain")
+	}
+	if len(lit.LogP) == 0 {
+		return nil, fmt.Errorf("ckks: hybrid keyswitching requires ≥1 special prime")
+	}
+
+	// Generate enough distinct primes per bit size in one pass so repeated
+	// sizes never collide.
+	need := map[int]int{}
+	for _, b := range lit.LogQ {
+		need[b]++
+	}
+	for _, b := range lit.LogP {
+		need[b]++
+	}
+	pool := map[int][]uint64{}
+	for b, cnt := range need {
+		ps, err := numeric.GenerateNTTPrimes(b, lit.LogN, cnt)
+		if err != nil {
+			return nil, fmt.Errorf("ckks: %v", err)
+		}
+		pool[b] = ps
+	}
+	take := func(b int) uint64 {
+		ps := pool[b]
+		q := ps[0]
+		pool[b] = ps[1:]
+		return q
+	}
+
+	p := &Parameters{
+		LogN:  lit.LogN,
+		N:     1 << uint(lit.LogN),
+		Slots: 1 << uint(lit.LogN-1),
+		Scale: math.Exp2(float64(lit.LogScale)),
+	}
+	for _, b := range lit.LogQ {
+		p.Q = append(p.Q, take(b))
+	}
+	for _, b := range lit.LogP {
+		p.P = append(p.P, take(b))
+	}
+
+	var err error
+	if p.RingQ, err = ring.NewRing(p.N, p.Q, lit.LaneC); err != nil {
+		return nil, err
+	}
+	if p.RingP, err = ring.NewRing(p.N, p.P, lit.LaneC); err != nil {
+		return nil, err
+	}
+
+	alpha := len(p.P)
+	p.decomposer = rns.NewDecomposer(p.RingQ.Moduli, p.RingP.Moduli, alpha)
+	p.rescaler = rns.NewRescaler(p.RingQ.Moduli)
+	p.modDown = make([]*rns.ModDownParams, len(p.Q))
+	for l := 0; l < len(p.Q); l++ {
+		p.modDown[l] = rns.NewModDownParams(p.RingQ.Moduli[:l+1], p.RingP.Moduli)
+	}
+	return p, nil
+}
+
+// MaxLevel is the highest ciphertext level (len(Q)−1).
+func (p *Parameters) MaxLevel() int { return len(p.Q) - 1 }
+
+// Alpha is the number of special primes (the digit width of hybrid
+// keyswitching).
+func (p *Parameters) Alpha() int { return len(p.P) }
+
+// Digits returns the digit count at the given level.
+func (p *Parameters) Digits(level int) int { return p.decomposer.Digits(level) }
+
+// QAtLevel returns the product of the active chain primes as a float, used
+// for bound checks and bootstrapping scaling.
+func (p *Parameters) QAtLevel(level int) float64 {
+	prod := 1.0
+	for i := 0; i <= level; i++ {
+		prod *= float64(p.Q[i])
+	}
+	return prod
+}
+
+// DefaultScale returns Δ.
+func (p *Parameters) DefaultScale() float64 { return p.Scale }
+
+// TestParameters returns a small, fast instance for unit tests:
+// N=2^12, 6-level chain of 45-bit primes under a 40-bit scale.
+func TestParameters() (*Parameters, error) {
+	return NewParameters(ParametersLiteral{
+		LogN:     12,
+		LogQ:     []int{55, 45, 45, 45, 45, 45, 45},
+		LogP:     []int{58, 58},
+		LogScale: 45,
+	})
+}

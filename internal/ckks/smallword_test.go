@@ -1,0 +1,62 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The paper limits RNS limbs to 32-bit words to normalize HBM accesses.
+// The scheme must function correctly on such a chain: ~30-bit primes with
+// a 25-bit scale, the "small word" configuration the accelerator streams
+// at 4 bytes per limb.
+func TestSmallWordParameters(t *testing.T) {
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{32, 28, 28, 28, 28, 28},
+		LogP:     []int{33, 33, 33},
+		LogScale: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range params.Q {
+		if q >= 1<<32 {
+			t.Fatalf("prime %d exceeds 32 bits", q)
+		}
+	}
+
+	kgen := NewKeyGenerator(params, 110)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	rlk := kgen.GenRelinearizationKey(sk)
+	rtks := kgen.GenRotationKeys(sk, []int{1}, false)
+	enc := NewEncoder(params)
+	encr := NewEncryptor(params, pk, 111)
+	decr := NewDecryptor(params, sk)
+	ev := NewEvaluator(params, rlk, rtks)
+
+	rng := rand.New(rand.NewSource(112))
+	z := randomComplex(rng, params.Slots, 1.0)
+	ct := encr.Encrypt(enc.Encode(z, params.MaxLevel(), params.Scale))
+
+	// Round trip at reduced precision (25-bit scale → ~14 usable bits).
+	got := enc.Decode(decr.Decrypt(ct))
+	assertClose(t, got, z, 1e-3, "32-bit-word encrypt/decrypt")
+
+	// One multiplication with rescale.
+	prod := ev.Rescale(ev.MulRelin(ct, ct))
+	want := make([]complex128, len(z))
+	for i := range want {
+		want[i] = z[i] * z[i]
+	}
+	got = enc.Decode(decr.Decrypt(prod))
+	assertClose(t, got, want, 5e-2, "32-bit-word CMult")
+
+	// And a rotation.
+	rot := ev.Rotate(ct, 1)
+	for i := range want {
+		want[i] = z[(i+1)%params.Slots]
+	}
+	got = enc.Decode(decr.Decrypt(rot))
+	assertClose(t, got, want, 5e-2, "32-bit-word rotation")
+}

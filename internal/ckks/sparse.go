@@ -1,0 +1,60 @@
+package ckks
+
+import "fmt"
+
+// Sparse packing: encode a short vector of m slots (m a power of two
+// dividing N/2) replicated across the full slot space. Rotations by
+// multiples of m act within every copy simultaneously, and the replication
+// makes rotate-and-sum reductions on short vectors cheap — the layout the
+// workloads' sparse bootstraps assume.
+
+// EncodeSparse embeds values (len ≤ m) replicated N/(2m) times.
+func (e *Encoder) EncodeSparse(values []complex128, m, level int, scale float64) *Plaintext {
+	n := e.params.Slots
+	if m < 1 || m > n || m&(m-1) != 0 {
+		panic(fmt.Sprintf("ckks: sparse slot count %d must be a power of two ≤ %d", m, n))
+	}
+	if len(values) > m {
+		panic("ckks: more values than sparse slots")
+	}
+	full := make([]complex128, n)
+	for c := 0; c < n/m; c++ {
+		copy(full[c*m:], values)
+	}
+	return e.Encode(full, level, scale)
+}
+
+// DecodeSparse averages the replicas back into an m-slot vector, which
+// also averages away independent per-replica noise.
+func (e *Encoder) DecodeSparse(pt *Plaintext, m int) []complex128 {
+	n := e.params.Slots
+	if m < 1 || m > n || m&(m-1) != 0 {
+		panic(fmt.Sprintf("ckks: sparse slot count %d must be a power of two ≤ %d", m, n))
+	}
+	full := e.Decode(pt)
+	out := make([]complex128, m)
+	copies := n / m
+	for i := 0; i < m; i++ {
+		var acc complex128
+		for c := 0; c < copies; c++ {
+			acc += full[c*m+i]
+		}
+		out[i] = acc / complex(float64(copies), 0)
+	}
+	return out
+}
+
+// Replicate spreads slot 0 of ct to every slot within each m-aligned block
+// (a log2(m)-rotation broadcast), assuming slots 1..m-1 are zero — the
+// inverse of the rotate-and-sum reduction. Requires rotation keys for the
+// negative powers of two below m.
+func (ev *Evaluator) Replicate(ct *Ciphertext, m int) *Ciphertext {
+	if m < 1 || m&(m-1) != 0 {
+		panic("ckks: replicate width must be a power of two")
+	}
+	acc := ct
+	for s := 1; s < m; s <<= 1 {
+		acc = ev.Add(acc, ev.Rotate(acc, -s))
+	}
+	return acc
+}

@@ -1,0 +1,103 @@
+package ckks
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestSparseEncodeDecodeRoundTrip(t *testing.T) {
+	tc := newTestContext(t)
+	rng := rand.New(rand.NewSource(120))
+	for _, m := range []int{1, 4, 32, tc.params.Slots} {
+		z := randomComplex(rng, m, 1.0)
+		pt := tc.enc.EncodeSparse(z, m, tc.params.MaxLevel(), tc.params.Scale)
+		got := tc.enc.DecodeSparse(pt, m)
+		for i := range z {
+			if cmplx.Abs(got[i]-z[i]) > 1e-8 {
+				t.Fatalf("m=%d slot %d: %v != %v", m, i, got[i], z[i])
+			}
+		}
+	}
+}
+
+func TestSparseReplication(t *testing.T) {
+	tc := newTestContext(t)
+	m := 8
+	z := []complex128{1, 2, 3, 4, 5, 6, 7, 8}
+	pt := tc.enc.EncodeSparse(z, m, tc.params.MaxLevel(), tc.params.Scale)
+	full := tc.enc.Decode(pt)
+	// Every m-block must carry the same values.
+	for c := 0; c < tc.params.Slots/m; c++ {
+		for i := 0; i < m; i++ {
+			if cmplx.Abs(full[c*m+i]-z[i]) > 1e-7 {
+				t.Fatalf("copy %d slot %d: replication broken", c, i)
+			}
+		}
+	}
+}
+
+// Rotation by m steps maps each replica onto the next, so a sparse
+// ciphertext is invariant under it.
+func TestSparseRotationInvariance(t *testing.T) {
+	tc := newTestContext(t)
+	m := 16
+	rtks := tc.kgen.GenRotationKeys(tc.sk, []int{m}, false)
+	ev := NewEvaluator(tc.params, nil, rtks)
+	rng := rand.New(rand.NewSource(121))
+	z := randomComplex(rng, m, 1.0)
+	pt := tc.enc.EncodeSparse(z, m, tc.params.MaxLevel(), tc.params.Scale)
+	ct := tc.encr.Encrypt(pt)
+
+	rot := ev.Rotate(ct, m)
+	got := tc.enc.DecodeSparse(tc.decr.Decrypt(rot), m)
+	for i := range z {
+		if cmplx.Abs(got[i]-z[i]) > 1e-4 {
+			t.Fatalf("slot %d: rotation by the replica stride should be identity", i)
+		}
+	}
+}
+
+func TestReplicateBroadcastsSlotZero(t *testing.T) {
+	tc := newTestContext(t)
+	m := 8
+	steps := []int{-1, -2, -4}
+	rtks := tc.kgen.GenRotationKeys(tc.sk, steps, false)
+	ev := NewEvaluator(tc.params, nil, rtks)
+
+	// A vector with value only in slot 0 of each m-block.
+	full := make([]complex128, tc.params.Slots)
+	for c := 0; c < tc.params.Slots/m; c++ {
+		full[c*m] = 2.5
+	}
+	pt := tc.enc.Encode(full, tc.params.MaxLevel(), tc.params.Scale)
+	ct := tc.encr.Encrypt(pt)
+
+	rep := ev.Replicate(ct, m)
+	got := tc.enc.Decode(tc.decr.Decrypt(rep))
+	for i := 0; i < 4*m; i++ {
+		if cmplx.Abs(got[i]-2.5) > 1e-4 {
+			t.Fatalf("slot %d: replicate gave %v want 2.5", i, got[i])
+		}
+	}
+}
+
+func TestSparsePanics(t *testing.T) {
+	tc := newTestContext(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-power-of-two m should panic")
+			}
+		}()
+		tc.enc.EncodeSparse(nil, 3, 1, tc.params.Scale)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("too many values should panic")
+			}
+		}()
+		tc.enc.EncodeSparse(make([]complex128, 8), 4, 1, tc.params.Scale)
+	}()
+}

@@ -1,0 +1,101 @@
+package isa
+
+import "fmt"
+
+// Compile targets: each function lowers one FHE basic operation into an
+// operator-level program over `limbs` RNS limbs. HBM symbols follow the
+// convention "<name>.<component>" with per-limb addressing handled by the
+// machine (symbol + limb index identify one vector).
+//
+// The programs make the paper's operator-reuse claim concrete: HAdd is MA
+// alone; PMult is MM alone; Rescale chains INTT/MA/MM/NTT; Rotation chains
+// Auto with the keyswitch pipeline.
+
+// CompileHAdd lowers ct-ct addition: out = a + b component-wise.
+func CompileHAdd(limbs int) *Program {
+	b := NewBuilder("HAdd")
+	for _, comp := range []string{"c0", "c1"} {
+		for l := 0; l < limbs; l++ {
+			x := b.Load("a."+comp, l)
+			y := b.Load("b."+comp, l)
+			z := b.Bin(MAdd, x, y, l)
+			b.Store("out."+comp, z, l)
+		}
+	}
+	return b.Build()
+}
+
+// CompilePMult lowers ct-pt multiplication (NTT domain): out = ct ⊙ pt.
+func CompilePMult(limbs int) *Program {
+	b := NewBuilder("PMult")
+	for _, comp := range []string{"c0", "c1"} {
+		for l := 0; l < limbs; l++ {
+			x := b.Load("a."+comp, l)
+			y := b.Load("pt.m", l)
+			z := b.Bin(MMul, x, y, l)
+			b.Store("out."+comp, z, l)
+		}
+	}
+	return b.Build()
+}
+
+// CompileNTT lowers a full-polynomial forward transform.
+func CompileNTT(limbs int) *Program {
+	b := NewBuilder("NTT")
+	for l := 0; l < limbs; l++ {
+		x := b.Load("a.m", l)
+		y := b.Unary(NTT, x, l, 0)
+		b.Store("out.m", y, l)
+	}
+	return b.Build()
+}
+
+// CompileAutomorphism lowers the index-mapping operator on both ciphertext
+// components (coefficient domain).
+func CompileAutomorphism(limbs int, galois uint64) *Program {
+	b := NewBuilder(fmt.Sprintf("Automorphism(g=%d)", galois))
+	for _, comp := range []string{"c0", "c1"} {
+		for l := 0; l < limbs; l++ {
+			x := b.Load("a."+comp, l)
+			y := b.Unary(Auto, x, l, galois)
+			b.Store("out."+comp, y, l)
+		}
+	}
+	return b.Build()
+}
+
+// CompileRescale lowers the RNS rescale of one ciphertext: INTT, centered
+// correction against the dropped limb, scale by q_l^{-1}, NTT back.
+// qlInv[l] must hold [q_last^{-1}]_{q_l}; qlMod[l] holds [q_last]_{q_l};
+// half is q_last/2 (used by the machine's MSub centering — here the
+// centering is folded into the dropped-limb symbol prepared by the host).
+func CompileRescale(limbs int, qlInv []uint64) *Program {
+	if len(qlInv) < limbs-1 {
+		panic("isa: need an inverse per surviving limb")
+	}
+	b := NewBuilder("Rescale")
+	for _, comp := range []string{"c0", "c1"} {
+		// The host pre-centers the dropped limb per target modulus and
+		// publishes it as "<comp>.last.<l>" vectors; the datapath then
+		// runs MA (subtract) + MM (by q_last^{-1}) + the transforms.
+		for l := 0; l < limbs-1; l++ {
+			x := b.Load("a."+comp, l)
+			xc := b.Unary(INTT, x, l, 0)
+			last := b.Load("a."+comp+".last", l)
+			diff := b.Bin(MSub, xc, last, l)
+			scaled := b.Unary(MMulScalar, diff, l, qlInv[l])
+			out := b.Unary(NTT, scaled, l, 0)
+			b.Store("out."+comp, out, l)
+		}
+	}
+	return b.Build()
+}
+
+// OpCounts tallies instructions per opcode — the static operator mix.
+func (p *Program) OpCounts() map[Opcode]int {
+	m := map[Opcode]int{}
+	for _, in := range p.Instrs {
+		m[in.Op]++
+	}
+	return m
+}

@@ -1,0 +1,237 @@
+package isa
+
+import (
+	"fmt"
+
+	"poseidon/internal/numeric"
+)
+
+// The full hybrid keyswitch as an operator program — the paper's Keyswitch
+// pipeline running entirely on the five shared cores: per-digit RNSconv
+// (MM/MA cascades), NTT of the extended digits, MAC against the streamed
+// key digits (MM/MA), ModDown (MM/MA), and the final transforms. The basis
+// conversions are the approximate (correction-free) hardware form; the
+// small overflow folds into keyswitch noise.
+
+// KeySwitchConstants holds every scalar the program embeds for one level.
+// The machine's modulus chain must be laid out [Q..., P...].
+type KeySwitchConstants struct {
+	Level int // active Q limbs − 1
+	Alpha int // |P|
+	LQ    int // |Q| (full chain length; limbs Level+1..LQ-1 are inactive)
+
+	// Per digit d: BHatInv[d][j] for the digit's own limbs (indexed from
+	// the digit's lo), and BHatMod[d][t][j] for every active target limb t
+	// (machine limb index: 0..Level for Q, LQ..LQ+Alpha-1 for P).
+	DigitLo, DigitHi []int
+	BHatInv          [][]uint64
+	BHatMod          [][][]uint64
+
+	// ModDown: conversion P → Q plus [P^-1]_{q_i}.
+	MDBHatInv []uint64   // per P limb
+	MDBHatMod [][]uint64 // [qLimb][pLimb]
+	PInv      []uint64   // per active Q limb
+}
+
+// NewKeySwitchConstants derives the constants for keyswitching at `level`
+// over main basis q (full chain) and special basis p, with digit width
+// alpha = len(p).
+func NewKeySwitchConstants(q, p []numeric.Modulus, level int) KeySwitchConstants {
+	alpha := len(p)
+	ks := KeySwitchConstants{Level: level, Alpha: alpha, LQ: len(q)}
+	digits := (level + 1 + alpha - 1) / alpha
+
+	targets := make([]numeric.Modulus, 0, level+1+alpha)
+	targets = append(targets, q[:level+1]...)
+	targets = append(targets, p...)
+
+	for d := 0; d < digits; d++ {
+		lo := d * alpha
+		hi := lo + alpha
+		if hi > level+1 {
+			hi = level + 1
+		}
+		src := q[lo:hi]
+		conv := NewRNSConvConstants(src, targets)
+		ks.DigitLo = append(ks.DigitLo, lo)
+		ks.DigitHi = append(ks.DigitHi, hi)
+		ks.BHatInv = append(ks.BHatInv, conv.BHatInv)
+		ks.BHatMod = append(ks.BHatMod, conv.BHatModC)
+	}
+
+	md := NewModDownConstants(q[:level+1], p)
+	ks.MDBHatInv = md.Conv.BHatInv
+	ks.MDBHatMod = md.Conv.BHatModC
+	ks.PInv = md.PInv
+	return ks
+}
+
+// targetLimb maps an active-target index (0..level, then P) to the machine
+// limb index.
+func (ks KeySwitchConstants) targetLimb(t int) int {
+	if t <= ks.Level {
+		return t
+	}
+	return ks.LQ + (t - ks.Level - 1)
+}
+
+// compileKeySwitchInto emits the keyswitch of coefficient-domain registers
+// in[0..level] (already loaded) against key digit symbols
+// "<key>.b<d>"/"<key>.a<d>", leaving the two NTT-domain outputs over the
+// active Q limbs in the returned register slices.
+func (ks KeySwitchConstants) compileKeySwitchInto(b *Builder, in []Reg, key string) (p0, p1 []Reg) {
+	level := ks.Level
+	alpha := ks.Alpha
+	nTargets := level + 1 + alpha
+	digits := len(ks.DigitLo)
+
+	acc0 := make([]Reg, nTargets)
+	acc1 := make([]Reg, nTargets)
+	accSet := false
+
+	for d := 0; d < digits; d++ {
+		lo, hi := ks.DigitLo[d], ks.DigitHi[d]
+		// y_j = in_j · (B/b_j)^{-1} under the digit's own moduli.
+		ys := make([]Reg, hi-lo)
+		for j := lo; j < hi; j++ {
+			ys[j-lo] = b.Unary(MMulScalar, in[j], j, ks.BHatInv[d][j-lo])
+		}
+		for t := 0; t < nTargets; t++ {
+			limb := ks.targetLimb(t)
+			var ext Reg
+			if t >= lo && t < hi {
+				ext = in[t] // digit-own limb passes through
+			} else {
+				for j := range ys {
+					term := b.Unary(MMulScalar, ys[j], limb, ks.BHatMod[d][t][j])
+					if j == 0 {
+						ext = term
+					} else {
+						ext = b.Bin(MAdd, ext, term, limb)
+					}
+				}
+			}
+			nttExt := b.Unary(NTT, ext, limb, 0)
+			kb := b.Load(fmt.Sprintf("%s.b%d", key, d), limb)
+			ka := b.Load(fmt.Sprintf("%s.a%d", key, d), limb)
+			t0 := b.Bin(MMul, nttExt, kb, limb)
+			t1 := b.Bin(MMul, nttExt, ka, limb)
+			if !accSet {
+				acc0[t] = t0
+				acc1[t] = t1
+			} else {
+				acc0[t] = b.Bin(MAdd, acc0[t], t0, limb)
+				acc1[t] = b.Bin(MAdd, acc1[t], t1, limb)
+			}
+		}
+		accSet = true
+	}
+
+	// ModDown both accumulators: INTT, convert the P part to Q, subtract,
+	// scale by P^{-1}, NTT back.
+	modDown := func(acc []Reg) []Reg {
+		coeff := make([]Reg, nTargets)
+		for t := 0; t < nTargets; t++ {
+			coeff[t] = b.Unary(INTT, acc[t], ks.targetLimb(t), 0)
+		}
+		ys := make([]Reg, alpha)
+		for j := 0; j < alpha; j++ {
+			limb := ks.LQ + j
+			ys[j] = b.Unary(MMulScalar, coeff[level+1+j], limb, ks.MDBHatInv[j])
+		}
+		out := make([]Reg, level+1)
+		for i := 0; i <= level; i++ {
+			var conv Reg
+			for j := 0; j < alpha; j++ {
+				term := b.Unary(MMulScalar, ys[j], i, ks.MDBHatMod[i][j])
+				if j == 0 {
+					conv = term
+				} else {
+					conv = b.Bin(MAdd, conv, term, i)
+				}
+			}
+			diff := b.Bin(MSub, coeff[i], conv, i)
+			scaled := b.Unary(MMulScalar, diff, i, ks.PInv[i])
+			out[i] = b.Unary(NTT, scaled, i, 0)
+		}
+		return out
+	}
+	return modDown(acc0), modDown(acc1)
+}
+
+// CompileKeySwitch lowers a standalone keyswitch: input symbol `in`
+// (coefficient domain, active Q limbs), key digits under `key`, outputs
+// "out.p0"/"out.p1" in the NTT domain.
+func CompileKeySwitch(ks KeySwitchConstants, in, key string) *Program {
+	b := NewBuilder(fmt.Sprintf("KeySwitch(level=%d)", ks.Level))
+	regs := make([]Reg, ks.Level+1)
+	for l := 0; l <= ks.Level; l++ {
+		regs[l] = b.Load(in, l)
+	}
+	p0, p1 := ks.compileKeySwitchInto(b, regs, key)
+	for l := 0; l <= ks.Level; l++ {
+		b.Store("out.p0", p0[l], l)
+		b.Store("out.p1", p1[l], l)
+	}
+	return b.Build()
+}
+
+// CompileCMult lowers a complete ciphertext-ciphertext multiplication with
+// relinearization: the degree-2 tensor product on the MM/MA cores, INTT of
+// d2, the keyswitch against the relinearization key, and the final
+// accumulation. Inputs "a.c0"/"a.c1"/"b.c0"/"b.c1" are NTT-domain; outputs
+// "out.c0"/"out.c1" are NTT-domain.
+func CompileCMult(ks KeySwitchConstants, key string) *Program {
+	b := NewBuilder(fmt.Sprintf("CMult(level=%d)", ks.Level))
+	level := ks.Level
+
+	d0 := make([]Reg, level+1)
+	d1 := make([]Reg, level+1)
+	d2c := make([]Reg, level+1)
+	for l := 0; l <= level; l++ {
+		a0 := b.Load("a.c0", l)
+		a1 := b.Load("a.c1", l)
+		b0 := b.Load("b.c0", l)
+		b1 := b.Load("b.c1", l)
+		d0[l] = b.Bin(MMul, a0, b0, l)
+		x := b.Bin(MMul, a0, b1, l)
+		y := b.Bin(MMul, a1, b0, l)
+		d1[l] = b.Bin(MAdd, x, y, l)
+		d2 := b.Bin(MMul, a1, b1, l)
+		d2c[l] = b.Unary(INTT, d2, l, 0)
+	}
+	p0, p1 := ks.compileKeySwitchInto(b, d2c, key)
+	for l := 0; l <= level; l++ {
+		c0 := b.Bin(MAdd, d0[l], p0[l], l)
+		c1 := b.Bin(MAdd, d1[l], p1[l], l)
+		b.Store("out.c0", c0, l)
+		b.Store("out.c1", c1, l)
+	}
+	return b.Build()
+}
+
+// CompileRotation lowers a complete Rotation: automorphism of both
+// components (coefficient domain inputs "a.c0"/"a.c1"), keyswitch of the
+// automorphed c1 against the rotation key, and the final accumulation.
+// Outputs "out.c0"/"out.c1" in the NTT domain.
+func CompileRotation(ks KeySwitchConstants, galois uint64, key string) *Program {
+	b := NewBuilder(fmt.Sprintf("Rotation(g=%d,level=%d)", galois, ks.Level))
+	level := ks.Level
+
+	// σ_g on both components.
+	a1 := make([]Reg, level+1)
+	for l := 0; l <= level; l++ {
+		c1 := b.Load("a.c1", l)
+		a1[l] = b.Unary(Auto, c1, l, galois)
+	}
+	p0, p1 := ks.compileKeySwitchInto(b, a1, key)
+	for l := 0; l <= level; l++ {
+		c0 := b.Load("a.c0", l)
+		ac0 := b.Unary(Auto, c0, l, galois)
+		nttC0 := b.Unary(NTT, ac0, l, 0)
+		sum := b.Bin(MAdd, nttC0, p0[l], l)
+		b.Store("out.c0", sum, l)
+		b.Store("out.c1", p1[l], l)
+	}
+	return b.Build()
+}

@@ -1,0 +1,113 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"poseidon/internal/numeric"
+)
+
+func ksConstants(t *testing.T, level int) KeySwitchConstants {
+	t.Helper()
+	q, err := numeric.GenerateNTTPrimes(45, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := numeric.GenerateNTTPrimes(46, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := make([]numeric.Modulus, len(q))
+	for i := range q {
+		qm[i] = numeric.NewModulus(q[i])
+	}
+	pm := make([]numeric.Modulus, len(p))
+	for i := range p {
+		pm[i] = numeric.NewModulus(p[i])
+	}
+	return NewKeySwitchConstants(qm, pm, level)
+}
+
+func TestKeySwitchConstantsDigits(t *testing.T) {
+	ks := ksConstants(t, 3)
+	if len(ks.DigitLo) != 2 {
+		t.Fatalf("digits=%d want 2 (level 3, alpha 2)", len(ks.DigitLo))
+	}
+	if ks.DigitLo[0] != 0 || ks.DigitHi[0] != 2 {
+		t.Errorf("digit 0 range [%d,%d) want [0,2)", ks.DigitLo[0], ks.DigitHi[0])
+	}
+	if ks.DigitLo[1] != 2 || ks.DigitHi[1] != 4 {
+		t.Errorf("digit 1 range [%d,%d) want [2,4)", ks.DigitLo[1], ks.DigitHi[1])
+	}
+	// Partial trailing digit at a lower level.
+	ks1 := ksConstants(t, 2)
+	if len(ks1.DigitLo) != 2 || ks1.DigitHi[1] != 3 {
+		t.Errorf("level-2 digits wrong: %v %v", ks1.DigitLo, ks1.DigitHi)
+	}
+}
+
+func TestCompileKeySwitchStructure(t *testing.T) {
+	ks := ksConstants(t, 3)
+	p := CompileKeySwitch(ks, "d2", "key")
+	counts := p.OpCounts()
+
+	// Every operator family except Auto participates.
+	if counts[NTT] == 0 || counts[INTT] == 0 || counts[MMul] == 0 ||
+		counts[MAdd] == 0 || counts[MSub] == 0 || counts[MMulScalar] == 0 {
+		t.Errorf("keyswitch op mix incomplete: %v", counts)
+	}
+	if counts[Auto] != 0 {
+		t.Error("keyswitch must not use the automorphism core")
+	}
+	// Outputs: p0 and p1 per active Q limb.
+	if counts[Store] != 2*(ks.Level+1) {
+		t.Errorf("stores=%d want %d", counts[Store], 2*(ks.Level+1))
+	}
+	// Key loads: 2 components × digits × (level+1+alpha) limbs.
+	wantKeyLoads := 2 * len(ks.DigitLo) * (ks.Level + 1 + ks.Alpha)
+	keyLoads := 0
+	for _, in := range p.Instrs {
+		if in.Op == Load && strings.HasPrefix(in.Sym, "key.") {
+			keyLoads++
+		}
+	}
+	if keyLoads != wantKeyLoads {
+		t.Errorf("key loads=%d want %d", keyLoads, wantKeyLoads)
+	}
+}
+
+func TestCompileRotationStructure(t *testing.T) {
+	ks := ksConstants(t, 3)
+	p := CompileRotation(ks, 5, "rk")
+	counts := p.OpCounts()
+	// Automorphism on both components: 2·(level+1).
+	if counts[Auto] != 2*(ks.Level+1) {
+		t.Errorf("auto ops=%d want %d", counts[Auto], 2*(ks.Level+1))
+	}
+	if !strings.Contains(p.Name, "g=5") {
+		t.Errorf("program name %q should carry the Galois element", p.Name)
+	}
+}
+
+func TestCompileCMultStructure(t *testing.T) {
+	ks := ksConstants(t, 2)
+	p := CompileCMult(ks, "rlk")
+	counts := p.OpCounts()
+	if counts[Auto] != 0 {
+		t.Error("CMult must not use the automorphism core")
+	}
+	// Tensor: 4 MMul per limb plus the keyswitch MACs.
+	if counts[MMul] < 4*(ks.Level+1) {
+		t.Errorf("MMul=%d, want ≥ %d for the tensor alone", counts[MMul], 4*(ks.Level+1))
+	}
+	// Inputs: both ciphertexts on every limb.
+	loads := 0
+	for _, in := range p.Instrs {
+		if in.Op == Load && (strings.HasPrefix(in.Sym, "a.") || strings.HasPrefix(in.Sym, "b.")) {
+			loads++
+		}
+	}
+	if loads != 4*(ks.Level+1) {
+		t.Errorf("ciphertext loads=%d want %d", loads, 4*(ks.Level+1))
+	}
+}

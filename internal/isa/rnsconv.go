@@ -1,0 +1,150 @@
+package isa
+
+import "poseidon/internal/numeric"
+
+// RNSconv as an operator program — the paper's Fig 4: instead of dedicated
+// vector-scalar cores, basis conversion cascades the MM and MA cores.
+// For each source limb j: y_j = x_j · (B/b_j)^{-1} mod b_j (one MMULS);
+// for each target modulus c_i: acc = Σ_j y_j · (B/b_j) mod c_i (an
+// MMULS/MADD chain). Hardware performs the *approximate* conversion — the
+// float correction software applies is absorbed as keyswitch noise — so
+// the program's result may exceed the exact value by a small multiple of
+// B, which downstream ModDown tolerates (and tests verify).
+
+// RNSConvConstants precomputes the per-limb scalars the program embeds.
+type RNSConvConstants struct {
+	BHatInv  []uint64   // [(B/b_j)^-1]_{b_j}, per source limb
+	BHatModC [][]uint64 // [i][j] = (B/b_j) mod c_i
+}
+
+// NewRNSConvConstants derives the constants from the source and destination
+// moduli.
+func NewRNSConvConstants(src, dst []numeric.Modulus) RNSConvConstants {
+	l := len(src)
+	c := RNSConvConstants{
+		BHatInv:  make([]uint64, l),
+		BHatModC: make([][]uint64, len(dst)),
+	}
+	for j := 0; j < l; j++ {
+		prod := uint64(1)
+		for t := 0; t < l; t++ {
+			if t != j {
+				prod = src[j].Mul(prod, src[j].Reduce(src[t].Q))
+			}
+		}
+		c.BHatInv[j] = src[j].Inv(prod)
+	}
+	for i := range dst {
+		c.BHatModC[i] = make([]uint64, l)
+		for j := 0; j < l; j++ {
+			prod := uint64(1)
+			for t := 0; t < l; t++ {
+				if t != j {
+					prod = dst[i].Mul(prod, dst[i].Reduce(src[t].Q))
+				}
+			}
+			c.BHatModC[i][j] = prod
+		}
+	}
+	return c
+}
+
+// CompileRNSConv lowers the conversion of symbol `in` (source limbs
+// 0..len(BHatInv)-1 of the machine's chain) into `out` limbs srcLen..,
+// where the machine's modulus chain is laid out [src..., dst...]. The
+// y_j intermediates are computed once and reused across every target limb
+// — the operator-reuse pattern of Fig 4.
+func CompileRNSConv(consts RNSConvConstants, in, out string) *Program {
+	b := NewBuilder("RNSconv")
+	srcLen := len(consts.BHatInv)
+	ys := make([]Reg, srcLen)
+	for j := 0; j < srcLen; j++ {
+		x := b.Load(in, j)
+		ys[j] = b.Unary(MMulScalar, x, j, consts.BHatInv[j])
+	}
+	for i := range consts.BHatModC {
+		limb := srcLen + i
+		var acc Reg
+		for j := 0; j < srcLen; j++ {
+			// y_j lives under modulus b_j but is < b_j < c_i·2 in general;
+			// the hardware re-reduces under c_i inside the MM core. The
+			// machine models this by evaluating MMULS under the target
+			// limb's modulus.
+			term := b.Unary(MMulScalar, ys[j], limb, consts.BHatModC[i][j])
+			if j == 0 {
+				acc = term
+			} else {
+				acc = b.Bin(MAdd, acc, term, limb)
+			}
+		}
+		b.Store(out, acc, limb)
+	}
+	return b.Build()
+}
+
+// CompileModUp lowers Eq. 3: the input stays on its own limbs and the
+// RNSconv extension writes the new limbs.
+func CompileModUp(consts RNSConvConstants, in, out string) *Program {
+	p := CompileRNSConv(consts, in, out)
+	p.Name = "ModUp"
+	// Pass the original limbs through unchanged.
+	b := &Builder{p: p, next: Reg(p.NumReg)}
+	for j := range consts.BHatInv {
+		r := b.Load(in, j)
+		b.Store(out, r, j)
+	}
+	return b.Build()
+}
+
+// ModDownConstants extends the conversion constants with [P^-1]_{q_i}.
+type ModDownConstants struct {
+	Conv RNSConvConstants // P → Q conversion
+	PInv []uint64         // [P^-1]_{q_i} per Q limb
+}
+
+// NewModDownConstants derives ModDown scalars for main basis Q (machine
+// limbs 0..len(Q)-1) and special basis P (machine limbs len(Q)..).
+func NewModDownConstants(q, p []numeric.Modulus) ModDownConstants {
+	md := ModDownConstants{Conv: NewRNSConvConstants(p, q)}
+	md.PInv = make([]uint64, len(q))
+	for i, qi := range q {
+		prod := uint64(1)
+		for _, pj := range p {
+			prod = qi.Mul(prod, qi.Reduce(pj.Q))
+		}
+		md.PInv[i] = qi.Inv(prod)
+	}
+	return md
+}
+
+// CompileModDown lowers Eq. 2: out_i = (aQ_i − conv(aP)_i)·P^{-1} mod q_i.
+// The machine's chain must be laid out [Q..., P...]; symbol inQ carries the
+// Q limbs (indices 0..len(Q)-1) and inP the P limbs at indices len(Q)...
+func CompileModDown(md ModDownConstants, inQ, inP, out string) *Program {
+	b := NewBuilder("ModDown")
+	lq := len(md.PInv)
+	lp := len(md.Conv.BHatInv)
+
+	// y_j from the P limbs (stored at machine limbs lq+j).
+	ys := make([]Reg, lp)
+	for j := 0; j < lp; j++ {
+		x := b.Load(inP, lq+j)
+		ys[j] = b.Unary(MMulScalar, x, lq+j, md.Conv.BHatInv[j])
+	}
+	for i := 0; i < lq; i++ {
+		var conv Reg
+		for j := 0; j < lp; j++ {
+			term := b.Unary(MMulScalar, ys[j], i, md.Conv.BHatModC[i][j])
+			if j == 0 {
+				conv = term
+			} else {
+				conv = b.Bin(MAdd, conv, term, i)
+			}
+		}
+		a := b.Load(inQ, i)
+		diff := b.Bin(MSub, a, conv, i)
+		res := b.Unary(MMulScalar, diff, i, md.PInv[i])
+		b.Store(out, res, i)
+	}
+	return b.Build()
+}

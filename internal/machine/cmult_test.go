@@ -1,0 +1,110 @@
+package machine
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/arch"
+	"poseidon/internal/ckks"
+	"poseidon/internal/isa"
+)
+
+// CMult with relinearization executed entirely on the datapath must agree
+// with the software evaluator and decrypt to the slot-wise product.
+func TestMachineFullCMult(t *testing.T) {
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     9,
+		LogQ:     []int{50, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgen := ckks.NewKeyGenerator(params, 90)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	rlk := kgen.GenRelinearizationKey(sk)
+	enc := ckks.NewEncoder(params)
+	encr := ckks.NewEncryptor(params, pk, 91)
+	decr := ckks.NewDecryptor(params, sk)
+
+	rng := rand.New(rand.NewSource(92))
+	z1 := make([]complex128, params.Slots)
+	z2 := make([]complex128, params.Slots)
+	for i := range z1 {
+		z1[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		z2[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	ct1 := encr.Encrypt(enc.Encode(z1, params.MaxLevel(), params.Scale))
+	ct2 := encr.Encrypt(enc.Encode(z2, params.MaxLevel(), params.Scale))
+	level := ct1.Level
+
+	cfg := arch.U280()
+	cfg.Lanes = 64
+	chain := append(append([]uint64{}, params.Q...), params.P...)
+	m, err := New(cfg, params.N, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l <= level; l++ {
+		m.WriteHBM("a.c0", l, ct1.C0.Coeffs[l])
+		m.WriteHBM("a.c1", l, ct1.C1.Coeffs[l])
+		m.WriteHBM("b.c0", l, ct2.C0.Coeffs[l])
+		m.WriteHBM("b.c1", l, ct2.C1.Coeffs[l])
+	}
+	lq := len(params.Q)
+	for d := range rlk.B {
+		bSym := fmt.Sprintf("rlk.b%d", d)
+		aSym := fmt.Sprintf("rlk.a%d", d)
+		for l := 0; l <= level; l++ {
+			m.WriteHBM(bSym, l, rlk.B[d].Q.Coeffs[l])
+			m.WriteHBM(aSym, l, rlk.A[d].Q.Coeffs[l])
+		}
+		for j := 0; j < params.Alpha(); j++ {
+			m.WriteHBM(bSym, lq+j, rlk.B[d].P.Coeffs[j])
+			m.WriteHBM(aSym, lq+j, rlk.A[d].P.Coeffs[j])
+		}
+	}
+
+	ks := isa.NewKeySwitchConstants(m.Moduli[:lq], m.Moduli[lq:], level)
+	st, err := m.Run(isa.CompileCMult(ks, "rlk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles[isa.Auto] != 0 {
+		t.Error("CMult must not use the automorphism core")
+	}
+
+	out := &ckks.Ciphertext{
+		C0:    newNTTPoly(params, level+1),
+		C1:    newNTTPoly(params, level+1),
+		Scale: ct1.Scale * ct2.Scale,
+		Level: level,
+	}
+	for l := 0; l <= level; l++ {
+		v0, err := m.ReadHBM("out.c0", l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := m.ReadHBM("out.c1", l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(out.C0.Coeffs[l], v0)
+		copy(out.C1.Coeffs[l], v1)
+	}
+	got := enc.Decode(decr.Decrypt(out))
+	worst := 0.0
+	for i := range z1 {
+		if e := cmplx.Abs(got[i] - z1[i]*z2[i]); e > worst {
+			worst = e
+		}
+	}
+	t.Logf("machine-executed CMult: max slot error %.3e", worst)
+	if worst > 1e-3 {
+		t.Errorf("machine CMult error %g too large", worst)
+	}
+}

@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/arch"
+	"poseidon/internal/isa"
+	"poseidon/internal/numeric"
+)
+
+// The analytic cost model (internal/arch) and the executed ISA programs
+// must agree on the work a basic operation performs: same HBM bytes, and
+// core cycles within the pipeline-fill constants the analytic model adds.
+func TestModelMatchesMachineHAdd(t *testing.T) {
+	logN, limbs := 10, 4
+	n := 1 << logN
+	ps, err := numeric.GenerateNTTPrimes(45, logN, limbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.U280()
+	m, err := New(cfg, n, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := arch.NewModel(cfg, arch.FHEParams{LogN: logN, Limbs: limbs, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for _, comp := range []string{"c0", "c1"} {
+		for l := 0; l < limbs; l++ {
+			m.WriteHBM("a."+comp, l, randVec(rng, n, m.Moduli[l].Q))
+			m.WriteHBM("b."+comp, l, randVec(rng, n, m.Moduli[l].Q))
+		}
+	}
+	st, err := m.Run(isa.CompileHAdd(limbs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := model.HAdd(limbs)
+
+	if st.HBMBytes != prof.HBMBytes {
+		t.Errorf("HBM bytes: machine %.0f, model %.0f", st.HBMBytes, prof.HBMBytes)
+	}
+	// MA cycles: model adds a pipeline-fill constant; otherwise equal.
+	machMA := st.Cycles[isa.MAdd] + st.Cycles[isa.MSub]
+	diff := prof.Cycles[arch.MA] - machMA
+	if diff < 0 || diff > float64(cfg.PipeMA)+1 {
+		t.Errorf("MA cycles: machine %.1f, model %.1f", machMA, prof.Cycles[arch.MA])
+	}
+}
+
+func TestModelMatchesMachineNTT(t *testing.T) {
+	logN, limbs := 10, 3
+	n := 1 << logN
+	ps, err := numeric.GenerateNTTPrimes(45, logN, limbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.U280()
+	m, err := New(cfg, n, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := arch.NewModel(cfg, arch.FHEParams{LogN: logN, Limbs: limbs, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for l := 0; l < limbs; l++ {
+		m.WriteHBM("a.m", l, randVec(rng, n, m.Moduli[l].Q))
+	}
+	st, err := m.Run(isa.CompileNTT(limbs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := model.NTTOp(limbs)
+
+	// NTT cycles: passes·elems/lanes on both sides (modulo pipeline fill).
+	diff := math.Abs(prof.Cycles[arch.NTT] - st.Cycles[isa.NTT])
+	if diff > float64(cfg.PipeNTT)+1 {
+		t.Errorf("NTT cycles: machine %.1f, model %.1f", st.Cycles[isa.NTT], prof.Cycles[arch.NTT])
+	}
+	if st.HBMBytes != prof.HBMBytes {
+		t.Errorf("HBM bytes: machine %.0f, model %.0f", st.HBMBytes, prof.HBMBytes)
+	}
+}

@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/arch"
+	"poseidon/internal/automorph"
+	"poseidon/internal/ckks"
+	"poseidon/internal/isa"
+)
+
+// The flagship cross-layer test: an entire Rotation — automorphism plus the
+// full hybrid keyswitch — executes as one ISA program on the modeled
+// datapath, operating on a real ciphertext with real rotation keys, and the
+// result decrypts to the rotated plaintext. Every arithmetic step runs on
+// the five operator cores.
+func TestMachineFullRotation(t *testing.T) {
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     9,
+		LogQ:     []int{50, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgen := ckks.NewKeyGenerator(params, 80)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	enc := ckks.NewEncoder(params)
+	encr := ckks.NewEncryptor(params, pk, 81)
+	decr := ckks.NewDecryptor(params, sk)
+
+	steps := 1
+	g := automorph.GaloisElementForRotation(steps, params.N)
+	rtks := kgen.GenRotationKeys(sk, []int{steps}, false)
+	key := rtks.Keys[g]
+
+	rng := rand.New(rand.NewSource(82))
+	z := make([]complex128, params.Slots)
+	for i := range z {
+		z[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	ct := encr.Encrypt(enc.Encode(z, params.MaxLevel(), params.Scale))
+	level := ct.Level
+
+	// Machine over [Q..., P...].
+	cfg := arch.U280()
+	cfg.Lanes = 64
+	chain := append(append([]uint64{}, params.Q...), params.P...)
+	m, err := New(cfg, params.N, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ship the ciphertext (coefficient domain — the datapath's automorphism
+	// and RNSconv operate there).
+	c0 := ct.C0.CopyNew()
+	c1 := ct.C1.CopyNew()
+	params.RingQ.INTT(c0)
+	params.RingQ.INTT(c1)
+	for l := 0; l <= level; l++ {
+		m.WriteHBM("a.c0", l, c0.Coeffs[l])
+		m.WriteHBM("a.c1", l, c1.Coeffs[l])
+	}
+	// Stream the rotation key digits: Q part at machine limbs 0..|Q|-1,
+	// P part at |Q|...
+	lq := len(params.Q)
+	for d := range key.B {
+		bSym := fmt.Sprintf("rk.b%d", d)
+		aSym := fmt.Sprintf("rk.a%d", d)
+		for l := 0; l <= level; l++ {
+			m.WriteHBM(bSym, l, key.B[d].Q.Coeffs[l])
+			m.WriteHBM(aSym, l, key.A[d].Q.Coeffs[l])
+		}
+		for j := 0; j < params.Alpha(); j++ {
+			m.WriteHBM(bSym, lq+j, key.B[d].P.Coeffs[j])
+			m.WriteHBM(aSym, lq+j, key.A[d].P.Coeffs[j])
+		}
+	}
+
+	ks := isa.NewKeySwitchConstants(m.Moduli[:lq], m.Moduli[lq:], level)
+	prog := isa.CompileRotation(ks, g, "rk")
+	st, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The program must exercise all four operator families.
+	for _, op := range []isa.Opcode{isa.MAdd, isa.MMul, isa.NTT, isa.Auto} {
+		if st.Cycles[op] == 0 {
+			t.Errorf("rotation program should use %v cycles", op)
+		}
+	}
+
+	// Rebuild and decrypt.
+	out := &ckks.Ciphertext{
+		C0:    newNTTPoly(params, level+1),
+		C1:    newNTTPoly(params, level+1),
+		Scale: ct.Scale,
+		Level: level,
+	}
+	for l := 0; l <= level; l++ {
+		v0, err := m.ReadHBM("out.c0", l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := m.ReadHBM("out.c1", l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(out.C0.Coeffs[l], v0)
+		copy(out.C1.Coeffs[l], v1)
+	}
+	got := enc.Decode(decr.Decrypt(out))
+
+	worst := 0.0
+	n := params.Slots
+	for i := range z {
+		want := z[(i+steps)%n]
+		if e := cmplx.Abs(got[i] - want); e > worst {
+			worst = e
+		}
+	}
+	t.Logf("machine-executed rotation: max slot error %.3e", worst)
+	if worst > 1e-3 {
+		t.Errorf("machine rotation error %g too large", worst)
+	}
+
+	// And it must agree with the software evaluator's rotation.
+	ev := ckks.NewEvaluator(params, nil, rtks)
+	sw := enc.Decode(decr.Decrypt(ev.Rotate(ct, steps)))
+	worst = 0
+	for i := range sw {
+		if e := cmplx.Abs(got[i] - sw[i]); e > worst {
+			worst = e
+		}
+	}
+	if worst > 1e-3 {
+		t.Errorf("machine vs software rotation differ by %g", worst)
+	}
+}

@@ -1,0 +1,217 @@
+package machine
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/arch"
+	"poseidon/internal/isa"
+	"poseidon/internal/numeric"
+)
+
+// buildChain returns a machine over [src..., dst...] moduli.
+func convMachine(t *testing.T, n, srcLen, dstLen int) (*Machine, []numeric.Modulus, []numeric.Modulus) {
+	t.Helper()
+	logN := 0
+	for 1<<uint(logN) < n {
+		logN++
+	}
+	ps, err := numeric.GenerateNTTPrimes(40, logN, srcLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := numeric.GenerateNTTPrimes(45, logN, dstLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.U280()
+	cfg.Lanes = 64
+	m, err := New(cfg, n, append(append([]uint64{}, ps...), pd...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, m.Moduli[:srcLen], m.Moduli[srcLen:]
+}
+
+// The RNSconv program (approximate conversion, the hardware form of Fig 4)
+// must produce x + e·B for a small non-negative overflow e < srcLen.
+func TestProgramRNSConv(t *testing.T) {
+	n := 32
+	m, src, dst := convMachine(t, n, 3, 2)
+	consts := isa.NewRNSConvConstants(src, dst)
+
+	B := big.NewInt(1)
+	for _, s := range src {
+		B.Mul(B, new(big.Int).SetUint64(s.Q))
+	}
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]*big.Int, n)
+	in := make([][]uint64, len(src))
+	for j := range in {
+		in[j] = make([]uint64, n)
+	}
+	for t2 := 0; t2 < n; t2++ {
+		x := new(big.Int).Rand(rng, B)
+		xs[t2] = x
+		for j, s := range src {
+			in[j][t2] = new(big.Int).Mod(x, new(big.Int).SetUint64(s.Q)).Uint64()
+		}
+	}
+	for j := range in {
+		m.WriteHBM("x", j, in[j])
+	}
+	st, err := m.Run(isa.CompileRNSConv(consts, "x", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only MM and MA cycles — the cascaded-core claim of Fig 4.
+	if st.Cycles[isa.NTT] != 0 || st.Cycles[isa.Auto] != 0 {
+		t.Error("RNSconv must use only MM and MA cores")
+	}
+	if st.Cycles[isa.MMul] == 0 || st.Cycles[isa.MAdd] == 0 {
+		t.Error("RNSconv should exercise both MM and MA")
+	}
+
+	for i, d := range dst {
+		out, err := m.ReadHBM("y", len(src)+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qi := new(big.Int).SetUint64(d.Q)
+		for t2 := 0; t2 < n; t2++ {
+			got := new(big.Int).SetUint64(out[t2])
+			ok := false
+			for e := int64(0); e < int64(len(src)); e++ {
+				want := new(big.Int).Add(xs[t2], new(big.Int).Mul(big.NewInt(e), B))
+				want.Mod(want, qi)
+				if got.Cmp(want) == 0 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("dst %d coeff %d: result is not x + e·B for small e", i, t2)
+			}
+		}
+	}
+}
+
+// ModUp must pass the source limbs through and extend the rest.
+func TestProgramModUp(t *testing.T) {
+	n := 16
+	m, src, dst := convMachine(t, n, 2, 2)
+	consts := isa.NewRNSConvConstants(src, dst)
+	rng := rand.New(rand.NewSource(2))
+	for j, s := range src {
+		m.WriteHBM("x", j, randVec(rng, n, s.Q))
+	}
+	if _, err := m.Run(isa.CompileModUp(consts, "x", "up")); err != nil {
+		t.Fatal(err)
+	}
+	for j := range src {
+		in, _ := m.ReadHBM("x", j)
+		out, err := m.ReadHBM("up", j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != in[i] {
+				t.Fatalf("limb %d: ModUp must pass source limbs through", j)
+			}
+		}
+	}
+	for i := range dst {
+		if _, err := m.ReadHBM("up", len(src)+i); err != nil {
+			t.Fatalf("extended limb %d missing: %v", i, err)
+		}
+	}
+}
+
+// ModDown must divide by P with bounded error: for x = P·y + r (small r),
+// the program returns y + ε with |ε| ≤ len(P) (approximate conversion
+// overflow plus rounding).
+func TestProgramModDown(t *testing.T) {
+	n := 16
+	// Machine layout [Q..., P...]: Q = dst role, P = src role of the
+	// conversion, so build with srcLen = |Q| first.
+	logN := 4
+	qs, err := numeric.GenerateNTTPrimes(45, logN, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := numeric.GenerateNTTPrimes(46, logN, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.U280()
+	cfg.Lanes = 64
+	m, err := New(cfg, n, append(append([]uint64{}, qs...), pp...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Moduli[:3]
+	p := m.Moduli[3:]
+	md := isa.NewModDownConstants(q, p)
+
+	P := big.NewInt(1)
+	for _, s := range p {
+		P.Mul(P, new(big.Int).SetUint64(s.Q))
+	}
+	Q := big.NewInt(1)
+	for _, s := range q {
+		Q.Mul(Q, new(big.Int).SetUint64(s.Q))
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	ys := make([]*big.Int, n)
+	inQ := make([][]uint64, len(q))
+	inP := make([][]uint64, len(p))
+	for i := range inQ {
+		inQ[i] = make([]uint64, n)
+	}
+	for i := range inP {
+		inP[i] = make([]uint64, n)
+	}
+	for t2 := 0; t2 < n; t2++ {
+		y := new(big.Int).Rand(rng, new(big.Int).Rsh(Q, 2))
+		ys[t2] = y
+		x := new(big.Int).Mul(P, y)
+		x.Add(x, big.NewInt(int64(rng.Intn(50))))
+		for i, s := range q {
+			inQ[i][t2] = new(big.Int).Mod(x, new(big.Int).SetUint64(s.Q)).Uint64()
+		}
+		for i, s := range p {
+			inP[i][t2] = new(big.Int).Mod(x, new(big.Int).SetUint64(s.Q)).Uint64()
+		}
+	}
+	for i := range inQ {
+		m.WriteHBM("aq", i, inQ[i])
+	}
+	for i := range inP {
+		m.WriteHBM("ap", 3+i, inP[i])
+	}
+	if _, err := m.Run(isa.CompileModDown(md, "aq", "ap", "out")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compose the output over Q and compare against y with slack for the
+	// approximate conversion (the extra e·P folds into ±len(P) on y).
+	for t2 := 0; t2 < n; t2++ {
+		acc := new(big.Int)
+		for i, s := range q {
+			out, _ := m.ReadHBM("out", i)
+			qi := new(big.Int).SetUint64(s.Q)
+			Qi := new(big.Int).Div(Q, qi)
+			inv := new(big.Int).ModInverse(new(big.Int).Mod(Qi, qi), qi)
+			term := new(big.Int).SetUint64(out[t2])
+			term.Mul(term, inv).Mod(term, qi).Mul(term, Qi)
+			acc.Add(acc, term)
+		}
+		acc.Mod(acc, Q)
+		diff := new(big.Int).Sub(acc, ys[t2])
+		if diff.CmpAbs(big.NewInt(int64(len(p)+1))) > 0 {
+			t.Fatalf("coeff %d: ModDown error %v exceeds the approximate-conversion bound", t2, diff)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package ntt
+
+// Stats accumulates arithmetic-operation counts for the Table II analytics:
+// the tradeoff between modular reductions avoided by fusion and the extra
+// multiplications/additions it introduces.
+type Stats struct {
+	Mults        int64 // modular or raw twiddle multiplications
+	Adds         int64 // additions/subtractions
+	Reductions   int64 // Barrett reductions performed
+	TwiddleLoads int64 // twiddle factors fetched from storage
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Mults += o.Mults
+	s.Adds += o.Adds
+	s.Reductions += o.Reductions
+	s.TwiddleLoads += o.TwiddleLoads
+}
+
+// BlockCosts are the per-fused-block operation counts underlying Table II
+// of the paper. A block processes 2^k operands through k butterfly stages.
+type BlockCosts struct {
+	K          int
+	Twiddles   int // W: distinct twiddle factors the block must store
+	Mults      int
+	Adds       int
+	Reductions int
+}
+
+// UnfusedBlockCosts returns the conventional-NTT per-block costs for radix
+// 2^k. Each of the k stages performs 2^(k-1) butterflies producing two TAM
+// outputs each, so mults = adds = reductions = k·2^k; the distinct twiddle
+// count per block is 2^(k-1) under the paper's convention (the final
+// stage's butterflies dominate).
+func UnfusedBlockCosts(k int) BlockCosts {
+	return BlockCosts{
+		K:          k,
+		Twiddles:   1 << uint(k-1),
+		Mults:      k << uint(k),
+		Adds:       k << uint(k),
+		Reductions: k << uint(k),
+	}
+}
+
+// FusedBlockCosts returns the NTT-fusion per-block costs for radix 2^k:
+// every output is a dot product against a dense 2^k-row, so one deferred
+// reduction per output (2^k total), 2^k·(2^k−1) multiplications and
+// additions (the identity column is free). The twiddle count is the
+// paper's published figure; see EXPERIMENTS.md for the empirical
+// per-implementation count exposed by FusedPlan.DistinctTwiddles.
+func FusedBlockCosts(k int) BlockCosts {
+	return BlockCosts{
+		K:          k,
+		Twiddles:   paperFusedTwiddles(k),
+		Mults:      (1 << uint(k)) * ((1 << uint(k)) - 1),
+		Adds:       (1 << uint(k)) * ((1 << uint(k)) - 1),
+		Reductions: 1 << uint(k),
+	}
+}
+
+// paperFusedTwiddles reproduces the W(fused) column of Table II.
+func paperFusedTwiddles(k int) int {
+	switch k {
+	case 1:
+		return 1
+	case 2:
+		return 2
+	case 3:
+		return 5
+	case 4:
+		return 13
+	case 5:
+		return 34
+	case 6:
+		return 85
+	default:
+		// Outside the published range fall back to the dense-matrix bound.
+		return (1 << uint(k)) * ((1 << uint(k)) - 1)
+	}
+}
+
+// AccessStride returns the BRAM index offset between consecutive operands
+// loaded by one core at iteration iter (1-based), for fusion degree k —
+// the pattern of Table III / Fig 5. Conventional NTT corresponds to k=1.
+func AccessStride(iter, k int) int {
+	return 1 << uint(k*(iter-1))
+}
+
+// Iterations returns the number of NTT phases for transform length n under
+// fusion degree k: ceil(log2(n)/k).
+func Iterations(logN, k int) int {
+	return (logN + k - 1) / k
+}

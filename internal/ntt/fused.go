@@ -1,0 +1,209 @@
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"poseidon/internal/numeric"
+)
+
+// FusedPlan is a radix-2^k execution plan for the forward NTT of one Table.
+// Each "pass" fuses up to k consecutive radix-2 stages into dense
+// 2^κ-point kernels ("fused TAM" in the paper): every kernel output is a
+// dot product of the 2^κ gathered inputs against a precomputed twiddle
+// matrix, accumulated in 128 bits and reduced once, so the number of
+// modular reductions drops from κ·2^κ to 2^κ per block at the cost of
+// 2^κ·(2^κ-1) twiddle multiplications.
+type FusedPlan struct {
+	Table *Table
+	K     int
+
+	passes []fusedPass
+
+	// lazy reports whether 128-bit accumulation without intermediate
+	// reduction is safe: 2^κ products of two (<q) residues must fit.
+	lazy bool
+}
+
+type fusedPass struct {
+	kappa  int // stages fused in this pass (≤ K)
+	m0     int // first stage parameter of the pass
+	stride int // distance between gathered elements (= final-stage span)
+	segLen int // 2^kappa · stride
+	// mats[block] is the 2^kappa × 2^kappa twiddle matrix, row-major,
+	// indexed by [seg*stridePerSeg + r].
+	mats [][]uint64
+}
+
+// NewFusedPlan constructs the radix-2^k plan. k must be in [1, 6]; values
+// above log2(N) are clamped by shorter trailing passes.
+func NewFusedPlan(t *Table, k int) (*FusedPlan, error) {
+	if k < 1 || k > 6 {
+		return nil, fmt.Errorf("ntt: fusion degree k=%d out of range [1,6]", k)
+	}
+	p := &FusedPlan{Table: t, K: k}
+	// Safe lazy accumulation: 2^κ · (q-1)^2 < 2^128.
+	p.lazy = uint(k)+2*uint(t.Mod.Bits) <= 128
+
+	n := t.N
+	for m0 := 1; m0 < n; {
+		kappa := k
+		// Remaining stages: stage parameters m0, 2m0, ... while < n.
+		remaining := t.LogN - log2(m0)
+		if kappa > remaining {
+			kappa = remaining
+		}
+		pass := fusedPass{kappa: kappa, m0: m0}
+		pass.stride = n / (m0 << uint(kappa))
+		pass.segLen = pass.stride << uint(kappa)
+		pass.mats = p.buildPassMatrices(pass)
+		p.passes = append(p.passes, pass)
+		m0 <<= uint(kappa)
+	}
+	return p, nil
+}
+
+func log2(x int) int { return bits.Len(uint(x)) - 1 }
+
+// buildPassMatrices derives every block's dense twiddle matrix by pushing
+// unit vectors through the pass's constituent radix-2 stages with the exact
+// global twiddles, guaranteeing bit-exact agreement with Table.Forward.
+func (p *FusedPlan) buildPassMatrices(pass fusedPass) [][]uint64 {
+	t := p.Table
+	n := t.N
+	size := 1 << uint(pass.kappa)
+	numBlocks := n / size
+	mats := make([][]uint64, numBlocks)
+
+	col := make([]uint64, size)
+	for b := 0; b < numBlocks; b++ {
+		seg := b / pass.stride
+		r := b % pass.stride
+		base := seg*pass.segLen + r
+		mat := make([]uint64, size*size)
+		for j := 0; j < size; j++ {
+			for i := range col {
+				col[i] = 0
+			}
+			col[j] = 1
+			p.applyLocalStages(pass, base, col)
+			for i := 0; i < size; i++ {
+				mat[i*size+j] = col[i]
+			}
+		}
+		mats[b] = mat
+	}
+	return mats
+}
+
+// applyLocalStages runs the pass's radix-2 stages on the local vector v,
+// where v[t] mirrors global index base + t·stride.
+func (p *FusedPlan) applyLocalStages(pass fusedPass, base int, v []uint64) {
+	t := p.Table
+	mod := t.Mod
+	size := len(v)
+	for s := 0; s < pass.kappa; s++ {
+		m := pass.m0 << uint(s)
+		span := t.N / (2 * m)
+		localSpan := size >> uint(s+1) // span / stride
+		for lb := 0; lb < size; lb += 2 * localSpan {
+			for lj := lb; lj < lb+localSpan; lj++ {
+				gj := base + lj*pass.stride
+				i := gj / (2 * span)
+				w := t.psiBR[m+i]
+				u := v[lj]
+				x := mod.Mul(v[lj+localSpan], w)
+				v[lj] = mod.Add(u, x)
+				v[lj+localSpan] = mod.Sub(u, x)
+			}
+		}
+	}
+}
+
+// Forward computes the forward negacyclic NTT of a via the fused plan.
+// Output matches Table.Forward exactly (bit-reversed order).
+func (p *FusedPlan) Forward(a []uint64) {
+	p.ForwardCounted(a, nil)
+}
+
+// ForwardCounted is Forward with optional operation accounting into s.
+func (p *FusedPlan) ForwardCounted(a []uint64, s *Stats) {
+	t := p.Table
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: length %d != N=%d", len(a), t.N))
+	}
+	size0 := 0
+	_ = size0
+	in := make([]uint64, 1<<uint(p.K))
+	out := make([]uint64, 1<<uint(p.K))
+	for _, pass := range p.passes {
+		size := 1 << uint(pass.kappa)
+		numBlocks := t.N / size
+		for b := 0; b < numBlocks; b++ {
+			seg := b / pass.stride
+			r := b % pass.stride
+			base := seg*pass.segLen + r
+			for tt := 0; tt < size; tt++ {
+				in[tt] = a[base+tt*pass.stride]
+			}
+			p.applyMatrix(pass.mats[b], in[:size], out[:size], s)
+			for tt := 0; tt < size; tt++ {
+				a[base+tt*pass.stride] = out[tt]
+			}
+		}
+	}
+}
+
+// applyMatrix computes out = M·in via the shared fused-TAM kernel, adding
+// the twiddle-load accounting the forward direction reports.
+func (p *FusedPlan) applyMatrix(mat, in, out []uint64, s *Stats) {
+	applyDenseMatrix(p.Table.Mod, mat, in, out, s, p.lazy)
+	if s != nil {
+		s.TwiddleLoads += int64(countNontrivial(mat))
+	}
+}
+
+func countNontrivial(mat []uint64) int {
+	n := 0
+	for _, w := range mat {
+		if w != 0 && w != 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctTwiddles returns the number of distinct non-trivial (≠0, ≠1)
+// twiddle values in the first block's matrix of each pass. This is the
+// empirical counterpart of the paper's W column in Table II.
+func (p *FusedPlan) DistinctTwiddles() []int {
+	res := make([]int, len(p.passes))
+	for i, pass := range p.passes {
+		set := map[uint64]struct{}{}
+		for _, w := range pass.mats[0] {
+			if w != 0 && w != 1 {
+				set[w] = struct{}{}
+			}
+		}
+		res[i] = len(set)
+	}
+	return res
+}
+
+// Passes returns the number of fused passes (the paper's "iterations":
+// ceil(logN / k)).
+func (p *FusedPlan) Passes() int { return len(p.passes) }
+
+// TwiddleStorage returns the total number of twiddle-matrix entries held by
+// the plan — the storage overhead fusion pays for fewer reductions.
+func (p *FusedPlan) TwiddleStorage() int {
+	total := 0
+	for _, pass := range p.passes {
+		for _, m := range pass.mats {
+			total += len(m)
+		}
+	}
+	return total
+}
+
+var _ = numeric.Modulus{} // keep import when lazy path is compiled out

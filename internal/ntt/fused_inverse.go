@@ -1,0 +1,200 @@
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"poseidon/internal/numeric"
+)
+
+// InverseFusedPlan is the radix-2^k plan for the inverse (Gentleman-Sande)
+// transform: the same fused-TAM construction as the forward plan, with the
+// N^-1 scaling folded into the final pass's matrices so the inverse costs
+// no extra multiplication sweep.
+type InverseFusedPlan struct {
+	Table *Table
+	K     int
+
+	passes []fusedPass
+	lazy   bool
+}
+
+// NewInverseFusedPlan constructs the inverse plan for fusion degree k.
+func NewInverseFusedPlan(t *Table, k int) (*InverseFusedPlan, error) {
+	if k < 1 || k > 6 {
+		return nil, fmt.Errorf("ntt: fusion degree k=%d out of range [1,6]", k)
+	}
+	p := &InverseFusedPlan{Table: t, K: k}
+	p.lazy = uint(k)+2*uint(t.Mod.Bits) <= 128
+
+	// GS stages run with increasing span: m = N/2 … 1, span = N/(2m).
+	// Group κ consecutive stages; the group starting at span t couples
+	// indices base + t·{0..2^κ−1} within segments of length 2^κ·t.
+	n := t.N
+	span := 1
+	for span < n {
+		kappa := k
+		remaining := t.LogN - log2(span)
+		if kappa > remaining {
+			kappa = remaining
+		}
+		pass := fusedPass{kappa: kappa, m0: span /* reuse field as start span */}
+		pass.stride = span
+		pass.segLen = span << uint(kappa)
+		last := span<<uint(kappa) == n // final pass gets the N^-1 fold
+		pass.mats = p.buildPassMatrices(pass, last)
+		p.passes = append(p.passes, pass)
+		span <<= uint(kappa)
+	}
+	return p, nil
+}
+
+// buildPassMatrices pushes unit vectors through the local GS stages.
+func (p *InverseFusedPlan) buildPassMatrices(pass fusedPass, fold bool) [][]uint64 {
+	t := p.Table
+	n := t.N
+	size := 1 << uint(pass.kappa)
+	numBlocks := n / size
+	mats := make([][]uint64, numBlocks)
+
+	col := make([]uint64, size)
+	for b := 0; b < numBlocks; b++ {
+		seg := b / pass.stride
+		r := b % pass.stride
+		base := seg*pass.segLen + r
+		mat := make([]uint64, size*size)
+		for j := 0; j < size; j++ {
+			for i := range col {
+				col[i] = 0
+			}
+			col[j] = 1
+			p.applyLocalStages(pass, base, col)
+			for i := 0; i < size; i++ {
+				v := col[i]
+				if fold {
+					v = t.Mod.Mul(v, t.nInv)
+				}
+				mat[i*size+j] = v
+			}
+		}
+		mats[b] = mat
+	}
+	return mats
+}
+
+// applyLocalStages runs the pass's GS stages on the local vector.
+func (p *InverseFusedPlan) applyLocalStages(pass fusedPass, base int, v []uint64) {
+	t := p.Table
+	mod := t.Mod
+	size := len(v)
+	for s := 0; s < pass.kappa; s++ {
+		span := pass.m0 << uint(s) // global span of this stage
+		m := t.N / (2 * span)
+		localSpan := 1 << uint(s)
+		for lb := 0; lb < size; lb += 2 * localSpan {
+			for lj := lb; lj < lb+localSpan; lj++ {
+				gj := base + lj*pass.stride
+				i := gj / (2 * span)
+				w := t.psiInvBR[m+i]
+				u := v[lj]
+				x := v[lj+localSpan]
+				v[lj] = mod.Add(u, x)
+				v[lj+localSpan] = mod.Mul(mod.Sub(u, x), w)
+			}
+		}
+	}
+}
+
+// Inverse computes the inverse NTT via the fused plan; output matches
+// Table.Inverse exactly.
+func (p *InverseFusedPlan) Inverse(a []uint64) {
+	p.InverseCounted(a, nil)
+}
+
+// InverseCounted is Inverse with operation accounting.
+func (p *InverseFusedPlan) InverseCounted(a []uint64, s *Stats) {
+	t := p.Table
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: length %d != N=%d", len(a), t.N))
+	}
+	in := make([]uint64, 1<<uint(p.K))
+	out := make([]uint64, 1<<uint(p.K))
+	for _, pass := range p.passes {
+		size := 1 << uint(pass.kappa)
+		numBlocks := t.N / size
+		for b := 0; b < numBlocks; b++ {
+			seg := b / pass.stride
+			r := b % pass.stride
+			base := seg*pass.segLen + r
+			for tt := 0; tt < size; tt++ {
+				in[tt] = a[base+tt*pass.stride]
+			}
+			applyDenseMatrix(t.Mod, pass.mats[b], in[:size], out[:size], s, p.lazy)
+			for tt := 0; tt < size; tt++ {
+				a[base+tt*pass.stride] = out[tt]
+			}
+		}
+	}
+}
+
+// Passes returns the number of fused passes.
+func (p *InverseFusedPlan) Passes() int { return len(p.passes) }
+
+// applyDenseMatrix is the shared fused-TAM kernel: out = M·in with one
+// deferred Barrett reduction per output under lazy accumulation.
+func applyDenseMatrix(mod numeric.Modulus, mat, in, out []uint64, s *Stats, lazy bool) {
+	size := len(in)
+	if lazy {
+		for i := 0; i < size; i++ {
+			var hi, lo uint64
+			row := mat[i*size : (i+1)*size]
+			for j, w := range row {
+				if w == 0 || in[j] == 0 {
+					continue
+				}
+				var ph, pl uint64
+				if w == 1 {
+					ph, pl = 0, in[j]
+				} else {
+					ph, pl = bits.Mul64(in[j], w)
+					if s != nil {
+						s.Mults++
+					}
+				}
+				var c uint64
+				lo, c = bits.Add64(lo, pl, 0)
+				hi, _ = bits.Add64(hi, ph, c)
+				if s != nil {
+					s.Adds++
+				}
+			}
+			out[i] = mod.ReduceWide(hi, lo)
+			if s != nil {
+				s.Reductions++
+			}
+		}
+		return
+	}
+	for i := 0; i < size; i++ {
+		var acc uint64
+		row := mat[i*size : (i+1)*size]
+		for j, w := range row {
+			if w == 0 {
+				continue
+			}
+			term := in[j]
+			if w != 1 {
+				term = mod.Mul(in[j], w)
+				if s != nil {
+					s.Mults++
+					s.Reductions++
+				}
+			}
+			acc = mod.Add(acc, term)
+			if s != nil {
+				s.Adds++
+			}
+		}
+		out[i] = acc
+	}
+}

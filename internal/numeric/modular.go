@@ -1,0 +1,204 @@
+// Package numeric provides the scalar modular-arithmetic foundation that
+// every Poseidon operator builds on: Barrett reduction (the paper's shared
+// "SBT" operator), Shoup multiplication for hoisted constants, modular
+// exponentiation and inversion, primality testing and NTT-friendly prime
+// generation.
+//
+// All moduli are odd integers below 2^61 so that a+b and 4*q never overflow
+// a uint64 and a 128-bit product fits in two 64-bit words.
+package numeric
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxModulusBits is the largest supported modulus width. Keeping q < 2^61
+// leaves headroom for lazy accumulation (values up to 8q) in NTT kernels.
+const MaxModulusBits = 61
+
+// Modulus bundles a prime modulus with the precomputed constants needed for
+// Barrett and Shoup reductions. It is immutable after creation and safe for
+// concurrent use.
+type Modulus struct {
+	Q uint64 // the modulus itself
+
+	// BarrettHi/BarrettLo hold floor(2^128 / Q), the 128-bit Barrett
+	// constant used to reduce 128-bit products.
+	BarrettHi uint64
+	BarrettLo uint64
+
+	// Bits is the bit length of Q.
+	Bits int
+}
+
+// NewModulus precomputes reduction constants for q. It panics if q is 0,
+// even, or too wide; parameter construction is programmer-controlled, so a
+// bad modulus is a bug rather than a runtime condition.
+func NewModulus(q uint64) Modulus {
+	if q == 0 {
+		panic("numeric: zero modulus")
+	}
+	if q != 2 && q%2 == 0 {
+		panic(fmt.Sprintf("numeric: even modulus %d", q))
+	}
+	if bits.Len64(q) > MaxModulusBits {
+		panic(fmt.Sprintf("numeric: modulus %d exceeds %d bits", q, MaxModulusBits))
+	}
+	hi, lo := barrettConstant(q)
+	return Modulus{Q: q, BarrettHi: hi, BarrettLo: lo, Bits: bits.Len64(q)}
+}
+
+// barrettConstant returns floor(2^128 / q) as a (hi, lo) pair.
+func barrettConstant(q uint64) (hi, lo uint64) {
+	// Divide 2^128 - 1 by q, then fix up: floor((2^128-1)/q) equals
+	// floor(2^128/q) unless q divides 2^128, impossible for odd q > 1.
+	hi, r := bits.Div64(0, ^uint64(0), q) // hi = floor((2^64-1)·2^64 / ... ) step 1
+	lo, _ = bits.Div64(r, ^uint64(0), q)
+	// (hi,lo) = floor((2^128 - 1)/q). For odd q>1 this equals floor(2^128/q).
+	return hi, lo
+}
+
+// Add returns (a + b) mod q, assuming a, b < q.
+func (m Modulus) Add(a, b uint64) uint64 {
+	s := a + b
+	if s >= m.Q {
+		s -= m.Q
+	}
+	return s
+}
+
+// Sub returns (a - b) mod q, assuming a, b < q.
+func (m Modulus) Sub(a, b uint64) uint64 {
+	d := a - b
+	if d > a { // borrow
+		d += m.Q
+	}
+	return d
+}
+
+// Neg returns (-a) mod q, assuming a < q.
+func (m Modulus) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return m.Q - a
+}
+
+// Mul returns (a * b) mod q using Barrett reduction of the 128-bit product.
+func (m Modulus) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.ReduceWide(hi, lo)
+}
+
+// ReduceWide reduces a 128-bit value (hi·2^64 + lo) modulo q with Barrett
+// reduction. The input must be < q·2^64 (always true for products of two
+// residues). This is the scalar form of the paper's SBT operator.
+func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
+	// Estimate t = floor(x / q) via t ≈ floor(x * floor(2^128/q) / 2^128).
+	// Only the top 128 bits of the 256-bit product x * mu are needed.
+	//
+	// x = hi·2^64 + lo, mu = BarrettHi·2^64 + BarrettLo.
+	// x·mu = hi·BHi·2^128 + (hi·BLo + lo·BHi)·2^64 + lo·BLo
+	mh1, _ := bits.Mul64(lo, m.BarrettLo)
+	h2, l2 := bits.Mul64(lo, m.BarrettHi)
+	h3, l3 := bits.Mul64(hi, m.BarrettLo)
+	h4, l4 := bits.Mul64(hi, m.BarrettHi)
+
+	// Sum the 2^64 column: mh1 + l2 + l3 → carries into the 2^128 column.
+	c1 := uint64(0)
+	s, carry := bits.Add64(mh1, l2, 0)
+	c1 += carry
+	s, carry = bits.Add64(s, l3, 0)
+	c1 += carry
+	_ = s // bits below 2^128 do not contribute to the quotient estimate
+
+	// 2^128 column: l4 + h2 + h3 + c1, carrying into the 2^192 column.
+	c2 := uint64(0)
+	t, carry := bits.Add64(l4, h2, 0)
+	c2 += carry
+	t, carry = bits.Add64(t, h3, 0)
+	c2 += carry
+	t, carry = bits.Add64(t, c1, 0)
+	c2 += carry
+
+	qhi := h4 + c2 // 2^192 column (no overflow: mu < 2^128, x < 2^128)
+
+	// t (low) and qhi (high) now hold floor(x·mu / 2^128) = estimated
+	// quotient, which may undershoot the true quotient by at most 2.
+	// r = x - t*q, computed mod 2^64 (the true remainder fits in 64 bits
+	// after at most two conditional subtractions).
+	_ = qhi
+	r := lo - t*m.Q
+	for r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// ShoupConstant returns floor(w·2^64 / q), the hoisted constant for Shoup
+// multiplication by the fixed operand w (w < q).
+func (m Modulus) ShoupConstant(w uint64) uint64 {
+	c, _ := bits.Div64(w, 0, m.Q)
+	return c
+}
+
+// MulShoup returns (a * w) mod q given the precomputed Shoup constant
+// wShoup = floor(w·2^64/q). One multiplication replaces the full Barrett
+// sequence; this is how the hardware multiplies by twiddle factors.
+func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
+	hi, _ := bits.Mul64(a, wShoup)
+	r := a*w - hi*m.Q
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// Pow returns a^e mod q by square-and-multiply.
+func (m Modulus) Pow(a, e uint64) uint64 {
+	result := uint64(1)
+	base := a % m.Q
+	for e > 0 {
+		if e&1 == 1 {
+			result = m.Mul(result, base)
+		}
+		base = m.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns a^-1 mod q for prime q (Fermat). It panics on a == 0.
+func (m Modulus) Inv(a uint64) uint64 {
+	if a%m.Q == 0 {
+		panic("numeric: inverse of zero")
+	}
+	return m.Pow(a, m.Q-2)
+}
+
+// Reduce returns a mod q for arbitrary a.
+func (m Modulus) Reduce(a uint64) uint64 {
+	if a < m.Q {
+		return a
+	}
+	return a % m.Q
+}
+
+// ReduceSigned maps a signed value into [0, q).
+func (m Modulus) ReduceSigned(a int64) uint64 {
+	r := a % int64(m.Q)
+	if r < 0 {
+		r += int64(m.Q)
+	}
+	return uint64(r)
+}
+
+// Centered maps a residue in [0, q) to its centered representative in
+// (-q/2, q/2].
+func (m Modulus) Centered(a uint64) int64 {
+	if a > m.Q/2 {
+		return int64(a) - int64(m.Q)
+	}
+	return int64(a)
+}

@@ -1,0 +1,142 @@
+package numeric
+
+import "fmt"
+
+// IsPrime reports whether n is prime using a deterministic Miller-Rabin
+// test. The witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is
+// deterministic for all n < 3.3·10^24, far beyond the 61-bit range used
+// here.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// n-1 = d * 2^s with d odd
+	d := n - 1
+	s := 0
+	for d%2 == 0 {
+		d /= 2
+		s++
+	}
+	m := NewModulus(n)
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := m.Pow(a, d)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for r := 1; r < s; r++ {
+			x = m.Mul(x, x)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// GenerateNTTPrimes returns count primes of approximately `bitSize` bits
+// that are congruent to 1 mod 2N, i.e. NTT-friendly for negacyclic
+// transforms of length N. Primes are returned in decreasing order starting
+// just below 2^bitSize. It returns an error when the range is exhausted.
+func GenerateNTTPrimes(bitSize, logN, count int) ([]uint64, error) {
+	if bitSize < 4 || bitSize > MaxModulusBits {
+		return nil, fmt.Errorf("numeric: bitSize %d out of range [4,%d]", bitSize, MaxModulusBits)
+	}
+	if logN < 1 || logN > 20 {
+		return nil, fmt.Errorf("numeric: logN %d out of range [1,20]", logN)
+	}
+	step := uint64(2) << uint(logN) // 2N
+	// Start at the largest multiple of 2N below 2^bitSize, plus 1.
+	upper := uint64(1) << uint(bitSize)
+	cand := (upper/step)*step + 1
+	if cand >= upper {
+		cand -= step
+	}
+	lower := uint64(1) << uint(bitSize-1)
+
+	primes := make([]uint64, 0, count)
+	for cand > lower {
+		if IsPrime(cand) {
+			primes = append(primes, cand)
+			if len(primes) == count {
+				return primes, nil
+			}
+		}
+		if cand < step { // avoid wraparound
+			break
+		}
+		cand -= step
+	}
+	return nil, fmt.Errorf("numeric: only %d/%d NTT primes of %d bits for logN=%d",
+		len(primes), count, bitSize, logN)
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group Z_q^* for
+// prime q, found by trial over small candidates against the factorization
+// of q-1.
+func PrimitiveRoot(q uint64) uint64 {
+	m := NewModulus(q)
+	factors := distinctPrimeFactors(q - 1)
+	for g := uint64(2); g < q; g++ {
+		ok := true
+		for _, f := range factors {
+			if m.Pow(g, (q-1)/f) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+	panic("numeric: no primitive root found (q not prime?)")
+}
+
+// RootOfUnity returns a primitive n-th root of unity modulo prime q.
+// n must divide q-1.
+func RootOfUnity(q, n uint64) uint64 {
+	if (q-1)%n != 0 {
+		panic(fmt.Sprintf("numeric: %d does not divide q-1=%d", n, q-1))
+	}
+	m := NewModulus(q)
+	g := PrimitiveRoot(q)
+	w := m.Pow(g, (q-1)/n)
+	// Sanity: w^n = 1 and w^(n/2) != 1 for even n.
+	if m.Pow(w, n) != 1 {
+		panic("numeric: root-of-unity order check failed")
+	}
+	if n%2 == 0 && m.Pow(w, n/2) == 1 {
+		panic("numeric: root of unity is not primitive")
+	}
+	return w
+}
+
+// distinctPrimeFactors returns the distinct prime factors of n by trial
+// division (n ≤ 2^61, adequate for parameter setup).
+func distinctPrimeFactors(n uint64) []uint64 {
+	var fs []uint64
+	for p := uint64(2); p*p <= n; p++ {
+		if n%p == 0 {
+			fs = append(fs, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}

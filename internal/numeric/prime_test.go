@@ -1,0 +1,101 @@
+package numeric
+
+import "testing"
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{
+		0: false, 1: false, 2: true, 3: true, 4: false, 5: true,
+		9: false, 25: false, 97: true, 561: false /* Carmichael */, 65537: true,
+		998244353: true, 998244351: false,
+		1152921504606584833: true,
+	}
+	for n, want := range primes {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d)=%v want %v", n, got, want)
+		}
+	}
+}
+
+func TestGenerateNTTPrimes(t *testing.T) {
+	for _, tc := range []struct{ bits, logN, count int }{
+		{30, 12, 10},
+		{32, 13, 8},
+		{45, 14, 12},
+		{60, 16, 20},
+	} {
+		ps, err := GenerateNTTPrimes(tc.bits, tc.logN, tc.count)
+		if err != nil {
+			t.Fatalf("GenerateNTTPrimes(%d,%d,%d): %v", tc.bits, tc.logN, tc.count, err)
+		}
+		if len(ps) != tc.count {
+			t.Fatalf("got %d primes, want %d", len(ps), tc.count)
+		}
+		seen := map[uint64]bool{}
+		twoN := uint64(2) << uint(tc.logN)
+		for _, p := range ps {
+			if seen[p] {
+				t.Errorf("duplicate prime %d", p)
+			}
+			seen[p] = true
+			if !IsPrime(p) {
+				t.Errorf("%d is not prime", p)
+			}
+			if p%twoN != 1 {
+				t.Errorf("%d != 1 mod 2N", p)
+			}
+			if p>>(uint(tc.bits)-1) != 1 {
+				t.Errorf("%d is not %d bits", p, tc.bits)
+			}
+		}
+	}
+}
+
+func TestGenerateNTTPrimesErrors(t *testing.T) {
+	if _, err := GenerateNTTPrimes(3, 12, 1); err == nil {
+		t.Error("bitSize too small should error")
+	}
+	if _, err := GenerateNTTPrimes(62, 12, 1); err == nil {
+		t.Error("bitSize too large should error")
+	}
+	if _, err := GenerateNTTPrimes(30, 0, 1); err == nil {
+		t.Error("logN too small should error")
+	}
+	// Exhaustion: asking for far more 14-bit primes ≡ 1 mod 2^13 than exist.
+	if _, err := GenerateNTTPrimes(14, 12, 100); err == nil {
+		t.Error("exhausted range should error")
+	}
+}
+
+func TestPrimitiveRootAndRootOfUnity(t *testing.T) {
+	for _, q := range []uint64{17, 97, 65537, 998244353, 1152921504606584833} {
+		m := NewModulus(q)
+		g := PrimitiveRoot(q)
+		// g must have full order q-1: g^((q-1)/f) != 1 for each prime factor f.
+		for _, f := range distinctPrimeFactors(q - 1) {
+			if m.Pow(g, (q-1)/f) == 1 {
+				t.Errorf("q=%d: %d is not a primitive root", q, g)
+			}
+		}
+	}
+	// Root of unity orders.
+	q := uint64(998244353) // q-1 = 2^23 · 7 · 17
+	m := NewModulus(q)
+	for _, n := range []uint64{2, 4, 8, 1 << 20} {
+		w := RootOfUnity(q, n)
+		if m.Pow(w, n) != 1 {
+			t.Errorf("w^%d != 1", n)
+		}
+		if m.Pow(w, n/2) == 1 {
+			t.Errorf("order of w divides %d/2", n)
+		}
+	}
+}
+
+func TestRootOfUnityPanicsWhenOrderInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RootOfUnity with non-dividing order should panic")
+		}
+	}()
+	RootOfUnity(17, 5) // 5 does not divide 16
+}

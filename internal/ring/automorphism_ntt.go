@@ -1,0 +1,78 @@
+package ring
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// NTT-domain automorphism. In the evaluation domain the Galois map X ↦ X^g
+// is a pure permutation of the point values (no sign fix-up): output slot j
+// holds the evaluation at ψ^{e_j·g}, which is input slot i with
+// e_i = e_j·g mod 2N, where e_i = 2·brv(i)+1 indexes the bit-reversed CT
+// output layout. This enables rotation hoisting: decomposed keyswitch
+// digits can be permuted after their (shared) forward NTT.
+
+type nttPermCache struct {
+	mu    sync.Mutex
+	perms map[uint64][]int
+}
+
+var nttPerms nttPermCache
+
+// nttPermutation returns perm with dst[j] = src[perm[j]].
+func (r *Ring) nttPermutation(g uint64) []int {
+	key := uint64(r.N)<<32 | (g % uint64(2*r.N))
+	nttPerms.mu.Lock()
+	defer nttPerms.mu.Unlock()
+	if nttPerms.perms == nil {
+		nttPerms.perms = map[uint64][]int{}
+	}
+	if p, ok := nttPerms.perms[key]; ok {
+		return p
+	}
+	n := r.N
+	logn := uint(r.LogN)
+	twoN := uint64(2 * n)
+	g %= twoN
+	perm := make([]int, n)
+	for j := 0; j < n; j++ {
+		ej := 2*(bits.Reverse64(uint64(j))>>(64-logn)) + 1
+		t := (ej * g) % twoN
+		i := bits.Reverse64((t-1)/2) >> (64 - logn)
+		perm[j] = int(i)
+	}
+	nttPerms.perms[key] = perm
+	return perm
+}
+
+// AutomorphismNTT applies X ↦ X^g to an NTT-domain polynomial as a pure
+// slot permutation. dst and src must not alias.
+func (r *Ring) AutomorphismNTT(dst, src *Poly, g uint64) {
+	limbs := r.check(dst, src)
+	if !src.IsNTT {
+		panic("ring: AutomorphismNTT requires NTT domain")
+	}
+	if g%2 == 0 {
+		panic("ring: even Galois element")
+	}
+	perm := r.nttPermutation(g)
+	for i := 0; i < limbs; i++ {
+		d, s := dst.Coeffs[i], src.Coeffs[i]
+		for j, p := range perm {
+			d[j] = s[p]
+		}
+	}
+	dst.IsNTT = true
+}
+
+// ApplyPermutationNTT applies a precomputed NTT-domain Galois permutation to
+// a raw limb vector (used by the hoisted keyswitch on extended digits).
+func ApplyPermutationNTT(dst, src []uint64, perm []int) {
+	for j, p := range perm {
+		dst[j] = src[p]
+	}
+}
+
+// NTTGaloisPermutation exposes the permutation for element g (for callers
+// operating on raw limb slices).
+func (r *Ring) NTTGaloisPermutation(g uint64) []int { return r.nttPermutation(g) }

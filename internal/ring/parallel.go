@@ -1,0 +1,90 @@
+package ring
+
+import "sync"
+
+// Parallel limb execution. RNS limbs are fully independent, so the
+// transforms and element-wise operations parallelize across goroutines
+// with bit-identical results — the software counterpart of the
+// accelerator's limb-level parallelism.
+
+// forEachLimb runs fn(i) for every limb index in [0, limbs) across up to
+// `workers` goroutines. workers ≤ 1 runs inline.
+func forEachLimb(limbs, workers int, fn func(i int)) {
+	if workers <= 1 || limbs <= 1 {
+		for i := 0; i < limbs; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > limbs {
+		workers = limbs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < limbs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// NTTParallel transforms all limbs to the evaluation domain using up to
+// `workers` goroutines. Equivalent to NTT.
+func (r *Ring) NTTParallel(p *Poly, workers int) {
+	if p.IsNTT {
+		panic("ring: NTT on NTT-domain polynomial")
+	}
+	forEachLimb(len(p.Coeffs), workers, func(i int) {
+		r.Tables[i].Forward(p.Coeffs[i])
+	})
+	p.IsNTT = true
+}
+
+// INTTParallel transforms all limbs back to the coefficient domain.
+func (r *Ring) INTTParallel(p *Poly, workers int) {
+	if !p.IsNTT {
+		panic("ring: INTT on coefficient-domain polynomial")
+	}
+	forEachLimb(len(p.Coeffs), workers, func(i int) {
+		r.Tables[i].Inverse(p.Coeffs[i])
+	})
+	p.IsNTT = false
+}
+
+// MulCoeffwiseParallel computes out = a ⊙ b limb-wise across workers.
+func (r *Ring) MulCoeffwiseParallel(out, a, b *Poly, workers int) {
+	limbs := r.check(out, a, b)
+	if !a.IsNTT || !b.IsNTT {
+		panic("ring: MulCoeffwiseParallel requires NTT-domain operands")
+	}
+	forEachLimb(limbs, workers, func(i int) {
+		mod := r.Moduli[i]
+		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.Mul(ac[j], bc[j])
+		}
+	})
+	out.IsNTT = true
+}
+
+// AddParallel computes out = a + b limb-wise across workers.
+func (r *Ring) AddParallel(out, a, b *Poly, workers int) {
+	limbs := r.check(out, a, b)
+	forEachLimb(limbs, workers, func(i int) {
+		mod := r.Moduli[i]
+		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.Add(ac[j], bc[j])
+		}
+	})
+	out.IsNTT = a.IsNTT
+}

@@ -1,0 +1,91 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	r := testRing(t, 256, 8)
+	rng := rand.New(rand.NewSource(70))
+
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		a := randPoly(r, rng, 8, false)
+		b := a.CopyNew()
+		r.NTT(a)
+		r.NTTParallel(b, workers)
+		if !a.Equal(b) {
+			t.Fatalf("workers=%d: NTTParallel differs from NTT", workers)
+		}
+		r.INTT(a)
+		r.INTTParallel(b, workers)
+		if !a.Equal(b) {
+			t.Fatalf("workers=%d: INTTParallel differs from INTT", workers)
+		}
+	}
+}
+
+func TestParallelElementwiseMatchesSerial(t *testing.T) {
+	r := testRing(t, 128, 6)
+	rng := rand.New(rand.NewSource(71))
+	a := randPoly(r, rng, 6, true)
+	b := randPoly(r, rng, 6, true)
+
+	want := r.NewPoly(6)
+	r.MulCoeffwise(want, a, b)
+	got := r.NewPoly(6)
+	r.MulCoeffwiseParallel(got, a, b, 4)
+	if !got.Equal(want) {
+		t.Error("MulCoeffwiseParallel differs from serial")
+	}
+
+	r.Add(want, a, b)
+	r.AddParallel(got, a, b, 4)
+	if !got.Equal(want) {
+		t.Error("AddParallel differs from serial")
+	}
+}
+
+func TestParallelDomainPanics(t *testing.T) {
+	r := testRing(t, 32, 2)
+	p := r.NewPoly(2)
+	p.IsNTT = true
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NTTParallel on NTT-domain input should panic")
+			}
+		}()
+		r.NTTParallel(p, 2)
+	}()
+	p.IsNTT = false
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("INTTParallel on coeff-domain input should panic")
+			}
+		}()
+		r.INTTParallel(p, 2)
+	}()
+}
+
+func BenchmarkNTTSerialVsParallel(b *testing.B) {
+	logN := 13
+	n := 1 << logN
+	r := testRing(b, n, 16)
+	rng := rand.New(rand.NewSource(72))
+	p := randPoly(r, rng, 16, false)
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.NTT(p)
+			r.INTT(p)
+		}
+	})
+	b.Run("parallel4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.NTTParallel(p, 4)
+			r.INTTParallel(p, 4)
+		}
+	})
+}

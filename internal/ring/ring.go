@@ -1,0 +1,349 @@
+// Package ring provides the RNS polynomial arithmetic layer: polynomials in
+// Z_Q[X]/(X^N+1) with Q a product of NTT-friendly primes, stored as one
+// residue vector per prime ("limb"). All Poseidon operators — MA, MM,
+// NTT/INTT, Automorphism — act limb-wise on this representation.
+package ring
+
+import (
+	"fmt"
+	"math/big"
+
+	"poseidon/internal/automorph"
+	"poseidon/internal/ntt"
+	"poseidon/internal/numeric"
+)
+
+// Ring bundles the modulus chain and per-prime NTT tables for degree N.
+// Construct once, share everywhere; it is immutable and safe for concurrent
+// use.
+type Ring struct {
+	N      int
+	LogN   int
+	Moduli []numeric.Modulus
+	Tables []*ntt.Table
+
+	// HF is the sub-vector automorphism engine shared by all limbs.
+	HF *HFCache
+}
+
+// HFCache caches precomputed HFAuto routing maps per Galois element.
+// Routing is data-independent, so one map serves every limb and ciphertext.
+type HFCache struct {
+	h    *automorph.HFAuto
+	maps map[uint64]*automorph.Map
+}
+
+// NewRing constructs a ring of degree n over the given prime moduli. Every
+// modulus must satisfy q ≡ 1 (mod 2n). laneC is the HFAuto sub-vector
+// width; pass 0 for the default min(512, n).
+func NewRing(n int, moduli []uint64, laneC int) (*Ring, error) {
+	if len(moduli) == 0 {
+		return nil, fmt.Errorf("ring: empty modulus chain")
+	}
+	if laneC == 0 {
+		laneC = 512
+		if laneC > n {
+			laneC = n
+		}
+	}
+	r := &Ring{N: n}
+	for n>>uint(r.LogN+1) > 0 {
+		r.LogN++
+	}
+	if 1<<uint(r.LogN) != n {
+		return nil, fmt.Errorf("ring: N=%d is not a power of two", n)
+	}
+	seen := map[uint64]bool{}
+	for _, q := range moduli {
+		if seen[q] {
+			return nil, fmt.Errorf("ring: duplicate modulus %d", q)
+		}
+		seen[q] = true
+		tab, err := ntt.NewTable(n, q)
+		if err != nil {
+			return nil, fmt.Errorf("ring: modulus %d: %w", q, err)
+		}
+		r.Moduli = append(r.Moduli, tab.Mod)
+		r.Tables = append(r.Tables, tab)
+	}
+	hf, err := automorph.NewHFAuto(n, laneC)
+	if err != nil {
+		return nil, err
+	}
+	r.HF = &HFCache{h: hf, maps: make(map[uint64]*automorph.Map)}
+	return r, nil
+}
+
+// Get returns (building if needed) the routing map for Galois element g.
+// Not safe for concurrent mutation; precompute maps before sharing across
+// goroutines.
+func (c *HFCache) Get(g uint64) *automorph.Map {
+	if m, ok := c.maps[g]; ok {
+		return m
+	}
+	m := c.h.Precompute(g)
+	c.maps[g] = m
+	return m
+}
+
+// Poly is an RNS polynomial: Coeffs[i][j] is coefficient j modulo the i-th
+// prime. IsNTT tracks the representation domain. A Poly created at level l
+// carries l+1 limbs.
+type Poly struct {
+	Coeffs [][]uint64
+	IsNTT  bool
+}
+
+// NewPoly allocates a zero polynomial with `limbs` limbs in a single
+// backing array.
+func (r *Ring) NewPoly(limbs int) *Poly {
+	if limbs < 1 || limbs > len(r.Moduli) {
+		panic(fmt.Sprintf("ring: limbs=%d out of range [1,%d]", limbs, len(r.Moduli)))
+	}
+	backing := make([]uint64, limbs*r.N)
+	p := &Poly{Coeffs: make([][]uint64, limbs)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = backing[i*r.N : (i+1)*r.N]
+	}
+	return p
+}
+
+// Level returns the polynomial's level (limbs − 1).
+func (p *Poly) Level() int { return len(p.Coeffs) - 1 }
+
+// CopyNew returns a deep copy of p.
+func (p *Poly) CopyNew() *Poly {
+	q := &Poly{Coeffs: make([][]uint64, len(p.Coeffs)), IsNTT: p.IsNTT}
+	backing := make([]uint64, len(p.Coeffs)*len(p.Coeffs[0]))
+	n := len(p.Coeffs[0])
+	for i := range p.Coeffs {
+		q.Coeffs[i] = backing[i*n : (i+1)*n]
+		copy(q.Coeffs[i], p.Coeffs[i])
+	}
+	return q
+}
+
+// Equal reports deep equality including representation domain.
+func (p *Poly) Equal(o *Poly) bool {
+	if p.IsNTT != o.IsNTT || len(p.Coeffs) != len(o.Coeffs) {
+		return false
+	}
+	for i := range p.Coeffs {
+		if len(p.Coeffs[i]) != len(o.Coeffs[i]) {
+			return false
+		}
+		for j := range p.Coeffs[i] {
+			if p.Coeffs[i][j] != o.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DropLimb removes the last limb in place (used by Rescale and ModDown).
+func (p *Poly) DropLimb() {
+	if len(p.Coeffs) == 1 {
+		panic("ring: cannot drop the last limb")
+	}
+	p.Coeffs = p.Coeffs[:len(p.Coeffs)-1]
+}
+
+func (r *Ring) check(ps ...*Poly) int {
+	limbs := len(ps[0].Coeffs)
+	for _, p := range ps {
+		if len(p.Coeffs) != limbs {
+			panic(fmt.Sprintf("ring: limb mismatch %d vs %d", len(p.Coeffs), limbs))
+		}
+		for i := range p.Coeffs {
+			if len(p.Coeffs[i]) != r.N {
+				panic("ring: coefficient length mismatch")
+			}
+		}
+	}
+	return limbs
+}
+
+// Add computes out = a + b limb-wise (the MA operator).
+func (r *Ring) Add(out, a, b *Poly) {
+	limbs := r.check(out, a, b)
+	for i := 0; i < limbs; i++ {
+		mod := r.Moduli[i]
+		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.Add(ac[j], bc[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Sub computes out = a − b limb-wise.
+func (r *Ring) Sub(out, a, b *Poly) {
+	limbs := r.check(out, a, b)
+	for i := 0; i < limbs; i++ {
+		mod := r.Moduli[i]
+		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.Sub(ac[j], bc[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Neg computes out = −a limb-wise.
+func (r *Ring) Neg(out, a *Poly) {
+	limbs := r.check(out, a)
+	for i := 0; i < limbs; i++ {
+		mod := r.Moduli[i]
+		oc, ac := out.Coeffs[i], a.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.Neg(ac[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulCoeffwise computes out = a ⊙ b limb-wise (the MM operator). Both
+// operands must be in the NTT domain for this to realize a ring product.
+func (r *Ring) MulCoeffwise(out, a, b *Poly) {
+	limbs := r.check(out, a, b)
+	if !a.IsNTT || !b.IsNTT {
+		panic("ring: MulCoeffwise requires NTT-domain operands")
+	}
+	for i := 0; i < limbs; i++ {
+		mod := r.Moduli[i]
+		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.Mul(ac[j], bc[j])
+		}
+	}
+	out.IsNTT = true
+}
+
+// MulCoeffwiseAdd computes out += a ⊙ b limb-wise (NTT domain).
+func (r *Ring) MulCoeffwiseAdd(out, a, b *Poly) {
+	limbs := r.check(out, a, b)
+	if !a.IsNTT || !b.IsNTT {
+		panic("ring: MulCoeffwiseAdd requires NTT-domain operands")
+	}
+	for i := 0; i < limbs; i++ {
+		mod := r.Moduli[i]
+		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.Add(oc[j], mod.Mul(ac[j], bc[j]))
+		}
+	}
+	out.IsNTT = true
+}
+
+// MulScalar computes out = a · scalar, with the scalar reduced per limb.
+func (r *Ring) MulScalar(out, a *Poly, scalar uint64) {
+	limbs := r.check(out, a)
+	for i := 0; i < limbs; i++ {
+		mod := r.Moduli[i]
+		s := mod.Reduce(scalar)
+		ss := mod.ShoupConstant(s)
+		oc, ac := out.Coeffs[i], a.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.MulShoup(ac[j], s, ss)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulScalarRNS multiplies limb i by scalars[i] (one residue per limb).
+func (r *Ring) MulScalarRNS(out, a *Poly, scalars []uint64) {
+	limbs := r.check(out, a)
+	if len(scalars) < limbs {
+		panic("ring: not enough scalars")
+	}
+	for i := 0; i < limbs; i++ {
+		mod := r.Moduli[i]
+		s := mod.Reduce(scalars[i])
+		ss := mod.ShoupConstant(s)
+		oc, ac := out.Coeffs[i], a.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.MulShoup(ac[j], s, ss)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// NTT transforms all limbs to the evaluation domain in place.
+func (r *Ring) NTT(p *Poly) {
+	if p.IsNTT {
+		panic("ring: NTT on NTT-domain polynomial")
+	}
+	for i := range p.Coeffs {
+		r.Tables[i].Forward(p.Coeffs[i])
+	}
+	p.IsNTT = true
+}
+
+// INTT transforms all limbs back to the coefficient domain in place.
+func (r *Ring) INTT(p *Poly) {
+	if !p.IsNTT {
+		panic("ring: INTT on coefficient-domain polynomial")
+	}
+	for i := range p.Coeffs {
+		r.Tables[i].Inverse(p.Coeffs[i])
+	}
+	p.IsNTT = false
+}
+
+// Automorphism applies X ↦ X^g to every limb using the shared HFAuto
+// engine. The polynomial must be in the coefficient domain. dst and src
+// must not alias.
+func (r *Ring) Automorphism(dst, src *Poly, g uint64) {
+	limbs := r.check(dst, src)
+	if src.IsNTT {
+		panic("ring: Automorphism requires coefficient domain")
+	}
+	m := r.HF.Get(g)
+	for i := 0; i < limbs; i++ {
+		m.Apply(dst.Coeffs[i], src.Coeffs[i], r.Moduli[i])
+	}
+	dst.IsNTT = false
+}
+
+// ToBigCentered reconstructs coefficient j of p (coefficient domain) as a
+// centered big integer via the CRT over the first `limbs` moduli.
+func (r *Ring) ToBigCentered(p *Poly, j int) *big.Int {
+	limbs := len(p.Coeffs)
+	bigQ := big.NewInt(1)
+	for i := 0; i < limbs; i++ {
+		bigQ.Mul(bigQ, new(big.Int).SetUint64(r.Moduli[i].Q))
+	}
+	acc := new(big.Int)
+	tmp := new(big.Int)
+	for i := 0; i < limbs; i++ {
+		qi := new(big.Int).SetUint64(r.Moduli[i].Q)
+		Qi := new(big.Int).Div(bigQ, qi)
+		inv := new(big.Int).ModInverse(Qi, qi)
+		tmp.SetUint64(p.Coeffs[i][j])
+		tmp.Mul(tmp, inv)
+		tmp.Mod(tmp, qi)
+		tmp.Mul(tmp, Qi)
+		acc.Add(acc, tmp)
+	}
+	acc.Mod(acc, bigQ)
+	half := new(big.Int).Rsh(bigQ, 1)
+	if acc.Cmp(half) > 0 {
+		acc.Sub(acc, bigQ)
+	}
+	return acc
+}
+
+// SetBigCentered writes big integer v into coefficient j of p across all
+// limbs.
+func (r *Ring) SetBigCentered(p *Poly, j int, v *big.Int) {
+	tmp := new(big.Int)
+	for i := range p.Coeffs {
+		qi := new(big.Int).SetUint64(r.Moduli[i].Q)
+		tmp.Mod(v, qi)
+		if tmp.Sign() < 0 {
+			tmp.Add(tmp, qi)
+		}
+		p.Coeffs[i][j] = tmp.Uint64()
+	}
+}

@@ -1,0 +1,282 @@
+// Package rns implements the residue-number-system conversions at the heart
+// of RNS-CKKS keyswitching and rescaling — the paper's Eq. 1–3:
+//
+//	RNSconv: approximate CRT basis extension of a value from basis B to
+//	         basis C (a chain of fused MA/MM operations in hardware);
+//	ModUp:   extension of a_Q to the enlarged basis Q ∪ P;
+//	ModDown: exact division by P after keyswitching;
+//	Rescale: division by the last prime of the chain with rounding.
+//
+// All routines operate limb-wise on raw residue slices so both the CKKS
+// evaluator and the accelerator's functional model can drive them.
+package rns
+
+import (
+	"fmt"
+	"math"
+
+	"poseidon/internal/numeric"
+)
+
+// Extender performs CRT basis extension from a source subset of a global
+// modulus list to any other subset. The float-assisted correction makes the
+// extension exact for inputs bounded away from ±B/2 (the standard
+// HPS-style conversion); without correction the result may exceed the true
+// value by a small multiple of B, which hybrid keyswitching tolerates.
+type Extender struct {
+	src []numeric.Modulus // source basis B
+	dst []numeric.Modulus // destination moduli C (any set)
+
+	bHatInv      []uint64   // [ (B/b_j)^-1 ]_{b_j}
+	bHatInvShoup []uint64   // Shoup duals of bHatInv
+	bHatModC     [][]uint64 // [i][j] = (B/b_j) mod c_i
+	bModC        []uint64   // B mod c_i
+	invB         []float64  // 1 / b_j, for the rounding estimate
+}
+
+// NewExtender builds the extension tables from basis src to moduli dst.
+func NewExtender(src, dst []numeric.Modulus) *Extender {
+	if len(src) == 0 {
+		panic("rns: empty source basis")
+	}
+	e := &Extender{src: src, dst: dst}
+	l := len(src)
+	e.bHatInv = make([]uint64, l)
+	e.bHatInvShoup = make([]uint64, l)
+	e.invB = make([]float64, l)
+	for j := 0; j < l; j++ {
+		bj := src[j]
+		// (B/b_j) mod b_j = product of all other primes mod b_j.
+		prod := uint64(1)
+		for t := 0; t < l; t++ {
+			if t != j {
+				prod = bj.Mul(prod, bj.Reduce(src[t].Q))
+			}
+		}
+		e.bHatInv[j] = bj.Inv(prod)
+		e.bHatInvShoup[j] = bj.ShoupConstant(e.bHatInv[j])
+		e.invB[j] = 1.0 / float64(bj.Q)
+	}
+	e.bHatModC = make([][]uint64, len(dst))
+	e.bModC = make([]uint64, len(dst))
+	for i, ci := range dst {
+		e.bHatModC[i] = make([]uint64, l)
+		bMod := uint64(1)
+		for t := 0; t < l; t++ {
+			bMod = ci.Mul(bMod, ci.Reduce(src[t].Q))
+		}
+		e.bModC[i] = bMod
+		for j := 0; j < l; j++ {
+			prod := uint64(1)
+			for t := 0; t < l; t++ {
+				if t != j {
+					prod = ci.Mul(prod, ci.Reduce(src[t].Q))
+				}
+			}
+			e.bHatModC[i][j] = prod
+		}
+	}
+	return e
+}
+
+// Extend converts the residue vectors in[j][·] (one slice per source prime)
+// into out[i][·] (one slice per destination modulus). Residues are treated
+// as centered values in (−B/2, B/2]; the float correction removes the
+// overflow multiples of B, making the conversion exact for |x| < B/2·(1−ε).
+func (e *Extender) Extend(out, in [][]uint64) {
+	l := len(e.src)
+	if len(in) != l {
+		panic(fmt.Sprintf("rns: %d input limbs, want %d", len(in), l))
+	}
+	if len(out) != len(e.dst) {
+		panic(fmt.Sprintf("rns: %d output limbs, want %d", len(out), len(e.dst)))
+	}
+	n := len(in[0])
+	ys := make([]uint64, l)
+	for t := 0; t < n; t++ {
+		// y_j = [x_j · (B/b_j)^-1]_{b_j}; v estimates the overflow count.
+		v := 0.0
+		for j := 0; j < l; j++ {
+			y := e.src[j].MulShoup(in[j][t], e.bHatInv[j], e.bHatInvShoup[j])
+			ys[j] = y
+			v += float64(y) * e.invB[j]
+		}
+		k := uint64(math.Round(v))
+		for i := range e.dst {
+			ci := e.dst[i]
+			acc := uint64(0)
+			row := e.bHatModC[i]
+			for j := 0; j < l; j++ {
+				acc = ci.Add(acc, ci.Mul(ys[j], row[j]))
+			}
+			// Subtract k·B to cancel the CRT overflow.
+			acc = ci.Sub(acc, ci.Mul(ci.Reduce(k), e.bModC[i]))
+			out[i][t] = acc
+		}
+	}
+}
+
+// ModDownParams precomputes the constants for exact division by the special
+// basis P over the main basis Q.
+type ModDownParams struct {
+	Q, P    []numeric.Modulus
+	ext     *Extender // P → Q
+	pInvQ   []uint64  // [P^-1]_{q_i}
+	pInvQSh []uint64
+}
+
+// NewModDownParams builds ModDown tables for main basis Q and special
+// basis P.
+func NewModDownParams(q, p []numeric.Modulus) *ModDownParams {
+	m := &ModDownParams{Q: q, P: p, ext: NewExtender(p, q)}
+	m.pInvQ = make([]uint64, len(q))
+	m.pInvQSh = make([]uint64, len(q))
+	for i, qi := range q {
+		prod := uint64(1)
+		for _, pj := range p {
+			prod = qi.Mul(prod, qi.Reduce(pj.Q))
+		}
+		m.pInvQ[i] = qi.Inv(prod)
+		m.pInvQSh[i] = qi.ShoupConstant(m.pInvQ[i])
+	}
+	return m
+}
+
+// ModDown computes out_i = (aQ_i − conv(aP)_i) · P^{-1} mod q_i — Eq. 2 of
+// the paper — realizing rounding division of the Q∪P value by P.
+// aQ has len(Q) limbs, aP has len(P) limbs; out has len(Q) limbs and may
+// alias aQ.
+func (m *ModDownParams) ModDown(out, aQ, aP [][]uint64) {
+	conv := make([][]uint64, len(m.Q))
+	n := len(aQ[0])
+	backing := make([]uint64, len(m.Q)*n)
+	for i := range conv {
+		conv[i] = backing[i*n : (i+1)*n]
+	}
+	m.ext.Extend(conv, aP)
+	for i, qi := range m.Q {
+		o, a, c := out[i], aQ[i], conv[i]
+		inv, invSh := m.pInvQ[i], m.pInvQSh[i]
+		for t := range o {
+			o[t] = qi.MulShoup(qi.Sub(a[t], c[t]), inv, invSh)
+		}
+	}
+}
+
+// Rescaler divides by the last prime of a chain with rounding — the CKKS
+// Rescale operation.
+type Rescaler struct {
+	moduli []numeric.Modulus
+}
+
+// NewRescaler builds a rescaler over the full modulus chain.
+func NewRescaler(moduli []numeric.Modulus) *Rescaler {
+	return &Rescaler{moduli: moduli}
+}
+
+// Rescale computes out_i = q_l^{-1} · (a_i − a_l) mod q_i for i < l, where
+// a_l is re-centered before reduction so the implicit division rounds to
+// nearest. in has l+1 limbs; out receives l limbs and may alias in.
+func (r *Rescaler) Rescale(out, in [][]uint64) {
+	l := len(in) - 1
+	if l < 1 {
+		panic("rns: rescale needs at least two limbs")
+	}
+	ql := r.moduli[l]
+	half := ql.Q >> 1
+	for i := 0; i < l; i++ {
+		qi := r.moduli[i]
+		qlInv := qi.Inv(qi.Reduce(ql.Q))
+		qlInvSh := qi.ShoupConstant(qlInv)
+		qlModQi := qi.Reduce(ql.Q)
+		o, a, last := out[i], in[i], in[l]
+		for t := range o {
+			// Centered representative of a_l modulo q_i.
+			c := qi.Reduce(last[t])
+			if last[t] > half {
+				c = qi.Sub(c, qlModQi)
+			}
+			o[t] = qi.MulShoup(qi.Sub(a[t], c), qlInv, qlInvSh)
+		}
+	}
+}
+
+// Decomposer splits a level-l polynomial over Q into hybrid-keyswitching
+// digits: digit d covers the primes with indices [d·alpha, (d+1)·alpha) of
+// Q, and each digit is CRT-extended to the full active basis Q_l ∪ P.
+type Decomposer struct {
+	Q, P  []numeric.Modulus
+	Alpha int
+
+	// extenders[d][size-1] extends digit d (of `size` primes) to all
+	// moduli (Q then P); built lazily.
+	extenders map[[2]int]*Extender
+}
+
+// NewDecomposer creates a decomposer for main basis Q, special basis P and
+// digit width alpha (typically len(P)).
+func NewDecomposer(q, p []numeric.Modulus, alpha int) *Decomposer {
+	if alpha < 1 {
+		panic("rns: alpha must be ≥ 1")
+	}
+	return &Decomposer{Q: q, P: p, Alpha: alpha, extenders: map[[2]int]*Extender{}}
+}
+
+// Digits returns the number of digits at level l: ceil((l+1)/alpha).
+func (d *Decomposer) Digits(level int) int {
+	return (level + d.Alpha) / d.Alpha
+}
+
+// DigitRange returns the [lo, hi) prime-index range of digit dig at level l.
+func (d *Decomposer) DigitRange(level, dig int) (lo, hi int) {
+	lo = dig * d.Alpha
+	hi = lo + d.Alpha
+	if hi > level+1 {
+		hi = level + 1
+	}
+	return lo, hi
+}
+
+// DecomposeAndExtend extracts digit dig of the level-l input (limbs over Q,
+// coefficient domain) and extends it to the active basis: out must have
+// level+1+len(P) limbs ordered Q_0..Q_level, P_0..P_{alpha-1}. Digit-own
+// limbs are copied verbatim; the rest are produced by RNSconv.
+func (d *Decomposer) DecomposeAndExtend(level, dig int, in, out [][]uint64) {
+	lo, hi := d.DigitRange(level, dig)
+	size := hi - lo
+	key := [2]int{dig, size}
+	ext, ok := d.extenders[key]
+	if !ok {
+		src := d.Q[lo:hi]
+		dst := make([]numeric.Modulus, 0, len(d.Q)+len(d.P))
+		dst = append(dst, d.Q...)
+		dst = append(dst, d.P...)
+		ext = NewExtender(src, dst)
+		d.extenders[key] = ext
+	}
+
+	nQP := level + 1 + len(d.P)
+	if len(out) != nQP {
+		panic(fmt.Sprintf("rns: out has %d limbs, want %d", len(out), nQP))
+	}
+	n := len(in[0])
+	// Full extension into a scratch covering all |Q|+|P| moduli, then copy
+	// out the active ones. (The extender targets the full list so one table
+	// serves every level.)
+	scratch := make([][]uint64, len(d.Q)+len(d.P))
+	backing := make([]uint64, len(scratch)*n)
+	for i := range scratch {
+		scratch[i] = backing[i*n : (i+1)*n]
+	}
+	ext.Extend(scratch, in[lo:hi])
+	for i := 0; i <= level; i++ {
+		if i >= lo && i < hi {
+			copy(out[i], in[i])
+		} else {
+			copy(out[i], scratch[i])
+		}
+	}
+	for j := 0; j < len(d.P); j++ {
+		copy(out[level+1+j], scratch[len(d.Q)+j])
+	}
+}

@@ -1,0 +1,103 @@
+// Package sampling provides the randomness sources of the CKKS substrate:
+// uniform ring elements, ternary secrets, and rounded-Gaussian errors.
+// Samplers are deterministic given a seed so that tests and experiments are
+// reproducible; this reproduction is a research artifact, not a hardened
+// cryptographic implementation.
+package sampling
+
+import (
+	"math"
+	"math/rand"
+
+	"poseidon/internal/ring"
+)
+
+// Sampler draws ring elements from the distributions CKKS needs.
+type Sampler struct {
+	rng   *rand.Rand
+	ring  *ring.Ring
+	sigma float64
+}
+
+// DefaultSigma is the standard deviation of the error distribution,
+// the value used throughout the FHE literature.
+const DefaultSigma = 3.2
+
+// NewSampler creates a sampler over r seeded with seed.
+func NewSampler(r *ring.Ring, seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed)), ring: r, sigma: DefaultSigma}
+}
+
+// Uniform fills a fresh polynomial with independently uniform residues per
+// limb (a uniform element of R_Q in either domain; domain is set to NTT
+// because uniform residues are uniform in both domains).
+func (s *Sampler) Uniform(limbs int) *ring.Poly {
+	p := s.ring.NewPoly(limbs)
+	for i := range p.Coeffs {
+		q := s.ring.Moduli[i].Q
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = s.uniformUint64(q)
+		}
+	}
+	p.IsNTT = true
+	return p
+}
+
+// uniformUint64 draws uniformly from [0, q) without modulo bias.
+func (s *Sampler) uniformUint64(q uint64) uint64 {
+	// Rejection sample from the largest multiple of q below 2^64.
+	bound := (^uint64(0) / q) * q
+	for {
+		v := s.rng.Uint64()
+		if v < bound {
+			return v % q
+		}
+	}
+}
+
+// Ternary samples a polynomial with coefficients in {−1, 0, 1}, each
+// nonzero with probability density (2/3 by default convention: P(−1) =
+// P(1) = 1/3). The same integer coefficient is embedded in every limb.
+// The result is in the coefficient domain.
+func (s *Sampler) Ternary(limbs int) *ring.Poly {
+	p := s.ring.NewPoly(limbs)
+	for j := 0; j < s.ring.N; j++ {
+		var c int64
+		switch s.rng.Intn(3) {
+		case 0:
+			c = -1
+		case 1:
+			c = 0
+		case 2:
+			c = 1
+		}
+		for i := range p.Coeffs {
+			p.Coeffs[i][j] = s.ring.Moduli[i].ReduceSigned(c)
+		}
+	}
+	p.IsNTT = false
+	return p
+}
+
+// Gaussian samples a polynomial with coefficients drawn from a rounded
+// Gaussian of standard deviation sigma (DefaultSigma), truncated at 6σ,
+// embedded in every limb. The result is in the coefficient domain.
+func (s *Sampler) Gaussian(limbs int) *ring.Poly {
+	p := s.ring.NewPoly(limbs)
+	bound := 6 * s.sigma
+	for j := 0; j < s.ring.N; j++ {
+		var g float64
+		for {
+			g = s.rng.NormFloat64() * s.sigma
+			if math.Abs(g) <= bound {
+				break
+			}
+		}
+		c := int64(math.Round(g))
+		for i := range p.Coeffs {
+			p.Coeffs[i][j] = s.ring.Moduli[i].ReduceSigned(c)
+		}
+	}
+	p.IsNTT = false
+	return p
+}

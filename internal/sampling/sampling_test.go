@@ -1,0 +1,127 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"poseidon/internal/numeric"
+	"poseidon/internal/ring"
+)
+
+func testRing(t testing.TB, n, limbs int) *ring.Ring {
+	t.Helper()
+	logN := 0
+	for 1<<uint(logN) < n {
+		logN++
+	}
+	ps, err := numeric.GenerateNTTPrimes(45, logN, limbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ring.NewRing(n, ps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestUniformInRange(t *testing.T) {
+	r := testRing(t, 256, 3)
+	s := NewSampler(r, 1)
+	p := s.Uniform(3)
+	if !p.IsNTT {
+		t.Error("uniform polynomial should be flagged NTT-domain")
+	}
+	for i := range p.Coeffs {
+		q := r.Moduli[i].Q
+		for j, v := range p.Coeffs[i] {
+			if v >= q {
+				t.Fatalf("limb %d coeff %d: %d ≥ q", i, j, v)
+			}
+		}
+	}
+}
+
+func TestUniformLooksUniform(t *testing.T) {
+	r := testRing(t, 4096, 1)
+	s := NewSampler(r, 2)
+	p := s.Uniform(1)
+	q := float64(r.Moduli[0].Q)
+	// Mean of uniform [0,q) is q/2; stderr of the mean over 4096 samples is
+	// q/sqrt(12·4096) ≈ 0.0045·q. Accept ±4σ.
+	sum := 0.0
+	for _, v := range p.Coeffs[0] {
+		sum += float64(v)
+	}
+	mean := sum / 4096
+	if math.Abs(mean-q/2) > 0.02*q {
+		t.Errorf("uniform mean %.3g too far from q/2=%.3g", mean, q/2)
+	}
+}
+
+func TestTernaryValues(t *testing.T) {
+	r := testRing(t, 1024, 2)
+	s := NewSampler(r, 3)
+	p := s.Ternary(2)
+	if p.IsNTT {
+		t.Error("ternary polynomial should be coefficient-domain")
+	}
+	counts := map[int64]int{}
+	for j := 0; j < r.N; j++ {
+		c := r.Moduli[0].Centered(p.Coeffs[0][j])
+		if c < -1 || c > 1 {
+			t.Fatalf("coeff %d: value %d not ternary", j, c)
+		}
+		counts[c]++
+		// Cross-limb consistency: the same small integer in every limb.
+		if r.Moduli[1].ReduceSigned(c) != p.Coeffs[1][j] {
+			t.Fatalf("coeff %d: limbs disagree", j)
+		}
+	}
+	// Each symbol should appear roughly 1/3 of the time (±6σ ≈ ±90).
+	for _, v := range []int64{-1, 0, 1} {
+		if counts[v] < 220 || counts[v] > 460 {
+			t.Errorf("symbol %d appeared %d/1024 times, expected ~341", v, counts[v])
+		}
+	}
+}
+
+func TestGaussianShape(t *testing.T) {
+	r := testRing(t, 4096, 2)
+	s := NewSampler(r, 4)
+	p := s.Gaussian(2)
+	if p.IsNTT {
+		t.Error("gaussian polynomial should be coefficient-domain")
+	}
+	sum, sumSq := 0.0, 0.0
+	for j := 0; j < r.N; j++ {
+		c := float64(r.Moduli[0].Centered(p.Coeffs[0][j]))
+		if math.Abs(c) > 6*DefaultSigma+1 {
+			t.Fatalf("coeff %d: %v exceeds the 6σ truncation", j, c)
+		}
+		sum += c
+		sumSq += c * c
+	}
+	n := float64(r.N)
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.4 {
+		t.Errorf("gaussian mean %.3f too far from 0", mean)
+	}
+	if std < DefaultSigma*0.85 || std > DefaultSigma*1.15 {
+		t.Errorf("gaussian std %.3f, want ≈ %.1f", std, DefaultSigma)
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	r := testRing(t, 128, 2)
+	a := NewSampler(r, 7).Uniform(2)
+	b := NewSampler(r, 7).Uniform(2)
+	if !a.Equal(b) {
+		t.Error("same seed must reproduce the same sample")
+	}
+	c := NewSampler(r, 8).Uniform(2)
+	if a.Equal(c) {
+		t.Error("different seeds should differ")
+	}
+}

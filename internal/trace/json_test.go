@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "demo", Description: "round trip"}
+	tr.AddTagged(HAdd, 10, 3, "phase1")
+	tr.Add(CMult, 8, 2.5)
+	tr.Add(Rotation, 6, 1)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name || back.Description != tr.Description {
+		t.Error("metadata lost")
+	}
+	if len(back.Ops) != len(tr.Ops) {
+		t.Fatalf("ops %d want %d", len(back.Ops), len(tr.Ops))
+	}
+	for i := range tr.Ops {
+		if back.Ops[i] != tr.Ops[i] {
+			t.Errorf("op %d: %+v != %+v", i, back.Ops[i], tr.Ops[i])
+		}
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad kind":       `{"name":"x","ops":[{"kind":"Nope","limbs":1,"count":1}]}`,
+		"zero limbs":     `{"name":"x","ops":[{"kind":"HAdd","limbs":0,"count":1}]}`,
+		"zero count":     `{"name":"x","ops":[{"kind":"HAdd","limbs":1,"count":0}]}`,
+		"negative count": `{"name":"x","ops":[{"kind":"HAdd","limbs":1,"count":-2}]}`,
+		"missing name":   `{"ops":[]}`,
+		"not json":       `{{{`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadJSONEmptyOps(t *testing.T) {
+	tr, err := ReadJSON(strings.NewReader(`{"name":"empty","ops":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalOps() != 0 {
+		t.Error("empty trace should have zero ops")
+	}
+}

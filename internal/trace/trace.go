@@ -1,0 +1,113 @@
+// Package trace defines operation-level execution traces: sequences of FHE
+// basic operations (with their level schedules) that the accelerator model
+// executes. Workload generators build traces; the simulator consumes them.
+package trace
+
+import "fmt"
+
+// Kind enumerates the FHE basic operations of the paper's Table I.
+type Kind int
+
+const (
+	HAdd Kind = iota
+	HAddPlain
+	PMult
+	CMult
+	Rescale
+	Keyswitch
+	Rotation
+	Automorphism
+	NTTTransform
+	ModUp
+	ModDown
+	numKinds
+)
+
+// String returns the paper's name for the operation.
+func (k Kind) String() string {
+	switch k {
+	case HAdd:
+		return "HAdd"
+	case HAddPlain:
+		return "HAddPlain"
+	case PMult:
+		return "PMult"
+	case CMult:
+		return "CMult"
+	case Rescale:
+		return "Rescale"
+	case Keyswitch:
+		return "Keyswitch"
+	case Rotation:
+		return "Rotation"
+	case Automorphism:
+		return "Automorphism"
+	case NTTTransform:
+		return "NTT"
+	case ModUp:
+		return "ModUp"
+	case ModDown:
+		return "ModDown"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds returns all operation kinds in declaration order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// Op is a batch of identical basic operations at one level.
+type Op struct {
+	Kind  Kind
+	Limbs int     // active RNS limbs (level+1) when the op executes
+	Count float64 // how many times it runs (fractional for scaled models)
+	Tag   string  // optional phase label (e.g. "CoeffToSlot")
+}
+
+// Trace is a named operation sequence.
+type Trace struct {
+	Name        string
+	Description string
+	Ops         []Op
+}
+
+// Add appends count occurrences of kind at the given limb count.
+func (t *Trace) Add(kind Kind, limbs int, count float64) {
+	t.AddTagged(kind, limbs, count, "")
+}
+
+// AddTagged appends with a phase label.
+func (t *Trace) AddTagged(kind Kind, limbs int, count float64, tag string) {
+	if count <= 0 || limbs < 1 {
+		return
+	}
+	t.Ops = append(t.Ops, Op{Kind: kind, Limbs: limbs, Count: count, Tag: tag})
+}
+
+// Append concatenates another trace's operations.
+func (t *Trace) Append(o *Trace) {
+	t.Ops = append(t.Ops, o.Ops...)
+}
+
+// TotalOps sums operation counts.
+func (t *Trace) TotalOps() float64 {
+	total := 0.0
+	for _, op := range t.Ops {
+		total += op.Count
+	}
+	return total
+}
+
+// CountByKind aggregates counts per operation kind.
+func (t *Trace) CountByKind() map[Kind]float64 {
+	m := map[Kind]float64{}
+	for _, op := range t.Ops {
+		m[op.Kind] += op.Count
+	}
+	return m
+}

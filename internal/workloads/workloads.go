@@ -1,0 +1,220 @@
+// Package workloads builds the operation traces of the paper's four
+// evaluation benchmarks (Table V): HELR logistic regression, LSTM
+// inference, ResNet-20 inference, and fully packed bootstrapping. Traces
+// are derived from the published structure of each application — iteration
+// counts, matrix dimensions, activation degrees, bootstrap placement — so
+// the *mix* of basic operations (which drives every breakdown figure)
+// matches the real workloads even though absolute counts are
+// reconstructions (see EXPERIMENTS.md for the calibration notes).
+package workloads
+
+import (
+	"math"
+
+	"poseidon/internal/trace"
+)
+
+// Spec fixes the ciphertext geometry a trace is generated for.
+type Spec struct {
+	LogN     int
+	MaxLimbs int // limbs at the top of the modulus chain
+	Slots    int // usable slots (N/2 for full packing)
+}
+
+// PaperSpec is the evaluation geometry (N=2^16, L=44).
+func PaperSpec() Spec {
+	return Spec{LogN: 16, MaxLimbs: 45, Slots: 1 << 15}
+}
+
+// clampLimbs keeps the running level inside [2, max].
+func clampLimbs(l, max int) int {
+	if l > max {
+		return max
+	}
+	if l < 2 {
+		return 2
+	}
+	return l
+}
+
+// bootstrapTrace appends one packed bootstrapping invocation. The
+// CoeffToSlot/SlotToCoeff transforms use the standard FFT factorization
+// (3 sparse factor matrices, a handful of hoisted rotations each) rather
+// than a dense diagonal transform; EvalMod is a BSGS Chebyshev sine
+// applied to both coefficient halves. slotsScale < 1 models sparsely
+// packed bootstrapping: fewer slots shrink the transforms and the sine's
+// slot count but not its degree.
+func bootstrapTrace(t *trace.Trace, s Spec, slotsScale float64) {
+	// Level schedule: ModRaise headroom at the top, EvalMod mid-pipeline,
+	// SlotToCoeff at the bottom. Sparse bootstraps use a shorter effective
+	// chain (their noise budget is smaller).
+	top, mid, low := 24, 18, 8
+	rotsPerFactor := 4.0
+	diagsPerFactor := 30.0
+	products := 14.0 // EvalMod Chebyshev ciphertext products per half
+	switch {
+	case slotsScale < 0.05: // very narrow vectors (e.g. a weight vector)
+		top, mid, low = 14, 10, 5
+		rotsPerFactor, diagsPerFactor, products = 2, 6, 6
+	case slotsScale < 0.9:
+		top, mid, low = 16, 12, 6
+		rotsPerFactor = math.Max(2, rotsPerFactor*math.Sqrt(slotsScale))
+		diagsPerFactor = math.Max(6, diagsPerFactor*slotsScale*4)
+		products = 9
+	}
+	top = clampLimbs(top, s.MaxLimbs)
+	mid = clampLimbs(mid, s.MaxLimbs)
+	low = clampLimbs(low, s.MaxLimbs)
+
+	// --- CoeffToSlot: 3 factor matrices descending from the top.
+	for f := 0; f < 3; f++ {
+		l := clampLimbs(top-f, s.MaxLimbs)
+		t.AddTagged(trace.Rotation, l, rotsPerFactor, "CoeffToSlot")
+		t.AddTagged(trace.PMult, l, diagsPerFactor, "CoeffToSlot")
+		t.AddTagged(trace.HAdd, l, diagsPerFactor, "CoeffToSlot")
+		t.AddTagged(trace.Rescale, l, 1, "CoeffToSlot")
+	}
+	// Conjugation split into the two real halves.
+	t.AddTagged(trace.Rotation, clampLimbs(top-3, s.MaxLimbs), 1, "CoeffToSlot")
+	t.AddTagged(trace.HAdd, clampLimbs(top-3, s.MaxLimbs), 2, "CoeffToSlot")
+
+	// --- EvalMod ×2: BSGS Chebyshev sine (≈ degree 250: baby steps,
+	// giant steps and recombination products), at the mid-pipeline level.
+	for i := 0; i < 2; i++ {
+		t.AddTagged(trace.CMult, mid, products, "EvalMod")
+		t.AddTagged(trace.PMult, mid, 2.5*products, "EvalMod")
+		t.AddTagged(trace.Rescale, mid, 2.5*products, "EvalMod")
+		t.AddTagged(trace.HAdd, mid, 3*products, "EvalMod")
+	}
+
+	// --- SlotToCoeff at the bottom of the pipeline.
+	for f := 0; f < 3; f++ {
+		t.AddTagged(trace.Rotation, low, rotsPerFactor, "SlotToCoeff")
+		t.AddTagged(trace.PMult, low, diagsPerFactor, "SlotToCoeff")
+		t.AddTagged(trace.HAdd, low, diagsPerFactor, "SlotToCoeff")
+	}
+	t.AddTagged(trace.Rescale, low, 1, "SlotToCoeff")
+}
+
+// PackedBootstrapping is benchmark (4): one fully packed bootstrap
+// refreshing an exhausted ciphertext from depth L=3 to L=57 headroom.
+func PackedBootstrapping(s Spec) *trace.Trace {
+	t := &trace.Trace{
+		Name:        "PackedBootstrapping",
+		Description: "fully packed CKKS bootstrapping (CoeffToSlot → EvalMod ×2 → SlotToCoeff)",
+	}
+	bootstrapTrace(t, s, 1.0)
+	return t
+}
+
+// LR is benchmark (1): HELR logistic regression, 10 training iterations at
+// multiplicative depth L=38 supported by two sparsely packed bootstraps.
+// One iteration: inner products via hoisted rotate-and-sum, a degree-3
+// sigmoid approximation, and the gradient update.
+func LR(s Spec) *trace.Trace {
+	t := &trace.Trace{
+		Name:        "LR",
+		Description: "HELR logistic regression: 10 iterations, 2 bootstraps, L=38",
+	}
+	for iter := 0; iter < 10; iter++ {
+		// Levels descend across iterations and reset at the refreshes.
+		l := clampLimbs(22-4*(iter%5), s.MaxLimbs)
+		// Inner product: weights × batch, hoisted rotate-and-sum.
+		t.Add(trace.PMult, l, 1)
+		t.Add(trace.Rotation, l, 2)
+		t.Add(trace.HAdd, l, 3)
+		t.Add(trace.Rescale, l, 1)
+		// Sigmoid (degree 3): one chained ciphertext product after the
+		// squared term is shared with the gradient path.
+		t.Add(trace.CMult, clampLimbs(l-1, s.MaxLimbs), 1)
+		t.Add(trace.Rescale, clampLimbs(l-1, s.MaxLimbs), 1)
+		t.Add(trace.HAddPlain, clampLimbs(l-2, s.MaxLimbs), 1)
+		// Gradient: error × features, then the transpose reduction.
+		t.Add(trace.CMult, clampLimbs(l-2, s.MaxLimbs), 1)
+		t.Add(trace.Rotation, clampLimbs(l-3, s.MaxLimbs), 1)
+		t.Add(trace.HAdd, clampLimbs(l-3, s.MaxLimbs), 2)
+		t.Add(trace.Rescale, clampLimbs(l-3, s.MaxLimbs), 1)
+		// Weight update.
+		t.Add(trace.PMult, clampLimbs(l-3, s.MaxLimbs), 1)
+		t.Add(trace.HAdd, clampLimbs(l-3, s.MaxLimbs), 1)
+		// Mid-training refreshes of the narrow weight vector.
+		if iter == 4 || iter == 9 {
+			bootstrapTrace(t, s, 0.02)
+		}
+	}
+	return t
+}
+
+// LSTM is benchmark (2): 50 recurrent steps of y ← σ(W0·y + W1·x) with
+// 128×128 weight matrices (hoisted BSGS diagonal method) and a cubic
+// activation; one sparse bootstrap per step (50 total).
+func LSTM(s Spec) *trace.Trace {
+	t := &trace.Trace{
+		Name:        "LSTM",
+		Description: "LSTM inference: 50 steps of σ(W0·y + W1·x), 128×128 matrices, 50 bootstraps",
+	}
+	for step := 0; step < 50; step++ {
+		l := clampLimbs(14, s.MaxLimbs) // working level between refreshes
+		// Two matrix-vector products (W0·y, W1·x), BSGS with hoisting:
+		// 128 diagonals, ~8 distinct rotations each after hoisting.
+		for w := 0; w < 2; w++ {
+			t.Add(trace.PMult, l, 64)
+			t.Add(trace.HAdd, l, 64)
+			t.Add(trace.Rotation, l, 5)
+			t.Add(trace.Rescale, l, 1)
+		}
+		t.Add(trace.HAdd, clampLimbs(l-1, s.MaxLimbs), 1)
+		// Cubic activation: x·x, then x²·x.
+		t.Add(trace.CMult, clampLimbs(l-1, s.MaxLimbs), 2)
+		t.Add(trace.Rescale, clampLimbs(l-1, s.MaxLimbs), 2)
+		t.Add(trace.HAddPlain, clampLimbs(l-3, s.MaxLimbs), 1)
+		// One sparse (128-slot) bootstrap per step keeps the recurrence alive.
+		bootstrapTrace(t, s, 128.0/float64(s.Slots))
+	}
+	return t
+}
+
+// ResNet20 is benchmark (3): one encrypted inference. Convolutions run as
+// shifted-diagonal multiplications over channel-packed ciphertexts
+// (rotations + PMult), activations are square approximations (CMult), with
+// bootstraps between residual blocks.
+func ResNet20(s Spec) *trace.Trace {
+	t := &trace.Trace{
+		Name:        "ResNet-20",
+		Description: "ResNet-20 encrypted inference: 20 conv layers, square activations, block bootstraps",
+	}
+	layers := 20
+	for layer := 0; layer < layers; layer++ {
+		l := clampLimbs(14, s.MaxLimbs)
+		// Convolution: 3×3 kernel × channel packing: ~70 rotations and
+		// ~200 diagonal plaintext multiplications per layer.
+		t.Add(trace.Rotation, l, 85)
+		t.Add(trace.PMult, l, 220)
+		t.Add(trace.HAdd, l, 220)
+		t.Add(trace.Rescale, l, 2)
+		// BatchNorm folds into a plaintext multiply; activation x².
+		t.Add(trace.PMult, clampLimbs(l-1, s.MaxLimbs), 4)
+		t.Add(trace.CMult, clampLimbs(l-1, s.MaxLimbs), 4)
+		t.Add(trace.Rescale, clampLimbs(l-1, s.MaxLimbs), 4)
+		// Residual add every second layer.
+		if layer%2 == 1 {
+			t.Add(trace.HAdd, clampLimbs(l-2, s.MaxLimbs), 4)
+		}
+		// Bootstrap between residual blocks (every ~3 layers).
+		if layer%3 == 2 {
+			bootstrapTrace(t, s, 0.5)
+		}
+	}
+	// Final pooling + fully connected layer.
+	l := clampLimbs(8, s.MaxLimbs)
+	t.Add(trace.Rotation, l, 6)
+	t.Add(trace.HAdd, l, 6)
+	t.Add(trace.PMult, l, 10)
+	t.Add(trace.Rescale, l, 1)
+	return t
+}
+
+// All returns the four paper benchmarks.
+func All(s Spec) []*trace.Trace {
+	return []*trace.Trace{LR(s), LSTM(s), ResNet20(s), PackedBootstrapping(s)}
+}

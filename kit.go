@@ -1,0 +1,81 @@
+package poseidon
+
+import (
+	"poseidon/internal/ckks"
+)
+
+// Kit bundles everything a quick-start user needs: keys, encoder,
+// encryptor, decryptor and a fully keyed evaluator with rotation keys for
+// power-of-two steps.
+type Kit struct {
+	Params *Parameters
+	Enc    *Encoder
+	SK     *SecretKey
+	PK     *PublicKey
+	RLK    *RelinearizationKey
+	RTK    *RotationKeySet
+	Encr   *Encryptor
+	Decr   *Decryptor
+	Eval   *Evaluator
+}
+
+// NewKit generates all key material from the seed and returns a ready-to-use
+// toolkit. Rotation keys cover ±2^i steps plus conjugation, enough for
+// rotate-and-sum reductions over the full slot vector.
+func NewKit(params *Parameters, seed int64) *Kit {
+	kgen := ckks.NewKeyGenerator(params, seed)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	rlk := kgen.GenRelinearizationKey(sk)
+	var steps []int
+	for s := 1; s < params.Slots; s <<= 1 {
+		steps = append(steps, s, -s)
+	}
+	rtk := kgen.GenRotationKeys(sk, steps, true)
+	return &Kit{
+		Params: params,
+		Enc:    ckks.NewEncoder(params),
+		SK:     sk,
+		PK:     pk,
+		RLK:    rlk,
+		RTK:    rtk,
+		Encr:   ckks.NewEncryptor(params, pk, seed+1),
+		Decr:   ckks.NewDecryptor(params, sk),
+		Eval:   ckks.NewEvaluator(params, rlk, rtk),
+	}
+}
+
+// EncryptValues encodes and encrypts a complex vector at the top level and
+// default scale.
+func (k *Kit) EncryptValues(values []complex128) *Ciphertext {
+	pt := k.Enc.Encode(values, k.Params.MaxLevel(), k.Params.Scale)
+	return k.Encr.Encrypt(pt)
+}
+
+// EncryptReals encodes and encrypts a real vector.
+func (k *Kit) EncryptReals(values []float64) *Ciphertext {
+	cs := make([]complex128, len(values))
+	for i, v := range values {
+		cs[i] = complex(v, 0)
+	}
+	return k.EncryptValues(cs)
+}
+
+// DecryptValues decrypts and decodes back to the slot vector.
+func (k *Kit) DecryptValues(ct *Ciphertext) []complex128 {
+	return k.Enc.Decode(k.Decr.Decrypt(ct))
+}
+
+// InnerSum rotates-and-adds so that slot 0 of the result holds the sum of
+// the first n slots (n must be a power of two) — the standard reduction
+// every rotation-based workload builds on.
+func (k *Kit) InnerSum(ct *Ciphertext, n int) *Ciphertext {
+	if n < 1 || n&(n-1) != 0 {
+		panic("poseidon: InnerSum width must be a power of two")
+	}
+	acc := ct
+	for s := 1; s < n; s <<= 1 {
+		acc = k.Eval.Add(acc, k.Eval.Rotate(acc, s))
+	}
+	return acc
+}

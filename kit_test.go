@@ -1,0 +1,100 @@
+package poseidon
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func testKit(t testing.TB) *Kit {
+	t.Helper()
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{50, 40, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewKit(params, 123)
+}
+
+func TestKitRoundTrip(t *testing.T) {
+	kit := testKit(t)
+	in := []complex128{1 + 2i, -0.5, 3.25i, 0}
+	out := kit.DecryptValues(kit.EncryptValues(in))
+	for i, v := range in {
+		if cmplx.Abs(out[i]-v) > 1e-6 {
+			t.Errorf("slot %d: %v != %v", i, out[i], v)
+		}
+	}
+}
+
+func TestKitEncryptReals(t *testing.T) {
+	kit := testKit(t)
+	in := []float64{3.5, -1.25, 0.75}
+	out := kit.DecryptValues(kit.EncryptReals(in))
+	for i, v := range in {
+		if math.Abs(real(out[i])-v) > 1e-6 || math.Abs(imag(out[i])) > 1e-6 {
+			t.Errorf("slot %d: %v != %v", i, out[i], v)
+		}
+	}
+}
+
+func TestKitInnerSum(t *testing.T) {
+	kit := testKit(t)
+	n := 16
+	vals := make([]float64, n)
+	want := 0.0
+	for i := range vals {
+		vals[i] = float64(i+1) * 0.125
+		want += vals[i]
+	}
+	ct := kit.EncryptReals(vals)
+	sum := kit.InnerSum(ct, n)
+	got := real(kit.DecryptValues(sum)[0])
+	if math.Abs(got-want) > 1e-5 {
+		t.Errorf("InnerSum=%.6f want %.6f", got, want)
+	}
+}
+
+func TestKitInnerSumPanicsOnBadWidth(t *testing.T) {
+	kit := testKit(t)
+	ct := kit.EncryptReals([]float64{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two width should panic")
+		}
+	}()
+	kit.InnerSum(ct, 3)
+}
+
+func TestPublicAPIModelFlow(t *testing.T) {
+	model, err := NewModel(U280(), PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Simulate(model, DefaultEnergy(), BenchmarkPackedBoot(PaperWorkloadSpec()))
+	if rep.TotalTime <= 0 || rep.TotalEnergy <= 0 {
+		t.Error("simulation should produce positive totals")
+	}
+	// Paper ballpark: packed bootstrapping ~127 ms; accept a 3× band.
+	ms := rep.TotalTime * 1e3
+	if ms < 127.0/3 || ms > 127.0*3 {
+		t.Errorf("packed bootstrapping %.1f ms, outside the paper's 127 ms ×3 band", ms)
+	}
+}
+
+func TestPublicAPIEndToEndMultiply(t *testing.T) {
+	kit := testKit(t)
+	a := []float64{1.5, -2, 0.5}
+	ct := kit.EncryptReals(a)
+	sq := kit.Eval.Rescale(kit.Eval.MulRelin(ct, ct))
+	out := kit.DecryptValues(sq)
+	for i, v := range a {
+		if math.Abs(real(out[i])-v*v) > 1e-4 {
+			t.Errorf("slot %d: %.6f != %.6f", i, real(out[i]), v*v)
+		}
+	}
+}

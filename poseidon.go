@@ -1,0 +1,186 @@
+// Package poseidon is a software reproduction of "Poseidon: Practical
+// Homomorphic Encryption Accelerator" (HPCA 2023): a complete RNS-CKKS
+// homomorphic encryption library built from the paper's five reusable
+// operators (ModAdd, ModMult, NTT with radix-2^k fusion, HFAuto
+// automorphism, shared Barrett reduction), together with a performance,
+// resource and energy model of the FPGA+HBM accelerator the paper builds
+// from them.
+//
+// The package is a façade: it re-exports the scheme (ckks), the
+// accelerator model (arch), the benchmark workloads and the operator-level
+// building blocks so downstream users need a single import.
+//
+// Quick start:
+//
+//	params, _ := poseidon.NewParameters(poseidon.ParametersLiteral{
+//	    LogN: 12, LogQ: []int{55, 45, 45, 45}, LogP: []int{58, 58}, LogScale: 45,
+//	})
+//	kit := poseidon.NewKit(params, 1)
+//	ct := kit.EncryptValues([]complex128{1 + 2i, 3})
+//	sq := kit.Eval.MulRelin(ct, ct)
+//	fmt.Println(kit.DecryptValues(kit.Eval.Rescale(sq))[:2]) // ≈ (-3+4i), 9
+//
+// And the accelerator side:
+//
+//	model, _ := poseidon.NewModel(poseidon.U280(), poseidon.PaperParams())
+//	rep := poseidon.Simulate(model, poseidon.DefaultEnergy(),
+//	    poseidon.BenchmarkLR(poseidon.PaperWorkloadSpec()))
+//	fmt.Printf("LR on Poseidon: %.1f ms\n", rep.TotalTime*1e3)
+package poseidon
+
+import (
+	"poseidon/internal/arch"
+	"poseidon/internal/ckks"
+	"poseidon/internal/trace"
+	"poseidon/internal/workloads"
+)
+
+// --- Scheme (RNS-CKKS) ----------------------------------------------------
+
+// Parameters fixes a CKKS instance (ring degree, modulus chains, scale).
+type Parameters = ckks.Parameters
+
+// ParametersLiteral specifies parameters by prime bit sizes.
+type ParametersLiteral = ckks.ParametersLiteral
+
+// NewParameters instantiates a parameter literal.
+func NewParameters(lit ParametersLiteral) (*Parameters, error) {
+	return ckks.NewParameters(lit)
+}
+
+// TestParameters returns a small, fast parameter set.
+func TestParameters() (*Parameters, error) { return ckks.TestParameters() }
+
+// Core scheme types.
+type (
+	// Encoder maps complex vectors to ring plaintexts (canonical embedding).
+	Encoder = ckks.Encoder
+	// Plaintext is an encoded message.
+	Plaintext = ckks.Plaintext
+	// Ciphertext is a degree-1 RNS-CKKS ciphertext.
+	Ciphertext = ckks.Ciphertext
+	// SecretKey / PublicKey / evaluation keys.
+	SecretKey = ckks.SecretKey
+	// PublicKey is an encryption of zero used by the encryptor.
+	PublicKey = ckks.PublicKey
+	// RelinearizationKey switches s² → s after CMult.
+	RelinearizationKey = ckks.RelinearizationKey
+	// RotationKeySet holds Galois keys per rotation step.
+	RotationKeySet = ckks.RotationKeySet
+	// KeyGenerator samples key material deterministically from a seed.
+	KeyGenerator = ckks.KeyGenerator
+	// Encryptor encrypts plaintexts under a public key.
+	Encryptor = ckks.Encryptor
+	// Decryptor recovers plaintexts with the secret key.
+	Decryptor = ckks.Decryptor
+	// Evaluator executes the homomorphic basic operations.
+	Evaluator = ckks.Evaluator
+	// LinearTransform is an encoded slot-matrix multiplication (BSGS).
+	LinearTransform = ckks.LinearTransform
+	// Bootstrapper refreshes exhausted ciphertexts.
+	Bootstrapper = ckks.Bootstrapper
+	// BootstrapConfig tunes the bootstrapping pipeline.
+	BootstrapConfig = ckks.BootstrapConfig
+)
+
+// Scheme constructors.
+var (
+	NewEncoder          = ckks.NewEncoder
+	NewKeyGenerator     = ckks.NewKeyGenerator
+	NewEncryptor        = ckks.NewEncryptor
+	NewDecryptor        = ckks.NewDecryptor
+	NewEvaluator        = ckks.NewEvaluator
+	NewLinearTransform  = ckks.NewLinearTransform
+	NewBootstrapper     = ckks.NewBootstrapper
+	ChebyshevCoeffsOf   = ckks.ChebyshevCoefficients
+	EvalChebyshevScalar = ckks.EvalChebyshevScalar
+)
+
+// --- Accelerator model ------------------------------------------------------
+
+// Config is an accelerator design point (lanes, fusion degree, clock, HBM).
+type Config = arch.Config
+
+// FHEParams is the ciphertext geometry a model evaluates under.
+type FHEParams = arch.FHEParams
+
+// Model prices FHE basic operations on a design point.
+type Model = arch.Model
+
+// Profile is the cost of one basic operation.
+type Profile = arch.Profile
+
+// Operator identifies an operator core family (MA, MM, NTT, Auto).
+type Operator = arch.Operator
+
+// EnergyModel converts operation counts into energy.
+type EnergyModel = arch.EnergyModel
+
+// Report is a simulated benchmark result.
+type Report = arch.Report
+
+// Resources counts FPGA primitives.
+type Resources = arch.Resources
+
+// CoreResources is the per-core-family resource model.
+type CoreResources = arch.CoreResources
+
+// AutoKind selects the automorphism core design (HFAuto vs naive).
+type AutoKind = arch.AutoKind
+
+// HBMGeometry is the channel-level memory-system model.
+type HBMGeometry = arch.HBMGeometry
+
+// NoiseEstimator measures slot precision against references.
+type NoiseEstimator = ckks.NoiseEstimator
+
+// Accelerator constructors and presets.
+var (
+	U280               = arch.U280
+	U280HBM            = arch.U280HBM
+	SmartSSD           = arch.SmartSSD
+	NDPEnergy          = arch.NDPEnergy
+	PaperParams        = arch.PaperParams
+	NewModel           = arch.NewModel
+	DefaultEnergy      = arch.DefaultEnergy
+	Simulate           = arch.Simulate
+	SimulateOverlapped = arch.SimulateOverlapped
+	NewCoreResources   = arch.NewCoreResources
+	NewNoiseEstimator  = ckks.NewNoiseEstimator
+)
+
+// Operator core families.
+const (
+	OpMA   = arch.MA
+	OpMM   = arch.MM
+	OpNTT  = arch.NTT
+	OpAuto = arch.Auto
+	OpMem  = arch.Mem
+)
+
+// Automorphism core designs.
+const (
+	HFAutoCore    = arch.HFAutoCore
+	NaiveAutoCore = arch.NaiveAutoCore
+)
+
+// --- Workloads and traces --------------------------------------------------
+
+// Trace is an operation-level execution trace.
+type Trace = trace.Trace
+
+// TraceOp is one batched basic operation in a trace.
+type TraceOp = trace.Op
+
+// WorkloadSpec fixes the geometry a workload trace is generated for.
+type WorkloadSpec = workloads.Spec
+
+// Benchmark workload generators (the paper's Table V).
+var (
+	PaperWorkloadSpec   = workloads.PaperSpec
+	BenchmarkLR         = workloads.LR
+	BenchmarkLSTM       = workloads.LSTM
+	BenchmarkResNet20   = workloads.ResNet20
+	BenchmarkPackedBoot = workloads.PackedBootstrapping
+	BenchmarkAll        = workloads.All
+)

@@ -1,0 +1,56 @@
+package poseidon
+
+import (
+	"fmt"
+
+	"poseidon/internal/trace"
+)
+
+// TraceRecorder observes an evaluator and accumulates an operation trace:
+// run any FHE program functionally once, then price the recorded trace on
+// any accelerator design point. Install with Eval.SetObserver(recorder).
+type TraceRecorder struct {
+	tr  *Trace
+	tag string
+}
+
+// NewTraceRecorder starts a recorder for a named workload.
+func NewTraceRecorder(name string) *TraceRecorder {
+	return &TraceRecorder{tr: &Trace{Name: name}}
+}
+
+// SetPhase labels subsequent operations with a workload-phase tag
+// (surfaced by the simulator's per-phase breakdown).
+func (r *TraceRecorder) SetPhase(tag string) { r.tag = tag }
+
+// Observe implements the evaluator observer.
+func (r *TraceRecorder) Observe(op string, level int) {
+	kind, ok := kindByName(op)
+	if !ok {
+		return // unknown ops are skipped rather than mis-priced
+	}
+	r.tr.AddTagged(kind, level+1, 1, r.tag)
+}
+
+// Trace returns the accumulated trace.
+func (r *TraceRecorder) Trace() *Trace { return r.tr }
+
+func kindByName(op string) (trace.Kind, bool) {
+	for _, k := range trace.Kinds() {
+		if k.String() == op {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// PriceRecorded is a convenience: simulate the recorded trace on a design
+// point and return the modeled wall time in seconds.
+func PriceRecorded(r *TraceRecorder, cfg Config, params FHEParams) (float64, error) {
+	model, err := NewModel(cfg, params)
+	if err != nil {
+		return 0, fmt.Errorf("poseidon: %w", err)
+	}
+	rep := Simulate(model, DefaultEnergy(), r.Trace())
+	return rep.TotalTime, nil
+}

@@ -1,0 +1,97 @@
+package poseidon
+
+import (
+	"testing"
+
+	"poseidon/internal/trace"
+)
+
+// Running a real FHE program under a recorder must produce a priceable
+// trace whose op mix matches the program.
+func TestTraceRecorderCapturesProgram(t *testing.T) {
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{50, 40, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit := NewKit(params, 600)
+	rec := NewTraceRecorder("recorded-inference")
+	kit.Eval.SetObserver(rec)
+
+	rec.SetPhase("score")
+	ct := kit.EncryptReals([]float64{1, 2, 3, 4})
+	prod := kit.Eval.Rescale(kit.Eval.MulRelin(ct, ct)) // CMult + Rescale
+	sum := kit.InnerSum(prod, 4)                        // 2 rotations + 2 adds
+	rec.SetPhase("finish")
+	_ = kit.Eval.AddConst(sum, 1) // HAddPlain
+
+	tr := rec.Trace()
+	counts := tr.CountByKind()
+	if counts[trace.CMult] != 1 {
+		t.Errorf("CMult count %v want 1", counts[trace.CMult])
+	}
+	if counts[trace.Rescale] != 1 {
+		t.Errorf("Rescale count %v want 1", counts[trace.Rescale])
+	}
+	if counts[trace.Rotation] != 2 {
+		t.Errorf("Rotation count %v want 2", counts[trace.Rotation])
+	}
+	if counts[trace.HAdd] != 2 {
+		t.Errorf("HAdd count %v want 2", counts[trace.HAdd])
+	}
+	if counts[trace.HAddPlain] != 1 {
+		t.Errorf("HAddPlain count %v want 1", counts[trace.HAddPlain])
+	}
+
+	// Levels recorded as limbs = level+1: the CMult ran at the top level.
+	for _, op := range tr.Ops {
+		if op.Kind == trace.CMult && op.Limbs != params.MaxLevel()+1 {
+			t.Errorf("CMult recorded at %d limbs, want %d", op.Limbs, params.MaxLevel()+1)
+		}
+	}
+
+	// And the trace prices on the accelerator.
+	secs, err := PriceRecorded(rec, U280(), PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs <= 0 {
+		t.Error("priced time must be positive")
+	}
+}
+
+// The recorder's phase labels must flow through to the simulator report.
+func TestTraceRecorderPhases(t *testing.T) {
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{50, 40},
+		LogP:     []int{51},
+		LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit := NewKit(params, 601)
+	rec := NewTraceRecorder("phased")
+	kit.Eval.SetObserver(rec)
+
+	ct := kit.EncryptReals([]float64{1})
+	rec.SetPhase("alpha")
+	_ = kit.Eval.Add(ct, ct)
+	rec.SetPhase("beta")
+	_ = kit.Eval.Add(ct, ct)
+	_ = kit.Eval.Add(ct, ct)
+
+	model, err := NewModel(U280(), PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Simulate(model, DefaultEnergy(), rec.Trace())
+	if rep.ByTag["beta"] <= rep.ByTag["alpha"] {
+		t.Errorf("beta (2 ops) should out-cost alpha (1 op): %v", rep.ByTag)
+	}
+}
