@@ -85,6 +85,9 @@ func main() {
 		tr.Name, cfg.Lanes, cfg.FusionK, cfg.Auto, cfg.HBMGBs),
 		"metric", "value")
 	head.AddRow("total time (ms)", rep.TotalTime*1e3)
+	if rep.Workers > 0 {
+		head.AddRow("capture workers", float64(rep.Workers))
+	}
 	head.AddRow("HBM traffic (GB)", rep.TotalBytes/1e9)
 	head.AddRow("avg bandwidth utilization (%)", rep.AvgBandwidthUtil*100)
 	head.AddRow("energy (J)", rep.TotalEnergy)

@@ -23,8 +23,10 @@ func main() {
 	}
 	kit := poseidon.NewKit(params, 314)
 
-	// Instrument the evaluator.
+	// Instrument the evaluator and stamp the trace with its worker count so
+	// downstream reports know which execution engine produced it.
 	rec := poseidon.NewTraceRecorder("weighted-score")
+	rec.SetWorkers(kit.Workers())
 	kit.Eval.SetObserver(rec)
 
 	// The program: a weighted score with a rotate-and-sum reduction.

@@ -20,7 +20,8 @@ type KindStat struct {
 // Report is the result of executing a trace on a design point: everything
 // the paper's benchmark figures need.
 type Report struct {
-	Name string
+	Name    string
+	Workers int // evaluator worker count the trace was captured with (0 = unknown)
 
 	TotalTime   float64 // seconds
 	TotalBytes  float64
@@ -38,6 +39,7 @@ type Report struct {
 func Simulate(m *Model, em EnergyModel, tr *trace.Trace) Report {
 	rep := Report{
 		Name:       tr.Name,
+		Workers:    tr.Workers,
 		ByKind:     map[trace.Kind]*KindStat{},
 		ByOperator: map[Operator]float64{},
 		ByTag:      map[string]float64{},

@@ -196,3 +196,8 @@ func (b *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 // Evaluator exposes the bootstrapper's key-loaded evaluator (for chaining
 // computation after a refresh in examples and tests).
 func (b *Bootstrapper) Evaluator() *Evaluator { return b.ev }
+
+// SetWorkers re-routes the bootstrapper's internal evaluator through a
+// limb-parallel pool of n workers (see Evaluator.WithWorkers). Bootstrapping
+// results are bit-identical for every worker count.
+func (b *Bootstrapper) SetWorkers(n int) { b.ev = b.ev.WithWorkers(n) }

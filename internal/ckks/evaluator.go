@@ -9,23 +9,52 @@ import (
 	"poseidon/internal/ring"
 )
 
-// Evaluator executes homomorphic operations. It holds the evaluation keys
-// and scratch state; create one per goroutine.
+// Evaluator executes homomorphic operations, fanning independent RNS limbs
+// (and coefficient ranges) out across a bounded worker pool — the software
+// counterpart of the accelerator time-multiplexing its operator cores'
+// 512-lane datapath over limbs. Results are bit-identical for every worker
+// count; the differential suite in parallel_diff_test.go enforces this.
+//
+// Concurrency: an Evaluator is safe for concurrent use by multiple
+// goroutines — keys and parameters are read-only, per-operation scratch is
+// drawn from sync.Pool allocators, and the shared caches (HFAuto routing
+// maps, NTT-domain permutations, keyswitch digit extenders) are internally
+// locked — provided any installed OpObserver is itself safe (TraceRecorder
+// is). Evaluators derived via WithWorkers share keys but not pools.
 type Evaluator struct {
 	params   *Parameters
 	rlk      *RelinearizationKey
 	rtks     *RotationKeySet
 	observer OpObserver
+	pool     *ring.Pool
 }
 
 // NewEvaluator creates an evaluator. rlk may be nil if Mul is never
-// relinearized; rtks may be nil if no rotations are performed.
+// relinearized; rtks may be nil if no rotations are performed. The
+// evaluator executes on the parameter set's worker pool.
 func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKeySet) *Evaluator {
-	return &Evaluator{params: params, rlk: rlk, rtks: rtks}
+	return &Evaluator{params: params, rlk: rlk, rtks: rtks, pool: params.pool}
 }
 
 // Params returns the evaluator's parameter set.
 func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+// Workers reports the evaluator's limb-parallel worker bound.
+func (ev *Evaluator) Workers() int { return ev.pool.Workers() }
+
+// WithWorkers returns an evaluator sharing this one's keys and parameters
+// but executing on its own pool of n workers (n ≤ 0 selects the shared
+// GOMAXPROCS-sized default pool, n == 1 is fully serial). Outputs are
+// bit-identical across worker counts.
+func (ev *Evaluator) WithWorkers(n int) *Evaluator {
+	e2 := *ev
+	if n <= 0 {
+		e2.pool = ring.DefaultPool()
+	} else {
+		e2.pool = ring.NewPool(n)
+	}
+	return &e2
+}
 
 func sameScale(a, b float64) bool {
 	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
@@ -67,8 +96,8 @@ func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
 	}
 	rq := ev.params.RingQ
 	out := &Ciphertext{C0: rq.NewPoly(a.Level + 1), C1: rq.NewPoly(a.Level + 1), Scale: a.Scale, Level: a.Level}
-	rq.Add(out.C0, a.C0, b.C0)
-	rq.Add(out.C1, a.C1, b.C1)
+	rq.AddParallel(out.C0, a.C0, b.C0, ev.pool)
+	rq.AddParallel(out.C1, a.C1, b.C1, ev.pool)
 	ev.observe("HAdd", a.Level)
 	return out
 }
@@ -81,8 +110,8 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
 	}
 	rq := ev.params.RingQ
 	out := &Ciphertext{C0: rq.NewPoly(a.Level + 1), C1: rq.NewPoly(a.Level + 1), Scale: a.Scale, Level: a.Level}
-	rq.Sub(out.C0, a.C0, b.C0)
-	rq.Sub(out.C1, a.C1, b.C1)
+	rq.SubParallel(out.C0, a.C0, b.C0, ev.pool)
+	rq.SubParallel(out.C1, a.C1, b.C1, ev.pool)
 	ev.observe("HAdd", a.Level)
 	return out
 }
@@ -91,8 +120,8 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
 func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
 	rq := ev.params.RingQ
 	out := &Ciphertext{C0: rq.NewPoly(a.Level + 1), C1: rq.NewPoly(a.Level + 1), Scale: a.Scale, Level: a.Level}
-	rq.Neg(out.C0, a.C0)
-	rq.Neg(out.C1, a.C1)
+	rq.NegParallel(out.C0, a.C0, ev.pool)
+	rq.NegParallel(out.C1, a.C1, ev.pool)
 	return out
 }
 
@@ -107,7 +136,7 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	}
 	rq := ev.params.RingQ
 	out := &Ciphertext{C0: rq.NewPoly(level + 1), C1: rq.NewPoly(level + 1), Scale: ct.Scale, Level: level}
-	rq.Add(out.C0, prefix(ct.C0, level+1), prefix(pt.Value, level+1))
+	rq.AddParallel(out.C0, prefix(ct.C0, level+1), prefix(pt.Value, level+1), ev.pool)
 	copyInto(out.C1, prefix(ct.C1, level+1))
 	ev.observe("HAddPlain", level)
 	return out
@@ -129,8 +158,8 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	}
 	rq := ev.params.RingQ
 	out := &Ciphertext{C0: rq.NewPoly(level + 1), C1: rq.NewPoly(level + 1), Scale: ct.Scale * pt.Scale, Level: level}
-	rq.MulCoeffwise(out.C0, prefix(ct.C0, level+1), prefix(pt.Value, level+1))
-	rq.MulCoeffwise(out.C1, prefix(ct.C1, level+1), prefix(pt.Value, level+1))
+	rq.MulCoeffwiseParallel(out.C0, prefix(ct.C0, level+1), prefix(pt.Value, level+1), ev.pool)
+	rq.MulCoeffwiseParallel(out.C1, prefix(ct.C1, level+1), prefix(pt.Value, level+1), ev.pool)
 	ev.observe("PMult", level)
 	return out
 }
@@ -148,20 +177,31 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) *Ciphertext {
 
 	d0 := rq.NewPoly(level + 1)
 	d1 := rq.NewPoly(level + 1)
-	d2 := rq.NewPoly(level + 1)
-	rq.MulCoeffwise(d0, a.C0, b.C0)
-	rq.MulCoeffwise(d1, a.C0, b.C1)
-	rq.MulCoeffwiseAdd(d1, a.C1, b.C0)
-	rq.MulCoeffwise(d2, a.C1, b.C1)
+	d2 := rq.GetPolyDirty(level + 1)
+	// One limb-parallel pass computes the whole degree-2 product:
+	// d0 = a0·b0, d1 = a0·b1 + a1·b0, d2 = a1·b1 (all NTT-domain,
+	// element-wise — the paper's batched MM operator across limbs).
+	ev.pool.ForEach(level+1, func(i int) {
+		mod := rq.Moduli[i]
+		a0, a1 := a.C0.Coeffs[i], a.C1.Coeffs[i]
+		b0, b1 := b.C0.Coeffs[i], b.C1.Coeffs[i]
+		o0, o1, o2 := d0.Coeffs[i], d1.Coeffs[i], d2.Coeffs[i]
+		for j := range o0 {
+			o0[j] = mod.Mul(a0[j], b0[j])
+			o1[j] = mod.Add(mod.Mul(a0[j], b1[j]), mod.Mul(a1[j], b0[j]))
+			o2[j] = mod.Mul(a1[j], b1[j])
+		}
+	})
+	d0.IsNTT, d1.IsNTT, d2.IsNTT = true, true, true
 
 	// Keyswitch d2: contributes (p0, p1) ≈ (d2·s² − p1·s, p1).
-	d2c := d2
-	rq.INTT(d2c)
-	p0, p1 := ev.keySwitchCore(level, d2c, &ev.rlk.SwitchingKey)
+	rq.INTTParallel(d2, ev.pool)
+	p0, p1 := ev.keySwitchCore(level, d2, &ev.rlk.SwitchingKey)
+	rq.PutPoly(d2)
 
 	out := &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale, Level: level}
-	rq.Add(out.C0, out.C0, p0)
-	rq.Add(out.C1, out.C1, p1)
+	rq.AddParallel(out.C0, out.C0, p0, ev.pool)
+	rq.AddParallel(out.C1, out.C1, p1, ev.pool)
 	ev.observe("CMult", level)
 	return out
 }
@@ -174,10 +214,8 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 	}
 	rq := ev.params.RingQ
 	level := ct.Level
-	c0 := ct.C0.CopyNew()
-	c1 := ct.C1.CopyNew()
-	rq.INTT(c0)
-	rq.INTT(c1)
+	c0 := ev.inttCopy(ct.C0)
+	c1 := ev.inttCopy(ct.C1)
 
 	out := &Ciphertext{
 		C0:    rq.NewPoly(level),
@@ -185,12 +223,47 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 		Scale: ct.Scale / float64(ev.params.Q[level]),
 		Level: level - 1,
 	}
-	ev.params.rescaler.Rescale(out.C0.Coeffs, c0.Coeffs)
-	ev.params.rescaler.Rescale(out.C1.Coeffs, c1.Coeffs)
-	rq.NTT(out.C0)
-	rq.NTT(out.C1)
+	// The rescale of each coefficient is self-contained, so it chunks
+	// across the pool without changing a single bit of the output.
+	rescaler := ev.params.rescaler
+	ev.pool.ForEachChunk(ev.params.N, func(lo, hi int) {
+		rescaler.Rescale(rangeView(out.C0.Coeffs, lo, hi), rangeView(c0.Coeffs, lo, hi))
+		rescaler.Rescale(rangeView(out.C1.Coeffs, lo, hi), rangeView(c1.Coeffs, lo, hi))
+	})
+	rq.PutPoly(c0)
+	rq.PutPoly(c1)
+	rq.NTTParallel(out.C0, ev.pool)
+	rq.NTTParallel(out.C1, ev.pool)
 	ev.observe("Rescale", level)
 	return out
+}
+
+// inttCopy returns a scratch-pool copy of the NTT-domain polynomial p,
+// transformed to the coefficient domain, with copy and inverse transform
+// fused into one limb-parallel pass. Release with RingQ.PutPoly.
+func (ev *Evaluator) inttCopy(p *ring.Poly) *ring.Poly {
+	rq := ev.params.RingQ
+	if !p.IsNTT {
+		panic("ckks: inttCopy requires NTT-domain input")
+	}
+	limbs := len(p.Coeffs)
+	dst := rq.GetPolyDirty(limbs)
+	ev.pool.ForEach(limbs, func(i int) {
+		copy(dst.Coeffs[i], p.Coeffs[i])
+		rq.Tables[i].Inverse(dst.Coeffs[i])
+	})
+	dst.IsNTT = false
+	return dst
+}
+
+// rangeView returns per-limb subslice views of the coefficient range
+// [lo, hi) — how coefficient-chunked stages address disjoint work.
+func rangeView(coeffs [][]uint64, lo, hi int) [][]uint64 {
+	v := make([][]uint64, len(coeffs))
+	for i, c := range coeffs {
+		v[i] = c[lo:hi]
+	}
+	return v
 }
 
 // Rotate rotates the slot vector by `steps` positions (Rotation =
@@ -220,20 +293,22 @@ func (ev *Evaluator) automorphismKS(ct *Ciphertext, g uint64) *Ciphertext {
 	rq := ev.params.RingQ
 	level := ct.Level
 
-	c0 := ct.C0.CopyNew()
-	c1 := ct.C1.CopyNew()
-	rq.INTT(c0)
-	rq.INTT(c1)
+	c0 := ev.inttCopy(ct.C0)
+	c1 := ev.inttCopy(ct.C1)
 	a0 := rq.NewPoly(level + 1)
-	a1 := rq.NewPoly(level + 1)
-	rq.Automorphism(a0, c0, g)
-	rq.Automorphism(a1, c1, g)
+	a1 := rq.GetPolyDirty(level + 1)
+	a1.IsNTT = false
+	rq.AutomorphismParallel(a0, c0, g, ev.pool)
+	rq.AutomorphismParallel(a1, c1, g, ev.pool)
+	rq.PutPoly(c0)
+	rq.PutPoly(c1)
 
 	// Keyswitch σ_g(c1) from σ_g(s) to s.
 	p0, p1 := ev.keySwitchCore(level, a1, key)
-	rq.NTT(a0)
+	rq.PutPoly(a1)
+	rq.NTTParallel(a0, ev.pool)
 	out := &Ciphertext{C0: a0, C1: p1, Scale: ct.Scale, Level: level}
-	rq.Add(out.C0, out.C0, p0)
+	rq.AddParallel(out.C0, out.C0, p0, ev.pool)
 	ev.observe("Rotation", level)
 	return out
 }
@@ -242,11 +317,11 @@ func (ev *Evaluator) automorphismKS(ct *Ciphertext, g uint64) *Ciphertext {
 // exposed for tests and for the trace generator.
 func (ev *Evaluator) KeySwitch(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
 	rq := ev.params.RingQ
-	c1 := ct.C1.CopyNew()
-	rq.INTT(c1)
+	c1 := ev.inttCopy(ct.C1)
 	p0, p1 := ev.keySwitchCore(ct.Level, c1, swk)
+	rq.PutPoly(c1)
 	out := &Ciphertext{C0: ct.C0.CopyNew(), C1: p1, Scale: ct.Scale, Level: ct.Level}
-	rq.Add(out.C0, out.C0, p0)
+	rq.AddParallel(out.C0, out.C0, p0, ev.pool)
 	return out
 }
 
@@ -254,64 +329,94 @@ func (ev *Evaluator) KeySwitch(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
 // domain, level limbs over Q) into digits, RNSconv/ModUp each digit to
 // Q_l ∪ P, inner-product with the key digits in the NTT domain, then
 // ModDown by P. Returns (p0, p1) in NTT domain at the input level.
+//
+// Parallel structure: the RNSconv/ModUp of a digit chunks across
+// coefficients; the forward NTT and multiply-accumulate of its extended
+// limbs fan out limb-wise (each limb is one independent lane group);
+// ModDown chunks across coefficients again. Digits run sequentially so the
+// accumulator update order — hence every bit of the result — matches the
+// serial schedule.
 func (ev *Evaluator) keySwitchCore(level int, cx *ring.Poly, key *SwitchingKey) (p0, p1 *ring.Poly) {
 	params := ev.params
+	pool := ev.pool
 	rq, rp := params.RingQ, params.RingP
 	alpha := params.Alpha()
 	digits := params.Digits(level)
 	n := params.N
+	qLimbs := level + 1
+	extLimbs := qLimbs + alpha
 
-	// Accumulators over Q_l and P, NTT domain.
-	acc0Q := rq.NewPoly(level + 1)
-	acc1Q := rq.NewPoly(level + 1)
-	acc0P := rp.NewPoly(alpha)
-	acc1P := rp.NewPoly(alpha)
+	// Accumulators over Q_l and P, NTT domain, drawn zeroed from the
+	// ring scratch pools.
+	acc0Q := rq.GetPoly(qLimbs)
+	acc1Q := rq.GetPoly(qLimbs)
+	acc0P := rp.GetPoly(alpha)
+	acc1P := rp.GetPoly(alpha)
 	acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = true, true, true, true
 
 	// Scratch for one extended digit.
-	extLimbs := level + 1 + alpha
-	ext := make([][]uint64, extLimbs)
-	backing := make([]uint64, extLimbs*n)
-	for i := range ext {
-		ext[i] = backing[i*n : (i+1)*n]
-	}
+	ext := params.getExt(extLimbs)
+	defer params.putExt(ext)
 
 	for d := 0; d < digits; d++ {
-		params.decomposer.DecomposeAndExtend(level, d, cx.Coeffs, ext)
-		// NTT the extended digit limb-wise: Q limbs with ringQ tables, P
-		// limbs with ringP tables.
-		for i := 0; i <= level; i++ {
-			rq.Tables[i].Forward(ext[i])
-		}
-		for j := 0; j < alpha; j++ {
-			rp.Tables[j].Forward(ext[level+1+j])
-		}
-		// Multiply-accumulate against the key digit.
+		// RNSconv/ModUp: every coefficient's basis extension is
+		// self-contained, so the digit decomposes across chunks.
+		decomposer := params.decomposer
+		pool.ForEachChunk(n, func(lo, hi int) {
+			decomposer.DecomposeAndExtend(level, d, rangeView(cx.Coeffs, lo, hi), rangeView(ext, lo, hi))
+		})
+		// Forward NTT + multiply-accumulate, one task per extended limb
+		// (Q limbs against ringQ tables, P limbs against ringP tables).
 		bd, ad := key.B[d], key.A[d]
-		for i := 0; i <= level; i++ {
-			mod := rq.Moduli[i]
-			macLimb(acc0Q.Coeffs[i], ext[i], bd.Q.Coeffs[i], mod)
-			macLimb(acc1Q.Coeffs[i], ext[i], ad.Q.Coeffs[i], mod)
-		}
-		for j := 0; j < alpha; j++ {
-			mod := rp.Moduli[j]
-			macLimb(acc0P.Coeffs[j], ext[level+1+j], bd.P.Coeffs[j], mod)
-			macLimb(acc1P.Coeffs[j], ext[level+1+j], ad.P.Coeffs[j], mod)
-		}
+		pool.ForEach(extLimbs, func(i int) {
+			if i < qLimbs {
+				mod := rq.Moduli[i]
+				rq.Tables[i].Forward(ext[i])
+				macLimb(acc0Q.Coeffs[i], ext[i], bd.Q.Coeffs[i], mod)
+				macLimb(acc1Q.Coeffs[i], ext[i], ad.Q.Coeffs[i], mod)
+			} else {
+				j := i - qLimbs
+				mod := rp.Moduli[j]
+				rp.Tables[j].Forward(ext[i])
+				macLimb(acc0P.Coeffs[j], ext[i], bd.P.Coeffs[j], mod)
+				macLimb(acc1P.Coeffs[j], ext[i], ad.P.Coeffs[j], mod)
+			}
+		})
 	}
 
-	// ModDown: back to coefficient domain, divide by P, return to NTT.
-	rq.INTT(acc0Q)
-	rq.INTT(acc1Q)
-	rp.INTT(acc0P)
-	rp.INTT(acc1P)
-	p0 = rq.NewPoly(level + 1)
-	p1 = rq.NewPoly(level + 1)
+	// ModDown: back to coefficient domain (all 2·(level+1)+2·α inverse
+	// transforms are independent), divide by P, return to NTT.
+	accQ := [2]*ring.Poly{acc0Q, acc1Q}
+	accP := [2]*ring.Poly{acc0P, acc1P}
+	pool.ForEach(2*qLimbs+2*alpha, func(t int) {
+		if t < 2*qLimbs {
+			rq.Tables[t%qLimbs].Inverse(accQ[t/qLimbs].Coeffs[t%qLimbs])
+		} else {
+			t -= 2 * qLimbs
+			rp.Tables[t%alpha].Inverse(accP[t/alpha].Coeffs[t%alpha])
+		}
+	})
+	acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = false, false, false, false
+
+	p0 = rq.NewPoly(qLimbs)
+	p1 = rq.NewPoly(qLimbs)
 	md := params.modDown[level]
-	md.ModDown(p0.Coeffs, acc0Q.Coeffs, acc0P.Coeffs)
-	md.ModDown(p1.Coeffs, acc1Q.Coeffs, acc1P.Coeffs)
-	rq.NTT(p0)
-	rq.NTT(p1)
+	pool.ForEachChunk(n, func(lo, hi int) {
+		md.ModDown(rangeView(p0.Coeffs, lo, hi), rangeView(acc0Q.Coeffs, lo, hi), rangeView(acc0P.Coeffs, lo, hi))
+		md.ModDown(rangeView(p1.Coeffs, lo, hi), rangeView(acc1Q.Coeffs, lo, hi), rangeView(acc1P.Coeffs, lo, hi))
+	})
+	rq.PutPoly(acc0Q)
+	rq.PutPoly(acc1Q)
+	rp.PutPoly(acc0P)
+	rp.PutPoly(acc1P)
+	pool.ForEach(2*qLimbs, func(t int) {
+		if t < qLimbs {
+			rq.Tables[t].Forward(p0.Coeffs[t])
+		} else {
+			rq.Tables[t-qLimbs].Forward(p1.Coeffs[t-qLimbs])
+		}
+	})
+	p0.IsNTT, p1.IsNTT = true, true
 	return p0, p1
 }
 

@@ -20,7 +20,7 @@ func (ev *Evaluator) encodeConst(c complex128, level int, scale float64) *Plaint
 		pt.Value.Coeffs[i][0] = rq.Moduli[i].ReduceSigned(re)
 		pt.Value.Coeffs[i][n] = rq.Moduli[i].ReduceSigned(im)
 	}
-	rq.NTT(pt.Value)
+	rq.NTTParallel(pt.Value, ev.pool)
 	return pt
 }
 
@@ -68,25 +68,25 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c complex128) *Ciphertext {
 func (ev *Evaluator) MulByI(ct *Ciphertext) *Ciphertext {
 	out := ct.CopyNew()
 	rq := ev.params.RingQ
-	rq.INTT(out.C0)
-	rq.INTT(out.C1)
+	rq.INTTParallel(out.C0, ev.pool)
+	rq.INTTParallel(out.C1, ev.pool)
 	ev.mulByMonomial(out.C0, ev.params.N/2)
 	ev.mulByMonomial(out.C1, ev.params.N/2)
-	rq.NTT(out.C0)
-	rq.NTT(out.C1)
+	rq.NTTParallel(out.C0, ev.pool)
+	rq.NTTParallel(out.C1, ev.pool)
 	return out
 }
 
 // mulByMonomial multiplies a coefficient-domain polynomial by X^k
-// (0 ≤ k < 2N) in place, with negacyclic wraparound.
+// (0 ≤ k < 2N) in place, with negacyclic wraparound, one limb per task.
 func (ev *Evaluator) mulByMonomial(p *ring.Poly, k int) {
 	rq := ev.params.RingQ
 	n := ev.params.N
 	k = ((k % (2 * n)) + 2*n) % (2 * n)
-	for i := range p.Coeffs {
+	ev.pool.ForEach(len(p.Coeffs), func(i int) {
 		mod := rq.Moduli[i]
 		src := p.Coeffs[i]
-		dst := make([]uint64, n)
+		dst := rq.GetVec()
 		for j := 0; j < n; j++ {
 			t := j + k
 			neg := false
@@ -104,5 +104,6 @@ func (ev *Evaluator) mulByMonomial(p *ring.Poly, k int) {
 			}
 		}
 		copy(src, dst)
-	}
+		rq.PutVec(dst)
+	})
 }

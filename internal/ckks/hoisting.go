@@ -13,6 +13,11 @@ import (
 // the input, not on the Galois element. RotateHoisted performs that work
 // once and replays it per rotation as a cheap NTT-domain permutation,
 // because the decomposition commutes with the automorphism.
+//
+// Both phases run on the evaluator's worker pool: the shared decomposition
+// chunks across coefficients and fans limbs out per digit, and each
+// rotation's permuted multiply-accumulate runs one limb per task with
+// per-task permutation buffers drawn from the ring's scratch pool.
 
 // hoistedDecomposition caches the shared per-input keyswitch state.
 type hoistedDecomposition struct {
@@ -24,34 +29,39 @@ type hoistedDecomposition struct {
 // decomposeHoisted performs the shared phase on ct.C1.
 func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) *hoistedDecomposition {
 	params := ev.params
+	pool := ev.pool
 	rq, rp := params.RingQ, params.RingP
 	level := ct.Level
 	alpha := params.Alpha()
 	digits := params.Digits(level)
 	n := params.N
+	qLimbs := level + 1
+	extLimbs := qLimbs + alpha
 
-	c1 := ct.C1.CopyNew()
-	rq.INTT(c1)
-	c0 := ct.C0.CopyNew()
-	rq.INTT(c0)
+	c1 := ev.inttCopy(ct.C1)
+	c0 := ev.inttCopy(ct.C0)
 
 	hd := &hoistedDecomposition{level: level, c0: c0}
-	extLimbs := level + 1 + alpha
+	decomposer := params.decomposer
 	for d := 0; d < digits; d++ {
 		ext := make([][]uint64, extLimbs)
 		backing := make([]uint64, extLimbs*n)
 		for i := range ext {
 			ext[i] = backing[i*n : (i+1)*n]
 		}
-		params.decomposer.DecomposeAndExtend(level, d, c1.Coeffs, ext)
-		for i := 0; i <= level; i++ {
-			rq.Tables[i].Forward(ext[i])
-		}
-		for j := 0; j < alpha; j++ {
-			rp.Tables[j].Forward(ext[level+1+j])
-		}
+		pool.ForEachChunk(n, func(lo, hi int) {
+			decomposer.DecomposeAndExtend(level, d, rangeView(c1.Coeffs, lo, hi), rangeView(ext, lo, hi))
+		})
+		pool.ForEach(extLimbs, func(i int) {
+			if i < qLimbs {
+				rq.Tables[i].Forward(ext[i])
+			} else {
+				rp.Tables[i-qLimbs].Forward(ext[i])
+			}
+		})
 		hd.digits = append(hd.digits, ext)
 	}
+	rq.PutPoly(c1)
 	return hd
 }
 
@@ -63,14 +73,15 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 		panic("ckks: rotation requires rotation keys")
 	}
 	params := ev.params
+	pool := ev.pool
 	rq, rp := params.RingQ, params.RingP
 	level := ct.Level
 	alpha := params.Alpha()
 	n := params.N
+	qLimbs := level + 1
 
 	hd := ev.decomposeHoisted(ct)
 	out := make(map[int]*Ciphertext, len(steps))
-	permBuf := make([]uint64, n)
 
 	for _, step := range steps {
 		g := galoisForRotation(step, params.N)
@@ -85,48 +96,76 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 		permQ := rq.NTTGaloisPermutation(g)
 		permP := rp.NTTGaloisPermutation(g)
 
-		acc0Q := rq.NewPoly(level + 1)
-		acc1Q := rq.NewPoly(level + 1)
-		acc0P := rp.NewPoly(alpha)
-		acc1P := rp.NewPoly(alpha)
+		acc0Q := rq.GetPoly(qLimbs)
+		acc1Q := rq.GetPoly(qLimbs)
+		acc0P := rp.GetPoly(alpha)
+		acc1P := rp.GetPoly(alpha)
 		acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = true, true, true, true
 
-		for d, ext := range hd.digits {
-			bd, ad := key.B[d], key.A[d]
-			for i := 0; i <= level; i++ {
-				mod := rq.Moduli[i]
-				ring.ApplyPermutationNTT(permBuf, ext[i], permQ)
-				macLimb(acc0Q.Coeffs[i], permBuf, bd.Q.Coeffs[i], mod)
-				macLimb(acc1Q.Coeffs[i], permBuf, ad.Q.Coeffs[i], mod)
-			}
-			for j := 0; j < alpha; j++ {
-				mod := rp.Moduli[j]
-				ring.ApplyPermutationNTT(permBuf, ext[level+1+j], permP)
-				macLimb(acc0P.Coeffs[j], permBuf, bd.P.Coeffs[j], mod)
-				macLimb(acc1P.Coeffs[j], permBuf, ad.P.Coeffs[j], mod)
-			}
+		for di, ext := range hd.digits {
+			bd, ad := key.B[di], key.A[di]
+			pool.ForEach(qLimbs+alpha, func(i int) {
+				permBuf := rq.GetVec()
+				if i < qLimbs {
+					mod := rq.Moduli[i]
+					ring.ApplyPermutationNTT(permBuf, ext[i], permQ)
+					macLimb(acc0Q.Coeffs[i], permBuf, bd.Q.Coeffs[i], mod)
+					macLimb(acc1Q.Coeffs[i], permBuf, ad.Q.Coeffs[i], mod)
+				} else {
+					j := i - qLimbs
+					mod := rp.Moduli[j]
+					ring.ApplyPermutationNTT(permBuf, ext[i], permP)
+					macLimb(acc0P.Coeffs[j], permBuf, bd.P.Coeffs[j], mod)
+					macLimb(acc1P.Coeffs[j], permBuf, ad.P.Coeffs[j], mod)
+				}
+				rq.PutVec(permBuf)
+			})
 		}
 
-		rq.INTT(acc0Q)
-		rq.INTT(acc1Q)
-		rp.INTT(acc0P)
-		rp.INTT(acc1P)
-		p0 := rq.NewPoly(level + 1)
-		p1 := rq.NewPoly(level + 1)
-		md := params.modDown[level]
-		md.ModDown(p0.Coeffs, acc0Q.Coeffs, acc0P.Coeffs)
-		md.ModDown(p1.Coeffs, acc1Q.Coeffs, acc1P.Coeffs)
-		rq.NTT(p0)
-		rq.NTT(p1)
+		accQ := [2]*ring.Poly{acc0Q, acc1Q}
+		accP := [2]*ring.Poly{acc0P, acc1P}
+		pool.ForEach(2*qLimbs+2*alpha, func(t int) {
+			if t < 2*qLimbs {
+				rq.Tables[t%qLimbs].Inverse(accQ[t/qLimbs].Coeffs[t%qLimbs])
+			} else {
+				t -= 2 * qLimbs
+				rp.Tables[t%alpha].Inverse(accP[t/alpha].Coeffs[t%alpha])
+			}
+		})
+		acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = false, false, false, false
 
-		a0 := rq.NewPoly(level + 1)
-		rq.Automorphism(a0, hd.c0, g)
-		rq.NTT(a0)
+		p0 := rq.NewPoly(qLimbs)
+		p1 := rq.NewPoly(qLimbs)
+		md := params.modDown[level]
+		pool.ForEachChunk(n, func(lo, hi int) {
+			md.ModDown(rangeView(p0.Coeffs, lo, hi), rangeView(acc0Q.Coeffs, lo, hi), rangeView(acc0P.Coeffs, lo, hi))
+			md.ModDown(rangeView(p1.Coeffs, lo, hi), rangeView(acc1Q.Coeffs, lo, hi), rangeView(acc1P.Coeffs, lo, hi))
+		})
+		rq.PutPoly(acc0Q)
+		rq.PutPoly(acc1Q)
+		rp.PutPoly(acc0P)
+		rp.PutPoly(acc1P)
+
+		a0 := rq.NewPoly(qLimbs)
+		rq.AutomorphismParallel(a0, hd.c0, g, pool)
+		pool.ForEach(3*qLimbs, func(t int) {
+			switch {
+			case t < qLimbs:
+				rq.Tables[t].Forward(p0.Coeffs[t])
+			case t < 2*qLimbs:
+				rq.Tables[t-qLimbs].Forward(p1.Coeffs[t-qLimbs])
+			default:
+				rq.Tables[t-2*qLimbs].Forward(a0.Coeffs[t-2*qLimbs])
+			}
+		})
+		p0.IsNTT, p1.IsNTT, a0.IsNTT = true, true, true
+
 		res := &Ciphertext{C0: a0, C1: p1, Scale: ct.Scale, Level: level}
-		rq.Add(res.C0, res.C0, p0)
+		rq.AddParallel(res.C0, res.C0, p0, pool)
 		ev.observe("Rotation", level)
 		out[step] = res
 	}
+	rq.PutPoly(hd.c0)
 	return out
 }
 

@@ -9,6 +9,7 @@ package ckks
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"poseidon/internal/numeric"
 	"poseidon/internal/ring"
@@ -34,6 +35,39 @@ type Parameters struct {
 	decomposer *rns.Decomposer
 	rescaler   *rns.Rescaler
 	modDown    []*rns.ModDownParams // per level, built eagerly
+
+	// pool is the limb-parallel execution engine evaluators built from
+	// these parameters inherit (overridable per evaluator via WithWorkers).
+	pool *ring.Pool
+
+	// extPool recycles extended-digit buffers ((|Q|+|P|)·N words) for the
+	// keyswitch pipeline so the parallel path does not multiply GC load.
+	extPool sync.Pool
+}
+
+// getExt returns a `limbs`-row extended-digit scratch buffer (each row N
+// words, contents unspecified) from the parameter set's pool.
+func (p *Parameters) getExt(limbs int) [][]uint64 {
+	var backing []uint64
+	if v := p.extPool.Get(); v != nil {
+		backing = v.([]uint64)
+	} else {
+		backing = make([]uint64, (len(p.Q)+len(p.P))*p.N)
+	}
+	ext := make([][]uint64, limbs)
+	for i := range ext {
+		ext[i] = backing[i*p.N : (i+1)*p.N]
+	}
+	return ext
+}
+
+// putExt returns a getExt buffer to the pool.
+func (p *Parameters) putExt(ext [][]uint64) {
+	if len(ext) == 0 {
+		return
+	}
+	b := ext[0]
+	p.extPool.Put(b[:cap(b)])
 }
 
 // ParametersLiteral is the user-facing specification: prime bit sizes
@@ -44,6 +78,12 @@ type ParametersLiteral struct {
 	LogP     []int // bit sizes of the special primes
 	LogScale int   // Δ = 2^LogScale
 	LaneC    int   // HFAuto sub-vector width; 0 = default min(512, N)
+
+	// Workers bounds the limb-parallel worker pool evaluators run on:
+	// 0 shares the package-level pool sized by runtime.GOMAXPROCS,
+	// 1 forces fully serial execution, n > 1 creates a dedicated pool of
+	// that width. Results are bit-identical for every setting.
+	Workers int
 }
 
 // NewParameters instantiates the literal: generates distinct NTT-friendly
@@ -111,8 +151,17 @@ func NewParameters(lit ParametersLiteral) (*Parameters, error) {
 	for l := 0; l < len(p.Q); l++ {
 		p.modDown[l] = rns.NewModDownParams(p.RingQ.Moduli[:l+1], p.RingP.Moduli)
 	}
+	if lit.Workers == 0 {
+		p.pool = ring.DefaultPool()
+	} else {
+		p.pool = ring.NewPool(lit.Workers)
+	}
 	return p, nil
 }
+
+// Workers reports the limb-parallel worker bound evaluators inherit from
+// these parameters.
+func (p *Parameters) Workers() int { return p.pool.Workers() }
 
 // MaxLevel is the highest ciphertext level (len(Q)−1).
 func (p *Parameters) MaxLevel() int { return len(p.Q) - 1 }

@@ -22,6 +22,7 @@ type Stats struct {
 	HBMBytes     float64
 	PeakSpad     int // peak scratchpad bytes in use
 	Instructions int
+	MaxLimbs     int // widest limb index touched + 1: the program's RNS width
 }
 
 // TotalCoreCycles sums non-memory cycles.
@@ -137,6 +138,9 @@ func (m *Machine) Run(p *isa.Program) (Stats, error) {
 		if in.Limb < 0 || in.Limb >= len(m.Moduli) {
 			return st, fmt.Errorf("machine: instr %d: limb %d out of range", idx, in.Limb)
 		}
+		if in.Limb+1 > st.MaxLimbs {
+			st.MaxLimbs = in.Limb + 1
+		}
 		mod := m.Moduli[in.Limb]
 		switch in.Op {
 		case isa.Load:
@@ -244,6 +248,29 @@ func (m *Machine) Run(p *isa.Program) (Stats, error) {
 // bandwidth, overlapping compute with HBM streaming like arch.Model.
 func (m *Machine) Seconds(st Stats) float64 {
 	tc := st.TotalCoreCycles() / m.Cfg.CyclesPerSec()
+	tm := st.HBMBytes / m.Cfg.EffectiveHBM()
+	if tm > tc {
+		return tm
+	}
+	return tc
+}
+
+// SecondsParallel models the same program replicated across `workers`
+// datapath instances, one residue limb per instance. Core cycles divide by
+// the effective parallel width min(workers, MaxLimbs) — limbs are the unit
+// of parallelism, so extra workers beyond the RNS width sit idle, exactly
+// like the software evaluator's limb-parallel pool. HBM bandwidth is a
+// shared resource: the memory stream does not speed up, so it remains the
+// floor. workers ≤ 1 (or an empty program) degenerates to Seconds.
+func (m *Machine) SecondsParallel(st Stats, workers int) float64 {
+	w := workers
+	if st.MaxLimbs > 0 && w > st.MaxLimbs {
+		w = st.MaxLimbs
+	}
+	if w < 1 {
+		w = 1
+	}
+	tc := st.TotalCoreCycles() / m.Cfg.CyclesPerSec() / float64(w)
 	tm := st.HBMBytes / m.Cfg.EffectiveHBM()
 	if tm > tc {
 		return tm

@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/isa"
+)
+
+// Tests for the limb-parallel cost model: SecondsParallel divides core
+// cycles across workers up to the program's RNS width (limbs are the unit
+// of parallelism, matching the software evaluator's pool), while the shared
+// HBM stream never speeds up.
+
+// runNTTProgram executes an NTT over `limbs` limbs and returns its stats —
+// a compute-heavy program where parallelism actually shows.
+func runNTTProgram(t *testing.T, limbs int) (*Machine, Stats) {
+	t.Helper()
+	n := 1024
+	m := testMachine(t, n, limbs)
+	rng := rand.New(rand.NewSource(9))
+	for l := 0; l < limbs; l++ {
+		m.WriteHBM("a.m", l, randVec(rng, n, m.Moduli[l].Q))
+	}
+	st, err := m.Run(isa.CompileNTT(limbs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, st
+}
+
+func TestStatsTracksMaxLimbs(t *testing.T) {
+	for _, limbs := range []int{1, 3, 4} {
+		_, st := runNTTProgram(t, limbs)
+		if st.MaxLimbs != limbs {
+			t.Errorf("limbs=%d: MaxLimbs=%d", limbs, st.MaxLimbs)
+		}
+	}
+}
+
+func TestSecondsParallelScalesWithWorkers(t *testing.T) {
+	const limbs = 4
+	m, st := runNTTProgram(t, limbs)
+
+	serial := m.SecondsParallel(st, 1)
+	if serial != m.Seconds(st) {
+		t.Fatalf("workers=1 must equal Seconds: %g vs %g", serial, m.Seconds(st))
+	}
+	// Nonsense worker counts degenerate to serial.
+	if m.SecondsParallel(st, 0) != serial || m.SecondsParallel(st, -3) != serial {
+		t.Error("workers ≤ 0 should degenerate to the serial time")
+	}
+
+	tm := st.HBMBytes / m.Cfg.EffectiveHBM()
+	prev := serial
+	for w := 2; w <= limbs; w++ {
+		tw := m.SecondsParallel(st, w)
+		if tw > prev {
+			t.Errorf("workers=%d: time %g worse than %d workers' %g", w, tw, w-1, prev)
+		}
+		if tw < tm {
+			t.Errorf("workers=%d: time %g beat the HBM floor %g — bandwidth is shared", w, tw, tm)
+		}
+		prev = tw
+	}
+
+	// Workers beyond the RNS width sit idle: no further speedup.
+	if at, over := m.SecondsParallel(st, limbs), m.SecondsParallel(st, 100); over != at {
+		t.Errorf("workers beyond MaxLimbs changed the time: %g vs %g", over, at)
+	}
+
+	// If compute-bound at 1 worker, check the division is exact until either
+	// the limb count or the memory floor binds.
+	tc := st.TotalCoreCycles() / m.Cfg.CyclesPerSec()
+	if tc > tm {
+		want := tc / 2
+		if want < tm {
+			want = tm
+		}
+		if got := m.SecondsParallel(st, 2); got != want {
+			t.Errorf("workers=2: %g want %g", got, want)
+		}
+	}
+}
+
+func TestSecondsParallelMemoryBoundUnchanged(t *testing.T) {
+	// HAdd is memory-bound on realistic configs: extra workers must not
+	// change the modeled time at all.
+	const limbs = 4
+	n := 4096
+	m := testMachine(t, n, limbs)
+	rng := rand.New(rand.NewSource(12))
+	for _, comp := range []string{"c0", "c1"} {
+		for l := 0; l < limbs; l++ {
+			m.WriteHBM("a."+comp, l, randVec(rng, n, m.Moduli[l].Q))
+			m.WriteHBM("b."+comp, l, randVec(rng, n, m.Moduli[l].Q))
+		}
+	}
+	st, err := m.Run(isa.CompileHAdd(limbs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := st.TotalCoreCycles() / m.Cfg.CyclesPerSec()
+	tm := st.HBMBytes / m.Cfg.EffectiveHBM()
+	if tm <= tc {
+		t.Skip("HAdd compute-bound at this config — memory-floor check not applicable")
+	}
+	for _, w := range []int{1, 2, limbs, 64} {
+		if got := m.SecondsParallel(st, w); got != tm {
+			t.Errorf("workers=%d: %g want memory floor %g", w, got, tm)
+		}
+	}
+}

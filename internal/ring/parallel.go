@@ -1,72 +1,43 @@
 package ring
 
-import "sync"
-
 // Parallel limb execution. RNS limbs are fully independent, so the
 // transforms and element-wise operations parallelize across goroutines
 // with bit-identical results — the software counterpart of the
-// accelerator's limb-level parallelism.
+// accelerator's limb-level parallelism. Every *Parallel method takes the
+// execution Pool to run on; a nil pool (or Workers()==1) degrades to the
+// exact serial loop, so the serial methods and their parallel variants are
+// the same code path at workers=1.
 
-// forEachLimb runs fn(i) for every limb index in [0, limbs) across up to
-// `workers` goroutines. workers ≤ 1 runs inline.
-func forEachLimb(limbs, workers int, fn func(i int)) {
-	if workers <= 1 || limbs <= 1 {
-		for i := 0; i < limbs; i++ {
-			fn(i)
-		}
-		return
-	}
-	if workers > limbs {
-		workers = limbs
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < limbs; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
-
-// NTTParallel transforms all limbs to the evaluation domain using up to
-// `workers` goroutines. Equivalent to NTT.
-func (r *Ring) NTTParallel(p *Poly, workers int) {
+// NTTParallel transforms all limbs to the evaluation domain using the
+// pool's workers. Equivalent to NTT.
+func (r *Ring) NTTParallel(p *Poly, pool *Pool) {
 	if p.IsNTT {
 		panic("ring: NTT on NTT-domain polynomial")
 	}
-	forEachLimb(len(p.Coeffs), workers, func(i int) {
+	pool.ForEach(len(p.Coeffs), func(i int) {
 		r.Tables[i].Forward(p.Coeffs[i])
 	})
 	p.IsNTT = true
 }
 
 // INTTParallel transforms all limbs back to the coefficient domain.
-func (r *Ring) INTTParallel(p *Poly, workers int) {
+func (r *Ring) INTTParallel(p *Poly, pool *Pool) {
 	if !p.IsNTT {
 		panic("ring: INTT on coefficient-domain polynomial")
 	}
-	forEachLimb(len(p.Coeffs), workers, func(i int) {
+	pool.ForEach(len(p.Coeffs), func(i int) {
 		r.Tables[i].Inverse(p.Coeffs[i])
 	})
 	p.IsNTT = false
 }
 
-// MulCoeffwiseParallel computes out = a ⊙ b limb-wise across workers.
-func (r *Ring) MulCoeffwiseParallel(out, a, b *Poly, workers int) {
+// MulCoeffwiseParallel computes out = a ⊙ b limb-wise across the pool.
+func (r *Ring) MulCoeffwiseParallel(out, a, b *Poly, pool *Pool) {
 	limbs := r.check(out, a, b)
 	if !a.IsNTT || !b.IsNTT {
 		panic("ring: MulCoeffwiseParallel requires NTT-domain operands")
 	}
-	forEachLimb(limbs, workers, func(i int) {
+	pool.ForEach(limbs, func(i int) {
 		mod := r.Moduli[i]
 		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
 		for j := range oc {
@@ -76,10 +47,26 @@ func (r *Ring) MulCoeffwiseParallel(out, a, b *Poly, workers int) {
 	out.IsNTT = true
 }
 
-// AddParallel computes out = a + b limb-wise across workers.
-func (r *Ring) AddParallel(out, a, b *Poly, workers int) {
+// MulCoeffwiseAddParallel computes out += a ⊙ b limb-wise (NTT domain).
+func (r *Ring) MulCoeffwiseAddParallel(out, a, b *Poly, pool *Pool) {
 	limbs := r.check(out, a, b)
-	forEachLimb(limbs, workers, func(i int) {
+	if !a.IsNTT || !b.IsNTT {
+		panic("ring: MulCoeffwiseAddParallel requires NTT-domain operands")
+	}
+	pool.ForEach(limbs, func(i int) {
+		mod := r.Moduli[i]
+		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.Add(oc[j], mod.Mul(ac[j], bc[j]))
+		}
+	})
+	out.IsNTT = true
+}
+
+// AddParallel computes out = a + b limb-wise across the pool.
+func (r *Ring) AddParallel(out, a, b *Poly, pool *Pool) {
+	limbs := r.check(out, a, b)
+	pool.ForEach(limbs, func(i int) {
 		mod := r.Moduli[i]
 		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
 		for j := range oc {
@@ -87,4 +74,82 @@ func (r *Ring) AddParallel(out, a, b *Poly, workers int) {
 		}
 	})
 	out.IsNTT = a.IsNTT
+}
+
+// SubParallel computes out = a − b limb-wise across the pool.
+func (r *Ring) SubParallel(out, a, b *Poly, pool *Pool) {
+	limbs := r.check(out, a, b)
+	pool.ForEach(limbs, func(i int) {
+		mod := r.Moduli[i]
+		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.Sub(ac[j], bc[j])
+		}
+	})
+	out.IsNTT = a.IsNTT
+}
+
+// NegParallel computes out = −a limb-wise across the pool.
+func (r *Ring) NegParallel(out, a *Poly, pool *Pool) {
+	limbs := r.check(out, a)
+	pool.ForEach(limbs, func(i int) {
+		mod := r.Moduli[i]
+		oc, ac := out.Coeffs[i], a.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.Neg(ac[j])
+		}
+	})
+	out.IsNTT = a.IsNTT
+}
+
+// MulScalarRNSParallel multiplies limb i by scalars[i] across the pool.
+func (r *Ring) MulScalarRNSParallel(out, a *Poly, scalars []uint64, pool *Pool) {
+	limbs := r.check(out, a)
+	if len(scalars) < limbs {
+		panic("ring: not enough scalars")
+	}
+	pool.ForEach(limbs, func(i int) {
+		mod := r.Moduli[i]
+		s := mod.Reduce(scalars[i])
+		ss := mod.ShoupConstant(s)
+		oc, ac := out.Coeffs[i], a.Coeffs[i]
+		for j := range oc {
+			oc[j] = mod.MulShoup(ac[j], s, ss)
+		}
+	})
+	out.IsNTT = a.IsNTT
+}
+
+// AutomorphismParallel applies X ↦ X^g to every limb across the pool using
+// the shared HFAuto engine (one routing map serves all limbs). The
+// polynomial must be in the coefficient domain; dst and src must not alias.
+func (r *Ring) AutomorphismParallel(dst, src *Poly, g uint64, pool *Pool) {
+	limbs := r.check(dst, src)
+	if src.IsNTT {
+		panic("ring: Automorphism requires coefficient domain")
+	}
+	m := r.HF.Get(g) // precompute once, outside the parallel region
+	pool.ForEach(limbs, func(i int) {
+		stage := r.GetVec()
+		m.ApplyScratch(dst.Coeffs[i], src.Coeffs[i], r.Moduli[i], stage)
+		r.PutVec(stage)
+	})
+	dst.IsNTT = false
+}
+
+// AutomorphismNTTParallel applies the NTT-domain Galois permutation to
+// every limb across the pool. dst and src must not alias.
+func (r *Ring) AutomorphismNTTParallel(dst, src *Poly, g uint64, pool *Pool) {
+	limbs := r.check(dst, src)
+	if !src.IsNTT {
+		panic("ring: AutomorphismNTT requires NTT domain")
+	}
+	if g%2 == 0 {
+		panic("ring: even Galois element")
+	}
+	perm := r.nttPermutation(g)
+	pool.ForEach(limbs, func(i int) {
+		ApplyPermutationNTT(dst.Coeffs[i], src.Coeffs[i], perm)
+	})
+	dst.IsNTT = true
 }

@@ -1,0 +1,114 @@
+package ring
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, pool := range testPools() {
+		for _, n := range []int{0, 1, 2, 3, 17, 100, 1000} {
+			hits := make([]int32, n)
+			pool.ForEach(n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", pool.Workers(), n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachChunkCoversEveryIndexOnce(t *testing.T) {
+	for _, pool := range testPools() {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000, 4097} {
+			hits := make([]int32, n)
+			pool.ForEachChunk(n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", pool.Workers(), n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, pool := range []*Pool{nil, NewPool(4)} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want \"boom\"", pool.Workers(), r)
+				}
+			}()
+			pool.ForEach(64, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// TestForEachNested ensures nested ForEach calls complete rather than
+// deadlock when the pool is saturated (inner calls degrade to inline).
+func TestForEachNested(t *testing.T) {
+	pool := NewPool(2)
+	var total atomic.Int64
+	pool.ForEach(8, func(i int) {
+		pool.ForEach(8, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested ForEach ran %d items, want 64", total.Load())
+	}
+}
+
+// TestForEachConcurrent hammers one shared pool from many goroutines; run
+// under -race this proves the claiming counter and semaphore are sound.
+func TestForEachConcurrent(t *testing.T) {
+	pool := NewPool(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			pool.ForEach(100, func(i int) { sum.Add(int64(i)) })
+			if sum.Load() != 4950 {
+				t.Error("concurrent ForEach lost items")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolWorkers(t *testing.T) {
+	if w := (*Pool)(nil).Workers(); w != 1 {
+		t.Errorf("nil pool workers = %d, want 1", w)
+	}
+	if w := NewPool(1).Workers(); w != 1 {
+		t.Errorf("NewPool(1).Workers() = %d, want 1", w)
+	}
+	if w := NewPool(7).Workers(); w != 7 {
+		t.Errorf("NewPool(7).Workers() = %d, want 7", w)
+	}
+	if w := NewPool(0).Workers(); w < 1 {
+		t.Errorf("NewPool(0).Workers() = %d, want ≥ 1 (GOMAXPROCS)", w)
+	}
+	if DefaultPool() != DefaultPool() {
+		t.Error("DefaultPool must return a stable singleton")
+	}
+}

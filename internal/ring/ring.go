@@ -7,6 +7,7 @@ package ring
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"poseidon/internal/automorph"
 	"poseidon/internal/ntt"
@@ -24,12 +25,21 @@ type Ring struct {
 
 	// HF is the sub-vector automorphism engine shared by all limbs.
 	HF *HFCache
+
+	// scratch recycles polynomial backing arrays; vecs recycles single
+	// N-word limb vectors. Both keep the limb-parallel hot paths from
+	// churning the GC with per-operation allocations.
+	scratch sync.Pool
+	vecs    sync.Pool
 }
 
 // HFCache caches precomputed HFAuto routing maps per Galois element.
 // Routing is data-independent, so one map serves every limb and ciphertext.
+// Safe for concurrent use: lookups take a read lock, first-time builds a
+// write lock.
 type HFCache struct {
 	h    *automorph.HFAuto
+	mu   sync.RWMutex
 	maps map[uint64]*automorph.Map
 }
 
@@ -75,13 +85,20 @@ func NewRing(n int, moduli []uint64, laneC int) (*Ring, error) {
 }
 
 // Get returns (building if needed) the routing map for Galois element g.
-// Not safe for concurrent mutation; precompute maps before sharing across
-// goroutines.
+// Safe for concurrent use.
 func (c *HFCache) Get(g uint64) *automorph.Map {
+	c.mu.RLock()
+	m, ok := c.maps[g]
+	c.mu.RUnlock()
+	if ok {
+		return m
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if m, ok := c.maps[g]; ok {
 		return m
 	}
-	m := c.h.Precompute(g)
+	m = c.h.Precompute(g)
 	c.maps[g] = m
 	return m
 }
@@ -106,6 +123,73 @@ func (r *Ring) NewPoly(limbs int) *Poly {
 		p.Coeffs[i] = backing[i*r.N : (i+1)*r.N]
 	}
 	return p
+}
+
+// GetPoly returns a zeroed `limbs`-limb polynomial drawn from the ring's
+// scratch pool. Pair with PutPoly when the value is no longer referenced;
+// polynomials that escape to callers should use NewPoly instead. Safe for
+// concurrent use.
+func (r *Ring) GetPoly(limbs int) *Poly {
+	p := r.GetPolyDirty(limbs)
+	for i := range p.Coeffs {
+		c := p.Coeffs[i]
+		for j := range c {
+			c[j] = 0
+		}
+	}
+	return p
+}
+
+// GetPolyDirty is GetPoly without the zero fill: the contents are
+// unspecified. Use when every coefficient is about to be overwritten.
+func (r *Ring) GetPolyDirty(limbs int) *Poly {
+	if limbs < 1 || limbs > len(r.Moduli) {
+		panic(fmt.Sprintf("ring: limbs=%d out of range [1,%d]", limbs, len(r.Moduli)))
+	}
+	need := limbs * r.N
+	var backing []uint64
+	if v := r.scratch.Get(); v != nil {
+		if b := v.([]uint64); cap(b) >= need {
+			backing = b[:need]
+		}
+	}
+	if backing == nil {
+		backing = make([]uint64, len(r.Moduli)*r.N)[:need]
+	}
+	p := &Poly{Coeffs: make([][]uint64, limbs)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = backing[i*r.N : (i+1)*r.N]
+	}
+	return p
+}
+
+// PutPoly returns a polynomial obtained from GetPoly/GetPolyDirty to the
+// scratch pool. The poly must not be referenced afterwards, and must own
+// its backing array (never a prefix view of a live polynomial).
+func (r *Ring) PutPoly(p *Poly) {
+	if p == nil || len(p.Coeffs) == 0 {
+		return
+	}
+	b := p.Coeffs[0]
+	r.scratch.Put(b[:cap(b)])
+	p.Coeffs = nil
+}
+
+// GetVec returns an N-word scratch vector from the ring's buffer pool —
+// per-task staging space for parallel automorphisms and hoisted keyswitch
+// permutations. Pair with PutVec.
+func (r *Ring) GetVec() []uint64 {
+	if v := r.vecs.Get(); v != nil {
+		return v.([]uint64)
+	}
+	return make([]uint64, r.N)
+}
+
+// PutVec returns a GetVec vector to the pool.
+func (r *Ring) PutVec(v []uint64) {
+	if len(v) == r.N {
+		r.vecs.Put(v) //nolint:staticcheck // slice header allocation is amortized
+	}
 }
 
 // Level returns the polynomial's level (limbs − 1).
@@ -300,9 +384,11 @@ func (r *Ring) Automorphism(dst, src *Poly, g uint64) {
 		panic("ring: Automorphism requires coefficient domain")
 	}
 	m := r.HF.Get(g)
+	stage := r.GetVec()
 	for i := 0; i < limbs; i++ {
-		m.Apply(dst.Coeffs[i], src.Coeffs[i], r.Moduli[i])
+		m.ApplyScratch(dst.Coeffs[i], src.Coeffs[i], r.Moduli[i], stage)
 	}
+	r.PutVec(stage)
 	dst.IsNTT = false
 }
 

@@ -14,6 +14,7 @@ package rns
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"poseidon/internal/numeric"
 )
@@ -209,7 +210,9 @@ type Decomposer struct {
 	Alpha int
 
 	// extenders[d][size-1] extends digit d (of `size` primes) to all
-	// moduli (Q then P); built lazily.
+	// moduli (Q then P); built lazily under mu so concurrent (and
+	// limb-parallel) keyswitches can share one decomposer.
+	mu        sync.Mutex
 	extenders map[[2]int]*Extender
 }
 
@@ -245,6 +248,7 @@ func (d *Decomposer) DecomposeAndExtend(level, dig int, in, out [][]uint64) {
 	lo, hi := d.DigitRange(level, dig)
 	size := hi - lo
 	key := [2]int{dig, size}
+	d.mu.Lock()
 	ext, ok := d.extenders[key]
 	if !ok {
 		src := d.Q[lo:hi]
@@ -254,6 +258,7 @@ func (d *Decomposer) DecomposeAndExtend(level, dig int, in, out [][]uint64) {
 		ext = NewExtender(src, dst)
 		d.extenders[key] = ext
 	}
+	d.mu.Unlock()
 
 	nQP := level + 1 + len(d.P)
 	if len(out) != nQP {

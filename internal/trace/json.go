@@ -19,6 +19,7 @@ type jsonOp struct {
 type jsonTrace struct {
 	Name        string   `json:"name"`
 	Description string   `json:"description,omitempty"`
+	Workers     int      `json:"workers,omitempty"`
 	Ops         []jsonOp `json:"ops"`
 }
 
@@ -33,7 +34,7 @@ var kindNames = func() map[string]Kind {
 
 // WriteJSON serializes the trace.
 func (t *Trace) WriteJSON(w io.Writer) error {
-	jt := jsonTrace{Name: t.Name, Description: t.Description}
+	jt := jsonTrace{Name: t.Name, Description: t.Description, Workers: t.Workers}
 	for _, op := range t.Ops {
 		jt.Ops = append(jt.Ops, jsonOp{
 			Kind: op.Kind.String(), Limbs: op.Limbs, Count: op.Count, Tag: op.Tag,
@@ -53,7 +54,7 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 	if jt.Name == "" {
 		return nil, fmt.Errorf("trace: missing name")
 	}
-	t := &Trace{Name: jt.Name, Description: jt.Description}
+	t := &Trace{Name: jt.Name, Description: jt.Description, Workers: jt.Workers}
 	for i, op := range jt.Ops {
 		kind, ok := kindNames[op.Kind]
 		if !ok {

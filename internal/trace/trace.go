@@ -69,10 +69,14 @@ type Op struct {
 	Tag   string  // optional phase label (e.g. "CoeffToSlot")
 }
 
-// Trace is a named operation sequence.
+// Trace is a named operation sequence. Workers records the limb-parallel
+// worker count of the software evaluator the trace was captured on (0 =
+// unknown/not captured from a live run), so simulated speedups stay
+// attributable to the execution engine that produced the trace.
 type Trace struct {
 	Name        string
 	Description string
+	Workers     int
 	Ops         []Op
 }
 

@@ -45,6 +45,15 @@ func NewKit(params *Parameters, seed int64) *Kit {
 	}
 }
 
+// SetWorkers re-routes the kit's evaluator through a limb-parallel pool of
+// n workers (n ≤ 0 selects the shared GOMAXPROCS-sized pool, 1 is fully
+// serial). Results are bit-identical for every worker count; see the
+// differential suite in internal/ckks.
+func (k *Kit) SetWorkers(n int) { k.Eval = k.Eval.WithWorkers(n) }
+
+// Workers reports the evaluator's current limb-parallel worker bound.
+func (k *Kit) Workers() int { return k.Eval.Workers() }
+
 // EncryptValues encodes and encrypts a complex vector at the top level and
 // default scale.
 func (k *Kit) EncryptValues(values []complex128) *Ciphertext {

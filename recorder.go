@@ -2,6 +2,7 @@ package poseidon
 
 import (
 	"fmt"
+	"sync"
 
 	"poseidon/internal/trace"
 )
@@ -9,7 +10,13 @@ import (
 // TraceRecorder observes an evaluator and accumulates an operation trace:
 // run any FHE program functionally once, then price the recorded trace on
 // any accelerator design point. Install with Eval.SetObserver(recorder).
+//
+// The recorder is safe for concurrent use, so it can observe an evaluator
+// shared across goroutines — though interleaved recordings lose any
+// meaningful op ordering, and phase tags apply to whatever lands after
+// SetPhase.
 type TraceRecorder struct {
+	mu  sync.Mutex
 	tr  *Trace
 	tag string
 }
@@ -21,7 +28,20 @@ func NewTraceRecorder(name string) *TraceRecorder {
 
 // SetPhase labels subsequent operations with a workload-phase tag
 // (surfaced by the simulator's per-phase breakdown).
-func (r *TraceRecorder) SetPhase(tag string) { r.tag = tag }
+func (r *TraceRecorder) SetPhase(tag string) {
+	r.mu.Lock()
+	r.tag = tag
+	r.mu.Unlock()
+}
+
+// SetWorkers stamps the trace with the limb-parallel worker count of the
+// evaluator it observes (typically Eval.Workers()), so reports stay
+// attributable to the execution engine that produced them.
+func (r *TraceRecorder) SetWorkers(n int) {
+	r.mu.Lock()
+	r.tr.Workers = n
+	r.mu.Unlock()
+}
 
 // Observe implements the evaluator observer.
 func (r *TraceRecorder) Observe(op string, level int) {
@@ -29,11 +49,17 @@ func (r *TraceRecorder) Observe(op string, level int) {
 	if !ok {
 		return // unknown ops are skipped rather than mis-priced
 	}
+	r.mu.Lock()
 	r.tr.AddTagged(kind, level+1, 1, r.tag)
+	r.mu.Unlock()
 }
 
 // Trace returns the accumulated trace.
-func (r *TraceRecorder) Trace() *Trace { return r.tr }
+func (r *TraceRecorder) Trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tr
+}
 
 func kindByName(op string) (trace.Kind, bool) {
 	for _, k := range trace.Kinds() {
