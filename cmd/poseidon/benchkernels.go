@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"poseidon/internal/ckks"
+	"poseidon/internal/ntt"
+	"poseidon/internal/numeric"
+	"poseidon/internal/ring"
+)
+
+func init() {
+	register("benchkernels", "strict vs lazy kernel microbenchmarks, emitted as JSON", runBenchKernels)
+}
+
+// kernelBench is one timed configuration in BENCH_kernels.json.
+type kernelBench struct {
+	Name    string  `json:"name"`    // forward_ntt, inverse_ntt, mul_elementwise, keyswitch
+	Mode    string  `json:"mode"`    // strict (reference) or lazy (production)
+	Workers int     `json:"workers"` // limb-parallel worker count (1 for scalar kernels)
+	NsPerOp float64 `json:"ns_per_op"`
+	Iters   int     `json:"iterations"`
+}
+
+// kernelReport is the BENCH_kernels.json schema.
+type kernelReport struct {
+	GeneratedBy string            `json:"generated_by"`
+	LogN        int               `json:"log_n"`
+	N           int               `json:"n"`
+	ModulusBits int               `json:"modulus_bits"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Benchmarks  []kernelBench     `json:"benchmarks"`
+	Speedups    map[string]string `json:"speedups"` // lazy vs strict, per kernel per worker count
+}
+
+// runBenchKernels times the strict reference kernels against the lazy
+// production kernels on identical inputs — forward/inverse NTT, elementwise
+// multiplication, and the full keyswitch pipeline — and writes the results
+// to a machine-readable JSON file. Both kernel families produce bit-identical
+// outputs (proved by the differential suites); this reports what the laziness
+// buys in time.
+func runBenchKernels(fs *flag.FlagSet, args []string) error {
+	logN := fs.Int("logn", 13, "ring degree log2 for the NTT/elementwise kernels")
+	out := fs.String("o", "BENCH_kernels.json", "output path ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n := 1 << uint(*logN)
+
+	rep := kernelReport{
+		GeneratedBy: "poseidon benchkernels",
+		LogN:        *logN,
+		N:           n,
+		ModulusBits: 59,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Speedups:    map[string]string{},
+	}
+
+	qs, err := numeric.GenerateNTTPrimes(59, *logN, 1)
+	if err != nil {
+		return err
+	}
+	tab, err := ntt.NewTable(n, qs[0])
+	if err != nil {
+		return err
+	}
+
+	// Scalar transform kernels: one limb, workers=1 by construction.
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = uint64(i) * 2654435761 % qs[0]
+	}
+	buf := make([]uint64, n)
+	add := func(name, mode string, workers int, f func()) {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, kernelBench{
+			Name: name, Mode: mode, Workers: workers,
+			NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N), Iters: r.N,
+		})
+	}
+	add("forward_ntt", "strict", 1, func() { copy(buf, data); tab.ForwardStrict(buf) })
+	add("forward_ntt", "lazy", 1, func() { copy(buf, data); tab.Forward(buf) })
+	add("inverse_ntt", "strict", 1, func() { copy(buf, data); tab.InverseStrict(buf) })
+	add("inverse_ntt", "lazy", 1, func() { copy(buf, data); tab.Inverse(buf) })
+
+	// Elementwise multiplication: Barrett reference vs the vector Montgomery
+	// path, through the ring dispatcher the encoder/encryptor/evaluator use.
+	rq, err := ring.NewRing(n, qs, 0)
+	if err != nil {
+		return err
+	}
+	pa, pb, po := rq.NewPoly(1), rq.NewPoly(1), rq.NewPoly(1)
+	copy(pa.Coeffs[0], data)
+	copy(pb.Coeffs[0], data)
+	pa.IsNTT, pb.IsNTT = true, true
+	rq.SetStrictKernels(true)
+	add("mul_elementwise", "strict", 1, func() { rq.MulCoeffwise(po, pa, pb) })
+	rq.SetStrictKernels(false)
+	add("mul_elementwise", "lazy", 1, func() { rq.MulCoeffwise(po, pa, pb) })
+
+	// Keyswitch: the full pipeline (decompose, ModUp, NTT, fused digit
+	// inner product, ModDown) at workers=1 and at GOMAXPROCS.
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     *logN,
+		LogQ:     []int{55, 45, 45, 45},
+		LogP:     []int{58, 58},
+		LogScale: 45,
+	})
+	if err != nil {
+		return err
+	}
+	kgen := ckks.NewKeyGenerator(params, 42)
+	sk := kgen.GenSecretKey()
+	rlk := kgen.GenRelinearizationKey(sk)
+	pk := kgen.GenPublicKey(sk)
+	encr := ckks.NewEncryptor(params, pk, 7)
+	enc := ckks.NewEncoder(params)
+	z := make([]complex128, params.Slots)
+	for i := range z {
+		z[i] = complex(float64(i%17)/17, float64(i%5)/5)
+	}
+	ct := encr.Encrypt(enc.Encode(z, params.MaxLevel(), params.Scale))
+	ev := ckks.NewEvaluator(params, rlk, nil)
+
+	workerCounts := []int{1}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		workerCounts = append(workerCounts, g)
+	}
+	for _, w := range workerCounts {
+		evw := ev.WithWorkers(w)
+		params.SetStrictKernels(true)
+		add("keyswitch", "strict", w, func() { evw.KeySwitch(ct, &rlk.SwitchingKey) })
+		params.SetStrictKernels(false)
+		add("keyswitch", "lazy", w, func() { evw.KeySwitch(ct, &rlk.SwitchingKey) })
+	}
+
+	// Pair up lazy/strict runs into speedup ratios.
+	type key struct {
+		name    string
+		workers int
+	}
+	strictNs := map[key]float64{}
+	for _, b := range rep.Benchmarks {
+		if b.Mode == "strict" {
+			strictNs[key{b.Name, b.Workers}] = b.NsPerOp
+		}
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Mode == "lazy" {
+			if s, ok := strictNs[key{b.Name, b.Workers}]; ok && b.NsPerOp > 0 {
+				rep.Speedups[fmt.Sprintf("%s/workers=%d", b.Name, b.Workers)] =
+					fmt.Sprintf("%.2fx", s/b.NsPerOp)
+			}
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	for k, v := range rep.Speedups {
+		fmt.Fprintf(os.Stderr, "  %-28s %s\n", k, v)
+	}
+	return nil
+}

@@ -181,15 +181,25 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) *Ciphertext {
 	// One limb-parallel pass computes the whole degree-2 product:
 	// d0 = a0·b0, d1 = a0·b1 + a1·b0, d2 = a1·b1 (all NTT-domain,
 	// element-wise — the paper's batched MM operator across limbs).
+	strict := rq.StrictKernels()
 	ev.pool.ForEach(level+1, func(i int) {
 		mod := rq.Moduli[i]
 		a0, a1 := a.C0.Coeffs[i], a.C1.Coeffs[i]
 		b0, b1 := b.C0.Coeffs[i], b.C1.Coeffs[i]
 		o0, o1, o2 := d0.Coeffs[i], d1.Coeffs[i], d2.Coeffs[i]
-		for j := range o0 {
-			o0[j] = mod.Mul(a0[j], b0[j])
-			o1[j] = mod.Add(mod.Mul(a0[j], b1[j]), mod.Mul(a1[j], b0[j]))
-			o2[j] = mod.Mul(a1[j], b1[j])
+		if strict {
+			for j := range o0 {
+				o0[j] = mod.Mul(a0[j], b0[j])
+				o1[j] = mod.Add(mod.Mul(a0[j], b1[j]), mod.Mul(a1[j], b0[j]))
+				o2[j] = mod.Mul(a1[j], b1[j])
+			}
+		} else {
+			// Montgomery squares plus the fused cross term: the two cross
+			// products accumulate in 128 bits and take one Barrett
+			// reduction per coefficient instead of two plus an add.
+			mod.VecMontMul(o0, a0, b0)
+			mod.VecMulPairSum(o1, a0, b1, a1, b0)
+			mod.VecMontMul(o2, a1, b1)
 		}
 	})
 	d0.IsNTT, d1.IsNTT, d2.IsNTT = true, true, true
@@ -250,7 +260,7 @@ func (ev *Evaluator) inttCopy(p *ring.Poly) *ring.Poly {
 	dst := rq.GetPolyDirty(limbs)
 	ev.pool.ForEach(limbs, func(i int) {
 		copy(dst.Coeffs[i], p.Coeffs[i])
-		rq.Tables[i].Inverse(dst.Coeffs[i])
+		rq.InverseLimb(i, dst.Coeffs[i])
 	})
 	dst.IsNTT = false
 	return dst
@@ -330,6 +340,17 @@ func (ev *Evaluator) KeySwitch(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
 // Q_l ∪ P, inner-product with the key digits in the NTT domain, then
 // ModDown by P. Returns (p0, p1) in NTT domain at the input level.
 //
+// The digit inner product is the fused lazy accumulation: each extended
+// limb keeps a 128-bit (hi, lo) column pair per coefficient, every digit's
+// product is a raw multiply-accumulate (VecMACWide), and one Barrett
+// reduction per coefficient (VecReduceWide) closes the sum — instead of a
+// full reduction plus modular add per digit. ReduceWide is valid for any
+// 128-bit value and q < 2^61 bounds each product below 2^122, so up to
+// numeric.MaxLazyProducts digits accumulate safely; deeper chains fold the
+// accumulator to a residue and continue. Under StrictKernels the per-digit
+// reduce-then-add reference path (macLimb) runs instead; both are
+// bit-identical.
+//
 // Parallel structure: the RNSconv/ModUp of a digit chunks across
 // coefficients; the forward NTT and multiply-accumulate of its extended
 // limbs fan out limb-wise (each limb is one independent lane group);
@@ -345,6 +366,7 @@ func (ev *Evaluator) keySwitchCore(level int, cx *ring.Poly, key *SwitchingKey) 
 	n := params.N
 	qLimbs := level + 1
 	extLimbs := qLimbs + alpha
+	strict := rq.StrictKernels()
 
 	// Accumulators over Q_l and P, NTT domain, drawn zeroed from the
 	// ring scratch pools.
@@ -354,11 +376,27 @@ func (ev *Evaluator) keySwitchCore(level int, cx *ring.Poly, key *SwitchingKey) 
 	acc1P := rp.GetPoly(alpha)
 	acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = true, true, true, true
 
+	// Lazy path: 128-bit accumulator columns, rows [0, extLimbs) for the
+	// b-key sum and [extLimbs, 2·extLimbs) for the a-key sum.
+	var wide *wideAcc
+	if !strict {
+		wide = newWideAcc(2*extLimbs, n)
+	}
+
 	// Scratch for one extended digit.
 	ext := params.getExt(extLimbs)
 	defer params.putExt(ext)
 
 	for d := 0; d < digits; d++ {
+		if wide != nil && d > 0 && d%(numeric.MaxLazyProducts-1) == 0 {
+			// Deep digit chains: fold each column to its residue so the
+			// next MaxLazyProducts−1 products cannot overflow 128 bits.
+			pool.ForEach(extLimbs, func(i int) {
+				mod := extModulus(rq, rp, qLimbs, i)
+				wide.fold(mod, i)
+				wide.fold(mod, extLimbs+i)
+			})
+		}
 		// RNSconv/ModUp: every coefficient's basis extension is
 		// self-contained, so the digit decomposes across chunks.
 		decomposer := params.decomposer
@@ -370,30 +408,50 @@ func (ev *Evaluator) keySwitchCore(level int, cx *ring.Poly, key *SwitchingKey) 
 		bd, ad := key.B[d], key.A[d]
 		pool.ForEach(extLimbs, func(i int) {
 			if i < qLimbs {
-				mod := rq.Moduli[i]
-				rq.Tables[i].Forward(ext[i])
-				macLimb(acc0Q.Coeffs[i], ext[i], bd.Q.Coeffs[i], mod)
-				macLimb(acc1Q.Coeffs[i], ext[i], ad.Q.Coeffs[i], mod)
+				rq.ForwardLimb(i, ext[i])
+				if strict {
+					mod := rq.Moduli[i]
+					macLimb(acc0Q.Coeffs[i], ext[i], bd.Q.Coeffs[i], mod)
+					macLimb(acc1Q.Coeffs[i], ext[i], ad.Q.Coeffs[i], mod)
+				} else {
+					wide.mac(i, ext[i], bd.Q.Coeffs[i])
+					wide.mac(extLimbs+i, ext[i], ad.Q.Coeffs[i])
+				}
 			} else {
 				j := i - qLimbs
-				mod := rp.Moduli[j]
-				rp.Tables[j].Forward(ext[i])
-				macLimb(acc0P.Coeffs[j], ext[i], bd.P.Coeffs[j], mod)
-				macLimb(acc1P.Coeffs[j], ext[i], ad.P.Coeffs[j], mod)
+				rp.ForwardLimb(j, ext[i])
+				if strict {
+					mod := rp.Moduli[j]
+					macLimb(acc0P.Coeffs[j], ext[i], bd.P.Coeffs[j], mod)
+					macLimb(acc1P.Coeffs[j], ext[i], ad.P.Coeffs[j], mod)
+				} else {
+					wide.mac(i, ext[i], bd.P.Coeffs[j])
+					wide.mac(extLimbs+i, ext[i], ad.P.Coeffs[j])
+				}
 			}
 		})
 	}
 
 	// ModDown: back to coefficient domain (all 2·(level+1)+2·α inverse
-	// transforms are independent), divide by P, return to NTT.
+	// transforms are independent), divide by P, return to NTT. The lazy
+	// path's single deferred reduction per coefficient lands here, fused
+	// with the inverse transform of the same limb.
 	accQ := [2]*ring.Poly{acc0Q, acc1Q}
 	accP := [2]*ring.Poly{acc0P, acc1P}
 	pool.ForEach(2*qLimbs+2*alpha, func(t int) {
 		if t < 2*qLimbs {
-			rq.Tables[t%qLimbs].Inverse(accQ[t/qLimbs].Coeffs[t%qLimbs])
+			c, i := t/qLimbs, t%qLimbs
+			if wide != nil {
+				wide.reduce(rq.Moduli[i], c*extLimbs+i, accQ[c].Coeffs[i])
+			}
+			rq.InverseLimb(i, accQ[c].Coeffs[i])
 		} else {
 			t -= 2 * qLimbs
-			rp.Tables[t%alpha].Inverse(accP[t/alpha].Coeffs[t%alpha])
+			c, j := t/alpha, t%alpha
+			if wide != nil {
+				wide.reduce(rp.Moduli[j], c*extLimbs+qLimbs+j, accP[c].Coeffs[j])
+			}
+			rp.InverseLimb(j, accP[c].Coeffs[j])
 		}
 	})
 	acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = false, false, false, false
@@ -411,16 +469,63 @@ func (ev *Evaluator) keySwitchCore(level int, cx *ring.Poly, key *SwitchingKey) 
 	rp.PutPoly(acc1P)
 	pool.ForEach(2*qLimbs, func(t int) {
 		if t < qLimbs {
-			rq.Tables[t].Forward(p0.Coeffs[t])
+			rq.ForwardLimb(t, p0.Coeffs[t])
 		} else {
-			rq.Tables[t-qLimbs].Forward(p1.Coeffs[t-qLimbs])
+			rq.ForwardLimb(t-qLimbs, p1.Coeffs[t-qLimbs])
 		}
 	})
 	p0.IsNTT, p1.IsNTT = true, true
 	return p0, p1
 }
 
-// macLimb computes acc[j] += a[j]·b[j] mod q over one limb.
+// extModulus resolves extended-limb index i to its modulus: Q limbs first,
+// then P limbs.
+func extModulus(rq, rp *ring.Ring, qLimbs, i int) numeric.Modulus {
+	if i < qLimbs {
+		return rq.Moduli[i]
+	}
+	return rp.Moduli[i-qLimbs]
+}
+
+// wideAcc is a bank of 128-bit accumulator columns: rows of N (hi, lo)
+// pairs backing the fused lazy inner products of the keyswitch and
+// linear-transform pipelines. Rows are touched by at most one worker at a
+// time (the parallel loops partition by row), so no locking is needed.
+type wideAcc struct {
+	hi [][]uint64
+	lo [][]uint64
+}
+
+// newWideAcc allocates rows×n zeroed accumulator columns in two slabs.
+func newWideAcc(rows, n int) *wideAcc {
+	hiSlab := make([]uint64, rows*n)
+	loSlab := make([]uint64, rows*n)
+	w := &wideAcc{hi: make([][]uint64, rows), lo: make([][]uint64, rows)}
+	for r := 0; r < rows; r++ {
+		w.hi[r] = hiSlab[r*n : (r+1)*n]
+		w.lo[r] = loSlab[r*n : (r+1)*n]
+	}
+	return w
+}
+
+// mac accumulates a[j]·b[j] onto row r.
+func (w *wideAcc) mac(r int, a, b []uint64) {
+	numeric.VecMACWide(w.hi[r], w.lo[r], a, b)
+}
+
+// fold reduces row r to residues, restarting the lazy-product budget.
+func (w *wideAcc) fold(mod numeric.Modulus, r int) {
+	mod.VecFoldWide(w.hi[r], w.lo[r])
+}
+
+// reduce closes row r with the single deferred Barrett reduction per
+// coefficient, writing residues into out.
+func (w *wideAcc) reduce(mod numeric.Modulus, r int, out []uint64) {
+	mod.VecReduceWide(out, w.hi[r], w.lo[r])
+}
+
+// macLimb computes acc[j] += a[j]·b[j] mod q over one limb — the strict
+// reference schedule (one full reduction and modular add per digit).
 func macLimb(acc, a, b []uint64, mod numeric.Modulus) {
 	for j := range acc {
 		acc[j] = mod.Add(acc[j], mod.Mul(a[j], b[j]))

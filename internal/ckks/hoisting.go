@@ -3,6 +3,7 @@ package ckks
 import (
 	"fmt"
 
+	"poseidon/internal/numeric"
 	"poseidon/internal/ring"
 )
 
@@ -54,9 +55,9 @@ func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) *hoistedDecomposition {
 		})
 		pool.ForEach(extLimbs, func(i int) {
 			if i < qLimbs {
-				rq.Tables[i].Forward(ext[i])
+				rq.ForwardLimb(i, ext[i])
 			} else {
-				rp.Tables[i-qLimbs].Forward(ext[i])
+				rp.ForwardLimb(i-qLimbs, ext[i])
 			}
 		})
 		hd.digits = append(hd.digits, ext)
@@ -79,6 +80,8 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 	alpha := params.Alpha()
 	n := params.N
 	qLimbs := level + 1
+	extLimbs := qLimbs + alpha
+	strict := rq.StrictKernels()
 
 	hd := ev.decomposeHoisted(ct)
 	out := make(map[int]*Ciphertext, len(steps))
@@ -102,21 +105,46 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 		acc1P := rp.GetPoly(alpha)
 		acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = true, true, true, true
 
+		// Fused lazy digit sum, same accumulator discipline as
+		// keySwitchCore: raw 128-bit MACs per digit, one deferred Barrett
+		// reduction per coefficient folded into the inverse-NTT pass.
+		var wide *wideAcc
+		if !strict {
+			wide = newWideAcc(2*extLimbs, n)
+		}
+
 		for di, ext := range hd.digits {
+			if wide != nil && di > 0 && di%(numeric.MaxLazyProducts-1) == 0 {
+				pool.ForEach(extLimbs, func(i int) {
+					mod := extModulus(rq, rp, qLimbs, i)
+					wide.fold(mod, i)
+					wide.fold(mod, extLimbs+i)
+				})
+			}
 			bd, ad := key.B[di], key.A[di]
-			pool.ForEach(qLimbs+alpha, func(i int) {
+			pool.ForEach(extLimbs, func(i int) {
 				permBuf := rq.GetVec()
 				if i < qLimbs {
-					mod := rq.Moduli[i]
 					ring.ApplyPermutationNTT(permBuf, ext[i], permQ)
-					macLimb(acc0Q.Coeffs[i], permBuf, bd.Q.Coeffs[i], mod)
-					macLimb(acc1Q.Coeffs[i], permBuf, ad.Q.Coeffs[i], mod)
+					if strict {
+						mod := rq.Moduli[i]
+						macLimb(acc0Q.Coeffs[i], permBuf, bd.Q.Coeffs[i], mod)
+						macLimb(acc1Q.Coeffs[i], permBuf, ad.Q.Coeffs[i], mod)
+					} else {
+						wide.mac(i, permBuf, bd.Q.Coeffs[i])
+						wide.mac(extLimbs+i, permBuf, ad.Q.Coeffs[i])
+					}
 				} else {
 					j := i - qLimbs
-					mod := rp.Moduli[j]
 					ring.ApplyPermutationNTT(permBuf, ext[i], permP)
-					macLimb(acc0P.Coeffs[j], permBuf, bd.P.Coeffs[j], mod)
-					macLimb(acc1P.Coeffs[j], permBuf, ad.P.Coeffs[j], mod)
+					if strict {
+						mod := rp.Moduli[j]
+						macLimb(acc0P.Coeffs[j], permBuf, bd.P.Coeffs[j], mod)
+						macLimb(acc1P.Coeffs[j], permBuf, ad.P.Coeffs[j], mod)
+					} else {
+						wide.mac(i, permBuf, bd.P.Coeffs[j])
+						wide.mac(extLimbs+i, permBuf, ad.P.Coeffs[j])
+					}
 				}
 				rq.PutVec(permBuf)
 			})
@@ -126,10 +154,18 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 		accP := [2]*ring.Poly{acc0P, acc1P}
 		pool.ForEach(2*qLimbs+2*alpha, func(t int) {
 			if t < 2*qLimbs {
-				rq.Tables[t%qLimbs].Inverse(accQ[t/qLimbs].Coeffs[t%qLimbs])
+				c, i := t/qLimbs, t%qLimbs
+				if wide != nil {
+					wide.reduce(rq.Moduli[i], c*extLimbs+i, accQ[c].Coeffs[i])
+				}
+				rq.InverseLimb(i, accQ[c].Coeffs[i])
 			} else {
 				t -= 2 * qLimbs
-				rp.Tables[t%alpha].Inverse(accP[t/alpha].Coeffs[t%alpha])
+				c, j := t/alpha, t%alpha
+				if wide != nil {
+					wide.reduce(rp.Moduli[j], c*extLimbs+qLimbs+j, accP[c].Coeffs[j])
+				}
+				rp.InverseLimb(j, accP[c].Coeffs[j])
 			}
 		})
 		acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = false, false, false, false
@@ -151,11 +187,11 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 		pool.ForEach(3*qLimbs, func(t int) {
 			switch {
 			case t < qLimbs:
-				rq.Tables[t].Forward(p0.Coeffs[t])
+				rq.ForwardLimb(t, p0.Coeffs[t])
 			case t < 2*qLimbs:
-				rq.Tables[t-qLimbs].Forward(p1.Coeffs[t-qLimbs])
+				rq.ForwardLimb(t-qLimbs, p1.Coeffs[t-qLimbs])
 			default:
-				rq.Tables[t-2*qLimbs].Forward(a0.Coeffs[t-2*qLimbs])
+				rq.ForwardLimb(t-2*qLimbs, a0.Coeffs[t-2*qLimbs])
 			}
 		})
 		p0.IsNTT, p1.IsNTT, a0.IsNTT = true, true, true

@@ -3,6 +3,8 @@ package ckks
 import (
 	"fmt"
 	"math/cmplx"
+
+	"poseidon/internal/numeric"
 )
 
 // LinearTransform is an encoded n×n slot-wise matrix multiplication,
@@ -108,17 +110,20 @@ func (ev *Evaluator) EvaluateLinearTransform(ct *Ciphertext, lt *LinearTransform
 		}
 	}
 
-	// Giant steps: group by j, multiply-accumulate, rotate group sums.
-	groups := map[int]*Ciphertext{}
+	// Giant steps: group by j, multiply-accumulate, rotate group sums. Each
+	// group sum Σ_i rot_i(ct)·diag_{j+i} is a fused lazy inner product (see
+	// mulPlainSum); under StrictKernels it runs as the reference
+	// MulPlain/Add chain. Both are bit-identical and report the same
+	// operator counts.
+	members := map[int][]ltTerm{}
 	for d, pt := range lt.diag {
 		i := d % n1
 		j := d - i
-		term := ev.MulPlain(inner[i], pt)
-		if acc, ok := groups[j]; ok {
-			groups[j] = ev.Add(acc, term)
-		} else {
-			groups[j] = term
-		}
+		members[j] = append(members[j], ltTerm{ct: inner[i], pt: pt})
+	}
+	groups := map[int]*Ciphertext{}
+	for j, terms := range members {
+		groups[j] = ev.mulPlainSum(terms)
 	}
 
 	var out *Ciphertext
@@ -143,6 +148,68 @@ func (ev *Evaluator) EvaluateLinearTransform(ct *Ciphertext, lt *LinearTransform
 		}
 		z.Scale = ct.Scale * lt.Scale
 		return z
+	}
+	return out
+}
+
+// ltTerm is one diagonal's contribution to a giant-step group sum.
+type ltTerm struct {
+	ct *Ciphertext
+	pt *Plaintext
+}
+
+// mulPlainSum computes Σ_m terms[m].ct · terms[m].pt (a PMult digit sum).
+// All terms must share one level and one ciphertext scale — the giant-step
+// groups of a linear transform satisfy this by construction.
+//
+// The lazy path accumulates every product limb-wise into 128-bit columns
+// and spends a single Barrett reduction per coefficient on the whole sum,
+// instead of one reduction plus modular add per term; groups deeper than
+// numeric.MaxLazyProducts fold mid-sum. Under StrictKernels it is the
+// literal MulPlain/Add reference chain. Both paths emit identical operator
+// traces: k PMult and k−1 HAdd for a k-term group.
+func (ev *Evaluator) mulPlainSum(terms []ltTerm) *Ciphertext {
+	rq := ev.params.RingQ
+	if rq.StrictKernels() || len(terms) == 1 {
+		out := ev.MulPlain(terms[0].ct, terms[0].pt)
+		for _, t := range terms[1:] {
+			out = ev.Add(out, ev.MulPlain(t.ct, t.pt))
+		}
+		return out
+	}
+
+	level := terms[0].ct.Level
+	if terms[0].pt.Level < level {
+		level = terms[0].pt.Level
+	}
+	qLimbs := level + 1
+	scale := terms[0].ct.Scale * terms[0].pt.Scale
+	out := &Ciphertext{C0: rq.NewPoly(qLimbs), C1: rq.NewPoly(qLimbs), Scale: scale, Level: level}
+
+	// Rows [0, qLimbs) accumulate C0, rows [qLimbs, 2·qLimbs) C1.
+	wide := newWideAcc(2*qLimbs, ev.params.N)
+	ev.pool.ForEach(qLimbs, func(l int) {
+		mod := rq.Moduli[l]
+		for m, t := range terms {
+			if m > 0 && m%(numeric.MaxLazyProducts-1) == 0 {
+				wide.fold(mod, l)
+				wide.fold(mod, qLimbs+l)
+			}
+			ptc := t.pt.Value.Coeffs[l]
+			wide.mac(l, t.ct.C0.Coeffs[l], ptc)
+			wide.mac(qLimbs+l, t.ct.C1.Coeffs[l], ptc)
+		}
+		wide.reduce(mod, l, out.C0.Coeffs[l])
+		wide.reduce(mod, qLimbs+l, out.C1.Coeffs[l])
+	})
+	out.C0.IsNTT, out.C1.IsNTT = true, true
+
+	// Operator-trace parity with the strict MulPlain/Add chain.
+	for range terms {
+		ev.observe("PMult", level)
+	}
+	for i := 1; i < len(terms); i++ {
+		ev.observe("HAdd", level)
 	}
 	return out
 }

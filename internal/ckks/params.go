@@ -84,6 +84,12 @@ type ParametersLiteral struct {
 	// 1 forces fully serial execution, n > 1 creates a dedicated pool of
 	// that width. Results are bit-identical for every setting.
 	Workers int
+
+	// StrictKernels starts the instance on the fully reduced reference
+	// kernels instead of the lazy-reduction production kernels. Outputs are
+	// bit-identical either way; the flag exists for differential testing
+	// and before/after benchmarking (see Parameters.SetStrictKernels).
+	StrictKernels bool
 }
 
 // NewParameters instantiates the literal: generates distinct NTT-friendly
@@ -156,8 +162,21 @@ func NewParameters(lit ParametersLiteral) (*Parameters, error) {
 	} else {
 		p.pool = ring.NewPool(lit.Workers)
 	}
+	p.SetStrictKernels(lit.StrictKernels)
 	return p, nil
 }
+
+// SetStrictKernels switches both rings (and the evaluator paths keyed off
+// them) between the lazy production kernels (false, default) and the strict
+// reference kernels (true). Outputs are bit-identical; see
+// ring.Ring.SetStrictKernels for the concurrency caveat.
+func (p *Parameters) SetStrictKernels(strict bool) {
+	p.RingQ.SetStrictKernels(strict)
+	p.RingP.SetStrictKernels(strict)
+}
+
+// StrictKernels reports whether the strict reference kernels are selected.
+func (p *Parameters) StrictKernels() bool { return p.RingQ.StrictKernels() }
 
 // Workers reports the limb-parallel worker bound evaluators inherit from
 // these parameters.

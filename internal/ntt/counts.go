@@ -6,8 +6,17 @@ package ntt
 type Stats struct {
 	Mults        int64 // modular or raw twiddle multiplications
 	Adds         int64 // additions/subtractions
-	Reductions   int64 // Barrett reductions performed
+	Reductions   int64 // TAM-convention reduction slots (one per butterfly output)
 	TwiddleLoads int64 // twiddle factors fetched from storage
+
+	// Deferred counts reduction slots the lazy kernels skipped (residues
+	// left in their [0,2q)/[0,4q) band); Normalizations counts band-edge
+	// reductions actually performed. For every kernel,
+	// Reductions == Deferred + Normalizations, so Reductions remains
+	// directly comparable with the paper's Table II convention while the
+	// pair reports what the lazy schedule really executed.
+	Deferred       int64
+	Normalizations int64
 }
 
 // Add accumulates o into s.
@@ -16,6 +25,8 @@ func (s *Stats) Add(o Stats) {
 	s.Adds += o.Adds
 	s.Reductions += o.Reductions
 	s.TwiddleLoads += o.TwiddleLoads
+	s.Deferred += o.Deferred
+	s.Normalizations += o.Normalizations
 }
 
 // BlockCosts are the per-fused-block operation counts underlying Table II

@@ -3,8 +3,6 @@ package ntt
 import (
 	"fmt"
 	"math/bits"
-
-	"poseidon/internal/numeric"
 )
 
 // FusedPlan is a radix-2^k execution plan for the forward NTT of one Table.
@@ -205,5 +203,3 @@ func (p *FusedPlan) TwiddleStorage() int {
 	}
 	return total
 }
-
-var _ = numeric.Modulus{} // keep import when lazy path is compiled out

@@ -152,25 +152,28 @@ func applyDenseMatrix(mod numeric.Modulus, mat, in, out []uint64, s *Stats, lazy
 				if w == 0 || in[j] == 0 {
 					continue
 				}
-				var ph, pl uint64
 				if w == 1 {
-					ph, pl = 0, in[j]
+					var c uint64
+					lo, c = bits.Add64(lo, in[j], 0)
+					hi += c
 				} else {
-					ph, pl = bits.Mul64(in[j], w)
+					hi, lo = numeric.MACWide(hi, lo, in[j], w)
 					if s != nil {
 						s.Mults++
 					}
 				}
-				var c uint64
-				lo, c = bits.Add64(lo, pl, 0)
-				hi, _ = bits.Add64(hi, ph, c)
 				if s != nil {
 					s.Adds++
 				}
 			}
 			out[i] = mod.ReduceWide(hi, lo)
 			if s != nil {
+				// The fused kernel's one reduction per output is performed,
+				// not deferred — its deferral relative to the unfused
+				// schedule is already expressed by the smaller Reductions
+				// total (FusedBlockCosts).
 				s.Reductions++
+				s.Normalizations++
 			}
 		}
 		return
@@ -188,6 +191,7 @@ func applyDenseMatrix(mod numeric.Modulus, mat, in, out []uint64, s *Stats, lazy
 				if s != nil {
 					s.Mults++
 					s.Reductions++
+					s.Normalizations++
 				}
 			}
 			acc = mod.Add(acc, term)

@@ -1,0 +1,223 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// edgePolys builds inputs that pin the lazy kernels' band edges: all-zero,
+// all-one, all q−1, alternating {0, q−1}, and a few random vectors.
+func edgePolys(rng *rand.Rand, n int, q uint64) [][]uint64 {
+	fill := func(v uint64) []uint64 {
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = v
+		}
+		return a
+	}
+	alt := make([]uint64, n)
+	for i := range alt {
+		if i%2 == 1 {
+			alt[i] = q - 1
+		}
+	}
+	polys := [][]uint64{fill(0), fill(1), fill(q - 1), alt}
+	for i := 0; i < 4; i++ {
+		polys = append(polys, randomPoly(rng, n, q))
+	}
+	return polys
+}
+
+// The lazy Harvey forward kernel must be bit-identical to the strict
+// reference on every size (exercising the n=2 special case, the n=4
+// no-middle-stage case, and deep transforms) at every band edge.
+func TestForwardLazyMatchesStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{2, 4, 8, 16, 256, 1024} {
+		for _, bitSize := range []int{30, 45, 59, 61} {
+			tab := mustTable(t, n, bitSize)
+			for pi, p := range edgePolys(rng, n, tab.Mod.Q) {
+				lazy := append([]uint64(nil), p...)
+				strict := append([]uint64(nil), p...)
+				tab.Forward(lazy)
+				tab.ForwardStrict(strict)
+				for i := range lazy {
+					if lazy[i] != strict[i] {
+						t.Fatalf("n=%d bits=%d poly=%d: Forward diverges from strict at %d: %d != %d",
+							n, bitSize, pi, i, lazy[i], strict[i])
+					}
+					if lazy[i] >= tab.Mod.Q {
+						t.Fatalf("n=%d bits=%d: Forward output %d not fully reduced", n, bitSize, lazy[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The lazy GS inverse (with N^-1 folded into the last stage) must be
+// bit-identical to the strict reference with its separate scaling pass.
+func TestInverseLazyMatchesStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, n := range []int{2, 4, 8, 16, 256, 1024} {
+		for _, bitSize := range []int{30, 45, 59, 61} {
+			tab := mustTable(t, n, bitSize)
+			for pi, p := range edgePolys(rng, n, tab.Mod.Q) {
+				lazy := append([]uint64(nil), p...)
+				strict := append([]uint64(nil), p...)
+				tab.Inverse(lazy)
+				tab.InverseStrict(strict)
+				for i := range lazy {
+					if lazy[i] != strict[i] {
+						t.Fatalf("n=%d bits=%d poly=%d: Inverse diverges from strict at %d: %d != %d",
+							n, bitSize, pi, i, lazy[i], strict[i])
+					}
+					if lazy[i] >= tab.Mod.Q {
+						t.Fatalf("n=%d bits=%d: Inverse output %d not fully reduced", n, bitSize, lazy[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// MulEval now routes through the Montgomery path; it must keep matching the
+// Barrett product bit-for-bit.
+func TestMulEvalMontgomeryMatchesBarrett(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tab := mustTable(t, 64, 61)
+	q := tab.Mod.Q
+	a := randomPoly(rng, 64, q)
+	b := randomPoly(rng, 64, q)
+	a[0], b[0] = 0, q-1
+	a[1], b[1] = q-1, q-1
+	a[2], b[2] = 1, q-1
+	c := make([]uint64, 64)
+	tab.MulEval(c, a, b)
+	for i := range c {
+		if want := tab.Mod.Mul(a[i], b[i]); c[i] != want {
+			t.Fatalf("MulEval[%d]=%d want %d", i, c[i], want)
+		}
+	}
+}
+
+// The lazy kernel's accounting must keep the TAM-convention Reductions total
+// (N·logN) while splitting it exactly into Deferred + Normalizations, with
+// one performed normalization per output coefficient.
+func TestLazyStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, n := range []int{2, 4, 8, 256, 4096} {
+		tab := mustTable(t, n, 59)
+		a := randomPoly(rng, n, tab.Mod.Q)
+		var s Stats
+		tab.forwardCounted(a, &s)
+		logN := int64(log2(n))
+		if want := int64(n) * logN; s.Reductions != want {
+			t.Errorf("n=%d: Reductions=%d want %d", n, s.Reductions, want)
+		}
+		if s.Reductions != s.Deferred+s.Normalizations {
+			t.Errorf("n=%d: Reductions=%d != Deferred=%d + Normalizations=%d",
+				n, s.Reductions, s.Deferred, s.Normalizations)
+		}
+		if s.Normalizations != int64(n) {
+			t.Errorf("n=%d: Normalizations=%d want %d (one per coefficient)", n, s.Normalizations, n)
+		}
+		if want := int64(n) * logN; s.Mults != want || s.Adds != want {
+			t.Errorf("n=%d: Mults=%d Adds=%d want %d", n, s.Mults, s.Adds, want)
+		}
+	}
+}
+
+// The fused plans must also satisfy the Deferred/Normalizations invariant so
+// the table-2 report can compare executed reductions across kernels.
+func TestFusedStatsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	tab := mustTable(t, 256, 59)
+	for _, k := range []int{1, 2, 3, 4} {
+		p, err := NewFusedPlan(tab, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := randomPoly(rng, 256, tab.Mod.Q)
+		var s Stats
+		p.ForwardCounted(a, &s)
+		if s.Reductions != s.Deferred+s.Normalizations {
+			t.Errorf("k=%d: Reductions=%d != Deferred=%d + Normalizations=%d",
+				k, s.Reductions, s.Deferred, s.Normalizations)
+		}
+	}
+}
+
+const benchN = 1 << 13 // N = 2^13, the paper-relevant microbenchmark size
+
+func benchPoly(tab *Table) []uint64 {
+	rng := rand.New(rand.NewSource(42))
+	return randomPoly(rng, tab.N, tab.Mod.Q)
+}
+
+func BenchmarkForwardLazy(b *testing.B) {
+	tab := benchTable(b, benchN)
+	a := benchPoly(tab)
+	b.SetBytes(int64(8 * tab.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Forward(a)
+	}
+}
+
+func BenchmarkForwardStrict(b *testing.B) {
+	tab := benchTable(b, benchN)
+	a := benchPoly(tab)
+	b.SetBytes(int64(8 * tab.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.ForwardStrict(a)
+	}
+}
+
+func BenchmarkInverseLazy(b *testing.B) {
+	tab := benchTable(b, benchN)
+	a := benchPoly(tab)
+	b.SetBytes(int64(8 * tab.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Inverse(a)
+	}
+}
+
+func BenchmarkInverseStrict(b *testing.B) {
+	tab := benchTable(b, benchN)
+	a := benchPoly(tab)
+	b.SetBytes(int64(8 * tab.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.InverseStrict(a)
+	}
+}
+
+func BenchmarkMulEvalMontgomery(b *testing.B) {
+	tab := benchTable(b, benchN)
+	x := benchPoly(tab)
+	y := benchPoly(tab)
+	c := make([]uint64, tab.N)
+	b.SetBytes(int64(8 * tab.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.MulEval(c, x, y)
+	}
+}
+
+func BenchmarkMulEvalBarrett(b *testing.B) {
+	tab := benchTable(b, benchN)
+	x := benchPoly(tab)
+	y := benchPoly(tab)
+	c := make([]uint64, tab.N)
+	mod := tab.Mod
+	b.SetBytes(int64(8 * tab.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range c {
+			c[j] = mod.Mul(x[j], y[j])
+		}
+	}
+}

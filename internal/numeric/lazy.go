@@ -1,0 +1,152 @@
+package numeric
+
+import "math/bits"
+
+// Lazy (redundant) residue arithmetic: operations that return values in
+// [0, 2q) or [0, 4q) instead of fully reduced residues, deferring the final
+// normalization. This is the software counterpart of the paper's deferred
+// "fused TAM" reductions — q < 2^61 (MaxModulusBits) guarantees 4q and all
+// lazy sums below fit a uint64 with headroom. The Harvey NTT butterflies
+// and the fused inner-product accumulators build on these primitives.
+
+// MulShoupLazy returns a value ≡ a·w (mod q) in [0, 2q) given the
+// precomputed Shoup constant wShoup = floor(w·2^64/q) with w < q. Unlike
+// MulShoup it skips the final conditional subtraction, removing the only
+// data-dependent branch from the butterfly's twiddle multiply. Valid for
+// ANY 64-bit a: the quotient estimate floor(a·wShoup/2^64) undershoots
+// a·w/q by less than 2, so the true difference lies in [0, 2q) and its
+// 64-bit wraparound computation is exact.
+func (m Modulus) MulShoupLazy(a, w, wShoup uint64) uint64 {
+	hi, _ := bits.Mul64(a, wShoup)
+	return a*w - hi*m.Q
+}
+
+// ReduceTwoQ normalizes a value in [0, 2q) to [0, q).
+func (m Modulus) ReduceTwoQ(a uint64) uint64 {
+	if a >= m.Q {
+		a -= m.Q
+	}
+	return a
+}
+
+// ReduceFourQ normalizes a value in [0, 4q) to [0, q) with two conditional
+// subtractions — the single deferred normalization the lazy forward NTT
+// pays per coefficient.
+func (m Modulus) ReduceFourQ(a uint64) uint64 {
+	twoQ := m.Q << 1
+	if a >= twoQ {
+		a -= twoQ
+	}
+	if a >= m.Q {
+		a -= m.Q
+	}
+	return a
+}
+
+// MACWide accumulates the 128-bit product a·b onto the accumulator
+// (hi, lo), returning the updated pair. Overflow of the 128-bit accumulator
+// is the caller's responsibility: with q < 2^61 each product is < 2^122, so
+// up to 64 products accumulate without wrapping (64·(2^61−1)^2 < 2^128).
+func MACWide(hi, lo, a, b uint64) (uint64, uint64) {
+	ph, pl := bits.Mul64(a, b)
+	var c uint64
+	lo, c = bits.Add64(lo, pl, 0)
+	hi += ph + c
+	return hi, lo
+}
+
+// MaxLazyProducts is the largest number of residue products (q < 2^61)
+// that MACWide can accumulate in 128 bits without overflow; accumulators
+// that may exceed it must fold (ReduceWide) and restart.
+const MaxLazyProducts = 64
+
+// VecMACWide accumulates a[j]·b[j] onto the 128-bit accumulator columns
+// (hi[j], lo[j]) — the vector form of MACWide used by the fused keyswitch
+// and linear-transform inner products. Pure integer arithmetic, no
+// reductions: the caller budgets MaxLazyProducts terms between folds.
+func VecMACWide(hi, lo, a, b []uint64) {
+	n := len(hi)
+	lo = lo[:n]
+	a = a[:n]
+	b = b[:n]
+	for j := range hi {
+		ph, pl := bits.Mul64(a[j], b[j])
+		var c uint64
+		lo[j], c = bits.Add64(lo[j], pl, 0)
+		hi[j] += ph + c
+	}
+}
+
+// VecReduceWide sets out[j] = (hi[j]·2^64 + lo[j]) mod q — the single
+// deferred Barrett reduction per coefficient that closes a fused inner
+// product. The ReduceWide body is written out with hoisted constants so the
+// loop carries no per-element method-call overhead.
+func (m Modulus) VecReduceWide(out, hi, lo []uint64) {
+	q, bHi, bLo := m.Q, m.BarrettHi, m.BarrettLo
+	n := len(out)
+	hi = hi[:n]
+	lo = lo[:n]
+	for j := range out {
+		h, l := hi[j], lo[j]
+		mh1, _ := bits.Mul64(l, bLo)
+		h2, l2 := bits.Mul64(l, bHi)
+		h3, l3 := bits.Mul64(h, bLo)
+		l4 := h * bHi
+		s, c1 := bits.Add64(mh1, l2, 0)
+		_, c2 := bits.Add64(s, l3, 0)
+		t := l4 + h2 + h3 + c1 + c2
+		r := l - t*q
+		if r >= q {
+			r -= q
+		}
+		if r >= q {
+			r -= q
+		}
+		out[j] = r
+	}
+}
+
+// VecFoldWide reduces each 128-bit accumulator column to its residue in
+// place — lo[j] becomes the column mod q, hi[j] becomes zero — restarting
+// the MaxLazyProducts budget while preserving the accumulated value mod q.
+func (m Modulus) VecFoldWide(hi, lo []uint64) {
+	m.VecReduceWide(lo, hi, lo)
+	for j := range hi {
+		hi[j] = 0
+	}
+}
+
+// VecMulPairSum sets c[j] = (a0[j]·b0[j] + a1[j]·b1[j]) mod q with one fused
+// 128-bit accumulation and a single Barrett reduction per coefficient —
+// bit-identical to Add(Mul(a0,b0), Mul(a1,b1)). This is the cross-term
+// kernel of the degree-2 ciphertext product.
+func (m Modulus) VecMulPairSum(c, a0, b0, a1, b1 []uint64) {
+	q, bHi, bLo := m.Q, m.BarrettHi, m.BarrettLo
+	n := len(c)
+	a0 = a0[:n]
+	b0 = b0[:n]
+	a1 = a1[:n]
+	b1 = b1[:n]
+	for j := range c {
+		hi, lo := bits.Mul64(a0[j], b0[j])
+		ph, pl := bits.Mul64(a1[j], b1[j])
+		var cy uint64
+		lo, cy = bits.Add64(lo, pl, 0)
+		hi += ph + cy
+		mh1, _ := bits.Mul64(lo, bLo)
+		h2, l2 := bits.Mul64(lo, bHi)
+		h3, l3 := bits.Mul64(hi, bLo)
+		l4 := hi * bHi
+		s, c1 := bits.Add64(mh1, l2, 0)
+		_, c2 := bits.Add64(s, l3, 0)
+		t := l4 + h2 + h3 + c1 + c2
+		r := lo - t*q
+		if r >= q {
+			r -= q
+		}
+		if r >= q {
+			r -= q
+		}
+		c[j] = r
+	}
+}

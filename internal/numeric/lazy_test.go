@@ -1,0 +1,256 @@
+package numeric
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// MulShoupLazy must stay in [0, 2q) and agree with MulShoup modulo q for
+// arbitrary 64-bit inputs — including lazy residues just below 2q and 4q,
+// which is how the Harvey butterflies feed it.
+func TestMulShoupLazyBoundsAndCongruence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, q := range testModuli {
+		m := NewModulus(q)
+		twoQ, fourQ := 2*q, 4*q
+		ws := func(w uint64) uint64 { return m.ShoupConstant(w) }
+		inputs := []uint64{0, 1, q - 1, q, twoQ - 1}
+		if fourQ > twoQ { // no overflow for q < 2^62
+			inputs = append(inputs, fourQ-1)
+		}
+		for i := 0; i < 200; i++ {
+			inputs = append(inputs, rng.Uint64()%fourQ)
+		}
+		for _, w := range []uint64{0, 1, q - 1, rng.Uint64() % q} {
+			c := ws(w)
+			for _, a := range inputs {
+				lazy := m.MulShoupLazy(a, w, c)
+				if lazy >= twoQ {
+					t.Fatalf("q=%d MulShoupLazy(%d,%d)=%d ≥ 2q", q, a, w, lazy)
+				}
+				want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(w))
+				want.Mod(want, new(big.Int).SetUint64(q))
+				if m.Reduce(lazy) != want.Uint64() {
+					t.Fatalf("q=%d MulShoupLazy(%d,%d) incongruent", q, a, w)
+				}
+			}
+		}
+	}
+}
+
+// The normalization helpers must be exact at every band edge: 0, 1, q−1, q,
+// 2q−1, 2q, 4q−1.
+func TestReduceBandEdges(t *testing.T) {
+	for _, q := range testModuli {
+		m := NewModulus(q)
+		for _, a := range []uint64{0, 1, q - 1, q, 2*q - 1} {
+			if got, want := m.ReduceTwoQ(a), a%q; got != want {
+				t.Errorf("q=%d ReduceTwoQ(%d)=%d want %d", q, a, got, want)
+			}
+		}
+		for _, a := range []uint64{0, 1, q - 1, q, 2*q - 1, 2 * q, 3*q - 1, 3 * q, 4*q - 1} {
+			if got, want := m.ReduceFourQ(a), a%q; got != want {
+				t.Errorf("q=%d ReduceFourQ(%d)=%d want %d", q, a, got, want)
+			}
+		}
+	}
+}
+
+// MACWide must accumulate exactly like math/big, up to MaxLazyProducts
+// maximal products.
+func TestMACWideAgainstBig(t *testing.T) {
+	q := uint64(2305843009213554689) // 61-bit: worst case for accumulator headroom
+	m := NewModulus(q)
+	var hi, lo uint64
+	want := new(big.Int)
+	aMax, bMax := q-1, q-1
+	for i := 0; i < MaxLazyProducts; i++ {
+		hi, lo = MACWide(hi, lo, aMax, bMax)
+		want.Add(want, new(big.Int).Mul(new(big.Int).SetUint64(aMax), new(big.Int).SetUint64(bMax)))
+	}
+	got := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 64)
+	got.Add(got, new(big.Int).SetUint64(lo))
+	if got.Cmp(want) != 0 {
+		t.Fatalf("MACWide accumulated %v want %v", got, want)
+	}
+	// And the single deferred reduction recovers the exact digit sum.
+	wantMod := new(big.Int).Mod(want, new(big.Int).SetUint64(q)).Uint64()
+	if r := m.ReduceWide(hi, lo); r != wantMod {
+		t.Fatalf("ReduceWide(acc)=%d want %d", r, wantMod)
+	}
+}
+
+// ReduceWide is now valid for ANY 128-bit input (the fused inner-product
+// accumulators rely on this), not just products below q·2^64.
+func TestReduceWideFullRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, q := range testModuli {
+		m := NewModulus(q)
+		bq := new(big.Int).SetUint64(q)
+		check := func(hi, lo uint64) {
+			x := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 64)
+			x.Add(x, new(big.Int).SetUint64(lo))
+			want := new(big.Int).Mod(x, bq).Uint64()
+			if got := m.ReduceWide(hi, lo); got != want {
+				t.Fatalf("q=%d ReduceWide(%#x,%#x)=%d want %d", q, hi, lo, got, want)
+			}
+		}
+		check(^uint64(0), ^uint64(0)) // 2^128 − 1
+		check(^uint64(0), 0)
+		check(0, ^uint64(0))
+		for i := 0; i < 1000; i++ {
+			check(rng.Uint64(), rng.Uint64())
+		}
+	}
+}
+
+// TestReduceWideFixupSubtraction pins the conditional-subtraction fix-up:
+// for x just above the largest multiple of q below 2^128, the quotient
+// estimate undershoots by exactly 1 and the first of the two guards fires
+// (r ∈ [q, 2q)). The sweep also re-proves, against math/big, that the
+// estimate never undershoots by 2 — the second guard is pure safety margin,
+// consistent with the e < 1 error bound in the ReduceWide comment.
+func TestReduceWideFixupSubtraction(t *testing.T) {
+	one := big.NewInt(1)
+	b128 := new(big.Int).Lsh(one, 128)
+	mask := new(big.Int).Sub(new(big.Int).Lsh(one, 64), one)
+	for _, q := range testModuli {
+		m := NewModulus(q)
+		bq := new(big.Int).SetUint64(q)
+		mu := new(big.Int).Lsh(new(big.Int).SetUint64(m.BarrettHi), 64)
+		mu.Add(mu, new(big.Int).SetUint64(m.BarrettLo))
+		k := new(big.Int).Div(new(big.Int).Sub(b128, one), bq)
+		fixups := 0
+		for s := int64(0); s < 512; s++ {
+			x := new(big.Int).Mul(k, bq)
+			x.Add(x, big.NewInt(s))
+			if x.Cmp(b128) >= 0 {
+				break
+			}
+			// Reference quotient estimate and raw remainder.
+			est := new(big.Int).Mul(x, mu)
+			est.Rsh(est, 128)
+			raw := new(big.Int).Sub(x, new(big.Int).Mul(est, bq))
+			if raw.Cmp(new(big.Int).Lsh(bq, 1)) >= 0 {
+				t.Fatalf("q=%d x=%v: raw remainder %v ≥ 2q — undershoot-by-1 bound violated", q, x, raw)
+			}
+			if raw.Cmp(bq) >= 0 {
+				fixups++
+			}
+			hi := new(big.Int).Rsh(x, 64).Uint64()
+			lo := new(big.Int).And(x, mask).Uint64()
+			want := new(big.Int).Mod(x, bq).Uint64()
+			if got := m.ReduceWide(hi, lo); got != want {
+				t.Fatalf("q=%d ReduceWide(%#x,%#x)=%d want %d", q, hi, lo, got, want)
+			}
+		}
+		if fixups == 0 {
+			t.Errorf("q=%d: sweep never exercised the fix-up subtraction", q)
+		}
+	}
+}
+
+// The vector fused-accumulation kernels must agree with their scalar
+// definitions: MaxLazyProducts MACs, a fold in the middle, one deferred
+// reduction at the end.
+func TestVecWideKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 64
+	for _, q := range testModuli {
+		m := NewModulus(q)
+		hi := make([]uint64, n)
+		lo := make([]uint64, n)
+		want := make([]*big.Int, n)
+		for j := range want {
+			want[j] = new(big.Int)
+		}
+		bq := new(big.Int).SetUint64(q)
+		terms := MaxLazyProducts + MaxLazyProducts/2 // forces one fold
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for k := 0; k < terms; k++ {
+			for j := 0; j < n; j++ {
+				a[j] = rng.Uint64() % q
+				b[j] = rng.Uint64() % q
+			}
+			a[0], b[0] = q-1, q-1 // keep one maximal column
+			VecMACWide(hi, lo, a, b)
+			for j := 0; j < n; j++ {
+				want[j].Add(want[j], new(big.Int).Mul(new(big.Int).SetUint64(a[j]), new(big.Int).SetUint64(b[j])))
+			}
+			if k == MaxLazyProducts-1 {
+				m.VecFoldWide(hi, lo)
+				for j := range want {
+					want[j].Mod(want[j], bq)
+				}
+			}
+		}
+		out := make([]uint64, n)
+		m.VecReduceWide(out, hi, lo)
+		for j := 0; j < n; j++ {
+			if w := new(big.Int).Mod(want[j], bq).Uint64(); out[j] != w {
+				t.Fatalf("q=%d col %d: fused sum %d want %d", q, j, out[j], w)
+			}
+		}
+	}
+}
+
+// VecMulPairSum must match Add(Mul, Mul) bit for bit, including maximal
+// residues.
+func TestVecMulPairSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	const n = 32
+	for _, q := range testModuli {
+		m := NewModulus(q)
+		a0 := make([]uint64, n)
+		b0 := make([]uint64, n)
+		a1 := make([]uint64, n)
+		b1 := make([]uint64, n)
+		for j := 0; j < n; j++ {
+			a0[j], b0[j] = rng.Uint64()%q, rng.Uint64()%q
+			a1[j], b1[j] = rng.Uint64()%q, rng.Uint64()%q
+		}
+		a0[0], b0[0], a1[0], b1[0] = q-1, q-1, q-1, q-1
+		c := make([]uint64, n)
+		m.VecMulPairSum(c, a0, b0, a1, b1)
+		for j := 0; j < n; j++ {
+			if want := m.Add(m.Mul(a0[j], b0[j]), m.Mul(a1[j], b1[j])); c[j] != want {
+				t.Fatalf("q=%d col %d: pair sum %d want %d", q, j, c[j], want)
+			}
+		}
+	}
+}
+
+// The lazy Shoup product plus Harvey-style correction used by the
+// butterflies must reproduce bits.Mul64-based reference arithmetic for
+// twiddle multiplication at all band edges.
+func TestLazyButterflyAlgebra(t *testing.T) {
+	for _, q := range testModuli {
+		if 4*q < q { // needs 4q headroom
+			continue
+		}
+		m := NewModulus(q)
+		w := q - 1 // worst-case twiddle
+		ws := m.ShoupConstant(w)
+		for _, u := range []uint64{0, 1, q - 1, q, 2*q - 1, 2 * q, 4*q - 1} {
+			for _, v := range []uint64{0, 1, q - 1, q, 2*q - 1, 2 * q, 4*q - 1} {
+				uu := u
+				if uu >= 2*q {
+					uu -= 2 * q
+				}
+				tt := m.MulShoupLazy(v, w, ws)
+				x := uu + tt
+				y := uu + 2*q - tt
+				if x >= 4*q || y >= 4*q {
+					t.Fatalf("q=%d butterfly outputs out of 4q band: x=%d y=%d", q, x, y)
+				}
+				wantX := m.Add(m.Reduce(u), m.Mul(m.Reduce(v), w))
+				wantY := m.Sub(m.Reduce(u), m.Mul(m.Reduce(v), w))
+				if m.ReduceFourQ(x) != wantX || m.ReduceFourQ(y) != wantY {
+					t.Fatalf("q=%d lazy butterfly incongruent at u=%d v=%d", q, u, v)
+				}
+			}
+		}
+	}
+}

@@ -28,6 +28,16 @@ type Modulus struct {
 	BarrettHi uint64
 	BarrettLo uint64
 
+	// QInv is Q^-1 mod 2^64, the REDC constant of the Montgomery multiply
+	// path (zero for Q = 2, where no inverse exists and the Montgomery
+	// methods are undefined).
+	QInv uint64
+
+	// RModQ is 2^64 mod Q — the Montgomery radix residue used by MForm —
+	// and RModQShoup its Shoup dual.
+	RModQ      uint64
+	RModQShoup uint64
+
 	// Bits is the bit length of Q.
 	Bits int
 }
@@ -46,7 +56,24 @@ func NewModulus(q uint64) Modulus {
 		panic(fmt.Sprintf("numeric: modulus %d exceeds %d bits", q, MaxModulusBits))
 	}
 	hi, lo := barrettConstant(q)
-	return Modulus{Q: q, BarrettHi: hi, BarrettLo: lo, Bits: bits.Len64(q)}
+	m := Modulus{Q: q, BarrettHi: hi, BarrettLo: lo, Bits: bits.Len64(q)}
+	if q%2 == 1 {
+		m.QInv = montgomeryInverse(q)
+		_, m.RModQ = bits.Div64(1, 0, q) // 2^64 mod q
+		m.RModQShoup = m.ShoupConstant(m.RModQ)
+	}
+	return m
+}
+
+// montgomeryInverse returns q^-1 mod 2^64 for odd q by Newton iteration:
+// x_{k+1} = x_k·(2 − q·x_k) doubles the number of correct low bits, and
+// x_0 = q is already correct mod 8.
+func montgomeryInverse(q uint64) uint64 {
+	x := q
+	for i := 0; i < 5; i++ {
+		x *= 2 - q*x
+	}
+	return x
 }
 
 // barrettConstant returns floor(2^128 / q) as a (hi, lo) pair.
@@ -92,45 +119,41 @@ func (m Modulus) Mul(a, b uint64) uint64 {
 }
 
 // ReduceWide reduces a 128-bit value (hi·2^64 + lo) modulo q with Barrett
-// reduction. The input must be < q·2^64 (always true for products of two
-// residues). This is the scalar form of the paper's SBT operator.
+// reduction. Valid for ANY 128-bit input — the lazy inner-product kernels
+// rely on this to fold whole digit sums with one reduction. This is the
+// scalar form of the paper's SBT operator.
+//
+// Correctness: with mu = floor(2^128/q), x·mu/2^128 = x/q − e where
+// e = x·(2^128 mod q)/(q·2^128) < 1 for x < 2^128. The full-column sum
+// below computes t = floor(x·mu/2^128) exactly (mod 2^64), so t undershoots
+// floor(x/q) by at most 1 and the remainder r = x − t·q lies in [0, 2q);
+// two conditional subtractions are provably sufficient with a full q of
+// margin. Only the low 64 bits of t are needed: r < 2q < 2^64, so the
+// 64-bit wraparound computation r = lo − t·q recovers it exactly.
 func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
-	// Estimate t = floor(x / q) via t ≈ floor(x * floor(2^128/q) / 2^128).
-	// Only the top 128 bits of the 256-bit product x * mu are needed.
-	//
 	// x = hi·2^64 + lo, mu = BarrettHi·2^64 + BarrettLo.
-	// x·mu = hi·BHi·2^128 + (hi·BLo + lo·BHi)·2^64 + lo·BLo
+	// x·mu = hi·BHi·2^128 + (hi·BLo + lo·BHi)·2^64 + lo·BLo; we need the
+	// 2^128 column (the low word of the quotient estimate) plus the carry
+	// out of the 2^64 column. Carries out of the 2^128 column and the
+	// hi·BHi high word affect only quotient bits ≥ 64, which cancel mod
+	// 2^64 in r = lo − t·q.
 	mh1, _ := bits.Mul64(lo, m.BarrettLo)
 	h2, l2 := bits.Mul64(lo, m.BarrettHi)
 	h3, l3 := bits.Mul64(hi, m.BarrettLo)
-	h4, l4 := bits.Mul64(hi, m.BarrettHi)
+	l4 := hi * m.BarrettHi
 
-	// Sum the 2^64 column: mh1 + l2 + l3 → carries into the 2^128 column.
-	c1 := uint64(0)
-	s, carry := bits.Add64(mh1, l2, 0)
-	c1 += carry
-	s, carry = bits.Add64(s, l3, 0)
-	c1 += carry
-	_ = s // bits below 2^128 do not contribute to the quotient estimate
+	// Carry out of the 2^64 column: mh1 + l2 + l3.
+	s, c1 := bits.Add64(mh1, l2, 0)
+	_, c2 := bits.Add64(s, l3, 0)
 
-	// 2^128 column: l4 + h2 + h3 + c1, carrying into the 2^192 column.
-	c2 := uint64(0)
-	t, carry := bits.Add64(l4, h2, 0)
-	c2 += carry
-	t, carry = bits.Add64(t, h3, 0)
-	c2 += carry
-	t, carry = bits.Add64(t, c1, 0)
-	c2 += carry
+	// Low word of the quotient estimate.
+	t := l4 + h2 + h3 + c1 + c2
 
-	qhi := h4 + c2 // 2^192 column (no overflow: mu < 2^128, x < 2^128)
-
-	// t (low) and qhi (high) now hold floor(x·mu / 2^128) = estimated
-	// quotient, which may undershoot the true quotient by at most 2.
-	// r = x - t*q, computed mod 2^64 (the true remainder fits in 64 bits
-	// after at most two conditional subtractions).
-	_ = qhi
 	r := lo - t*m.Q
-	for r >= m.Q {
+	if r >= m.Q {
+		r -= m.Q
+	}
+	if r >= m.Q {
 		r -= m.Q
 	}
 	return r

@@ -15,7 +15,7 @@ func (r *Ring) NTTParallel(p *Poly, pool *Pool) {
 		panic("ring: NTT on NTT-domain polynomial")
 	}
 	pool.ForEach(len(p.Coeffs), func(i int) {
-		r.Tables[i].Forward(p.Coeffs[i])
+		r.ForwardLimb(i, p.Coeffs[i])
 	})
 	p.IsNTT = true
 }
@@ -26,7 +26,7 @@ func (r *Ring) INTTParallel(p *Poly, pool *Pool) {
 		panic("ring: INTT on coefficient-domain polynomial")
 	}
 	pool.ForEach(len(p.Coeffs), func(i int) {
-		r.Tables[i].Inverse(p.Coeffs[i])
+		r.InverseLimb(i, p.Coeffs[i])
 	})
 	p.IsNTT = false
 }
@@ -38,11 +38,7 @@ func (r *Ring) MulCoeffwiseParallel(out, a, b *Poly, pool *Pool) {
 		panic("ring: MulCoeffwiseParallel requires NTT-domain operands")
 	}
 	pool.ForEach(limbs, func(i int) {
-		mod := r.Moduli[i]
-		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
-		for j := range oc {
-			oc[j] = mod.Mul(ac[j], bc[j])
-		}
+		r.mulLimb(r.Moduli[i], out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
 	out.IsNTT = true
 }
@@ -54,11 +50,7 @@ func (r *Ring) MulCoeffwiseAddParallel(out, a, b *Poly, pool *Pool) {
 		panic("ring: MulCoeffwiseAddParallel requires NTT-domain operands")
 	}
 	pool.ForEach(limbs, func(i int) {
-		mod := r.Moduli[i]
-		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
-		for j := range oc {
-			oc[j] = mod.Add(oc[j], mod.Mul(ac[j], bc[j]))
-		}
+		r.mulAddLimb(r.Moduli[i], out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
 	out.IsNTT = true
 }

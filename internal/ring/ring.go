@@ -7,6 +7,7 @@ package ring
 import (
 	"fmt"
 	"math/big"
+	"slices"
 	"sync"
 
 	"poseidon/internal/automorph"
@@ -31,6 +32,13 @@ type Ring struct {
 	// churning the GC with per-operation allocations.
 	scratch sync.Pool
 	vecs    sync.Pool
+
+	// strict selects the fully reduced reference kernels (per-butterfly
+	// reductions, Barrett elementwise products) instead of the lazy
+	// Harvey/Montgomery production kernels. Both paths are bit-identical;
+	// the toggle exists for differential testing and before/after
+	// benchmarking. See SetStrictKernels.
+	strict bool
 }
 
 // HFCache caches precomputed HFAuto routing maps per Galois element.
@@ -82,6 +90,59 @@ func NewRing(n int, moduli []uint64, laneC int) (*Ring, error) {
 	}
 	r.HF = &HFCache{h: hf, maps: make(map[uint64]*automorph.Map)}
 	return r, nil
+}
+
+// SetStrictKernels selects between the lazy-reduction production kernels
+// (default, false) and the strict fully-reduced reference kernels (true) for
+// NTT/INTT and the elementwise products. The two paths produce bit-identical
+// results; the switch exists so differential tests can prove that identity
+// at the evaluator level and so benchmarks can measure both schedules in one
+// binary. Call before sharing the ring across goroutines: the flag is read
+// without synchronization on every hot path.
+func (r *Ring) SetStrictKernels(strict bool) { r.strict = strict }
+
+// StrictKernels reports whether the strict reference kernels are selected.
+func (r *Ring) StrictKernels() bool { return r.strict }
+
+// ForwardLimb / InverseLimb dispatch one limb's transform to the selected
+// kernel (exported for the evaluator, whose keyswitch pipeline drives
+// per-limb transforms directly); mulLimb / mulAddLimb likewise for the elementwise products. All
+// serial and parallel ring operations funnel through these four, so the
+// strict toggle covers every execution path.
+func (r *Ring) ForwardLimb(i int, c []uint64) {
+	if r.strict {
+		r.Tables[i].ForwardStrict(c)
+	} else {
+		r.Tables[i].Forward(c)
+	}
+}
+
+func (r *Ring) InverseLimb(i int, c []uint64) {
+	if r.strict {
+		r.Tables[i].InverseStrict(c)
+	} else {
+		r.Tables[i].Inverse(c)
+	}
+}
+
+func (r *Ring) mulLimb(mod numeric.Modulus, oc, ac, bc []uint64) {
+	if r.strict {
+		for j := range oc {
+			oc[j] = mod.Mul(ac[j], bc[j])
+		}
+	} else {
+		mod.VecMontMul(oc, ac, bc)
+	}
+}
+
+func (r *Ring) mulAddLimb(mod numeric.Modulus, oc, ac, bc []uint64) {
+	if r.strict {
+		for j := range oc {
+			oc[j] = mod.Add(oc[j], mod.Mul(ac[j], bc[j]))
+		}
+	} else {
+		mod.VecMontMulAdd(oc, ac, bc)
+	}
 }
 
 // Get returns (building if needed) the routing map for Galois element g.
@@ -213,13 +274,8 @@ func (p *Poly) Equal(o *Poly) bool {
 		return false
 	}
 	for i := range p.Coeffs {
-		if len(p.Coeffs[i]) != len(o.Coeffs[i]) {
+		if !slices.Equal(p.Coeffs[i], o.Coeffs[i]) {
 			return false
-		}
-		for j := range p.Coeffs[i] {
-			if p.Coeffs[i][j] != o.Coeffs[i][j] {
-				return false
-			}
 		}
 	}
 	return true
@@ -295,11 +351,7 @@ func (r *Ring) MulCoeffwise(out, a, b *Poly) {
 		panic("ring: MulCoeffwise requires NTT-domain operands")
 	}
 	for i := 0; i < limbs; i++ {
-		mod := r.Moduli[i]
-		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
-		for j := range oc {
-			oc[j] = mod.Mul(ac[j], bc[j])
-		}
+		r.mulLimb(r.Moduli[i], out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	}
 	out.IsNTT = true
 }
@@ -311,11 +363,7 @@ func (r *Ring) MulCoeffwiseAdd(out, a, b *Poly) {
 		panic("ring: MulCoeffwiseAdd requires NTT-domain operands")
 	}
 	for i := 0; i < limbs; i++ {
-		mod := r.Moduli[i]
-		oc, ac, bc := out.Coeffs[i], a.Coeffs[i], b.Coeffs[i]
-		for j := range oc {
-			oc[j] = mod.Add(oc[j], mod.Mul(ac[j], bc[j]))
-		}
+		r.mulAddLimb(r.Moduli[i], out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	}
 	out.IsNTT = true
 }
@@ -359,7 +407,7 @@ func (r *Ring) NTT(p *Poly) {
 		panic("ring: NTT on NTT-domain polynomial")
 	}
 	for i := range p.Coeffs {
-		r.Tables[i].Forward(p.Coeffs[i])
+		r.ForwardLimb(i, p.Coeffs[i])
 	}
 	p.IsNTT = true
 }
@@ -370,7 +418,7 @@ func (r *Ring) INTT(p *Poly) {
 		panic("ring: INTT on coefficient-domain polynomial")
 	}
 	for i := range p.Coeffs {
-		r.Tables[i].Inverse(p.Coeffs[i])
+		r.InverseLimb(i, p.Coeffs[i])
 	}
 	p.IsNTT = false
 }

@@ -1,0 +1,146 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// withStrict runs f twice — once per kernel mode — and returns the two
+// results for comparison, restoring the original mode afterwards.
+func withStrict(r *Ring, f func() *Poly) (lazy, strict *Poly) {
+	saved := r.StrictKernels()
+	defer r.SetStrictKernels(saved)
+	r.SetStrictKernels(false)
+	lazy = f()
+	r.SetStrictKernels(true)
+	strict = f()
+	return lazy, strict
+}
+
+// Every ring operation the lazy kernels rewrote must stay bit-identical to
+// the strict reference path, limb for limb, including edge residues.
+func TestStrictLazyKernelIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	r := testRing(t, 64, 3)
+	q0 := r.Moduli[0].Q
+
+	mkCoeff := func() *Poly {
+		p := randPoly(r, rng, 3, false)
+		// Pin band edges in limb 0.
+		p.Coeffs[0][0] = 0
+		p.Coeffs[0][1] = 1
+		p.Coeffs[0][2] = q0 - 1
+		return p
+	}
+
+	t.Run("NTT", func(t *testing.T) {
+		src := mkCoeff()
+		lazy, strict := withStrict(r, func() *Poly {
+			p := src.CopyNew()
+			r.NTT(p)
+			return p
+		})
+		if !lazy.Equal(strict) {
+			t.Fatal("NTT lazy/strict outputs differ")
+		}
+	})
+
+	t.Run("INTT", func(t *testing.T) {
+		src := mkCoeff()
+		src.IsNTT = true
+		lazy, strict := withStrict(r, func() *Poly {
+			p := src.CopyNew()
+			r.INTT(p)
+			return p
+		})
+		if !lazy.Equal(strict) {
+			t.Fatal("INTT lazy/strict outputs differ")
+		}
+	})
+
+	a := mkCoeff()
+	b := mkCoeff()
+	a.IsNTT, b.IsNTT = true, true
+
+	t.Run("MulCoeffwise", func(t *testing.T) {
+		lazy, strict := withStrict(r, func() *Poly {
+			out := r.NewPoly(3)
+			out.IsNTT = true
+			r.MulCoeffwise(out, a, b)
+			return out
+		})
+		if !lazy.Equal(strict) {
+			t.Fatal("MulCoeffwise lazy/strict outputs differ")
+		}
+	})
+
+	t.Run("MulCoeffwiseAdd", func(t *testing.T) {
+		acc := mkCoeff()
+		acc.IsNTT = true
+		lazy, strict := withStrict(r, func() *Poly {
+			out := acc.CopyNew()
+			r.MulCoeffwiseAdd(out, a, b)
+			return out
+		})
+		if !lazy.Equal(strict) {
+			t.Fatal("MulCoeffwiseAdd lazy/strict outputs differ")
+		}
+	})
+}
+
+// The parallel variants dispatch through the same strict toggle; prove
+// lazy-parallel == strict-serial at several worker counts.
+func TestStrictLazyKernelIdentityParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	r := testRing(t, 64, 4)
+	src := randPoly(r, rng, 4, false)
+	a := randPoly(r, rng, 4, true)
+	b := randPoly(r, rng, 4, true)
+
+	r.SetStrictKernels(true)
+	wantNTT := src.CopyNew()
+	r.NTT(wantNTT)
+	wantMul := r.NewPoly(4)
+	wantMul.IsNTT = true
+	r.MulCoeffwise(wantMul, a, b)
+	r.SetStrictKernels(false)
+
+	for _, workers := range []int{1, 2, 4} {
+		pool := NewPool(workers)
+		p := src.CopyNew()
+		r.NTTParallel(p, pool)
+		if !p.Equal(wantNTT) {
+			t.Fatalf("workers=%d: lazy NTTParallel != strict NTT", workers)
+		}
+		out := r.NewPoly(4)
+		out.IsNTT = true
+		r.MulCoeffwiseParallel(out, a, b, pool)
+		if !out.Equal(wantMul) {
+			t.Fatalf("workers=%d: lazy MulCoeffwiseParallel != strict MulCoeffwise", workers)
+		}
+	}
+}
+
+// Poly.Equal must distinguish domain flags, limb counts, and coefficients.
+func TestPolyEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	r := testRing(t, 32, 2)
+	p := randPoly(r, rng, 2, false)
+	q := p.CopyNew()
+	if !p.Equal(q) {
+		t.Fatal("copy should be equal")
+	}
+	q.IsNTT = true
+	if p.Equal(q) {
+		t.Fatal("domain flag should break equality")
+	}
+	q.IsNTT = false
+	q.Coeffs[1][7]++
+	if p.Equal(q) {
+		t.Fatal("coefficient change should break equality")
+	}
+	short := &Poly{Coeffs: p.Coeffs[:1], IsNTT: p.IsNTT}
+	if p.Equal(short) {
+		t.Fatal("limb count should break equality")
+	}
+}
