@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"poseidon/internal/ckks"
+)
+
+func init() {
+	register("benchalloc", "steady-state allocation benchmarks: allocating vs destination-passing API, emitted as JSON", runBenchAlloc)
+}
+
+// Pre-arena baseline for the MulRelin+Rescale+Rotate chain at the default
+// configuration (LogN=12, 6 Q limbs, workers=1), recorded in EXPERIMENTS.md.
+// The -gate flag fails the run unless the destination-passing chain cuts
+// both figures by at least half.
+const (
+	baselineChainAllocs = 208
+	baselineChainBytes  = 6077172
+)
+
+// allocBench is one measured configuration in BENCH_alloc.json.
+type allocBench struct {
+	Name        string  `json:"name"` // op or "chain"
+	Mode        string  `json:"mode"` // alloc (API returns fresh ciphertexts) or into (pre-created destinations)
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iters       int     `json:"iterations"`
+}
+
+// allocArena mirrors the evaluator arena counters after the benchmark runs.
+type allocArena struct {
+	BytesAllocated uint64 `json:"bytes_allocated"`
+	PeakBytes      uint64 `json:"peak_bytes"`
+	Gets           uint64 `json:"gets"`
+	Misses         uint64 `json:"misses"`
+}
+
+// allocReport is the BENCH_alloc.json schema.
+type allocReport struct {
+	GeneratedBy string            `json:"generated_by"`
+	LogN        int               `json:"log_n"`
+	N           int               `json:"n"`
+	QLimbs      int               `json:"q_limbs"`
+	Workers     int               `json:"workers"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Baseline    allocBench        `json:"baseline"` // pre-arena chain figures from EXPERIMENTS.md
+	Benchmarks  []allocBench      `json:"benchmarks"`
+	Reductions  map[string]string `json:"reductions"` // vs the committed baseline / alloc mode
+	Arena       allocArena        `json:"arena"`
+}
+
+// runBenchAlloc measures steady-state heap behavior of the evaluator: each
+// op through the allocating API (fresh result ciphertexts) and through the
+// destination-passing API (pre-created containers + arena scratch), plus the
+// composed MulRelin+Rescale+Rotate chain the acceptance gate tracks. All
+// runs are workers=1 — the configuration the zero-allocation contract covers.
+func runBenchAlloc(fs *flag.FlagSet, args []string) error {
+	logN := fs.Int("logn", 12, "ring degree log2")
+	out := fs.String("o", "BENCH_alloc.json", "output path ('-' for stdout)")
+	gate := fs.Bool("gate", false, "fail unless the into-mode chain halves the baseline allocs/op and B/op")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     *logN,
+		LogQ:     []int{55, 45, 45, 45, 45, 45},
+		LogP:     []int{58, 58},
+		LogScale: 45,
+		Workers:  1,
+	})
+	if err != nil {
+		return err
+	}
+	kgen := ckks.NewKeyGenerator(params, 42)
+	sk := kgen.GenSecretKey()
+	rlk := kgen.GenRelinearizationKey(sk)
+	rtk := kgen.GenRotationKeys(sk, []int{1}, true)
+	pk := kgen.GenPublicKey(sk)
+	encr := ckks.NewEncryptor(params, pk, 7)
+	enc := ckks.NewEncoder(params)
+	z := make([]complex128, params.Slots)
+	for i := range z {
+		z[i] = complex(float64(i%17)/17, float64(i%5)/5)
+	}
+	level := params.MaxLevel()
+	ct1 := encr.Encrypt(enc.Encode(z, level, params.Scale))
+	ct2 := encr.Encrypt(enc.Encode(z, level, params.Scale))
+	pt := enc.Encode(z, level, params.Scale)
+	ev := ckks.NewEvaluator(params, rlk, rtk)
+
+	rep := allocReport{
+		GeneratedBy: "poseidon benchalloc",
+		LogN:        *logN,
+		N:           1 << uint(*logN),
+		QLimbs:      level + 1,
+		Workers:     1,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Baseline: allocBench{
+			Name: "chain", Mode: "alloc",
+			AllocsPerOp: baselineChainAllocs, BytesPerOp: baselineChainBytes,
+		},
+		Reductions: map[string]string{},
+	}
+
+	add := func(name, mode string, f func()) allocBench {
+		f() // warm-up: memoization, arena free lists, permutation tables
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		ab := allocBench{
+			Name: name, Mode: mode,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: int64(r.AllocsPerOp()),
+			BytesPerOp:  int64(r.AllocedBytesPerOp()),
+			Iters:       r.N,
+		}
+		rep.Benchmarks = append(rep.Benchmarks, ab)
+		return ab
+	}
+
+	// Per-op pairs: what the allocating wrapper costs vs the same op into a
+	// pre-created destination.
+	mulIn := ev.MulPlain(ct1, pt) // fixed input for the rescale pair
+	dst := ckks.NewCiphertext(params, level)
+	dstLow := ckks.NewCiphertext(params, level-1)
+	add("MulRelin", "alloc", func() { ev.MulRelin(ct1, ct2) })
+	add("MulRelin", "into", func() { ev.MulRelinInto(dst, ct1, ct2) })
+	add("Rescale", "alloc", func() { ev.Rescale(mulIn) })
+	add("Rescale", "into", func() { ev.RescaleInto(dstLow, mulIn) })
+	add("Rotate", "alloc", func() { ev.Rotate(ct1, 1) })
+	add("Rotate", "into", func() { ev.RotateInto(dst, ct1, 1) })
+
+	// The gated chain: multiply-relinearize, rescale, rotate, accumulate.
+	chainAlloc := add("chain", "alloc", func() {
+		x := ev.Rescale(ev.MulRelin(ct1, ct2))
+		ev.Add(x, ev.Rotate(x, 1))
+	})
+	prod := ckks.NewCiphertext(params, level)
+	dropped := ckks.NewCiphertext(params, level-1)
+	rot := ckks.NewCiphertext(params, level-1)
+	acc := ckks.NewCiphertext(params, level-1)
+	chainInto := add("chain", "into", func() {
+		ev.MulRelinInto(prod, ct1, ct2)
+		ev.RescaleInto(dropped, prod)
+		ev.RotateInto(rot, dropped, 1)
+		ev.AddInto(acc, dropped, rot)
+	})
+
+	reduction := func(before, after int64) string {
+		if before == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", 100*(1-float64(after)/float64(before)))
+	}
+	rep.Reductions["chain_allocs_vs_baseline"] = reduction(baselineChainAllocs, chainInto.AllocsPerOp)
+	rep.Reductions["chain_bytes_vs_baseline"] = reduction(baselineChainBytes, chainInto.BytesPerOp)
+	rep.Reductions["chain_allocs_vs_alloc_mode"] = reduction(chainAlloc.AllocsPerOp, chainInto.AllocsPerOp)
+	rep.Reductions["chain_bytes_vs_alloc_mode"] = reduction(chainAlloc.BytesPerOp, chainInto.BytesPerOp)
+
+	st := params.ArenaStats()
+	rep.Arena = allocArena{
+		BytesAllocated: st.BytesAllocated,
+		PeakBytes:      st.PeakBytes,
+		Gets:           st.Gets,
+		Misses:         st.Misses,
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(blob); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	fmt.Fprintf(os.Stderr, "  chain alloc mode: %d allocs/op, %d B/op\n", chainAlloc.AllocsPerOp, chainAlloc.BytesPerOp)
+	fmt.Fprintf(os.Stderr, "  chain into mode:  %d allocs/op, %d B/op (baseline %d allocs/op, %d B/op)\n",
+		chainInto.AllocsPerOp, chainInto.BytesPerOp, int64(baselineChainAllocs), int64(baselineChainBytes))
+	fmt.Fprintf(os.Stderr, "  arena: %d bytes allocated, %d peak in use\n", st.BytesAllocated, st.PeakBytes)
+
+	if *gate {
+		if chainInto.AllocsPerOp > baselineChainAllocs/2 {
+			return fmt.Errorf("alloc gate: chain allocs/op %d > half the baseline %d", chainInto.AllocsPerOp, int64(baselineChainAllocs))
+		}
+		if chainInto.BytesPerOp > baselineChainBytes/2 {
+			return fmt.Errorf("alloc gate: chain B/op %d > half the baseline %d", chainInto.BytesPerOp, int64(baselineChainBytes))
+		}
+		fmt.Fprintln(os.Stderr, "  alloc gate: PASS")
+	}
+	return nil
+}

@@ -33,6 +33,11 @@ type Report struct {
 	ByTag      map[string]float64   // seconds per workload phase label
 
 	AvgBandwidthUtil float64
+
+	// Mem carries the software run's memory profile through to reports
+	// (allocs/op and the arena high-water mark — the working set a real
+	// accelerator would pin on chip). Nil when the trace has none.
+	Mem *trace.MemStats
 }
 
 // Simulate executes tr on the model with the given energy model.
@@ -40,6 +45,7 @@ func Simulate(m *Model, em EnergyModel, tr *trace.Trace) Report {
 	rep := Report{
 		Name:       tr.Name,
 		Workers:    tr.Workers,
+		Mem:        tr.Mem,
 		ByKind:     map[trace.Kind]*KindStat{},
 		ByOperator: map[Operator]float64{},
 		ByTag:      map[string]float64{},

@@ -1,0 +1,144 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Zero-allocation gates for the steady-state loop the arena exists for: a
+// serial evaluator running destination-passing ops at a fixed level must
+// touch the Go heap zero times per op. testing.AllocsPerRun runs each op
+// once as warm-up (lazy pool growth, Montgomery memoization, NTT Galois
+// permutation tables all land there) and then demands exact zero.
+//
+// These gates are the PR's contract. If a change reintroduces a per-op
+// allocation — a closure capturing loop state, a slice header escaping, a
+// forgotten scratch Get without a pooled Put — this test names the op.
+
+type allocFixture struct {
+	params *Parameters
+	ev     *Evaluator
+	swk    *SwitchingKey
+	ct1    *Ciphertext
+	ct2    *Ciphertext
+	pt     *Plaintext
+}
+
+// newAllocFixture builds a serial (Workers: 1) evaluator with all key
+// material, two ciphertexts, and a plaintext at the top level.
+func newAllocFixture(t testing.TB) *allocFixture {
+	t.Helper()
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     9,
+		LogQ:     []int{55, 45, 45, 45, 45},
+		LogP:     []int{58, 58},
+		LogScale: 45,
+		Workers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgen := NewKeyGenerator(params, 42)
+	sk := kgen.GenSecretKey()
+	sk2 := kgen.GenSecretKey()
+	rlk := kgen.GenRelinearizationKey(sk)
+	rtk := kgen.GenRotationKeys(sk, []int{1}, true)
+	swk := kgen.genSwitchingKey(sk.Value.Q, sk2)
+	ev := NewEvaluator(params, rlk, rtk)
+
+	rng := rand.New(rand.NewSource(17))
+	enc := NewEncoder(params)
+	pk := kgen.GenPublicKey(sk)
+	encr := NewEncryptor(params, pk, 18)
+	level := params.MaxLevel()
+	ct1 := encr.Encrypt(enc.Encode(randomComplex(rng, params.Slots, 1.0), level, params.Scale))
+	ct2 := encr.Encrypt(enc.Encode(randomComplex(rng, params.Slots, 1.0), level, params.Scale))
+	pt := enc.Encode(randomComplex(rng, params.Slots, 1.0), level, params.Scale)
+	return &allocFixture{params: params, ev: ev, swk: swk, ct1: ct1, ct2: ct2, pt: pt}
+}
+
+// TestZeroAllocSteadyState gates every destination-passing op at 0 heap
+// allocations per run on a serial evaluator at fixed level.
+func TestZeroAllocSteadyState(t *testing.T) {
+	fx := newAllocFixture(t)
+	ev, params := fx.ev, fx.params
+	level := params.MaxLevel()
+
+	out := NewCiphertext(params, level)
+	outLow := NewCiphertext(params, level-1)
+	mulIn := ev.MulPlain(fx.ct1, fx.pt) // fixed higher-scale input for RescaleInto
+
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"AddInto", func() { ev.AddInto(out, fx.ct1, fx.ct2) }},
+		{"SubInto", func() { ev.SubInto(out, fx.ct1, fx.ct2) }},
+		{"NegInto", func() { ev.NegInto(out, fx.ct1) }},
+		{"AddPlainInto", func() { ev.AddPlainInto(out, fx.ct1, fx.pt) }},
+		{"MulPlainInto", func() { ev.MulPlainInto(out, fx.ct1, fx.pt) }},
+		{"MulRelinInto", func() { ev.MulRelinInto(out, fx.ct1, fx.ct2) }},
+		{"RescaleInto", func() { ev.RescaleInto(outLow, mulIn) }},
+		{"RotateInto", func() { ev.RotateInto(out, fx.ct1, 1) }},
+		{"ConjugateInto", func() { ev.ConjugateInto(out, fx.ct1) }},
+		{"KeySwitchInto", func() { ev.KeySwitchInto(out, fx.ct1, fx.swk) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if allocs := testing.AllocsPerRun(10, c.f); allocs != 0 {
+				t.Errorf("%s: %v allocs/op, want 0", c.name, allocs)
+			}
+		})
+	}
+}
+
+// TestZeroAllocChain gates the composed fixed-level loop (the benchalloc
+// chain shape): multiply-relinearize, rescale, rotate, accumulate — all in
+// pre-created containers.
+func TestZeroAllocChain(t *testing.T) {
+	fx := newAllocFixture(t)
+	ev, params := fx.ev, fx.params
+	level := params.MaxLevel()
+
+	prod := NewCiphertext(params, level)
+	dropped := NewCiphertext(params, level-1)
+	rot := NewCiphertext(params, level-1)
+	acc := NewCiphertext(params, level-1)
+	chain := func() {
+		ev.MulRelinInto(prod, fx.ct1, fx.ct2)
+		ev.RescaleInto(dropped, prod)
+		ev.RotateInto(rot, dropped, 1)
+		ev.AddInto(acc, dropped, rot)
+	}
+	if allocs := testing.AllocsPerRun(10, chain); allocs != 0 {
+		t.Errorf("MulRelin+Rescale+Rotate+Add chain: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestArenaSteadyState checks the arena-level view of the same property:
+// after warm-up, repeated ops are all recycles — no new arena slabs
+// (Misses, BytesAllocated frozen) and no leaks (BytesInUse returns to its
+// pre-op value).
+func TestArenaSteadyState(t *testing.T) {
+	fx := newAllocFixture(t)
+	ev, params := fx.ev, fx.params
+	out := NewCiphertext(params, params.MaxLevel())
+
+	ev.MulRelinInto(out, fx.ct1, fx.ct2) // warm-up populates the free lists
+	before := params.ArenaStats()
+	for i := 0; i < 8; i++ {
+		ev.MulRelinInto(out, fx.ct1, fx.ct2)
+		ev.RotateInto(out, fx.ct1, 1)
+		ev.KeySwitchInto(out, fx.ct1, fx.swk)
+	}
+	after := params.ArenaStats()
+	if after.Misses != before.Misses {
+		t.Errorf("arena misses grew %d → %d in steady state", before.Misses, after.Misses)
+	}
+	if after.BytesAllocated != before.BytesAllocated {
+		t.Errorf("arena footprint grew %d → %d bytes in steady state", before.BytesAllocated, after.BytesAllocated)
+	}
+	if after.BytesInUse != before.BytesInUse {
+		t.Errorf("arena leak: BytesInUse %d → %d", before.BytesInUse, after.BytesInUse)
+	}
+}

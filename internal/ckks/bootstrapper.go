@@ -142,7 +142,7 @@ func (b *Bootstrapper) ModRaise(ct *Ciphertext) *Ciphertext {
 func (b *Bootstrapper) CoeffToSlot(ct *Ciphertext) (ct0, ct1 *Ciphertext) {
 	ev := b.ev
 	v := ev.EvaluateLinearTransform(ct, b.ctsLT)
-	v = ev.Rescale(v) // scale returns to Δ (diagonals encoded at q_top)
+	ev.RescaleInto(v, v) // scale returns to Δ (diagonals encoded at q_top); v is owned here
 	vc := ev.Conjugate(v)
 	ct0 = ev.Add(v, vc)            // Re(v)·2·(1/2) = M₀ part
 	ct1 = ev.MulByI(ev.Sub(vc, v)) // Im(v) part: −i(v−v̄)/... = M₁
@@ -170,7 +170,7 @@ func (b *Bootstrapper) SlotToCoeff(ct0, ct1 *Ciphertext) *Ciphertext {
 	ev := b.ev
 	v := ev.Add(ct0, ev.MulByI(ct1))
 	out := ev.EvaluateLinearTransform(v, b.stcLT)
-	return ev.Rescale(out)
+	return ev.RescaleInto(out, out) // out is owned here
 }
 
 // Bootstrap refreshes ct (level 0, scale Δ) to a high-level ciphertext

@@ -124,8 +124,11 @@ func (c *chebyEval) mulExact(a, b *Ciphertext, factor float64) *Ciphertext {
 	ql1 := float64(ev.params.Q[p.Level-1])
 	cscale := c.target * ql * ql1 / p.Scale
 	pt := ev.encodeConst(complex(factor, 0), p.Level, cscale)
-	p = ev.MulPlain(p, pt)
-	p = ev.Rescale(ev.Rescale(p))
+	// Destination-passing chain: p is fresh (owned here), so the correction
+	// multiply and both rescales run in place without fresh ciphertexts.
+	ev.MulPlainInto(p, p, pt)
+	ev.RescaleInto(p, p)
+	ev.RescaleInto(p, p)
 	p.Scale = c.target // bookkeeping is exact by construction
 	return p
 }

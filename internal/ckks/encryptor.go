@@ -20,8 +20,21 @@ func (ct *Ciphertext) CopyNew() *Ciphertext {
 	return &Ciphertext{C0: ct.C0.CopyNew(), C1: ct.C1.CopyNew(), Scale: ct.Scale, Level: ct.Level}
 }
 
+// NewCiphertext allocates a zero ciphertext shell at the given level —
+// the destination container for the *Into evaluator API. Scale is left 0;
+// every Into method overwrites it.
+func NewCiphertext(params *Parameters, level int) *Ciphertext {
+	rq := params.RingQ
+	return &Ciphertext{C0: rq.NewPoly(level + 1), C1: rq.NewPoly(level + 1), Level: level}
+}
+
 // prefix returns a view of the first `limbs` limbs of p (shared backing).
+// At full width it returns p itself, so fixed-level operation chains never
+// allocate view headers.
 func prefix(p *ring.Poly, limbs int) *ring.Poly {
+	if limbs == len(p.Coeffs) {
+		return p
+	}
 	return &ring.Poly{Coeffs: p.Coeffs[:limbs], IsNTT: p.IsNTT}
 }
 

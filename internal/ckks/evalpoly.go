@@ -55,7 +55,11 @@ func (e *polyEval) mulExact(a, b *Ciphertext) *Ciphertext {
 	ql1 := float64(ev.params.Q[p.Level-1])
 	cscale := e.target * ql * ql1 / p.Scale
 	pt := ev.encodeConst(1, p.Level, cscale)
-	p = ev.Rescale(ev.Rescale(ev.MulPlain(p, pt)))
+	// Destination-passing chain: p is fresh (owned here), so the correction
+	// multiply and both rescales run in place without fresh ciphertexts.
+	ev.MulPlainInto(p, p, pt)
+	ev.RescaleInto(p, p)
+	ev.RescaleInto(p, p)
 	p.Scale = e.target
 	return p
 }

@@ -1,10 +1,8 @@
 package ckks
 
 import (
-	"fmt"
 	"math"
 
-	"poseidon/internal/automorph"
 	"poseidon/internal/numeric"
 	"poseidon/internal/ring"
 )
@@ -15,12 +13,22 @@ import (
 // 512-lane datapath over limbs. Results are bit-identical for every worker
 // count; the differential suite in parallel_diff_test.go enforces this.
 //
+// Every operation exists in two forms: an allocating method (Add, MulRelin,
+// Rescale, …) that returns a fresh ciphertext, and a destination-passing
+// *Into variant (AddInto, MulRelinInto, RescaleInto, …) that writes into a
+// caller-owned ciphertext. The allocating methods are thin wrappers over the
+// *Into forms. All internal scratch is drawn from the ring arena, so a
+// steady-state *Into loop at fixed level performs zero heap allocations at
+// workers=1 (the alloc gates in alloc_test.go enforce this); see
+// evaluator_into.go.
+//
 // Concurrency: an Evaluator is safe for concurrent use by multiple
 // goroutines — keys and parameters are read-only, per-operation scratch is
-// drawn from sync.Pool allocators, and the shared caches (HFAuto routing
-// maps, NTT-domain permutations, keyswitch digit extenders) are internally
-// locked — provided any installed OpObserver is itself safe (TraceRecorder
-// is). Evaluators derived via WithWorkers share keys but not pools.
+// checked out of mutex-guarded arenas (each checkout is exclusively owned
+// until returned), and the shared caches (HFAuto routing maps, NTT-domain
+// permutations, keyswitch digit extenders) are internally locked — provided
+// any installed OpObserver is itself safe (TraceRecorder is). Evaluators
+// derived via WithWorkers share keys but not pools.
 type Evaluator struct {
 	params   *Parameters
 	rlk      *RelinearizationKey
@@ -61,7 +69,8 @@ func sameScale(a, b float64) bool {
 }
 
 // alignLevels drops limbs from the deeper ciphertext so both operands live
-// at the same level, returning aligned views.
+// at the same level, returning aligned views. At equal levels the inputs
+// are returned unchanged (no view allocation).
 func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext) {
 	if a.Level == b.Level {
 		return a, b
@@ -90,56 +99,22 @@ func (ev *Evaluator) DropLevel(ct *Ciphertext, newLevel int) *Ciphertext {
 // Add returns a + b (HAdd, ciphertext-ciphertext). Operand scales must
 // match; levels are aligned automatically.
 func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
-	a, b = ev.alignLevels(a, b)
-	if !sameScale(a.Scale, b.Scale) {
-		panic(fmt.Sprintf("ckks: Add scale mismatch %g vs %g", a.Scale, b.Scale))
-	}
-	rq := ev.params.RingQ
-	out := &Ciphertext{C0: rq.NewPoly(a.Level + 1), C1: rq.NewPoly(a.Level + 1), Scale: a.Scale, Level: a.Level}
-	rq.AddParallel(out.C0, a.C0, b.C0, ev.pool)
-	rq.AddParallel(out.C1, a.C1, b.C1, ev.pool)
-	ev.observe("HAdd", a.Level)
-	return out
+	return ev.AddInto(NewCiphertext(ev.params, min(a.Level, b.Level)), a, b)
 }
 
 // Sub returns a − b.
 func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
-	a, b = ev.alignLevels(a, b)
-	if !sameScale(a.Scale, b.Scale) {
-		panic(fmt.Sprintf("ckks: Sub scale mismatch %g vs %g", a.Scale, b.Scale))
-	}
-	rq := ev.params.RingQ
-	out := &Ciphertext{C0: rq.NewPoly(a.Level + 1), C1: rq.NewPoly(a.Level + 1), Scale: a.Scale, Level: a.Level}
-	rq.SubParallel(out.C0, a.C0, b.C0, ev.pool)
-	rq.SubParallel(out.C1, a.C1, b.C1, ev.pool)
-	ev.observe("HAdd", a.Level)
-	return out
+	return ev.SubInto(NewCiphertext(ev.params, min(a.Level, b.Level)), a, b)
 }
 
 // Neg returns −a.
 func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
-	rq := ev.params.RingQ
-	out := &Ciphertext{C0: rq.NewPoly(a.Level + 1), C1: rq.NewPoly(a.Level + 1), Scale: a.Scale, Level: a.Level}
-	rq.NegParallel(out.C0, a.C0, ev.pool)
-	rq.NegParallel(out.C1, a.C1, ev.pool)
-	return out
+	return ev.NegInto(NewCiphertext(ev.params, a.Level), a)
 }
 
 // AddPlain returns ct + pt (HAdd, ciphertext-plaintext): only C0 changes.
 func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
-	if !sameScale(ct.Scale, pt.Scale) {
-		panic(fmt.Sprintf("ckks: AddPlain scale mismatch %g vs %g", ct.Scale, pt.Scale))
-	}
-	level := ct.Level
-	if pt.Level < level {
-		level = pt.Level
-	}
-	rq := ev.params.RingQ
-	out := &Ciphertext{C0: rq.NewPoly(level + 1), C1: rq.NewPoly(level + 1), Scale: ct.Scale, Level: level}
-	rq.AddParallel(out.C0, prefix(ct.C0, level+1), prefix(pt.Value, level+1), ev.pool)
-	copyInto(out.C1, prefix(ct.C1, level+1))
-	ev.observe("HAddPlain", level)
-	return out
+	return ev.AddPlainInto(NewCiphertext(ev.params, min(ct.Level, pt.Level)), ct, pt)
 }
 
 func copyInto(dst, src *ring.Poly) {
@@ -152,68 +127,14 @@ func copyInto(dst, src *ring.Poly) {
 // MulPlain returns ct · pt (PMult). The output scale is the product of the
 // operand scales; follow with Rescale to restore Δ.
 func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
-	level := ct.Level
-	if pt.Level < level {
-		level = pt.Level
-	}
-	rq := ev.params.RingQ
-	out := &Ciphertext{C0: rq.NewPoly(level + 1), C1: rq.NewPoly(level + 1), Scale: ct.Scale * pt.Scale, Level: level}
-	rq.MulCoeffwiseParallel(out.C0, prefix(ct.C0, level+1), prefix(pt.Value, level+1), ev.pool)
-	rq.MulCoeffwiseParallel(out.C1, prefix(ct.C1, level+1), prefix(pt.Value, level+1), ev.pool)
-	ev.observe("PMult", level)
-	return out
+	return ev.MulPlainInto(NewCiphertext(ev.params, min(ct.Level, pt.Level)), ct, pt)
 }
 
 // MulRelin returns a·b with relinearization (CMult): the degree-2 term d2
 // is switched back to degree 1 with the relinearization key. The output
 // scale is the product of the operand scales.
 func (ev *Evaluator) MulRelin(a, b *Ciphertext) *Ciphertext {
-	if ev.rlk == nil {
-		panic("ckks: MulRelin requires a relinearization key")
-	}
-	a, b = ev.alignLevels(a, b)
-	level := a.Level
-	rq := ev.params.RingQ
-
-	d0 := rq.NewPoly(level + 1)
-	d1 := rq.NewPoly(level + 1)
-	d2 := rq.GetPolyDirty(level + 1)
-	// One limb-parallel pass computes the whole degree-2 product:
-	// d0 = a0·b0, d1 = a0·b1 + a1·b0, d2 = a1·b1 (all NTT-domain,
-	// element-wise — the paper's batched MM operator across limbs).
-	strict := rq.StrictKernels()
-	ev.pool.ForEach(level+1, func(i int) {
-		mod := rq.Moduli[i]
-		a0, a1 := a.C0.Coeffs[i], a.C1.Coeffs[i]
-		b0, b1 := b.C0.Coeffs[i], b.C1.Coeffs[i]
-		o0, o1, o2 := d0.Coeffs[i], d1.Coeffs[i], d2.Coeffs[i]
-		if strict {
-			for j := range o0 {
-				o0[j] = mod.Mul(a0[j], b0[j])
-				o1[j] = mod.Add(mod.Mul(a0[j], b1[j]), mod.Mul(a1[j], b0[j]))
-				o2[j] = mod.Mul(a1[j], b1[j])
-			}
-		} else {
-			// Montgomery squares plus the fused cross term: the two cross
-			// products accumulate in 128 bits and take one Barrett
-			// reduction per coefficient instead of two plus an add.
-			mod.VecMontMul(o0, a0, b0)
-			mod.VecMulPairSum(o1, a0, b1, a1, b0)
-			mod.VecMontMul(o2, a1, b1)
-		}
-	})
-	d0.IsNTT, d1.IsNTT, d2.IsNTT = true, true, true
-
-	// Keyswitch d2: contributes (p0, p1) ≈ (d2·s² − p1·s, p1).
-	rq.INTTParallel(d2, ev.pool)
-	p0, p1 := ev.keySwitchCore(level, d2, &ev.rlk.SwitchingKey)
-	rq.PutPoly(d2)
-
-	out := &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale, Level: level}
-	rq.AddParallel(out.C0, out.C0, p0, ev.pool)
-	rq.AddParallel(out.C1, out.C1, p1, ev.pool)
-	ev.observe("CMult", level)
-	return out
+	return ev.MulRelinInto(NewCiphertext(ev.params, min(a.Level, b.Level)), a, b)
 }
 
 // Rescale divides the ciphertext by the last active prime, dropping one
@@ -222,53 +143,48 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 	if ct.Level == 0 {
 		panic("ckks: cannot rescale at level 0")
 	}
-	rq := ev.params.RingQ
-	level := ct.Level
-	c0 := ev.inttCopy(ct.C0)
-	c1 := ev.inttCopy(ct.C1)
-
-	out := &Ciphertext{
-		C0:    rq.NewPoly(level),
-		C1:    rq.NewPoly(level),
-		Scale: ct.Scale / float64(ev.params.Q[level]),
-		Level: level - 1,
-	}
-	// The rescale of each coefficient is self-contained, so it chunks
-	// across the pool without changing a single bit of the output.
-	rescaler := ev.params.rescaler
-	ev.pool.ForEachChunk(ev.params.N, func(lo, hi int) {
-		rescaler.Rescale(rangeView(out.C0.Coeffs, lo, hi), rangeView(c0.Coeffs, lo, hi))
-		rescaler.Rescale(rangeView(out.C1.Coeffs, lo, hi), rangeView(c1.Coeffs, lo, hi))
-	})
-	rq.PutPoly(c0)
-	rq.PutPoly(c1)
-	rq.NTTParallel(out.C0, ev.pool)
-	rq.NTTParallel(out.C1, ev.pool)
-	ev.observe("Rescale", level)
-	return out
+	return ev.RescaleInto(NewCiphertext(ev.params, ct.Level-1), ct)
 }
 
-// inttCopy returns a scratch-pool copy of the NTT-domain polynomial p,
+// inttCopy returns an arena copy of the NTT-domain polynomial p,
 // transformed to the coefficient domain, with copy and inverse transform
 // fused into one limb-parallel pass. Release with RingQ.PutPoly.
 func (ev *Evaluator) inttCopy(p *ring.Poly) *ring.Poly {
+	dst := ev.params.RingQ.GetPolyDirty(len(p.Coeffs))
+	ev.inttCopyInto(dst, p)
+	return dst
+}
+
+// inttCopyInto writes the coefficient-domain image of the NTT-domain
+// polynomial p into dst (same limb count, fully overwritten).
+func (ev *Evaluator) inttCopyInto(dst, p *ring.Poly) {
 	rq := ev.params.RingQ
 	if !p.IsNTT {
 		panic("ckks: inttCopy requires NTT-domain input")
 	}
 	limbs := len(p.Coeffs)
-	dst := rq.GetPolyDirty(limbs)
-	ev.pool.ForEach(limbs, func(i int) {
-		copy(dst.Coeffs[i], p.Coeffs[i])
-		rq.InverseLimb(i, dst.Coeffs[i])
-	})
+	if ev.pool.Workers() <= 1 {
+		for i := 0; i < limbs; i++ {
+			copy(dst.Coeffs[i], p.Coeffs[i])
+			rq.InverseLimb(i, dst.Coeffs[i])
+		}
+	} else {
+		ev.pool.ForEach(limbs, func(i int) {
+			copy(dst.Coeffs[i], p.Coeffs[i])
+			rq.InverseLimb(i, dst.Coeffs[i])
+		})
+	}
 	dst.IsNTT = false
-	return dst
 }
 
 // rangeView returns per-limb subslice views of the coefficient range
-// [lo, hi) — how coefficient-chunked stages address disjoint work.
+// [lo, hi) — how coefficient-chunked stages address disjoint work. The
+// full range returns the input itself, so serial (single-chunk) execution
+// allocates no view headers.
 func rangeView(coeffs [][]uint64, lo, hi int) [][]uint64 {
+	if lo == 0 && hi == len(coeffs[0]) {
+		return coeffs
+	}
 	v := make([][]uint64, len(coeffs))
 	for i, c := range coeffs {
 		v[i] = c[lo:hi]
@@ -279,66 +195,169 @@ func rangeView(coeffs [][]uint64, lo, hi int) [][]uint64 {
 // Rotate rotates the slot vector by `steps` positions (Rotation =
 // automorphism + keyswitch). Requires the corresponding rotation key.
 func (ev *Evaluator) Rotate(ct *Ciphertext, steps int) *Ciphertext {
-	g := automorph.GaloisElementForRotation(steps, ev.params.N)
-	return ev.automorphismKS(ct, g)
+	return ev.RotateInto(NewCiphertext(ev.params, ct.Level), ct, steps)
 }
 
 // Conjugate conjugates every slot.
 func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
-	g := automorph.GaloisElementConjugate(ev.params.N)
-	return ev.automorphismKS(ct, g)
-}
-
-func (ev *Evaluator) automorphismKS(ct *Ciphertext, g uint64) *Ciphertext {
-	if g == 1 {
-		return ct.CopyNew()
-	}
-	if ev.rtks == nil {
-		panic("ckks: rotation requires rotation keys")
-	}
-	key, ok := ev.rtks.Keys[g]
-	if !ok {
-		panic(fmt.Sprintf("ckks: no rotation key for Galois element %d", g))
-	}
-	rq := ev.params.RingQ
-	level := ct.Level
-
-	c0 := ev.inttCopy(ct.C0)
-	c1 := ev.inttCopy(ct.C1)
-	a0 := rq.NewPoly(level + 1)
-	a1 := rq.GetPolyDirty(level + 1)
-	a1.IsNTT = false
-	rq.AutomorphismParallel(a0, c0, g, ev.pool)
-	rq.AutomorphismParallel(a1, c1, g, ev.pool)
-	rq.PutPoly(c0)
-	rq.PutPoly(c1)
-
-	// Keyswitch σ_g(c1) from σ_g(s) to s.
-	p0, p1 := ev.keySwitchCore(level, a1, key)
-	rq.PutPoly(a1)
-	rq.NTTParallel(a0, ev.pool)
-	out := &Ciphertext{C0: a0, C1: p1, Scale: ct.Scale, Level: level}
-	rq.AddParallel(out.C0, out.C0, p0, ev.pool)
-	ev.observe("Rotation", level)
-	return out
+	return ev.ConjugateInto(NewCiphertext(ev.params, ct.Level), ct)
 }
 
 // KeySwitch re-encrypts ct from the key underlying swk's target to s —
 // exposed for tests and for the trace generator.
 func (ev *Evaluator) KeySwitch(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
-	rq := ev.params.RingQ
-	c1 := ev.inttCopy(ct.C1)
-	p0, p1 := ev.keySwitchCore(ct.Level, c1, swk)
-	rq.PutPoly(c1)
-	out := &Ciphertext{C0: ct.C0.CopyNew(), C1: p1, Scale: ct.Scale, Level: ct.Level}
-	rq.AddParallel(out.C0, out.C0, p0, ev.pool)
-	return out
+	return ev.KeySwitchInto(NewCiphertext(ev.params, ct.Level), ct, swk)
 }
 
-// keySwitchCore is the paper's Keyswitch pipeline: decompose cx (coeff
+// ksState bundles the keyswitch pipeline's per-call state so each stage can
+// run either as a plain serial loop (no closure, no allocation) or as a
+// method value fanned out across the worker pool. Records are recycled
+// through the Parameters free list; every field is (re)assigned per call.
+type ksState struct {
+	ev     *Evaluator
+	level  int
+	qLimbs int
+	alpha  int
+	ext1   int // extLimbs = qLimbs + alpha
+	n      int
+	strict bool
+
+	cx  *ring.Poly    // coefficient-domain input (non-hoisted path)
+	key *SwitchingKey // digit key material
+	d   int           // current digit
+
+	acc0Q, acc1Q *ring.Poly
+	acc0P, acc1P *ring.Poly
+	wide         *wideAcc   // nil under strict kernels
+	ext          [][]uint64 // current extended digit (NTT domain after mac)
+
+	p0, p1 *ring.Poly // destinations (qLimbs limbs each)
+
+	// Hoisted replay: when hoisted is true, ext already holds the
+	// NTT-domain shared decomposition and the mac stage permutes it through
+	// permQ/permP instead of decomposing and transforming.
+	hoisted      bool
+	permQ, permP []int
+}
+
+// foldStage folds accumulator columns to residues, restarting the lazy
+// 128-bit product budget (rows i and extLimbs+i for extended limb i).
+func (s *ksState) foldStage(i int) {
+	mod := extModulus(s.ev.params.RingQ, s.ev.params.RingP, s.qLimbs, i)
+	s.wide.fold(mod, i)
+	s.wide.fold(mod, s.ext1+i)
+}
+
+// decomposeChunk performs the RNSconv/ModUp of the current digit on the
+// coefficient range [lo, hi) — every coefficient's basis extension is
+// self-contained.
+func (s *ksState) decomposeChunk(lo, hi int) {
+	s.ev.params.decomposer.DecomposeAndExtend(
+		s.level, s.d, rangeView(s.cx.Coeffs, lo, hi), rangeView(s.ext, lo, hi))
+}
+
+// macStage processes extended limb i of the current digit: forward NTT
+// (or, hoisted, the NTT-domain Galois permutation through an arena staging
+// vector) followed by the multiply-accumulate against the digit keys —
+// fused lazy 128-bit columns in production, reduce-then-add under strict.
+func (s *ksState) macStage(i int) {
+	rq, rp := s.ev.params.RingQ, s.ev.params.RingP
+	bd, ad := s.key.B[s.d], s.key.A[s.d]
+	src := s.ext[i]
+	var permBuf []uint64
+	if s.hoisted {
+		permBuf = rq.GetVec()
+		if i < s.qLimbs {
+			ring.ApplyPermutationNTT(permBuf, src, s.permQ)
+		} else {
+			ring.ApplyPermutationNTT(permBuf, src, s.permP)
+		}
+		src = permBuf
+	}
+	if i < s.qLimbs {
+		if !s.hoisted {
+			rq.ForwardLimb(i, src)
+		}
+		if s.strict {
+			mod := rq.Moduli[i]
+			macLimb(s.acc0Q.Coeffs[i], src, bd.Q.Coeffs[i], mod)
+			macLimb(s.acc1Q.Coeffs[i], src, ad.Q.Coeffs[i], mod)
+		} else {
+			s.wide.mac(i, src, bd.Q.Coeffs[i])
+			s.wide.mac(s.ext1+i, src, ad.Q.Coeffs[i])
+		}
+	} else {
+		j := i - s.qLimbs
+		if !s.hoisted {
+			rp.ForwardLimb(j, src)
+		}
+		if s.strict {
+			mod := rp.Moduli[j]
+			macLimb(s.acc0P.Coeffs[j], src, bd.P.Coeffs[j], mod)
+			macLimb(s.acc1P.Coeffs[j], src, ad.P.Coeffs[j], mod)
+		} else {
+			s.wide.mac(i, src, bd.P.Coeffs[j])
+			s.wide.mac(s.ext1+i, src, ad.P.Coeffs[j])
+		}
+	}
+	if permBuf != nil {
+		rq.PutVec(permBuf)
+	}
+}
+
+// inttReduceStage closes accumulator row t (2·qLimbs Q rows then 2·alpha P
+// rows): the lazy path's single deferred Barrett reduction per coefficient,
+// fused with the inverse transform of the same limb.
+func (s *ksState) inttReduceStage(t int) {
+	rq, rp := s.ev.params.RingQ, s.ev.params.RingP
+	if t < 2*s.qLimbs {
+		c, i := t/s.qLimbs, t%s.qLimbs
+		acc := s.acc0Q
+		if c == 1 {
+			acc = s.acc1Q
+		}
+		if s.wide != nil {
+			s.wide.reduce(rq.Moduli[i], c*s.ext1+i, acc.Coeffs[i])
+		}
+		rq.InverseLimb(i, acc.Coeffs[i])
+	} else {
+		t -= 2 * s.qLimbs
+		c, j := t/s.alpha, t%s.alpha
+		acc := s.acc0P
+		if c == 1 {
+			acc = s.acc1P
+		}
+		if s.wide != nil {
+			s.wide.reduce(rp.Moduli[j], c*s.ext1+s.qLimbs+j, acc.Coeffs[j])
+		}
+		rp.InverseLimb(j, acc.Coeffs[j])
+	}
+}
+
+// modDownChunk divides the accumulated (Q, P) pair by P on coefficient
+// range [lo, hi), writing the Q-basis results into p0/p1.
+func (s *ksState) modDownChunk(lo, hi int) {
+	md := s.ev.params.modDown[s.level]
+	md.ModDown(rangeView(s.p0.Coeffs, lo, hi), rangeView(s.acc0Q.Coeffs, lo, hi), rangeView(s.acc0P.Coeffs, lo, hi))
+	md.ModDown(rangeView(s.p1.Coeffs, lo, hi), rangeView(s.acc1Q.Coeffs, lo, hi), rangeView(s.acc1P.Coeffs, lo, hi))
+}
+
+// nttOutStage returns output limb t (p0 rows first, then p1) to the NTT
+// domain.
+func (s *ksState) nttOutStage(t int) {
+	rq := s.ev.params.RingQ
+	if t < s.qLimbs {
+		rq.ForwardLimb(t, s.p0.Coeffs[t])
+	} else {
+		rq.ForwardLimb(t-s.qLimbs, s.p1.Coeffs[t-s.qLimbs])
+	}
+}
+
+// keySwitchCoreInto is the paper's Keyswitch pipeline: decompose cx (coeff
 // domain, level limbs over Q) into digits, RNSconv/ModUp each digit to
 // Q_l ∪ P, inner-product with the key digits in the NTT domain, then
-// ModDown by P. Returns (p0, p1) in NTT domain at the input level.
+// ModDown by P. Writes (p0, p1) — NTT domain, qLimbs limbs, fully
+// overwritten — into the caller-provided destinations.
 //
 // The digit inner product is the fused lazy accumulation: each extended
 // limb keeps a 128-bit (hi, lo) column pair per coefficient, every digit's
@@ -356,126 +375,112 @@ func (ev *Evaluator) KeySwitch(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
 // limbs fan out limb-wise (each limb is one independent lane group);
 // ModDown chunks across coefficients again. Digits run sequentially so the
 // accumulator update order — hence every bit of the result — matches the
-// serial schedule.
-func (ev *Evaluator) keySwitchCore(level int, cx *ring.Poly, key *SwitchingKey) (p0, p1 *ring.Poly) {
+// serial schedule. At workers=1 every stage runs as a plain loop over the
+// pooled ksState's methods: no closures, no allocations — all scratch
+// (accumulators, wide columns, extended digits, the state record itself)
+// is recycled through the arena and the Parameters free lists.
+func (ev *Evaluator) keySwitchCoreInto(p0, p1 *ring.Poly, level int, cx *ring.Poly, key *SwitchingKey) {
 	params := ev.params
 	pool := ev.pool
+	serial := pool.Workers() <= 1
 	rq, rp := params.RingQ, params.RingP
-	alpha := params.Alpha()
 	digits := params.Digits(level)
-	n := params.N
-	qLimbs := level + 1
-	extLimbs := qLimbs + alpha
-	strict := rq.StrictKernels()
 
-	// Accumulators over Q_l and P, NTT domain, drawn zeroed from the
-	// ring scratch pools.
-	acc0Q := rq.GetPoly(qLimbs)
-	acc1Q := rq.GetPoly(qLimbs)
-	acc0P := rp.GetPoly(alpha)
-	acc1P := rp.GetPoly(alpha)
-	acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = true, true, true, true
+	s := params.getKsState()
+	s.ev = ev
+	s.level = level
+	s.qLimbs = level + 1
+	s.alpha = params.Alpha()
+	s.ext1 = s.qLimbs + s.alpha
+	s.n = params.N
+	s.strict = rq.StrictKernels()
+	s.cx = cx
+	s.key = key
+	s.p0, s.p1 = p0, p1
+
+	// Accumulators over Q_l and P, NTT domain, drawn zeroed from the arena.
+	s.acc0Q = rq.GetPoly(s.qLimbs)
+	s.acc1Q = rq.GetPoly(s.qLimbs)
+	s.acc0P = rp.GetPoly(s.alpha)
+	s.acc1P = rp.GetPoly(s.alpha)
+	s.acc0Q.IsNTT, s.acc1Q.IsNTT, s.acc0P.IsNTT, s.acc1P.IsNTT = true, true, true, true
 
 	// Lazy path: 128-bit accumulator columns, rows [0, extLimbs) for the
 	// b-key sum and [extLimbs, 2·extLimbs) for the a-key sum.
-	var wide *wideAcc
-	if !strict {
-		wide = newWideAcc(2*extLimbs, n)
+	if !s.strict {
+		s.wide = params.getWide(2 * s.ext1)
 	}
-
-	// Scratch for one extended digit.
-	ext := params.getExt(extLimbs)
-	defer params.putExt(ext)
+	s.ext = params.getExt(s.ext1)
 
 	for d := 0; d < digits; d++ {
-		if wide != nil && d > 0 && d%(numeric.MaxLazyProducts-1) == 0 {
+		s.d = d
+		if s.wide != nil && d > 0 && d%(numeric.MaxLazyProducts-1) == 0 {
 			// Deep digit chains: fold each column to its residue so the
 			// next MaxLazyProducts−1 products cannot overflow 128 bits.
-			pool.ForEach(extLimbs, func(i int) {
-				mod := extModulus(rq, rp, qLimbs, i)
-				wide.fold(mod, i)
-				wide.fold(mod, extLimbs+i)
-			})
-		}
-		// RNSconv/ModUp: every coefficient's basis extension is
-		// self-contained, so the digit decomposes across chunks.
-		decomposer := params.decomposer
-		pool.ForEachChunk(n, func(lo, hi int) {
-			decomposer.DecomposeAndExtend(level, d, rangeView(cx.Coeffs, lo, hi), rangeView(ext, lo, hi))
-		})
-		// Forward NTT + multiply-accumulate, one task per extended limb
-		// (Q limbs against ringQ tables, P limbs against ringP tables).
-		bd, ad := key.B[d], key.A[d]
-		pool.ForEach(extLimbs, func(i int) {
-			if i < qLimbs {
-				rq.ForwardLimb(i, ext[i])
-				if strict {
-					mod := rq.Moduli[i]
-					macLimb(acc0Q.Coeffs[i], ext[i], bd.Q.Coeffs[i], mod)
-					macLimb(acc1Q.Coeffs[i], ext[i], ad.Q.Coeffs[i], mod)
-				} else {
-					wide.mac(i, ext[i], bd.Q.Coeffs[i])
-					wide.mac(extLimbs+i, ext[i], ad.Q.Coeffs[i])
+			if serial {
+				for i := 0; i < s.ext1; i++ {
+					s.foldStage(i)
 				}
 			} else {
-				j := i - qLimbs
-				rp.ForwardLimb(j, ext[i])
-				if strict {
-					mod := rp.Moduli[j]
-					macLimb(acc0P.Coeffs[j], ext[i], bd.P.Coeffs[j], mod)
-					macLimb(acc1P.Coeffs[j], ext[i], ad.P.Coeffs[j], mod)
-				} else {
-					wide.mac(i, ext[i], bd.P.Coeffs[j])
-					wide.mac(extLimbs+i, ext[i], ad.P.Coeffs[j])
-				}
+				pool.ForEach(s.ext1, s.foldStage)
 			}
-		})
+		}
+		if serial {
+			s.decomposeChunk(0, s.n)
+			for i := 0; i < s.ext1; i++ {
+				s.macStage(i)
+			}
+		} else {
+			pool.ForEachChunk(s.n, s.decomposeChunk)
+			pool.ForEach(s.ext1, s.macStage)
+		}
 	}
 
-	// ModDown: back to coefficient domain (all 2·(level+1)+2·α inverse
-	// transforms are independent), divide by P, return to NTT. The lazy
-	// path's single deferred reduction per coefficient lands here, fused
-	// with the inverse transform of the same limb.
-	accQ := [2]*ring.Poly{acc0Q, acc1Q}
-	accP := [2]*ring.Poly{acc0P, acc1P}
-	pool.ForEach(2*qLimbs+2*alpha, func(t int) {
-		if t < 2*qLimbs {
-			c, i := t/qLimbs, t%qLimbs
-			if wide != nil {
-				wide.reduce(rq.Moduli[i], c*extLimbs+i, accQ[c].Coeffs[i])
-			}
-			rq.InverseLimb(i, accQ[c].Coeffs[i])
-		} else {
-			t -= 2 * qLimbs
-			c, j := t/alpha, t%alpha
-			if wide != nil {
-				wide.reduce(rp.Moduli[j], c*extLimbs+qLimbs+j, accP[c].Coeffs[j])
-			}
-			rp.InverseLimb(j, accP[c].Coeffs[j])
-		}
-	})
-	acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = false, false, false, false
+	ev.ksFinish(s, serial)
+}
 
-	p0 = rq.NewPoly(qLimbs)
-	p1 = rq.NewPoly(qLimbs)
-	md := params.modDown[level]
-	pool.ForEachChunk(n, func(lo, hi int) {
-		md.ModDown(rangeView(p0.Coeffs, lo, hi), rangeView(acc0Q.Coeffs, lo, hi), rangeView(acc0P.Coeffs, lo, hi))
-		md.ModDown(rangeView(p1.Coeffs, lo, hi), rangeView(acc1Q.Coeffs, lo, hi), rangeView(acc1P.Coeffs, lo, hi))
-	})
-	rq.PutPoly(acc0Q)
-	rq.PutPoly(acc1Q)
-	rp.PutPoly(acc0P)
-	rp.PutPoly(acc1P)
-	pool.ForEach(2*qLimbs, func(t int) {
-		if t < qLimbs {
-			rq.ForwardLimb(t, p0.Coeffs[t])
-		} else {
-			rq.ForwardLimb(t-qLimbs, p1.Coeffs[t-qLimbs])
+// ksFinish runs the tail of the keyswitch pipeline shared by the direct and
+// hoisted paths: close the accumulators (deferred reduction + inverse NTT),
+// ModDown by P into (p0, p1), return them to the NTT domain, and release
+// every piece of scratch.
+func (ev *Evaluator) ksFinish(s *ksState, serial bool) {
+	params := ev.params
+	pool := ev.pool
+	rq, rp := params.RingQ, params.RingP
+
+	if serial {
+		for t := 0; t < 2*s.qLimbs+2*s.alpha; t++ {
+			s.inttReduceStage(t)
 		}
-	})
-	p0.IsNTT, p1.IsNTT = true, true
-	return p0, p1
+	} else {
+		pool.ForEach(2*s.qLimbs+2*s.alpha, s.inttReduceStage)
+	}
+	s.acc0Q.IsNTT, s.acc1Q.IsNTT, s.acc0P.IsNTT, s.acc1P.IsNTT = false, false, false, false
+
+	if serial {
+		s.modDownChunk(0, s.n)
+	} else {
+		pool.ForEachChunk(s.n, s.modDownChunk)
+	}
+	rq.PutPoly(s.acc0Q)
+	rq.PutPoly(s.acc1Q)
+	rp.PutPoly(s.acc0P)
+	rp.PutPoly(s.acc1P)
+
+	if serial {
+		for t := 0; t < 2*s.qLimbs; t++ {
+			s.nttOutStage(t)
+		}
+	} else {
+		pool.ForEach(2*s.qLimbs, s.nttOutStage)
+	}
+	s.p0.IsNTT, s.p1.IsNTT = true, true
+
+	if s.ext != nil {
+		params.putExt(s.ext)
+	}
+	params.putWide(s.wide)
+	params.putKsState(s)
 }
 
 // extModulus resolves extended-limb index i to its modulus: Q limbs first,
@@ -491,6 +496,7 @@ func extModulus(rq, rp *ring.Ring, qLimbs, i int) numeric.Modulus {
 // pairs backing the fused lazy inner products of the keyswitch and
 // linear-transform pipelines. Rows are touched by at most one worker at a
 // time (the parallel loops partition by row), so no locking is needed.
+// Banks are recycled through the Parameters free list (getWide/putWide).
 type wideAcc struct {
 	hi [][]uint64
 	lo [][]uint64

@@ -13,7 +13,9 @@ import (
 func (ev *Evaluator) encodeConst(c complex128, level int, scale float64) *Plaintext {
 	rq := ev.params.RingQ
 	n := ev.params.Slots
-	pt := &Plaintext{Value: rq.NewPoly(level + 1), Scale: scale, Level: level}
+	// Ephemeral: evaluator-internal constants are used once, so memoizing
+	// their Montgomery image would be pure overhead.
+	pt := &Plaintext{Value: rq.NewPoly(level + 1), Scale: scale, Level: level, ephemeral: true}
 	re := int64(math.Round(real(c) * scale))
 	im := int64(math.Round(imag(c) * scale))
 	for i := 0; i <= level; i++ {

@@ -17,20 +17,36 @@ import (
 //
 // Both phases run on the evaluator's worker pool: the shared decomposition
 // chunks across coefficients and fans limbs out per digit, and each
-// rotation's permuted multiply-accumulate runs one limb per task with
-// per-task permutation buffers drawn from the ring's scratch pool.
+// rotation's permuted multiply-accumulate replays through the pooled
+// keyswitch state (ksState with hoisted=true), with per-task permutation
+// buffers drawn from the ring arena. All per-rotation scratch — extended
+// digits, accumulators, 128-bit columns — is recycled, so the steady-state
+// cost of a hoisted batch is the output ciphertexts themselves.
 
-// hoistedDecomposition caches the shared per-input keyswitch state.
+// hoistedDecomposition caches the shared per-input keyswitch state. The
+// digit matrices are borrowed from the parameter set's free list; call
+// release when every rotation has been evaluated.
 type hoistedDecomposition struct {
 	level  int
 	digits [][][]uint64 // [digit][limb][coeff], NTT domain over Q_l ∪ P
 	c0     *ring.Poly   // coefficient-domain copy of C0
 }
 
+// release returns the borrowed digit matrices and the C0 copy.
+func (hd *hoistedDecomposition) release(params *Parameters) {
+	for _, ext := range hd.digits {
+		params.putExt(ext)
+	}
+	hd.digits = nil
+	params.RingQ.PutPoly(hd.c0)
+	hd.c0 = nil
+}
+
 // decomposeHoisted performs the shared phase on ct.C1.
 func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) *hoistedDecomposition {
 	params := ev.params
 	pool := ev.pool
+	serial := pool.Workers() <= 1
 	rq, rp := params.RingQ, params.RingP
 	level := ct.Level
 	alpha := params.Alpha()
@@ -42,25 +58,32 @@ func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) *hoistedDecomposition {
 	c1 := ev.inttCopy(ct.C1)
 	c0 := ev.inttCopy(ct.C0)
 
-	hd := &hoistedDecomposition{level: level, c0: c0}
+	hd := &hoistedDecomposition{level: level, c0: c0, digits: make([][][]uint64, digits)}
 	decomposer := params.decomposer
 	for d := 0; d < digits; d++ {
-		ext := make([][]uint64, extLimbs)
-		backing := make([]uint64, extLimbs*n)
-		for i := range ext {
-			ext[i] = backing[i*n : (i+1)*n]
-		}
-		pool.ForEachChunk(n, func(lo, hi int) {
-			decomposer.DecomposeAndExtend(level, d, rangeView(c1.Coeffs, lo, hi), rangeView(ext, lo, hi))
-		})
-		pool.ForEach(extLimbs, func(i int) {
-			if i < qLimbs {
-				rq.ForwardLimb(i, ext[i])
-			} else {
-				rp.ForwardLimb(i-qLimbs, ext[i])
+		ext := params.getExt(extLimbs)
+		if serial {
+			decomposer.DecomposeAndExtend(level, d, c1.Coeffs, ext)
+			for i := 0; i < extLimbs; i++ {
+				if i < qLimbs {
+					rq.ForwardLimb(i, ext[i])
+				} else {
+					rp.ForwardLimb(i-qLimbs, ext[i])
+				}
 			}
-		})
-		hd.digits = append(hd.digits, ext)
+		} else {
+			pool.ForEachChunk(n, func(lo, hi int) {
+				decomposer.DecomposeAndExtend(level, d, rangeView(c1.Coeffs, lo, hi), rangeView(ext, lo, hi))
+			})
+			pool.ForEach(extLimbs, func(i int) {
+				if i < qLimbs {
+					rq.ForwardLimb(i, ext[i])
+				} else {
+					rp.ForwardLimb(i-qLimbs, ext[i])
+				}
+			})
+		}
+		hd.digits[d] = ext
 	}
 	rq.PutPoly(c1)
 	return hd
@@ -75,13 +98,10 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 	}
 	params := ev.params
 	pool := ev.pool
+	serial := pool.Workers() <= 1
 	rq, rp := params.RingQ, params.RingP
 	level := ct.Level
-	alpha := params.Alpha()
-	n := params.N
 	qLimbs := level + 1
-	extLimbs := qLimbs + alpha
-	strict := rq.StrictKernels()
 
 	hd := ev.decomposeHoisted(ct)
 	out := make(map[int]*Ciphertext, len(steps))
@@ -96,112 +116,71 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 		if !ok {
 			panic(fmt.Sprintf("ckks: no rotation key for step %d (g=%d)", step, g))
 		}
-		permQ := rq.NTTGaloisPermutation(g)
-		permP := rp.NTTGaloisPermutation(g)
 
-		acc0Q := rq.GetPoly(qLimbs)
-		acc1Q := rq.GetPoly(qLimbs)
-		acc0P := rp.GetPoly(alpha)
-		acc1P := rp.GetPoly(alpha)
-		acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = true, true, true, true
+		// Replay the shared decomposition through the keyswitch pipeline:
+		// the mac stage permutes each cached NTT-domain digit limb by the
+		// rotation's Galois permutation instead of decomposing again. Same
+		// accumulator discipline as keySwitchCoreInto — raw 128-bit MACs per
+		// digit, one deferred Barrett reduction per coefficient folded into
+		// the inverse-NTT pass (strict kernels run macLimb instead).
+		s := params.getKsState()
+		s.ev = ev
+		s.level = level
+		s.qLimbs = qLimbs
+		s.alpha = params.Alpha()
+		s.ext1 = qLimbs + s.alpha
+		s.n = params.N
+		s.strict = rq.StrictKernels()
+		s.key = key
+		s.hoisted = true
+		s.permQ = rq.NTTGaloisPermutation(g)
+		s.permP = rp.NTTGaloisPermutation(g)
 
-		// Fused lazy digit sum, same accumulator discipline as
-		// keySwitchCore: raw 128-bit MACs per digit, one deferred Barrett
-		// reduction per coefficient folded into the inverse-NTT pass.
-		var wide *wideAcc
-		if !strict {
-			wide = newWideAcc(2*extLimbs, n)
+		s.acc0Q = rq.GetPoly(qLimbs)
+		s.acc1Q = rq.GetPoly(qLimbs)
+		s.acc0P = rp.GetPoly(s.alpha)
+		s.acc1P = rp.GetPoly(s.alpha)
+		s.acc0Q.IsNTT, s.acc1Q.IsNTT, s.acc0P.IsNTT, s.acc1P.IsNTT = true, true, true, true
+		if !s.strict {
+			s.wide = params.getWide(2 * s.ext1)
 		}
 
-		for di, ext := range hd.digits {
-			if wide != nil && di > 0 && di%(numeric.MaxLazyProducts-1) == 0 {
-				pool.ForEach(extLimbs, func(i int) {
-					mod := extModulus(rq, rp, qLimbs, i)
-					wide.fold(mod, i)
-					wide.fold(mod, extLimbs+i)
-				})
-			}
-			bd, ad := key.B[di], key.A[di]
-			pool.ForEach(extLimbs, func(i int) {
-				permBuf := rq.GetVec()
-				if i < qLimbs {
-					ring.ApplyPermutationNTT(permBuf, ext[i], permQ)
-					if strict {
-						mod := rq.Moduli[i]
-						macLimb(acc0Q.Coeffs[i], permBuf, bd.Q.Coeffs[i], mod)
-						macLimb(acc1Q.Coeffs[i], permBuf, ad.Q.Coeffs[i], mod)
-					} else {
-						wide.mac(i, permBuf, bd.Q.Coeffs[i])
-						wide.mac(extLimbs+i, permBuf, ad.Q.Coeffs[i])
+		res := NewCiphertext(params, level)
+		res.Scale = ct.Scale
+		p0 := rq.GetPolyDirty(qLimbs)
+		s.p0, s.p1 = p0, res.C1
+
+		for di := range hd.digits {
+			s.d = di
+			s.ext = hd.digits[di]
+			if s.wide != nil && di > 0 && di%(numeric.MaxLazyProducts-1) == 0 {
+				if serial {
+					for i := 0; i < s.ext1; i++ {
+						s.foldStage(i)
 					}
 				} else {
-					j := i - qLimbs
-					ring.ApplyPermutationNTT(permBuf, ext[i], permP)
-					if strict {
-						mod := rp.Moduli[j]
-						macLimb(acc0P.Coeffs[j], permBuf, bd.P.Coeffs[j], mod)
-						macLimb(acc1P.Coeffs[j], permBuf, ad.P.Coeffs[j], mod)
-					} else {
-						wide.mac(i, permBuf, bd.P.Coeffs[j])
-						wide.mac(extLimbs+i, permBuf, ad.P.Coeffs[j])
-					}
+					pool.ForEach(s.ext1, s.foldStage)
 				}
-				rq.PutVec(permBuf)
-			})
-		}
-
-		accQ := [2]*ring.Poly{acc0Q, acc1Q}
-		accP := [2]*ring.Poly{acc0P, acc1P}
-		pool.ForEach(2*qLimbs+2*alpha, func(t int) {
-			if t < 2*qLimbs {
-				c, i := t/qLimbs, t%qLimbs
-				if wide != nil {
-					wide.reduce(rq.Moduli[i], c*extLimbs+i, accQ[c].Coeffs[i])
+			}
+			if serial {
+				for i := 0; i < s.ext1; i++ {
+					s.macStage(i)
 				}
-				rq.InverseLimb(i, accQ[c].Coeffs[i])
 			} else {
-				t -= 2 * qLimbs
-				c, j := t/alpha, t%alpha
-				if wide != nil {
-					wide.reduce(rp.Moduli[j], c*extLimbs+qLimbs+j, accP[c].Coeffs[j])
-				}
-				rp.InverseLimb(j, accP[c].Coeffs[j])
+				pool.ForEach(s.ext1, s.macStage)
 			}
-		})
-		acc0Q.IsNTT, acc1Q.IsNTT, acc0P.IsNTT, acc1P.IsNTT = false, false, false, false
+		}
+		s.ext = nil // borrowed from hd — not the pipeline's to release
 
-		p0 := rq.NewPoly(qLimbs)
-		p1 := rq.NewPoly(qLimbs)
-		md := params.modDown[level]
-		pool.ForEachChunk(n, func(lo, hi int) {
-			md.ModDown(rangeView(p0.Coeffs, lo, hi), rangeView(acc0Q.Coeffs, lo, hi), rangeView(acc0P.Coeffs, lo, hi))
-			md.ModDown(rangeView(p1.Coeffs, lo, hi), rangeView(acc1Q.Coeffs, lo, hi), rangeView(acc1P.Coeffs, lo, hi))
-		})
-		rq.PutPoly(acc0Q)
-		rq.PutPoly(acc1Q)
-		rp.PutPoly(acc0P)
-		rp.PutPoly(acc1P)
-
-		a0 := rq.NewPoly(qLimbs)
-		rq.AutomorphismParallel(a0, hd.c0, g, pool)
-		pool.ForEach(3*qLimbs, func(t int) {
-			switch {
-			case t < qLimbs:
-				rq.ForwardLimb(t, p0.Coeffs[t])
-			case t < 2*qLimbs:
-				rq.ForwardLimb(t-qLimbs, p1.Coeffs[t-qLimbs])
-			default:
-				rq.ForwardLimb(t-2*qLimbs, a0.Coeffs[t-2*qLimbs])
-			}
-		})
-		p0.IsNTT, p1.IsNTT, a0.IsNTT = true, true, true
-
-		res := &Ciphertext{C0: a0, C1: p1, Scale: ct.Scale, Level: level}
+		rq.AutomorphismParallel(res.C0, hd.c0, g, pool)
+		ev.ksFinish(s, serial)
+		rq.NTTParallel(res.C0, pool)
 		rq.AddParallel(res.C0, res.C0, p0, pool)
+		rq.PutPoly(p0)
 		ev.observe("Rotation", level)
 		out[step] = res
 	}
-	rq.PutPoly(hd.c0)
+	hd.release(params)
 	return out
 }
 

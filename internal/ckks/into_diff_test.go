@@ -1,0 +1,228 @@
+package ckks
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/ring"
+)
+
+// Differential suite for the destination-passing API: every *Into method
+// must be BIT-IDENTICAL to its allocating counterpart — including when the
+// destination is a dirty, previously used container created at a higher
+// level (exercising the reshape path), when the destination aliases the
+// input, and under both kernel schedules. The allocating methods are thin
+// wrappers over *Into, so the comparison pins the wrapper contract: a
+// destination's prior contents, scale, level, and domain flags must be
+// fully overwritten.
+
+// dirtyDest builds a max-level destination full of garbage residues with
+// deliberately wrong bookkeeping, so any state leaking through an Into
+// method shows up as a bit difference.
+func dirtyDest(params *Parameters, seed int64) *Ciphertext {
+	out := NewCiphertext(params, params.MaxLevel())
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range []*ring.Poly{out.C0, out.C1} {
+		for i := range p.Coeffs {
+			for j := range p.Coeffs[i] {
+				p.Coeffs[i][j] = rng.Uint64() % params.Q[i]
+			}
+		}
+		p.IsNTT = true
+	}
+	out.Scale = 12345.678
+	return out
+}
+
+// intoOps pairs each allocating op with its destination-passing form.
+var intoOps = []struct {
+	name  string
+	alloc func(ev *Evaluator, a, b *Ciphertext, pt *Plaintext, dc *diffContext) *Ciphertext
+	into  func(ev *Evaluator, out *Ciphertext, a, b *Ciphertext, pt *Plaintext, dc *diffContext) *Ciphertext
+}{
+	{"Add",
+		func(ev *Evaluator, a, b *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext { return ev.Add(a, b) },
+		func(ev *Evaluator, out, a, b *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext {
+			return ev.AddInto(out, a, b)
+		}},
+	{"Sub",
+		func(ev *Evaluator, a, b *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext { return ev.Sub(a, b) },
+		func(ev *Evaluator, out, a, b *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext {
+			return ev.SubInto(out, a, b)
+		}},
+	{"Neg",
+		func(ev *Evaluator, a, _ *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext { return ev.Neg(a) },
+		func(ev *Evaluator, out, a, _ *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext {
+			return ev.NegInto(out, a)
+		}},
+	{"AddPlain",
+		func(ev *Evaluator, a, _ *Ciphertext, pt *Plaintext, _ *diffContext) *Ciphertext { return ev.AddPlain(a, pt) },
+		func(ev *Evaluator, out, a, _ *Ciphertext, pt *Plaintext, _ *diffContext) *Ciphertext {
+			return ev.AddPlainInto(out, a, pt)
+		}},
+	{"MulPlain",
+		func(ev *Evaluator, a, _ *Ciphertext, pt *Plaintext, _ *diffContext) *Ciphertext { return ev.MulPlain(a, pt) },
+		func(ev *Evaluator, out, a, _ *Ciphertext, pt *Plaintext, _ *diffContext) *Ciphertext {
+			return ev.MulPlainInto(out, a, pt)
+		}},
+	{"MulRelin",
+		func(ev *Evaluator, a, b *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext { return ev.MulRelin(a, b) },
+		func(ev *Evaluator, out, a, b *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext {
+			return ev.MulRelinInto(out, a, b)
+		}},
+	{"Rescale",
+		func(ev *Evaluator, a, _ *Ciphertext, pt *Plaintext, _ *diffContext) *Ciphertext {
+			return ev.Rescale(ev.MulPlain(a, pt))
+		},
+		func(ev *Evaluator, out, a, _ *Ciphertext, pt *Plaintext, _ *diffContext) *Ciphertext {
+			return ev.RescaleInto(out, ev.MulPlain(a, pt))
+		}},
+	{"Rotate+1",
+		func(ev *Evaluator, a, _ *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext { return ev.Rotate(a, 1) },
+		func(ev *Evaluator, out, a, _ *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext {
+			return ev.RotateInto(out, a, 1)
+		}},
+	{"Rotate0",
+		func(ev *Evaluator, a, _ *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext { return ev.Rotate(a, 0) },
+		func(ev *Evaluator, out, a, _ *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext {
+			return ev.RotateInto(out, a, 0)
+		}},
+	{"Conjugate",
+		func(ev *Evaluator, a, _ *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext { return ev.Conjugate(a) },
+		func(ev *Evaluator, out, a, _ *Ciphertext, _ *Plaintext, _ *diffContext) *Ciphertext {
+			return ev.ConjugateInto(out, a)
+		}},
+	{"KeySwitch",
+		func(ev *Evaluator, a, _ *Ciphertext, _ *Plaintext, dc *diffContext) *Ciphertext {
+			return ev.KeySwitch(a, dc.swk)
+		},
+		func(ev *Evaluator, out, a, _ *Ciphertext, _ *Plaintext, dc *diffContext) *Ciphertext {
+			return ev.KeySwitchInto(out, a, dc.swk)
+		}},
+}
+
+// TestIntoMatchesAllocating reuses ONE dirty destination across every op in
+// sequence — the steady-state pattern the API exists for — and bit-compares
+// each result against the allocating form, under both kernel schedules and
+// on both parameter sets.
+func TestIntoMatchesAllocating(t *testing.T) {
+	for pname, params := range diffParamSets(t) {
+		dc := newDiffContext(t, params)
+		ct1, ct2, pt := dc.freshInputs(41)
+		for _, strict := range []bool{false, true} {
+			out := dirtyDest(params, 7)
+			for _, op := range intoOps {
+				t.Run(fmt.Sprintf("%s/%s/strict=%v", pname, op.name, strict), func(t *testing.T) {
+					var want, got *Ciphertext
+					withStrictCkks(params, strict, func() {
+						want = op.alloc(dc.serial, ct1, ct2, pt, dc)
+						got = op.into(dc.serial, out, ct1, ct2, pt, dc)
+					})
+					requireCtEqual(t, got, want, op.name)
+					if got != out {
+						t.Fatalf("%s: Into did not return its destination", op.name)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIntoMatchesAllocatingParallel repeats the destination-reuse sweep on
+// a parallel evaluator: fan-out must not change what lands in the
+// destination.
+func TestIntoMatchesAllocatingParallel(t *testing.T) {
+	params := diffParamSets(t)["LogN9-L4-alpha2"]
+	dc := newDiffContext(t, params)
+	ct1, ct2, pt := dc.freshInputs(43)
+	ev := dc.serial.WithWorkers(3)
+	out := dirtyDest(params, 11)
+	for _, op := range intoOps {
+		t.Run(op.name, func(t *testing.T) {
+			want := op.alloc(dc.serial, ct1, ct2, pt, dc)
+			got := op.into(ev, out, ct1, ct2, pt, dc)
+			requireCtEqual(t, got, want, op.name)
+		})
+	}
+}
+
+// TestIntoInPlace checks the documented aliasing contract: out == input is
+// legal for everything except MulRelinInto.
+func TestIntoInPlace(t *testing.T) {
+	for pname, params := range diffParamSets(t) {
+		dc := newDiffContext(t, params)
+		ct1, ct2, pt := dc.freshInputs(47)
+		cases := []struct {
+			name string
+			want func() *Ciphertext
+			run  func(x *Ciphertext) *Ciphertext // x is a private copy of ct1
+		}{
+			{"AddInto", func() *Ciphertext { return dc.serial.Add(ct1, ct2) },
+				func(x *Ciphertext) *Ciphertext { return dc.serial.AddInto(x, x, ct2) }},
+			{"SubInto", func() *Ciphertext { return dc.serial.Sub(ct1, ct2) },
+				func(x *Ciphertext) *Ciphertext { return dc.serial.SubInto(x, x, ct2) }},
+			{"NegInto", func() *Ciphertext { return dc.serial.Neg(ct1) },
+				func(x *Ciphertext) *Ciphertext { return dc.serial.NegInto(x, x) }},
+			{"AddPlainInto", func() *Ciphertext { return dc.serial.AddPlain(ct1, pt) },
+				func(x *Ciphertext) *Ciphertext { return dc.serial.AddPlainInto(x, x, pt) }},
+			{"MulPlainInto", func() *Ciphertext { return dc.serial.MulPlain(ct1, pt) },
+				func(x *Ciphertext) *Ciphertext { return dc.serial.MulPlainInto(x, x, pt) }},
+			{"RescaleInto", func() *Ciphertext { return dc.serial.Rescale(dc.serial.MulPlain(ct1, pt)) },
+				func(x *Ciphertext) *Ciphertext {
+					dc.serial.MulPlainInto(x, x, pt)
+					return dc.serial.RescaleInto(x, x)
+				}},
+			{"RotateInto", func() *Ciphertext { return dc.serial.Rotate(ct1, 1) },
+				func(x *Ciphertext) *Ciphertext { return dc.serial.RotateInto(x, x, 1) }},
+			{"ConjugateInto", func() *Ciphertext { return dc.serial.Conjugate(ct1) },
+				func(x *Ciphertext) *Ciphertext { return dc.serial.ConjugateInto(x, x) }},
+			{"KeySwitchInto", func() *Ciphertext { return dc.serial.KeySwitch(ct1, dc.swk) },
+				func(x *Ciphertext) *Ciphertext { return dc.serial.KeySwitchInto(x, x, dc.swk) }},
+		}
+		for _, c := range cases {
+			t.Run(fmt.Sprintf("%s/%s", pname, c.name), func(t *testing.T) {
+				want := c.want()
+				got := c.run(ct1.CopyNew())
+				requireCtEqual(t, got, want, c.name)
+			})
+		}
+	}
+}
+
+// TestMulRelinIntoAliasPanics pins the one forbidden aliasing mode.
+func TestMulRelinIntoAliasPanics(t *testing.T) {
+	params := diffParamSets(t)["LogN8-L2"]
+	dc := newDiffContext(t, params)
+	ct1, ct2, _ := dc.freshInputs(53)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulRelinInto with out aliasing an operand did not panic")
+		}
+	}()
+	x := ct1.CopyNew()
+	dc.serial.MulRelinInto(x, x, ct2)
+}
+
+// TestIntoDestinationReuseAcrossLevels drives one destination down the
+// modulus chain and back up: reshape must preserve the backing rows, so a
+// container created once serves the whole computation.
+func TestIntoDestinationReuseAcrossLevels(t *testing.T) {
+	params := diffParamSets(t)["LogN9-L4-alpha2"]
+	dc := newDiffContext(t, params)
+	ct1, ct2, pt := dc.freshInputs(59)
+
+	out := dirtyDest(params, 13)
+	// Down: multiply and rescale twice.
+	dc.serial.MulPlainInto(out, ct1, pt)
+	dc.serial.RescaleInto(out, out)
+	want1 := dc.serial.Rescale(dc.serial.MulPlain(ct1, pt))
+	requireCtEqual(t, out, want1, "first descent")
+	dc.serial.MulRelinInto(out, want1, dc.serial.DropLevel(ct2, want1.Level))
+	dc.serial.RescaleInto(out, out)
+	want2 := dc.serial.Rescale(dc.serial.MulRelin(want1, dc.serial.DropLevel(ct2, want1.Level)))
+	requireCtEqual(t, out, want2, "second descent")
+	// Back up: the same container must host a top-level result again.
+	dc.serial.AddInto(out, ct1, ct2)
+	requireCtEqual(t, out, dc.serial.Add(ct1, ct2), "reuse at top level")
+}

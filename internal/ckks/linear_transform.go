@@ -186,8 +186,9 @@ func (ev *Evaluator) mulPlainSum(terms []ltTerm) *Ciphertext {
 	scale := terms[0].ct.Scale * terms[0].pt.Scale
 	out := &Ciphertext{C0: rq.NewPoly(qLimbs), C1: rq.NewPoly(qLimbs), Scale: scale, Level: level}
 
-	// Rows [0, qLimbs) accumulate C0, rows [qLimbs, 2·qLimbs) C1.
-	wide := newWideAcc(2*qLimbs, ev.params.N)
+	// Rows [0, qLimbs) accumulate C0, rows [qLimbs, 2·qLimbs) C1. The
+	// accumulator bank is recycled through the parameter set's free list.
+	wide := ev.params.getWide(2 * qLimbs)
 	ev.pool.ForEach(qLimbs, func(l int) {
 		mod := rq.Moduli[l]
 		for m, t := range terms {
@@ -202,6 +203,7 @@ func (ev *Evaluator) mulPlainSum(terms []ltTerm) *Ciphertext {
 		wide.reduce(mod, l, out.C0.Coeffs[l])
 		wide.reduce(mod, qLimbs+l, out.C1.Coeffs[l])
 	})
+	ev.params.putWide(wide)
 	out.C0.IsNTT, out.C1.IsNTT = true, true
 
 	// Operator-trace parity with the strict MulPlain/Add chain.

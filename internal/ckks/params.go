@@ -40,34 +40,120 @@ type Parameters struct {
 	// these parameters inherit (overridable per evaluator via WithWorkers).
 	pool *ring.Pool
 
-	// extPool recycles extended-digit buffers ((|Q|+|P|)·N words) for the
-	// keyswitch pipeline so the parallel path does not multiply GC load.
-	extPool sync.Pool
+	// Deterministic scratch free lists for the keyswitch pipeline. Like the
+	// ring arena these are mutex-guarded typed stacks, not sync.Pools: they
+	// are never cleared by the GC and pushing onto them does not box, so a
+	// steady-state evaluator loop checks the same buffers in and out with
+	// zero heap allocations.
+	scratchMu sync.Mutex
+	extFree   [][][]uint64 // full (|Q|+|P|)-row extended-digit matrices
+	wideFree  []*wideAcc   // full-capacity 128-bit accumulator banks
+	ksFree    []*ksState   // keyswitch pipeline state records
 }
 
 // getExt returns a `limbs`-row extended-digit scratch buffer (each row N
-// words, contents unspecified) from the parameter set's pool.
+// words, contents unspecified) from the parameter set's free list. The
+// underlying matrix always spans |Q|+|P| rows, so one free list serves
+// every level; putExt recovers the full matrix through the slice capacity.
 func (p *Parameters) getExt(limbs int) [][]uint64 {
-	var backing []uint64
-	if v := p.extPool.Get(); v != nil {
-		backing = v.([]uint64)
-	} else {
-		backing = make([]uint64, (len(p.Q)+len(p.P))*p.N)
+	p.scratchMu.Lock()
+	if n := len(p.extFree); n > 0 {
+		m := p.extFree[n-1]
+		p.extFree[n-1] = nil
+		p.extFree = p.extFree[:n-1]
+		p.scratchMu.Unlock()
+		return m[:limbs]
 	}
-	ext := make([][]uint64, limbs)
-	for i := range ext {
-		ext[i] = backing[i*p.N : (i+1)*p.N]
+	p.scratchMu.Unlock()
+	rows := len(p.Q) + len(p.P)
+	backing := make([]uint64, rows*p.N)
+	m := make([][]uint64, rows)
+	for i := range m {
+		m[i] = backing[i*p.N : (i+1)*p.N]
 	}
-	return ext
+	return m[:limbs]
 }
 
-// putExt returns a getExt buffer to the pool.
+// putExt returns a getExt buffer to the free list.
 func (p *Parameters) putExt(ext [][]uint64) {
-	if len(ext) == 0 {
+	if cap(ext) == 0 {
 		return
 	}
-	b := ext[0]
-	p.extPool.Put(b[:cap(b)])
+	p.scratchMu.Lock()
+	p.extFree = append(p.extFree, ext[:cap(ext)])
+	p.scratchMu.Unlock()
+}
+
+// getWide returns a wideAcc with the first `rows` accumulator rows zeroed
+// (capacity always covers 2·(|Q|+|P|) rows, the deepest consumer).
+func (p *Parameters) getWide(rows int) *wideAcc {
+	p.scratchMu.Lock()
+	var w *wideAcc
+	if n := len(p.wideFree); n > 0 {
+		w = p.wideFree[n-1]
+		p.wideFree[n-1] = nil
+		p.wideFree = p.wideFree[:n-1]
+	}
+	p.scratchMu.Unlock()
+	if w == nil {
+		w = newWideAcc(2*(len(p.Q)+len(p.P)), p.N)
+		return w // fresh slabs are already zero
+	}
+	for r := 0; r < rows; r++ {
+		clear(w.hi[r])
+		clear(w.lo[r])
+	}
+	return w
+}
+
+// putWide returns a wideAcc to the free list.
+func (p *Parameters) putWide(w *wideAcc) {
+	if w == nil {
+		return
+	}
+	p.scratchMu.Lock()
+	p.wideFree = append(p.wideFree, w)
+	p.scratchMu.Unlock()
+}
+
+// getKsState returns a (possibly recycled) keyswitch pipeline state record.
+func (p *Parameters) getKsState() *ksState {
+	p.scratchMu.Lock()
+	var s *ksState
+	if n := len(p.ksFree); n > 0 {
+		s = p.ksFree[n-1]
+		p.ksFree[n-1] = nil
+		p.ksFree = p.ksFree[:n-1]
+	}
+	p.scratchMu.Unlock()
+	if s == nil {
+		s = &ksState{}
+	}
+	return s
+}
+
+// putKsState clears and recycles a keyswitch state record.
+func (p *Parameters) putKsState(s *ksState) {
+	*s = ksState{}
+	p.scratchMu.Lock()
+	p.ksFree = append(p.ksFree, s)
+	p.scratchMu.Unlock()
+}
+
+// ArenaStats aggregates the scratch-arena counters of both rings — the
+// observable for the memory model: in a steady-state evaluator loop
+// BytesAllocated stops growing and Misses stays flat while Gets climbs.
+func (p *Parameters) ArenaStats() ring.ArenaStats {
+	q := p.RingQ.Arena().Stats()
+	r := p.RingP.Arena().Stats()
+	return ring.ArenaStats{
+		Gets:           q.Gets + r.Gets,
+		Puts:           q.Puts + r.Puts,
+		Misses:         q.Misses + r.Misses,
+		BytesAllocated: q.BytesAllocated + r.BytesAllocated,
+		BytesInUse:     q.BytesInUse + r.BytesInUse,
+		PeakBytes:      q.PeakBytes + r.PeakBytes,
+	}
 }
 
 // ParametersLiteral is the user-facing specification: prime bit sizes

@@ -1,0 +1,62 @@
+package numeric
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The memoized plaintext-multiplication path is VecMFormLazy once plus
+// VecMRed per use. That composition must be BIT-IDENTICAL to VecMontMul —
+// it is the same arithmetic split at the same intermediate — or memoizing a
+// plaintext would change ciphertext bits.
+func TestMFormLazyMRedComposesToMontMul(t *testing.T) {
+	const n = 256
+	rng := rand.New(rand.NewSource(31))
+	for _, q := range oddTestModuli() {
+		m := NewModulus(q)
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64() % q
+			b[i] = rng.Uint64() % q
+		}
+		// Edge residues in the first slots.
+		edge := []uint64{0, 1, q - 1, q / 2}
+		copy(a, edge)
+		copy(b, []uint64{q - 1, 0, q - 1, 1})
+
+		bm := make([]uint64, n)
+		m.VecMFormLazy(bm, b)
+		for i, w := range bm {
+			if w >= 2*q {
+				t.Fatalf("q=%d: lazy Montgomery form out of range at %d: %d >= 2q", q, i, w)
+			}
+		}
+
+		got := make([]uint64, n)
+		want := make([]uint64, n)
+		m.VecMRed(got, a, bm)
+		m.VecMontMul(want, a, b)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("q=%d: VecMRed∘VecMFormLazy != VecMontMul at %d: %d != %d (a=%d b=%d)",
+					q, i, got[i], want[i], a[i], b[i])
+			}
+		}
+
+		accRed := make([]uint64, n)
+		accMul := make([]uint64, n)
+		for i := range accRed {
+			accRed[i] = rng.Uint64() % q
+			accMul[i] = accRed[i]
+		}
+		m.VecMRedAdd(accRed, a, bm)
+		m.VecMontMulAdd(accMul, a, b)
+		for i := range accRed {
+			if accRed[i] != accMul[i] {
+				t.Fatalf("q=%d: VecMRedAdd∘VecMFormLazy != VecMontMulAdd at %d: %d != %d",
+					q, i, accRed[i], accMul[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+)
+
+// poisonWord is the sentinel written over every recycled coefficient when
+// poison mode is on. Any code that keeps using a polynomial after Put will
+// either read this pattern (loudly wrong values downstream) or overwrite it,
+// which the next Get detects and reports as a use-after-put.
+const poisonWord = 0xDEADBEEFDEADBEEF
+
+// ArenaStats is a snapshot of the arena's accounting counters. Byte figures
+// count coefficient backing storage only (8 bytes per coefficient word).
+type ArenaStats struct {
+	Gets   uint64 // checkouts (polys + staging vectors)
+	Puts   uint64 // returns
+	Misses uint64 // checkouts that had to allocate because the free list was empty
+	// BytesAllocated is the total backing storage the arena has ever
+	// allocated. In a steady-state loop it stops growing: every Get is
+	// served from a free list.
+	BytesAllocated uint64
+	// BytesInUse is the storage currently checked out (Gets minus Puts, in
+	// bytes). PeakBytes is its high-water mark — the software analogue of
+	// the accelerator's scratchpad occupancy.
+	BytesInUse uint64
+	PeakBytes  uint64
+}
+
+// Arena is a size-classed free list of RNS polynomials: one stack per limb
+// count, plus a stack of single-limb staging vectors. It is the software
+// stand-in for Poseidon's fixed on-chip scratchpad — every evaluator
+// temporary is checked out with Get/GetDirty and returned with Put, so a
+// steady-state evaluation loop recirculates the same backing arrays instead
+// of allocating.
+//
+// Unlike sync.Pool, the free lists are deterministic: they are never cleared
+// by the garbage collector, and pushing a slice onto a typed stack does not
+// box it in an interface. Both properties matter for the zero-allocation
+// gates — after warm-up, Get and Put perform no heap allocation.
+//
+// Safe for concurrent use. Polynomials handed out are exclusively owned by
+// the caller until Put; the arena never retains a reference to a checked-out
+// poly, so evaluators sharing one arena (e.g. via a common Kit) can never
+// observe each other's scratch.
+type Arena struct {
+	n  int
+	mu sync.Mutex
+	// classes[c] holds free polys with exactly c+1 limbs. A poly whose limbs
+	// were dropped (Rescale/ModDown) re-files under its new, smaller class.
+	classes [][]*Poly
+	vecs    [][]uint64 // free N-word staging vectors
+	poison  bool
+	stats   ArenaStats
+}
+
+// NewArena creates an arena for degree-n polynomials of 1..maxLimbs limbs.
+func NewArena(n, maxLimbs int) *Arena {
+	if n < 1 || maxLimbs < 1 {
+		panic(fmt.Sprintf("ring: invalid arena geometry n=%d maxLimbs=%d", n, maxLimbs))
+	}
+	return &Arena{n: n, classes: make([][]*Poly, maxLimbs)}
+}
+
+// SetPoison toggles poison mode: returned polynomials are overwritten with a
+// sentinel pattern, verified intact on the next checkout, and double-Puts
+// panic. Costs a full sweep of each recycled buffer — debug and fuzz use
+// only. Safe for concurrent use.
+func (a *Arena) SetPoison(on bool) {
+	a.mu.Lock()
+	a.poison = on
+	a.mu.Unlock()
+}
+
+// Poisoned reports whether poison mode is on.
+func (a *Arena) Poisoned() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.poison
+}
+
+// Stats returns a snapshot of the arena's counters.
+func (a *Arena) Stats() ArenaStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// FreeCount reports how many polys of the given limb count sit on the free
+// list (primarily for tests).
+func (a *Arena) FreeCount(limbs int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if limbs < 1 || limbs > len(a.classes) {
+		return 0
+	}
+	return len(a.classes[limbs-1])
+}
+
+// GetDirty checks out a `limbs`-limb polynomial with unspecified contents
+// (poison-mode buffers come back filled with the sentinel). Use when every
+// coefficient is about to be overwritten; pair with Put.
+func (a *Arena) GetDirty(limbs int) *Poly {
+	if limbs < 1 || limbs > len(a.classes) {
+		panic(fmt.Sprintf("ring: limbs=%d out of range [1,%d]", limbs, len(a.classes)))
+	}
+	bytes := uint64(limbs) * uint64(a.n) * 8
+
+	a.mu.Lock()
+	var p *Poly
+	if cl := a.classes[limbs-1]; len(cl) > 0 {
+		p = cl[len(cl)-1]
+		cl[len(cl)-1] = nil
+		a.classes[limbs-1] = cl[:len(cl)-1]
+	}
+	a.stats.Gets++
+	if p == nil {
+		a.stats.Misses++
+		a.stats.BytesAllocated += bytes
+	}
+	a.stats.BytesInUse += bytes
+	if a.stats.BytesInUse > a.stats.PeakBytes {
+		a.stats.PeakBytes = a.stats.BytesInUse
+	}
+	poison := a.poison
+	a.mu.Unlock()
+
+	if p == nil {
+		return newPoly(a.n, limbs)
+	}
+	if poison {
+		a.verifyPoison(p.Coeffs, limbs)
+	}
+	p.IsNTT = false
+	return p
+}
+
+// Get is GetDirty plus a zero fill.
+func (a *Arena) Get(limbs int) *Poly {
+	p := a.GetDirty(limbs)
+	for i := range p.Coeffs {
+		clear(p.Coeffs[i])
+	}
+	return p
+}
+
+// Put returns a polynomial to its size class. The poly must have been
+// checked out of this arena (or created by the owning ring for it), must own
+// its backing storage — never a prefix view of a live polynomial — and must
+// not be referenced afterwards. Polys that lost limbs via DropLimb re-file
+// under their current (smaller) class.
+func (a *Arena) Put(p *Poly) {
+	if p == nil || len(p.Coeffs) == 0 {
+		return
+	}
+	limbs := len(p.Coeffs)
+	if limbs > len(a.classes) || len(p.Coeffs[0]) != a.n {
+		panic(fmt.Sprintf("ring: foreign poly returned to arena (limbs=%d, row=%d, want n=%d)",
+			limbs, len(p.Coeffs[0]), a.n))
+	}
+	bytes := uint64(limbs) * uint64(a.n) * 8
+
+	a.mu.Lock()
+	if a.poison {
+		for _, q := range a.classes[limbs-1] {
+			if q == p {
+				a.mu.Unlock()
+				panic("ring: double Put of arena poly")
+			}
+		}
+		for i := range p.Coeffs {
+			row := p.Coeffs[i]
+			for j := range row {
+				row[j] = poisonWord
+			}
+		}
+	}
+	a.classes[limbs-1] = append(a.classes[limbs-1], p)
+	a.stats.Puts++
+	a.stats.BytesInUse -= bytes
+	a.mu.Unlock()
+}
+
+// GetVec checks out an N-word staging vector (contents unspecified). Pair
+// with PutVec.
+func (a *Arena) GetVec() []uint64 {
+	bytes := uint64(a.n) * 8
+	a.mu.Lock()
+	var v []uint64
+	if n := len(a.vecs); n > 0 {
+		v = a.vecs[n-1]
+		a.vecs[n-1] = nil
+		a.vecs = a.vecs[:n-1]
+	}
+	a.stats.Gets++
+	if v == nil {
+		a.stats.Misses++
+		a.stats.BytesAllocated += bytes
+	}
+	a.stats.BytesInUse += bytes
+	if a.stats.BytesInUse > a.stats.PeakBytes {
+		a.stats.PeakBytes = a.stats.BytesInUse
+	}
+	poison := a.poison
+	a.mu.Unlock()
+
+	if v == nil {
+		return make([]uint64, a.n)
+	}
+	if poison {
+		a.verifyPoison([][]uint64{v}, 1)
+	}
+	return v
+}
+
+// PutVec returns a staging vector to the arena.
+func (a *Arena) PutVec(v []uint64) {
+	if len(v) != a.n {
+		return
+	}
+	a.mu.Lock()
+	if a.poison {
+		for j := range v {
+			v[j] = poisonWord
+		}
+	}
+	a.vecs = append(a.vecs, v)
+	a.stats.Puts++
+	a.stats.BytesInUse -= uint64(a.n) * 8
+	a.mu.Unlock()
+}
+
+// verifyPoison panics if any recycled word was overwritten while the buffer
+// sat on the free list — evidence that some caller kept writing through a
+// reference after Put (use-after-put / aliasing bug).
+func (a *Arena) verifyPoison(rows [][]uint64, limbs int) {
+	for i := 0; i < limbs; i++ {
+		for j, w := range rows[i] {
+			if w != poisonWord {
+				panic(fmt.Sprintf(
+					"ring: arena poison broken at limb %d coeff %d (got %#x): write-after-Put detected",
+					i, j, w))
+			}
+		}
+	}
+}
+
+// newPoly allocates a fresh limbs×n polynomial in one backing slab.
+func newPoly(n, limbs int) *Poly {
+	backing := make([]uint64, limbs*n)
+	p := &Poly{Coeffs: make([][]uint64, limbs)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = backing[i*n : (i+1)*n]
+	}
+	return p
+}

@@ -11,6 +11,10 @@ package ring
 // NTTParallel transforms all limbs to the evaluation domain using the
 // pool's workers. Equivalent to NTT.
 func (r *Ring) NTTParallel(p *Poly, pool *Pool) {
+	if pool.Workers() <= 1 {
+		r.NTT(p)
+		return
+	}
 	if p.IsNTT {
 		panic("ring: NTT on NTT-domain polynomial")
 	}
@@ -22,6 +26,10 @@ func (r *Ring) NTTParallel(p *Poly, pool *Pool) {
 
 // INTTParallel transforms all limbs back to the coefficient domain.
 func (r *Ring) INTTParallel(p *Poly, pool *Pool) {
+	if pool.Workers() <= 1 {
+		r.INTT(p)
+		return
+	}
 	if !p.IsNTT {
 		panic("ring: INTT on coefficient-domain polynomial")
 	}
@@ -33,6 +41,10 @@ func (r *Ring) INTTParallel(p *Poly, pool *Pool) {
 
 // MulCoeffwiseParallel computes out = a ⊙ b limb-wise across the pool.
 func (r *Ring) MulCoeffwiseParallel(out, a, b *Poly, pool *Pool) {
+	if pool.Workers() <= 1 {
+		r.MulCoeffwise(out, a, b)
+		return
+	}
 	limbs := r.check(out, a, b)
 	if !a.IsNTT || !b.IsNTT {
 		panic("ring: MulCoeffwiseParallel requires NTT-domain operands")
@@ -45,6 +57,10 @@ func (r *Ring) MulCoeffwiseParallel(out, a, b *Poly, pool *Pool) {
 
 // MulCoeffwiseAddParallel computes out += a ⊙ b limb-wise (NTT domain).
 func (r *Ring) MulCoeffwiseAddParallel(out, a, b *Poly, pool *Pool) {
+	if pool.Workers() <= 1 {
+		r.MulCoeffwiseAdd(out, a, b)
+		return
+	}
 	limbs := r.check(out, a, b)
 	if !a.IsNTT || !b.IsNTT {
 		panic("ring: MulCoeffwiseAddParallel requires NTT-domain operands")
@@ -57,6 +73,10 @@ func (r *Ring) MulCoeffwiseAddParallel(out, a, b *Poly, pool *Pool) {
 
 // AddParallel computes out = a + b limb-wise across the pool.
 func (r *Ring) AddParallel(out, a, b *Poly, pool *Pool) {
+	if pool.Workers() <= 1 {
+		r.Add(out, a, b)
+		return
+	}
 	limbs := r.check(out, a, b)
 	pool.ForEach(limbs, func(i int) {
 		mod := r.Moduli[i]
@@ -70,6 +90,10 @@ func (r *Ring) AddParallel(out, a, b *Poly, pool *Pool) {
 
 // SubParallel computes out = a − b limb-wise across the pool.
 func (r *Ring) SubParallel(out, a, b *Poly, pool *Pool) {
+	if pool.Workers() <= 1 {
+		r.Sub(out, a, b)
+		return
+	}
 	limbs := r.check(out, a, b)
 	pool.ForEach(limbs, func(i int) {
 		mod := r.Moduli[i]
@@ -83,6 +107,10 @@ func (r *Ring) SubParallel(out, a, b *Poly, pool *Pool) {
 
 // NegParallel computes out = −a limb-wise across the pool.
 func (r *Ring) NegParallel(out, a *Poly, pool *Pool) {
+	if pool.Workers() <= 1 {
+		r.Neg(out, a)
+		return
+	}
 	limbs := r.check(out, a)
 	pool.ForEach(limbs, func(i int) {
 		mod := r.Moduli[i]
@@ -96,6 +124,10 @@ func (r *Ring) NegParallel(out, a *Poly, pool *Pool) {
 
 // MulScalarRNSParallel multiplies limb i by scalars[i] across the pool.
 func (r *Ring) MulScalarRNSParallel(out, a *Poly, scalars []uint64, pool *Pool) {
+	if pool.Workers() <= 1 {
+		r.MulScalarRNS(out, a, scalars)
+		return
+	}
 	limbs := r.check(out, a)
 	if len(scalars) < limbs {
 		panic("ring: not enough scalars")
@@ -116,6 +148,10 @@ func (r *Ring) MulScalarRNSParallel(out, a *Poly, scalars []uint64, pool *Pool) 
 // the shared HFAuto engine (one routing map serves all limbs). The
 // polynomial must be in the coefficient domain; dst and src must not alias.
 func (r *Ring) AutomorphismParallel(dst, src *Poly, g uint64, pool *Pool) {
+	if pool.Workers() <= 1 {
+		r.Automorphism(dst, src, g)
+		return
+	}
 	limbs := r.check(dst, src)
 	if src.IsNTT {
 		panic("ring: Automorphism requires coefficient domain")
@@ -132,6 +168,10 @@ func (r *Ring) AutomorphismParallel(dst, src *Poly, g uint64, pool *Pool) {
 // AutomorphismNTTParallel applies the NTT-domain Galois permutation to
 // every limb across the pool. dst and src must not alias.
 func (r *Ring) AutomorphismNTTParallel(dst, src *Poly, g uint64, pool *Pool) {
+	if pool.Workers() <= 1 {
+		r.AutomorphismNTT(dst, src, g)
+		return
+	}
 	limbs := r.check(dst, src)
 	if !src.IsNTT {
 		panic("ring: AutomorphismNTT requires NTT domain")

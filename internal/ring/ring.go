@@ -27,11 +27,10 @@ type Ring struct {
 	// HF is the sub-vector automorphism engine shared by all limbs.
 	HF *HFCache
 
-	// scratch recycles polynomial backing arrays; vecs recycles single
-	// N-word limb vectors. Both keep the limb-parallel hot paths from
-	// churning the GC with per-operation allocations.
-	scratch sync.Pool
-	vecs    sync.Pool
+	// arena recycles polynomial scratch (size-classed by limb count) and
+	// single N-word staging vectors, keeping the limb-parallel hot paths
+	// from churning the GC with per-operation allocations. See Arena.
+	arena *Arena
 
 	// strict selects the fully reduced reference kernels (per-butterfly
 	// reductions, Barrett elementwise products) instead of the lazy
@@ -89,8 +88,13 @@ func NewRing(n int, moduli []uint64, laneC int) (*Ring, error) {
 		return nil, err
 	}
 	r.HF = &HFCache{h: hf, maps: make(map[uint64]*automorph.Map)}
+	r.arena = NewArena(n, len(moduli))
 	return r, nil
 }
+
+// Arena exposes the ring's scratch arena (stats, poison mode, direct
+// checkout for callers that manage polynomial lifetimes themselves).
+func (r *Ring) Arena() *Arena { return r.arena }
 
 // SetStrictKernels selects between the lazy-reduction production kernels
 // (default, false) and the strict fully-reduced reference kernels (true) for
@@ -173,84 +177,52 @@ type Poly struct {
 }
 
 // NewPoly allocates a zero polynomial with `limbs` limbs in a single
-// backing array.
+// backing array. The result is NOT arena-tracked: use for long-lived values
+// (keys, ciphertexts); scratch should come from GetPoly/GetPolyDirty.
 func (r *Ring) NewPoly(limbs int) *Poly {
 	if limbs < 1 || limbs > len(r.Moduli) {
 		panic(fmt.Sprintf("ring: limbs=%d out of range [1,%d]", limbs, len(r.Moduli)))
 	}
-	backing := make([]uint64, limbs*r.N)
-	p := &Poly{Coeffs: make([][]uint64, limbs)}
-	for i := range p.Coeffs {
-		p.Coeffs[i] = backing[i*r.N : (i+1)*r.N]
-	}
-	return p
+	return newPoly(r.N, limbs)
 }
 
 // GetPoly returns a zeroed `limbs`-limb polynomial drawn from the ring's
-// scratch pool. Pair with PutPoly when the value is no longer referenced;
+// arena. Pair with PutPoly when the value is no longer referenced;
 // polynomials that escape to callers should use NewPoly instead. Safe for
 // concurrent use.
 func (r *Ring) GetPoly(limbs int) *Poly {
-	p := r.GetPolyDirty(limbs)
-	for i := range p.Coeffs {
-		c := p.Coeffs[i]
-		for j := range c {
-			c[j] = 0
-		}
+	if limbs > len(r.Moduli) {
+		panic(fmt.Sprintf("ring: limbs=%d out of range [1,%d]", limbs, len(r.Moduli)))
 	}
-	return p
+	return r.arena.Get(limbs)
 }
 
 // GetPolyDirty is GetPoly without the zero fill: the contents are
 // unspecified. Use when every coefficient is about to be overwritten.
 func (r *Ring) GetPolyDirty(limbs int) *Poly {
-	if limbs < 1 || limbs > len(r.Moduli) {
+	if limbs > len(r.Moduli) {
 		panic(fmt.Sprintf("ring: limbs=%d out of range [1,%d]", limbs, len(r.Moduli)))
 	}
-	need := limbs * r.N
-	var backing []uint64
-	if v := r.scratch.Get(); v != nil {
-		if b := v.([]uint64); cap(b) >= need {
-			backing = b[:need]
-		}
-	}
-	if backing == nil {
-		backing = make([]uint64, len(r.Moduli)*r.N)[:need]
-	}
-	p := &Poly{Coeffs: make([][]uint64, limbs)}
-	for i := range p.Coeffs {
-		p.Coeffs[i] = backing[i*r.N : (i+1)*r.N]
-	}
-	return p
+	return r.arena.GetDirty(limbs)
 }
 
 // PutPoly returns a polynomial obtained from GetPoly/GetPolyDirty to the
-// scratch pool. The poly must not be referenced afterwards, and must own
-// its backing array (never a prefix view of a live polynomial).
+// arena. The poly must not be referenced afterwards, and must own its
+// backing array (never a prefix view of a live polynomial).
 func (r *Ring) PutPoly(p *Poly) {
-	if p == nil || len(p.Coeffs) == 0 {
-		return
-	}
-	b := p.Coeffs[0]
-	r.scratch.Put(b[:cap(b)])
-	p.Coeffs = nil
+	r.arena.Put(p)
 }
 
-// GetVec returns an N-word scratch vector from the ring's buffer pool —
-// per-task staging space for parallel automorphisms and hoisted keyswitch
+// GetVec returns an N-word scratch vector from the ring's arena — per-task
+// staging space for parallel automorphisms and hoisted keyswitch
 // permutations. Pair with PutVec.
 func (r *Ring) GetVec() []uint64 {
-	if v := r.vecs.Get(); v != nil {
-		return v.([]uint64)
-	}
-	return make([]uint64, r.N)
+	return r.arena.GetVec()
 }
 
-// PutVec returns a GetVec vector to the pool.
+// PutVec returns a GetVec vector to the arena.
 func (r *Ring) PutVec(v []uint64) {
-	if len(v) == r.N {
-		r.vecs.Put(v) //nolint:staticcheck // slice header allocation is amortized
-	}
+	r.arena.PutVec(v)
 }
 
 // Level returns the polynomial's level (limbs − 1).

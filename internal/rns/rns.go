@@ -93,7 +93,15 @@ func (e *Extender) Extend(out, in [][]uint64) {
 		panic(fmt.Sprintf("rns: %d output limbs, want %d", len(out), len(e.dst)))
 	}
 	n := len(in[0])
-	ys := make([]uint64, l)
+	// Digit bases are tiny (≤ a handful of primes), so the per-coefficient
+	// y_j staging lives in a stack array — no heap traffic per call.
+	var ysArr [maxStackBasis]uint64
+	var ys []uint64
+	if l <= maxStackBasis {
+		ys = ysArr[:l]
+	} else {
+		ys = make([]uint64, l)
+	}
 	for t := 0; t < n; t++ {
 		// y_j = [x_j · (B/b_j)^-1]_{b_j}; v estimates the overflow count.
 		v := 0.0
@@ -117,6 +125,49 @@ func (e *Extender) Extend(out, in [][]uint64) {
 	}
 }
 
+// maxStackBasis bounds the source-basis size for which Extend stages its
+// per-coefficient y_j values on the stack. Real digit bases (alpha primes)
+// are far smaller.
+const maxStackBasis = 32
+
+// scratchStack is a mutex-guarded free list of limbs×n residue matrices —
+// the rns layer's private arena for conversion scratch. Deterministic
+// (never GC-cleared) and boxing-free, so steady-state ModDown and
+// DecomposeAndExtend calls perform no heap allocation.
+type scratchStack struct {
+	mu   sync.Mutex
+	free [][][]uint64
+}
+
+// get returns a limbs×n matrix with unspecified contents (every entry is
+// overwritten by the conversions that use it).
+func (s *scratchStack) get(limbs, n int) [][]uint64 {
+	s.mu.Lock()
+	for i := len(s.free) - 1; i >= 0; i-- {
+		m := s.free[i]
+		if len(m) == limbs && len(m[0]) == n {
+			s.free[i] = s.free[len(s.free)-1]
+			s.free[len(s.free)-1] = nil
+			s.free = s.free[:len(s.free)-1]
+			s.mu.Unlock()
+			return m
+		}
+	}
+	s.mu.Unlock()
+	backing := make([]uint64, limbs*n)
+	m := make([][]uint64, limbs)
+	for i := range m {
+		m[i] = backing[i*n : (i+1)*n]
+	}
+	return m
+}
+
+func (s *scratchStack) put(m [][]uint64) {
+	s.mu.Lock()
+	s.free = append(s.free, m)
+	s.mu.Unlock()
+}
+
 // ModDownParams precomputes the constants for exact division by the special
 // basis P over the main basis Q.
 type ModDownParams struct {
@@ -124,6 +175,7 @@ type ModDownParams struct {
 	ext     *Extender // P → Q
 	pInvQ   []uint64  // [P^-1]_{q_i}
 	pInvQSh []uint64
+	scratch scratchStack // recycled conv matrices
 }
 
 // NewModDownParams builds ModDown tables for main basis Q and special
@@ -148,12 +200,8 @@ func NewModDownParams(q, p []numeric.Modulus) *ModDownParams {
 // aQ has len(Q) limbs, aP has len(P) limbs; out has len(Q) limbs and may
 // alias aQ.
 func (m *ModDownParams) ModDown(out, aQ, aP [][]uint64) {
-	conv := make([][]uint64, len(m.Q))
 	n := len(aQ[0])
-	backing := make([]uint64, len(m.Q)*n)
-	for i := range conv {
-		conv[i] = backing[i*n : (i+1)*n]
-	}
+	conv := m.scratch.get(len(m.Q), n)
 	m.ext.Extend(conv, aP)
 	for i, qi := range m.Q {
 		o, a, c := out[i], aQ[i], conv[i]
@@ -162,6 +210,7 @@ func (m *ModDownParams) ModDown(out, aQ, aP [][]uint64) {
 			o[t] = qi.MulShoup(qi.Sub(a[t], c[t]), inv, invSh)
 		}
 	}
+	m.scratch.put(conv)
 }
 
 // Rescaler divides by the last prime of a chain with rounding — the CKKS
@@ -214,6 +263,7 @@ type Decomposer struct {
 	// limb-parallel) keyswitches can share one decomposer.
 	mu        sync.Mutex
 	extenders map[[2]int]*Extender
+	scratch   scratchStack // recycled full-basis extension matrices
 }
 
 // NewDecomposer creates a decomposer for main basis Q, special basis P and
@@ -267,12 +317,8 @@ func (d *Decomposer) DecomposeAndExtend(level, dig int, in, out [][]uint64) {
 	n := len(in[0])
 	// Full extension into a scratch covering all |Q|+|P| moduli, then copy
 	// out the active ones. (The extender targets the full list so one table
-	// serves every level.)
-	scratch := make([][]uint64, len(d.Q)+len(d.P))
-	backing := make([]uint64, len(scratch)*n)
-	for i := range scratch {
-		scratch[i] = backing[i*n : (i+1)*n]
-	}
+	// serves every level.) Scratch is recycled across calls.
+	scratch := d.scratch.get(len(d.Q)+len(d.P), n)
 	ext.Extend(scratch, in[lo:hi])
 	for i := 0; i <= level; i++ {
 		if i >= lo && i < hi {
@@ -284,4 +330,5 @@ func (d *Decomposer) DecomposeAndExtend(level, dig int, in, out [][]uint64) {
 	for j := 0; j < len(d.P); j++ {
 		copy(out[level+1+j], scratch[len(d.Q)+j])
 	}
+	d.scratch.put(scratch)
 }

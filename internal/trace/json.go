@@ -16,10 +16,18 @@ type jsonOp struct {
 	Tag   string  `json:"tag,omitempty"`
 }
 
+type jsonMem struct {
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+	ArenaBytes     uint64  `json:"arena_bytes"`
+	PeakArenaBytes uint64  `json:"peak_arena_bytes"`
+}
+
 type jsonTrace struct {
 	Name        string   `json:"name"`
 	Description string   `json:"description,omitempty"`
 	Workers     int      `json:"workers,omitempty"`
+	Mem         *jsonMem `json:"mem,omitempty"`
 	Ops         []jsonOp `json:"ops"`
 }
 
@@ -35,6 +43,14 @@ var kindNames = func() map[string]Kind {
 // WriteJSON serializes the trace.
 func (t *Trace) WriteJSON(w io.Writer) error {
 	jt := jsonTrace{Name: t.Name, Description: t.Description, Workers: t.Workers}
+	if t.Mem != nil {
+		jt.Mem = &jsonMem{
+			AllocsPerOp:    t.Mem.AllocsPerOp,
+			BytesPerOp:     t.Mem.BytesPerOp,
+			ArenaBytes:     t.Mem.ArenaBytes,
+			PeakArenaBytes: t.Mem.PeakArenaBytes,
+		}
+	}
 	for _, op := range t.Ops {
 		jt.Ops = append(jt.Ops, jsonOp{
 			Kind: op.Kind.String(), Limbs: op.Limbs, Count: op.Count, Tag: op.Tag,
@@ -55,6 +71,14 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: missing name")
 	}
 	t := &Trace{Name: jt.Name, Description: jt.Description, Workers: jt.Workers}
+	if jt.Mem != nil {
+		t.Mem = &MemStats{
+			AllocsPerOp:    jt.Mem.AllocsPerOp,
+			BytesPerOp:     jt.Mem.BytesPerOp,
+			ArenaBytes:     jt.Mem.ArenaBytes,
+			PeakArenaBytes: jt.Mem.PeakArenaBytes,
+		}
+	}
 	for i, op := range jt.Ops {
 		kind, ok := kindNames[op.Kind]
 		if !ok {

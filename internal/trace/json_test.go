@@ -58,3 +58,44 @@ func TestReadJSONEmptyOps(t *testing.T) {
 		t.Error("empty trace should have zero ops")
 	}
 }
+
+// The optional memory profile must survive the JSON round trip and stay
+// absent when never set.
+func TestJSONMemRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "mem", Mem: &MemStats{
+		AllocsPerOp:    2.5,
+		BytesPerOp:     4096,
+		ArenaBytes:     1 << 20,
+		PeakArenaBytes: 1 << 19,
+	}}
+	tr.Add(HAdd, 4, 1)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mem == nil || *back.Mem != *tr.Mem {
+		t.Fatalf("Mem round trip: %+v != %+v", back.Mem, tr.Mem)
+	}
+
+	plain := &Trace{Name: "plain"}
+	plain.Add(HAdd, 4, 1)
+	buf.Reset()
+	if err := plain.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\"mem\"") {
+		t.Error("mem key serialized for a trace without a memory profile")
+	}
+	back, err = ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mem != nil {
+		t.Error("Mem materialized from a trace without one")
+	}
+}

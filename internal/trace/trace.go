@@ -69,14 +69,28 @@ type Op struct {
 	Tag   string  // optional phase label (e.g. "CoeffToSlot")
 }
 
+// MemStats is an optional memory profile of the software run that produced
+// a trace. Heap figures come from the Go allocator (testing.AllocsPerRun /
+// benchmark -benchmem); arena figures come from the evaluator's polynomial
+// arena and bound the scratch working set — the software analogue of the
+// accelerator's on-chip scratchpad budget.
+type MemStats struct {
+	AllocsPerOp    float64 // Go heap allocations per evaluator op (steady state)
+	BytesPerOp     float64 // Go heap bytes per evaluator op (steady state)
+	ArenaBytes     uint64  // total coefficient storage the arena ever allocated
+	PeakArenaBytes uint64  // high-water mark of simultaneously checked-out bytes
+}
+
 // Trace is a named operation sequence. Workers records the limb-parallel
 // worker count of the software evaluator the trace was captured on (0 =
 // unknown/not captured from a live run), so simulated speedups stay
-// attributable to the execution engine that produced the trace.
+// attributable to the execution engine that produced the trace. Mem, when
+// present, profiles the memory behavior of that same run.
 type Trace struct {
 	Name        string
 	Description string
 	Workers     int
+	Mem         *MemStats
 	Ops         []Op
 }
 

@@ -90,6 +90,7 @@ var (
 	NewEncryptor        = ckks.NewEncryptor
 	NewDecryptor        = ckks.NewDecryptor
 	NewEvaluator        = ckks.NewEvaluator
+	NewCiphertext       = ckks.NewCiphertext
 	NewLinearTransform  = ckks.NewLinearTransform
 	NewBootstrapper     = ckks.NewBootstrapper
 	ChebyshevCoeffsOf   = ckks.ChebyshevCoefficients

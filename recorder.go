@@ -54,6 +54,33 @@ func (r *TraceRecorder) Observe(op string, level int) {
 	r.mu.Unlock()
 }
 
+// CaptureArena snapshots the parameters' polynomial-arena counters into the
+// trace's memory profile: total slab footprint and the high-water mark of
+// simultaneously checked-out scratch. Call it after the workload has run —
+// the peak is cumulative over the arena's lifetime.
+func (r *TraceRecorder) CaptureArena(params *Parameters) {
+	st := params.ArenaStats()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tr.Mem == nil {
+		r.tr.Mem = &trace.MemStats{}
+	}
+	r.tr.Mem.ArenaBytes = st.BytesAllocated
+	r.tr.Mem.PeakArenaBytes = st.PeakBytes
+}
+
+// SetHeapStats records externally measured Go-heap figures (e.g. from
+// testing.AllocsPerRun or a -benchmem run) in the trace's memory profile.
+func (r *TraceRecorder) SetHeapStats(allocsPerOp, bytesPerOp float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tr.Mem == nil {
+		r.tr.Mem = &trace.MemStats{}
+	}
+	r.tr.Mem.AllocsPerOp = allocsPerOp
+	r.tr.Mem.BytesPerOp = bytesPerOp
+}
+
 // Trace returns the accumulated trace.
 func (r *TraceRecorder) Trace() *Trace {
 	r.mu.Lock()

@@ -95,3 +95,38 @@ func TestTraceRecorderPhases(t *testing.T) {
 		t.Errorf("beta (2 ops) should out-cost alpha (1 op): %v", rep.ByTag)
 	}
 }
+
+// CaptureArena must snapshot the evaluator arena into the trace's memory
+// profile, and the profile must flow through to the simulator report.
+func TestTraceRecorderCaptureArena(t *testing.T) {
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{50, 40},
+		LogP:     []int{51},
+		LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit := NewKit(params, 602)
+	rec := NewTraceRecorder("arena")
+	kit.Eval.SetObserver(rec)
+
+	ct := kit.EncryptReals([]float64{1, 2, 3})
+	_ = kit.Eval.Rescale(kit.Eval.MulRelin(ct, ct))
+	rec.CaptureArena(params)
+	rec.SetHeapStats(0, 0)
+
+	tr := rec.Trace()
+	if tr.Mem == nil || tr.Mem.PeakArenaBytes == 0 || tr.Mem.ArenaBytes < tr.Mem.PeakArenaBytes {
+		t.Fatalf("arena capture: %+v", tr.Mem)
+	}
+	model, err := NewModel(U280(), PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Simulate(model, DefaultEnergy(), tr)
+	if rep.Mem == nil || rep.Mem.PeakArenaBytes != tr.Mem.PeakArenaBytes {
+		t.Fatalf("report did not surface the memory profile: %+v", rep.Mem)
+	}
+}
