@@ -17,7 +17,8 @@ import (
 func stdModel() (*arch.Model, arch.EnergyModel) {
 	m, err := arch.NewModel(arch.U280(), arch.PaperParams())
 	if err != nil {
-		panic(err)
+		fmt.Fprintf(os.Stderr, "poseidon: building the U280 paper model: %v\n", err)
+		os.Exit(1)
 	}
 	return m, arch.DefaultEnergy()
 }

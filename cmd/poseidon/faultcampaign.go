@@ -1,0 +1,292 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"poseidon/internal/ckks"
+	"poseidon/internal/fault"
+)
+
+func init() {
+	register("faultcampaign", "fault-injection campaign: detection and false-positive rates of the integrity guards, emitted as JSON", runFaultCampaign)
+}
+
+// campaignClass is the per-fault-class result in BENCH_fault.json.
+type campaignClass struct {
+	Site          string  `json:"site"`  // HBM (read-back) or NTT (datapath)
+	Class         string  `json:"class"` // bit_flip, multi_bit_flip, stuck_lane, ...
+	Trials        int     `json:"trials"`
+	Detected      int     `json:"detected"`
+	DetectionRate float64 `json:"detection_rate"`
+	Gated         bool    `json:"gated"` // participates in the -gate threshold
+}
+
+// campaignGuardStats mirrors the evaluator's guard counters after the run.
+type campaignGuardStats struct {
+	Seals           uint64 `json:"seals"`
+	Verifies        uint64 `json:"verifies"`
+	SpotChecks      uint64 `json:"spot_checks"`
+	IntegrityFaults uint64 `json:"integrity_faults"`
+	NoiseFlags      uint64 `json:"noise_flags"`
+}
+
+// campaignReport is the BENCH_fault.json schema.
+type campaignReport struct {
+	GeneratedBy     string             `json:"generated_by"`
+	LogN            int                `json:"log_n"`
+	QLimbs          int                `json:"q_limbs"`
+	Seed            int64              `json:"seed"`
+	VisitsPerChain  map[string]uint64  `json:"visits_per_chain"` // injector visits one clean chain generates per site
+	Classes         []campaignClass    `json:"classes"`
+	CleanRuns       int                `json:"clean_runs"`
+	FalsePositives  int                `json:"false_positives"`
+	GuardedNsPerOp  float64            `json:"guarded_ns_per_chain"`
+	UnguardedNsPer  float64            `json:"unguarded_ns_per_chain"`
+	GuardOverhead   string             `json:"guard_overhead"`
+	Guards          campaignGuardStats `json:"guards"`
+}
+
+// campaignRig owns the fixed scheme material a campaign reuses across
+// trials: keys, two sealed input ciphertexts, pre-created destinations and
+// the armed injector shared by both rings.
+type campaignRig struct {
+	params *ckks.Parameters
+	ev     *ckks.Evaluator
+	inj    *fault.Injector
+	ctA    *ckks.Ciphertext
+	ctB    *ckks.Ciphertext
+	prod   *ckks.Ciphertext
+	drop   *ckks.Ciphertext
+	rot    *ckks.Ciphertext
+	acc    *ckks.Ciphertext
+}
+
+func newCampaignRig(logN int, seed int64) (*campaignRig, error) {
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     logN,
+		LogQ:     []int{50, 40, 40},
+		LogP:     []int{51},
+		LogScale: 40,
+		Workers:  1, // deterministic visit numbering
+	})
+	if err != nil {
+		return nil, err
+	}
+	kgen := ckks.NewKeyGenerator(params, seed)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	rlk := kgen.GenRelinearizationKey(sk)
+	rtk := kgen.GenRotationKeys(sk, []int{1}, false)
+	ev := ckks.NewEvaluator(params, rlk, rtk)
+
+	enc := ckks.NewEncoder(params)
+	encr := ckks.NewEncryptor(params, pk, seed+1)
+	vals := make([]complex128, params.Slots)
+	for i := range vals {
+		vals[i] = complex(float64(i%13)/13, float64(i%7)/7)
+	}
+	level := params.MaxLevel()
+	rig := &campaignRig{
+		params: params,
+		ev:     ev,
+		inj:    fault.NewInjector(seed + 2),
+		ctA:    encr.Encrypt(enc.Encode(vals, level, params.Scale)),
+		ctB:    encr.Encrypt(enc.Encode(vals, level, params.Scale)),
+		prod:   ckks.NewCiphertext(params, level),
+		drop:   ckks.NewCiphertext(params, level-1),
+		rot:    ckks.NewCiphertext(params, level-1),
+		acc:    ckks.NewCiphertext(params, level-1),
+	}
+	params.RingQ.SetFaultInjector(rig.inj)
+	params.RingP.SetFaultInjector(rig.inj)
+	return rig, nil
+}
+
+// chain runs the campaign workload — multiply-relinearize, rescale, rotate,
+// accumulate, final read-back — on fresh sealed copies of the inputs (each
+// trial's injected fault corrupts the copies, never the originals) and
+// returns the first guard error.
+func (rig *campaignRig) chain() error {
+	ev := rig.ev
+	a, b := rig.ctA.CopyNew(), rig.ctB.CopyNew()
+	if ev.GuardsEnabled() {
+		ev.SealIntegrity(a)
+		ev.SealIntegrity(b)
+	}
+	if _, err := ev.TryMulRelinInto(rig.prod, a, b); err != nil {
+		return err
+	}
+	if _, err := ev.TryRescaleInto(rig.drop, rig.prod); err != nil {
+		return err
+	}
+	if _, err := ev.TryRotateInto(rig.rot, rig.drop, 1); err != nil {
+		return err
+	}
+	if _, err := ev.TryAddInto(rig.acc, rig.drop, rig.rot); err != nil {
+		return err
+	}
+	return ev.VerifyIntegrity(rig.acc)
+}
+
+// runFaultCampaign measures what the runtime integrity guards actually
+// catch: for each fault class, every trial arms the injector at a random
+// visit of a clean-profiled site, reruns the evaluation chain and records
+// whether a guard reported ErrIntegrity. Clean (disarmed) runs bound the
+// false-positive rate, and a guards-off timing pass prices the overhead.
+func runFaultCampaign(fs *flag.FlagSet, args []string) error {
+	logN := fs.Int("logn", 8, "ring degree log2")
+	trials := fs.Int("trials", 1000, "injection trials per gated fault class")
+	clean := fs.Int("clean", 200, "clean runs for the false-positive bound")
+	seed := fs.Int64("seed", 99, "campaign seed (keys, inputs, injection sites)")
+	out := fs.String("o", "BENCH_fault.json", "output path ('-' for stdout)")
+	gate := fs.Bool("gate", false, "fail unless single-bit HBM detection ≥ 99% with zero false positives")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rig, err := newCampaignRig(*logN, *seed)
+	if err != nil {
+		return err
+	}
+	ev := rig.ev
+	ev.EnableGuards(*seed + 3)
+	ev.EnableSpotCheck()
+
+	// Profile one clean chain: how many injector visits each site sees.
+	// ArmRandom draws the injection visit uniformly from this range.
+	rig.inj.ResetVisits()
+	if err := rig.chain(); err != nil {
+		return fmt.Errorf("clean profiling chain failed: %w", err)
+	}
+	profile := rig.inj.Stats()
+	hbmVisits := profile.VisitsAt(fault.SiteHBM)
+	nttVisits := profile.VisitsAt(fault.SiteNTT)
+	if hbmVisits == 0 {
+		return fmt.Errorf("clean chain generated no HBM read-back visits — guards not wired?")
+	}
+
+	rep := campaignReport{
+		GeneratedBy: "poseidon faultcampaign",
+		LogN:        *logN,
+		QLimbs:      rig.params.MaxLevel() + 1,
+		Seed:        *seed,
+		VisitsPerChain: map[string]uint64{
+			fault.SiteHBM.String(): hbmVisits,
+			fault.SiteNTT.String(): nttVisits,
+		},
+	}
+
+	runClass := func(site fault.Site, class fault.Class, visits uint64, n int, gated bool) campaignClass {
+		detected := 0
+		for t := 0; t < n; t++ {
+			rig.inj.ResetVisits()
+			rig.inj.ArmRandom(site, class, visits)
+			err := rig.chain()
+			rig.inj.Disarm()
+			if errors.Is(err, ckks.ErrIntegrity) {
+				detected++
+			} else if err != nil && class == fault.Panic && errors.Is(err, ckks.ErrInternal) {
+				detected++ // injected panics surface as recovered internal errors
+			}
+		}
+		return campaignClass{
+			Site: site.String(), Class: class.String(),
+			Trials: n, Detected: detected,
+			DetectionRate: float64(detected) / float64(n),
+			Gated:         gated,
+		}
+	}
+
+	// HBM read-back classes: checksum-sealed, so single-bit flips are the
+	// gated 100%-detection contract; the multi-bit and stuck-lane rates
+	// ride along (sum-mod-q can in principle collide on multi-coefficient
+	// corruption, so they are reported, not gated).
+	rep.Classes = append(rep.Classes,
+		runClass(fault.SiteHBM, fault.BitFlip, hbmVisits, *trials, true),
+		runClass(fault.SiteHBM, fault.MultiBitFlip, hbmVisits, *trials/2, false),
+		runClass(fault.SiteHBM, fault.StuckLane, hbmVisits, *trials/2, false),
+	)
+	// NTT datapath classes: only the one-random-limb spot-check can see
+	// these, so detection is probabilistic by design — reported, not gated.
+	if nttVisits > 0 {
+		rep.Classes = append(rep.Classes,
+			runClass(fault.SiteNTT, fault.BitFlip, nttVisits, *trials/2, false),
+			runClass(fault.SiteNTT, fault.StuckLane, nttVisits, *trials/2, false),
+			runClass(fault.SiteNTT, fault.DroppedTwiddle, nttVisits, *trials/2, false),
+		)
+	}
+
+	// False-positive bound: disarmed chains must never report a fault.
+	rig.inj.Disarm()
+	for t := 0; t < *clean; t++ {
+		if err := rig.chain(); err != nil {
+			rep.FalsePositives++
+		}
+	}
+	rep.CleanRuns = *clean
+
+	// Guard overhead: the same chain with guards on vs off.
+	timeChain := func(iters int) float64 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := rig.chain(); err != nil {
+				panic(fmt.Sprintf("faultcampaign: timing chain failed: %v", err))
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters)
+	}
+	const timingIters = 50
+	timeChain(5) // warm-up
+	rep.GuardedNsPerOp = timeChain(timingIters)
+	gs := ev.GuardStats()
+	rep.Guards = campaignGuardStats{
+		Seals: gs.Seals, Verifies: gs.Verifies, SpotChecks: gs.SpotChecks,
+		IntegrityFaults: gs.IntegrityFaults, NoiseFlags: gs.NoiseFlags,
+	}
+	ev.DisableGuards()
+	timeChain(5)
+	rep.UnguardedNsPer = timeChain(timingIters)
+	if rep.UnguardedNsPer > 0 {
+		rep.GuardOverhead = fmt.Sprintf("%.1f%%", 100*(rep.GuardedNsPerOp/rep.UnguardedNsPer-1))
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(blob); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	for _, c := range rep.Classes {
+		fmt.Fprintf(os.Stderr, "  %-4s %-16s %4d/%4d detected (%.1f%%)\n",
+			c.Site, c.Class, c.Detected, c.Trials, 100*c.DetectionRate)
+	}
+	fmt.Fprintf(os.Stderr, "  false positives: %d/%d clean runs; guard overhead %s\n",
+		rep.FalsePositives, rep.CleanRuns, rep.GuardOverhead)
+
+	if *gate {
+		for _, c := range rep.Classes {
+			if c.Gated && c.DetectionRate < 0.99 {
+				return fmt.Errorf("fault gate: %s %s detection %.3f < 0.99", c.Site, c.Class, c.DetectionRate)
+			}
+		}
+		if rep.FalsePositives != 0 {
+			return fmt.Errorf("fault gate: %d false positives in %d clean runs", rep.FalsePositives, rep.CleanRuns)
+		}
+		fmt.Fprintln(os.Stderr, "  fault gate: PASS")
+	}
+	return nil
+}

@@ -38,6 +38,11 @@ type Report struct {
 	// (allocs/op and the arena high-water mark — the working set a real
 	// accelerator would pin on chip). Nil when the trace has none.
 	Mem *trace.MemStats
+
+	// Fault carries the run's integrity-guard counters (seals, verifies,
+	// detected faults) — the software analogue of ECC/scrubbing telemetry
+	// on the accelerator. Nil when the trace has none.
+	Fault *trace.FaultStats
 }
 
 // Simulate executes tr on the model with the given energy model.
@@ -46,6 +51,7 @@ func Simulate(m *Model, em EnergyModel, tr *trace.Trace) Report {
 		Name:       tr.Name,
 		Workers:    tr.Workers,
 		Mem:        tr.Mem,
+		Fault:      tr.Fault,
 		ByKind:     map[trace.Kind]*KindStat{},
 		ByOperator: map[Operator]float64{},
 		ByTag:      map[string]float64{},

@@ -29,10 +29,10 @@ import (
 func Naive(dst, src []uint64, g uint64, mod numeric.Modulus) {
 	n := uint64(len(src))
 	if len(dst) != len(src) {
-		panic("automorph: length mismatch")
+		panic("automorph: Naive: dst/src length mismatch")
 	}
 	if g%2 == 0 {
-		panic("automorph: even Galois element")
+		panic("automorph: Naive: even Galois element")
 	}
 	twoN := 2 * n
 	g %= twoN
@@ -87,7 +87,7 @@ type Map struct {
 // Precompute builds the routing tables for odd Galois element g.
 func (h *HFAuto) Precompute(g uint64) *Map {
 	if g%2 == 0 {
-		panic("automorph: even Galois element")
+		panic("automorph: Precompute: even Galois element")
 	}
 	twoN := uint64(2 * h.N)
 	g %= twoN
@@ -127,7 +127,7 @@ func (m *Map) Apply(dst, src []uint64, mod numeric.Modulus) {
 func (m *Map) ApplyScratch(dst, src []uint64, mod numeric.Modulus, scratch []uint64) {
 	h := m.H
 	if len(src) != h.N || len(dst) != h.N || len(scratch) != h.N {
-		panic("automorph: length mismatch")
+		panic("automorph: ApplyScratch: dst/src/scratch length mismatch")
 	}
 	r, c := h.R, h.C
 	twoR := uint64(2 * r)

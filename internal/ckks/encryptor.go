@@ -13,9 +13,15 @@ type Ciphertext struct {
 	C0, C1 *ring.Poly
 	Scale  float64
 	Level  int
+
+	// seal holds the per-limb residue checksums recorded by
+	// Evaluator.SealIntegrity; nil when the ciphertext is unsealed.
+	// Invalidated whenever the ciphertext is used as an *Into destination.
+	seal *integritySeal
 }
 
-// CopyNew deep-copies the ciphertext.
+// CopyNew deep-copies the ciphertext. The integrity seal, if any, is not
+// carried over: seal the copy explicitly if it needs one.
 func (ct *Ciphertext) CopyNew() *Ciphertext {
 	return &Ciphertext{C0: ct.C0.CopyNew(), C1: ct.C1.CopyNew(), Scale: ct.Scale, Level: ct.Level}
 }

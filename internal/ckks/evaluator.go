@@ -35,6 +35,12 @@ type Evaluator struct {
 	rtks     *RotationKeySet
 	observer OpObserver
 	pool     *ring.Pool
+
+	// guards, when non-nil, activates the runtime integrity guards
+	// (residue-checksum seals, noise-budget checks, the opt-in
+	// redundant-limb spot-check) used by the Try* API; see guard.go. Shared
+	// by pointer with evaluators derived via WithWorkers.
+	guards *guardState
 }
 
 // NewEvaluator creates an evaluator. rlk may be nil if Mul is never
@@ -148,9 +154,16 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 
 // inttCopy returns an arena copy of the NTT-domain polynomial p,
 // transformed to the coefficient domain, with copy and inverse transform
-// fused into one limb-parallel pass. Release with RingQ.PutPoly.
-func (ev *Evaluator) inttCopy(p *ring.Poly) *ring.Poly {
+// fused into one limb-parallel pass. Release with RingQ.PutPoly. If the
+// transform panics mid-way (a worker fault, an injected abort), the scratch
+// is returned to the arena before the panic propagates.
+func (ev *Evaluator) inttCopy(p *ring.Poly) (out *ring.Poly) {
 	dst := ev.params.RingQ.GetPolyDirty(len(p.Coeffs))
+	defer func() {
+		if out == nil {
+			ev.params.RingQ.PutPoly(dst)
+		}
+	}()
 	ev.inttCopyInto(dst, p)
 	return dst
 }
@@ -387,6 +400,10 @@ func (ev *Evaluator) keySwitchCoreInto(p0, p1 *ring.Poly, level int, cx *ring.Po
 	digits := params.Digits(level)
 
 	s := params.getKsState()
+	// Leak-proof discipline: every piece of scratch attached to s is
+	// released by this deferred call whether the pipeline completes (fields
+	// already nilled by the eager Puts in ksFinish) or panics mid-digit.
+	defer ev.ksRelease(s)
 	s.ev = ev
 	s.level = level
 	s.qLimbs = level + 1
@@ -462,10 +479,14 @@ func (ev *Evaluator) ksFinish(s *ksState, serial bool) {
 	} else {
 		pool.ForEachChunk(s.n, s.modDownChunk)
 	}
+	// Eager accumulator release (shrinks peak arena use before the output
+	// NTTs); fields are nilled so the caller's deferred ksRelease — which
+	// handles the remaining scratch and the state record — never double-Puts.
 	rq.PutPoly(s.acc0Q)
 	rq.PutPoly(s.acc1Q)
 	rp.PutPoly(s.acc0P)
 	rp.PutPoly(s.acc1P)
+	s.acc0Q, s.acc1Q, s.acc0P, s.acc1P = nil, nil, nil, nil
 
 	if serial {
 		for t := 0; t < 2*s.qLimbs; t++ {
@@ -475,11 +496,40 @@ func (ev *Evaluator) ksFinish(s *ksState, serial bool) {
 		pool.ForEach(2*s.qLimbs, s.nttOutStage)
 	}
 	s.p0.IsNTT, s.p1.IsNTT = true, true
+}
 
-	if s.ext != nil {
+// ksRelease returns every piece of scratch still attached to s to its arena
+// or free list and recycles the state record. Safe to run after a normal
+// ksFinish (completed stages nil their fields) and after a panic anywhere in
+// the pipeline; hoisted replays never release s.ext here because the digits
+// are borrowed from the shared hoistedDecomposition.
+func (ev *Evaluator) ksRelease(s *ksState) {
+	params := ev.params
+	rq, rp := params.RingQ, params.RingP
+	if s.acc0Q != nil {
+		rq.PutPoly(s.acc0Q)
+		s.acc0Q = nil
+	}
+	if s.acc1Q != nil {
+		rq.PutPoly(s.acc1Q)
+		s.acc1Q = nil
+	}
+	if s.acc0P != nil {
+		rp.PutPoly(s.acc0P)
+		s.acc0P = nil
+	}
+	if s.acc1P != nil {
+		rp.PutPoly(s.acc1P)
+		s.acc1P = nil
+	}
+	if s.ext != nil && !s.hoisted {
 		params.putExt(s.ext)
 	}
-	params.putWide(s.wide)
+	s.ext = nil
+	if s.wide != nil {
+		params.putWide(s.wide)
+		s.wide = nil
+	}
 	params.putKsState(s)
 }
 

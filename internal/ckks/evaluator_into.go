@@ -38,11 +38,14 @@ func reshapePoly(p *ring.Poly, limbs int) {
 	panic(fmt.Sprintf("ckks: destination holds %d limbs, result needs %d — create it at a higher level", cap(p.Coeffs), limbs))
 }
 
-// reshapeCt shapes the destination to the given output level.
+// reshapeCt shapes the destination to the given output level. Any integrity
+// seal on the destination is invalidated: its contents are about to be
+// overwritten, and the producing operation re-seals when guards are on.
 func reshapeCt(out *Ciphertext, level int) {
 	reshapePoly(out.C0, level+1)
 	reshapePoly(out.C1, level+1)
 	out.Level = level
+	out.seal = nil
 }
 
 // aliases reports whether two polynomials share backing storage (including
@@ -126,7 +129,7 @@ func (ev *Evaluator) MulPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaintext
 	}
 	if mont != nil {
 		if !c0.IsNTT || !c1.IsNTT || !mont.IsNTT {
-			panic("ring: MulCoeffwise requires NTT-domain operands")
+			panic("ckks: MulPlain: operands must be in NTT domain")
 		}
 		if ev.pool.Workers() <= 1 {
 			for i := 0; i < limbs; i++ {
@@ -191,7 +194,27 @@ func (ev *Evaluator) MulRelinInto(out *Ciphertext, a, b *Ciphertext) *Ciphertext
 	}
 	rq := ev.params.RingQ
 
+	// Scratch is released by the deferred sweep on every exit — including a
+	// panic inside the keyswitch pipeline — and eagerly as soon as each
+	// piece is done, so the defer is a no-op on the happy path. The sweep
+	// tracks releases through d2Live rather than nil-ing d2 itself: d2 is
+	// captured by the worker-pool closure below, and reassigning it would
+	// force a by-reference capture that moves it to the heap (breaking the
+	// zero-alloc gates). Only the non-escaping defer closure sees d2Live.
 	d2 := rq.GetPolyDirty(level + 1)
+	d2Live := d2
+	var p0, p1 *ring.Poly
+	defer func() {
+		if d2Live != nil {
+			rq.PutPoly(d2Live)
+		}
+		if p0 != nil {
+			rq.PutPoly(p0)
+		}
+		if p1 != nil {
+			rq.PutPoly(p1)
+		}
+	}()
 	strict := rq.StrictKernels()
 	if ev.pool.Workers() <= 1 {
 		for i := 0; i <= level; i++ {
@@ -206,15 +229,18 @@ func (ev *Evaluator) MulRelinInto(out *Ciphertext, a, b *Ciphertext) *Ciphertext
 
 	// Keyswitch d2: contributes (p0, p1) ≈ (d2·s² − p1·s, p1).
 	rq.INTTParallel(d2, ev.pool)
-	p0 := rq.GetPolyDirty(level + 1)
-	p1 := rq.GetPolyDirty(level + 1)
+	p0 = rq.GetPolyDirty(level + 1)
+	p1 = rq.GetPolyDirty(level + 1)
 	ev.keySwitchCoreInto(p0, p1, level, d2, &ev.rlk.SwitchingKey)
 	rq.PutPoly(d2)
+	d2Live = nil
 
 	rq.AddParallel(out.C0, out.C0, p0, ev.pool)
 	rq.AddParallel(out.C1, out.C1, p1, ev.pool)
 	rq.PutPoly(p0)
+	p0 = nil
 	rq.PutPoly(p1)
+	p1 = nil
 	out.Scale = a.Scale * b.Scale
 	ev.observe("CMult", level)
 	return out
@@ -229,8 +255,24 @@ func (ev *Evaluator) RescaleInto(out *Ciphertext, ct *Ciphertext) *Ciphertext {
 	}
 	rq := ev.params.RingQ
 	level := ct.Level
+	// c0/c1 are never reassigned once acquired so the worker-pool closure
+	// below captures them by value; the panic sweep tracks releases through
+	// the *Live shadows, which only the non-escaping defer closure touches
+	// (reassigning c0/c1 directly would move them to the heap and break the
+	// zero-alloc gates).
 	c0 := ev.inttCopy(ct.C0)
+	c0Live := c0
+	var c1Live *ring.Poly
+	defer func() {
+		if c0Live != nil {
+			rq.PutPoly(c0Live)
+		}
+		if c1Live != nil {
+			rq.PutPoly(c1Live)
+		}
+	}()
 	c1 := ev.inttCopy(ct.C1)
+	c1Live = c1
 
 	reshapeCt(out, level-1)
 	// The rescale of each coefficient is self-contained, so it chunks
@@ -246,10 +288,12 @@ func (ev *Evaluator) RescaleInto(out *Ciphertext, ct *Ciphertext) *Ciphertext {
 		})
 	}
 	rq.PutPoly(c0)
+	c0Live = nil
 	rq.PutPoly(c1)
+	c1Live = nil
 	out.C0.IsNTT, out.C1.IsNTT = false, false
-	rq.NTTParallel(out.C0, ev.pool)
-	rq.NTTParallel(out.C1, ev.pool)
+	ev.nttParallelGuarded("Rescale", out.C0)
+	ev.nttParallelGuarded("Rescale", out.C1)
 	out.Scale = ct.Scale / float64(ev.params.Q[level])
 	ev.observe("Rescale", level)
 	return out
@@ -289,22 +333,41 @@ func (ev *Evaluator) automorphismKSInto(out *Ciphertext, ct *Ciphertext, g uint6
 	rq := ev.params.RingQ
 
 	c0 := ev.inttCopy(ct.C0)
-	c1 := ev.inttCopy(ct.C1)
+	var c1, a1, p0 *ring.Poly
+	defer func() {
+		if c0 != nil {
+			rq.PutPoly(c0)
+		}
+		if c1 != nil {
+			rq.PutPoly(c1)
+		}
+		if a1 != nil {
+			rq.PutPoly(a1)
+		}
+		if p0 != nil {
+			rq.PutPoly(p0)
+		}
+	}()
+	c1 = ev.inttCopy(ct.C1)
 	reshapeCt(out, level)
-	a1 := rq.GetPolyDirty(level + 1)
+	a1 = rq.GetPolyDirty(level + 1)
 	a1.IsNTT = false
 	rq.AutomorphismParallel(out.C0, c0, g, ev.pool)
 	rq.AutomorphismParallel(a1, c1, g, ev.pool)
 	rq.PutPoly(c0)
+	c0 = nil
 	rq.PutPoly(c1)
+	c1 = nil
 
 	// Keyswitch σ_g(c1) from σ_g(s) to s; p1 lands directly in out.C1.
-	p0 := rq.GetPolyDirty(level + 1)
+	p0 = rq.GetPolyDirty(level + 1)
 	ev.keySwitchCoreInto(p0, out.C1, level, a1, key)
 	rq.PutPoly(a1)
-	rq.NTTParallel(out.C0, ev.pool)
+	a1 = nil
+	ev.nttParallelGuarded("Rotation", out.C0)
 	rq.AddParallel(out.C0, out.C0, p0, ev.pool)
 	rq.PutPoly(p0)
+	p0 = nil
 	out.Scale = ct.Scale
 	ev.observe("Rotation", level)
 	return out
@@ -316,12 +379,23 @@ func (ev *Evaluator) KeySwitchInto(out *Ciphertext, ct *Ciphertext, swk *Switchi
 	rq := ev.params.RingQ
 	level := ct.Level
 	c1 := ev.inttCopy(ct.C1)
+	var p0 *ring.Poly
+	defer func() {
+		if c1 != nil {
+			rq.PutPoly(c1)
+		}
+		if p0 != nil {
+			rq.PutPoly(p0)
+		}
+	}()
 	reshapeCt(out, level)
-	p0 := rq.GetPolyDirty(level + 1)
+	p0 = rq.GetPolyDirty(level + 1)
 	ev.keySwitchCoreInto(p0, out.C1, level, c1, swk)
 	rq.PutPoly(c1)
+	c1 = nil
 	rq.AddParallel(out.C0, ct.C0, p0, ev.pool)
 	rq.PutPoly(p0)
+	p0 = nil
 	out.Scale = ct.Scale
 	return out
 }

@@ -1,0 +1,273 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sync"
+
+	"poseidon/internal/fault"
+	"poseidon/internal/numeric"
+	"poseidon/internal/ring"
+)
+
+// Runtime integrity guards: the software counterpart of the redundancy a
+// hardware accelerator needs once HBM bit flips and datapath lane faults are
+// on the table. Three mechanisms, all opt-in (EnableGuards) and all free
+// when off — the hot paths pay one nil pointer compare:
+//
+//   - Residue checksums: SealIntegrity records a sum-mod-q checksum per limb
+//     of each ciphertext polynomial; every Try* operation re-verifies its
+//     sealed inputs at the operator boundary (modeling the read-back from
+//     HBM, which is also where the fault injector's SiteHBM hook fires) and
+//     seals its output. A single-bit flip anywhere in a sealed limb is
+//     detected with certainty: the flip changes the word by ±2^b and 2^b is
+//     never ≡ 0 mod an odd prime q.
+//   - Noise-budget guard: flags level/scale exhaustion (a product scale that
+//     no longer fits under the active modulus chain, a rescale at level 0)
+//     as ErrLevelExhausted before results silently degrade into noise.
+//   - Redundant-limb spot-check (EnableSpotCheck): recomputes one random
+//     limb of each elementwise output with the strict reference kernels,
+//     and one random limb of each final forward NTT (Rescale, Rotation)
+//     from its saved coefficient-domain pre-image — catching datapath
+//     faults (stuck lanes, dropped twiddles) checksums sealed earlier
+//     cannot see. Probabilistic by design: it samples one limb per
+//     operation.
+//
+// Guard failures surface as ErrIntegrity through the Try API; a direct
+// *Into call with guards enabled panics with the same *OpError.
+
+// GuardStats counts guard activity, exported into traces and the fault
+// campaign report.
+type GuardStats struct {
+	Seals           uint64 // limb checksum sets recorded
+	Verifies        uint64 // sealed inputs re-verified at operator boundaries
+	SpotChecks      uint64 // redundant limb recomputations performed
+	IntegrityFaults uint64 // checksum or spot-check mismatches detected
+	NoiseFlags      uint64 // noise-budget exhaustion flags raised
+}
+
+// guardState is shared by evaluators derived via WithWorkers (pointer copy);
+// a nil *guardState on the Evaluator means guards are off.
+type guardState struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	spot  bool
+	stats GuardStats
+}
+
+func (g *guardState) pickLimb(limbs int) int {
+	g.mu.Lock()
+	i := g.rng.Intn(limbs)
+	g.mu.Unlock()
+	return i
+}
+
+func (g *guardState) noteSeal()     { g.mu.Lock(); g.stats.Seals++; g.mu.Unlock() }
+func (g *guardState) noteVerify()   { g.mu.Lock(); g.stats.Verifies++; g.mu.Unlock() }
+func (g *guardState) noteSpot()     { g.mu.Lock(); g.stats.SpotChecks++; g.mu.Unlock() }
+func (g *guardState) noteFault()    { g.mu.Lock(); g.stats.IntegrityFaults++; g.mu.Unlock() }
+func (g *guardState) noteNoise()    { g.mu.Lock(); g.stats.NoiseFlags++; g.mu.Unlock() }
+func (g *guardState) spotOn() bool  { return g != nil && g.spot }
+func (g *guardState) snapshot() GuardStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// integritySeal stores the per-limb residue checksums of a ciphertext's two
+// polynomials. Seals are attached by SealIntegrity / the Try* output
+// boundary and invalidated whenever a destination is reshaped.
+type integritySeal struct {
+	c0, c1 []uint64
+}
+
+// EnableGuards turns the runtime integrity guards on: Try* operations
+// verify sealed inputs, seal outputs, and run the noise-budget check. The
+// seed fixes the spot-check's limb sampling. Guards are shared with
+// evaluators later derived via WithWorkers.
+func (ev *Evaluator) EnableGuards(seed int64) {
+	ev.guards = &guardState{rng: rand.New(rand.NewSource(seed))}
+}
+
+// EnableSpotCheck additionally arms the redundant-limb spot-check (requires
+// EnableGuards first; no-op otherwise).
+func (ev *Evaluator) EnableSpotCheck() {
+	if ev.guards != nil {
+		ev.guards.spot = true
+	}
+}
+
+// DisableGuards turns the guards off for this evaluator.
+func (ev *Evaluator) DisableGuards() { ev.guards = nil }
+
+// GuardsEnabled reports whether the integrity guards are active.
+func (ev *Evaluator) GuardsEnabled() bool { return ev.guards != nil }
+
+// GuardStats returns a snapshot of the guard counters (zero value when
+// guards are off).
+func (ev *Evaluator) GuardStats() GuardStats {
+	if ev.guards == nil {
+		return GuardStats{}
+	}
+	return ev.guards.snapshot()
+}
+
+// NoiseBudget estimates the remaining headroom, in bits, between the active
+// modulus chain and the ciphertext scale: log2(Q_l) − log2(scale). When it
+// reaches zero the plaintext magnitude no longer fits and decryption
+// degrades into noise.
+func (ev *Evaluator) NoiseBudget(ct *Ciphertext) float64 {
+	return math.Log2(ev.params.QAtLevel(ct.Level)) - math.Log2(ct.Scale)
+}
+
+// SealIntegrity records per-limb residue checksums for ct, arming the
+// checksum guard: every subsequent Try* operation consuming ct re-verifies
+// the seal at its input boundary. Re-sealing an already-sealed ciphertext
+// reuses the seal storage.
+func (ev *Evaluator) SealIntegrity(ct *Ciphertext) {
+	limbs := ct.Level + 1
+	s := ct.seal
+	if s == nil || cap(s.c0) < limbs {
+		s = &integritySeal{c0: make([]uint64, limbs), c1: make([]uint64, limbs)}
+	}
+	s.c0, s.c1 = s.c0[:limbs], s.c1[:limbs]
+	mods := ev.params.RingQ.Moduli
+	for i := 0; i < limbs; i++ {
+		s.c0[i] = fault.Checksum(mods[i], ct.C0.Coeffs[i])
+		s.c1[i] = fault.Checksum(mods[i], ct.C1.Coeffs[i])
+	}
+	ct.seal = s
+	if ev.guards != nil {
+		ev.guards.noteSeal()
+	}
+}
+
+// VerifyIntegrity models the read-back of ct from (possibly faulty) HBM and
+// re-verifies its seal: the fault injector's SiteHBM hook fires on every
+// limb first, then each limb's residue checksum is compared against the
+// seal. Returns nil for unsealed ciphertexts (after still firing the
+// hooks); a mismatch returns an *OpError wrapping ErrIntegrity naming the
+// first corrupted limb. Never panics.
+func (ev *Evaluator) VerifyIntegrity(ct *Ciphertext) (err error) {
+	defer recoverOp("VerifyIntegrity", ct.Level, &err)
+	return ev.verifySealed("VerifyIntegrity", ct)
+}
+
+// verifySealed is the input-boundary guard shared by VerifyIntegrity and
+// the Try* methods: fire the HBM read-back injection hooks, then check the
+// seal if one is attached.
+func (ev *Evaluator) verifySealed(op string, ct *Ciphertext) error {
+	rq := ev.params.RingQ
+	if in := rq.FaultInjector(); in != nil {
+		for i := 0; i <= ct.Level; i++ {
+			in.OnLimbRead(fault.SiteHBM, i, ct.C0.Coeffs[i])
+			in.OnLimbRead(fault.SiteHBM, i, ct.C1.Coeffs[i])
+		}
+	}
+	s := ct.seal
+	if s == nil || len(s.c0) != ct.Level+1 {
+		return nil
+	}
+	if ev.guards != nil {
+		ev.guards.noteVerify()
+	}
+	for i := 0; i <= ct.Level; i++ {
+		mod := rq.Moduli[i]
+		if fault.Checksum(mod, ct.C0.Coeffs[i]) != s.c0[i] || fault.Checksum(mod, ct.C1.Coeffs[i]) != s.c1[i] {
+			if ev.guards != nil {
+				ev.guards.noteFault()
+			}
+			return &OpError{Op: op, Level: ct.Level, Limb: i, Err: ErrIntegrity,
+				Detail: "residue checksum does not match seal"}
+		}
+	}
+	return nil
+}
+
+// guardInputs runs the input-boundary guard over each operand of a Try*
+// operation.
+func (ev *Evaluator) guardInputs(op string, cts ...*Ciphertext) error {
+	if ev.guards == nil {
+		return nil
+	}
+	for _, ct := range cts {
+		if err := ev.verifySealed(op, ct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// guardSeal is the output-boundary guard: seal the freshly produced result
+// so the next operation's input boundary can vouch for it.
+func (ev *Evaluator) guardSeal(out *Ciphertext) {
+	if ev.guards == nil {
+		return
+	}
+	ev.SealIntegrity(out)
+}
+
+// guardNoise flags noise-budget exhaustion for a result about to be
+// produced at the given level and scale.
+func (ev *Evaluator) guardNoise(op string, level int, scale float64) error {
+	if ev.guards == nil || scale <= 0 {
+		return nil
+	}
+	if budget := math.Log2(ev.params.QAtLevel(level)) - math.Log2(scale); budget <= 0 {
+		ev.guards.noteNoise()
+		return opErr(op, level, ErrLevelExhausted,
+			"noise budget exhausted: scale 2^%.1f exceeds chain product 2^%.1f",
+			math.Log2(scale), math.Log2(ev.params.QAtLevel(level)))
+	}
+	return nil
+}
+
+// spotElementwise recomputes one random limb of an elementwise result with
+// the strict reference arithmetic and panics with ErrIntegrity on mismatch
+// (the Try* recovery boundary converts this to a returned error). check
+// returns whether limb i agrees with its recomputation.
+func (ev *Evaluator) spotElementwise(op string, level int, check func(mod numeric.Modulus, i int) bool) {
+	g := ev.guards
+	if !g.spotOn() {
+		return
+	}
+	i := g.pickLimb(level + 1)
+	ok := check(ev.params.RingQ.Moduli[i], i)
+	g.noteSpot()
+	if !ok {
+		g.noteFault()
+		panic(&OpError{Op: op, Level: level, Limb: i, Err: ErrIntegrity,
+			Detail: "redundant limb recomputation mismatch"})
+	}
+}
+
+// nttParallelGuarded transforms p to the NTT domain like ring.NTTParallel
+// while, when the spot-check is armed, redundantly recomputing one random
+// limb: the coefficient-domain pre-image of the chosen limb is saved, the
+// strict reference transform is applied to the copy, and the two NTT images
+// must agree bit for bit (the strict and lazy kernels are proven
+// bit-identical by the differential suites, so any disagreement is a
+// datapath fault, not a rounding artifact).
+func (ev *Evaluator) nttParallelGuarded(op string, p *ring.Poly) {
+	rq := ev.params.RingQ
+	g := ev.guards
+	if !g.spotOn() {
+		rq.NTTParallel(p, ev.pool)
+		return
+	}
+	i := g.pickLimb(len(p.Coeffs))
+	n := len(p.Coeffs[i])
+	buf := rq.GetVec()
+	copy(buf[:n], p.Coeffs[i])
+	rq.NTTParallel(p, ev.pool)
+	rq.Tables[i].ForwardStrict(buf[:n])
+	ok := slices.Equal(buf[:n], p.Coeffs[i])
+	rq.PutVec(buf)
+	g.noteSpot()
+	if !ok {
+		g.noteFault()
+		panic(&OpError{Op: op, Level: len(p.Coeffs) - 1, Limb: i, Err: ErrIntegrity,
+			Detail: "redundant NTT limb recomputation mismatch"})
+	}
+}

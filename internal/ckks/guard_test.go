@@ -1,0 +1,332 @@
+package ckks
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/fault"
+)
+
+// guardContext builds a small instance with every key loaded, a serial
+// evaluator, and deterministic operand ciphertexts.
+type guardContext struct {
+	params *Parameters
+	ev     *Evaluator
+	enc    *Encoder
+	sk     *SecretKey
+}
+
+func newGuardContext(t testing.TB) *guardContext {
+	t.Helper()
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     8,
+		LogQ:     []int{50, 40, 40},
+		LogP:     []int{51},
+		LogScale: 40,
+		Workers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgen := NewKeyGenerator(params, 42)
+	sk := kgen.GenSecretKey()
+	rlk := kgen.GenRelinearizationKey(sk)
+	rtk := kgen.GenRotationKeys(sk, []int{1, -1, 2}, true)
+	return &guardContext{
+		params: params,
+		ev:     NewEvaluator(params, rlk, rtk),
+		enc:    NewEncoder(params),
+		sk:     sk,
+	}
+}
+
+func (gc *guardContext) inputs(t testing.TB, seed int64, level int) (*Ciphertext, *Ciphertext, *Plaintext) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	kgen := NewKeyGenerator(gc.params, 42)
+	encr := NewEncryptor(gc.params, kgen.GenPublicKey(gc.sk), seed+1)
+	a := encr.Encrypt(gc.enc.Encode(randomComplex(rng, gc.params.Slots, 1.0), level, gc.params.Scale))
+	b := encr.Encrypt(gc.enc.Encode(randomComplex(rng, gc.params.Slots, 1.0), level, gc.params.Scale))
+	pt := gc.enc.Encode(randomComplex(rng, gc.params.Slots, 1.0), level, gc.params.Scale)
+	return a, b, pt
+}
+
+// With guards and the spot-check enabled, every Try operation on clean
+// inputs must return no error (zero false positives) and produce results
+// bit-identical to the direct Into API.
+func TestTryOpsCleanNoFalsePositives(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	ev.EnableGuards(7)
+	ev.EnableSpotCheck()
+	a, b, pt := gc.inputs(t, 1, gc.params.MaxLevel())
+	ev.SealIntegrity(a)
+	ev.SealIntegrity(b)
+
+	ref := NewEvaluator(gc.params, ev.rlk, ev.rtks) // guards off
+
+	cases := []struct {
+		name string
+		try  func() (*Ciphertext, error)
+		want func() *Ciphertext
+	}{
+		{"Add", func() (*Ciphertext, error) { return ev.TryAdd(a, b) },
+			func() *Ciphertext { return ref.Add(a, b) }},
+		{"Sub", func() (*Ciphertext, error) { return ev.TrySub(a, b) },
+			func() *Ciphertext { return ref.Sub(a, b) }},
+		{"Neg", func() (*Ciphertext, error) { return ev.TryNegInto(NewCiphertext(gc.params, a.Level), a) },
+			func() *Ciphertext { return ref.Neg(a) }},
+		{"AddPlain", func() (*Ciphertext, error) {
+			return ev.TryAddPlainInto(NewCiphertext(gc.params, a.Level), a, pt)
+		}, func() *Ciphertext { return ref.AddPlain(a, pt) }},
+		{"MulPlain", func() (*Ciphertext, error) {
+			return ev.TryMulPlainInto(NewCiphertext(gc.params, a.Level), a, pt)
+		}, func() *Ciphertext { return ref.MulPlain(a, pt) }},
+		{"MulRelin", func() (*Ciphertext, error) { return ev.TryMulRelin(a, b) },
+			func() *Ciphertext { return ref.MulRelin(a, b) }},
+		{"Rescale", func() (*Ciphertext, error) { return ev.TryRescale(ref.MulRelin(a, b)) },
+			func() *Ciphertext { return ref.Rescale(ref.MulRelin(a, b)) }},
+		{"Rotate", func() (*Ciphertext, error) { return ev.TryRotate(a, 1) },
+			func() *Ciphertext { return ref.Rotate(a, 1) }},
+		{"Conjugate", func() (*Ciphertext, error) { return ev.TryConjugate(a) },
+			func() *Ciphertext { return ref.Conjugate(a) }},
+	}
+	for _, tc := range cases {
+		got, err := tc.try()
+		if err != nil {
+			t.Fatalf("%s: unexpected error on clean inputs: %v", tc.name, err)
+		}
+		requireCtEqual(t, got, tc.want(), tc.name)
+		if got.seal == nil {
+			t.Fatalf("%s: output not sealed with guards enabled", tc.name)
+		}
+	}
+	st := ev.GuardStats()
+	if st.IntegrityFaults != 0 || st.NoiseFlags != 0 {
+		t.Fatalf("clean run raised guard flags: %+v", st)
+	}
+	if st.Verifies == 0 || st.Seals == 0 || st.SpotChecks == 0 {
+		t.Fatalf("guards did not run: %+v", st)
+	}
+}
+
+// Each misuse maps to its sentinel, via errors.Is, without panicking.
+func TestTrySentinels(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	a, b, pt := gc.inputs(t, 2, gc.params.MaxLevel())
+	out := NewCiphertext(gc.params, gc.params.MaxLevel())
+
+	bad := b.CopyNew()
+	bad.Scale *= 3
+	if _, err := ev.TryAddInto(out, a, bad); !errors.Is(err, ErrScaleMismatch) {
+		t.Fatalf("scale mismatch: got %v", err)
+	}
+	badPt := &Plaintext{Value: pt.Value, Scale: pt.Scale * 2, Level: pt.Level}
+	if _, err := ev.TryAddPlainInto(out, a, badPt); !errors.Is(err, ErrScaleMismatch) {
+		t.Fatalf("plain scale mismatch: got %v", err)
+	}
+
+	low := ev.DropLevel(a, 0)
+	if _, err := ev.TryRescale(low); !errors.Is(err, ErrLevelExhausted) {
+		t.Fatalf("rescale at level 0: got %v", err)
+	}
+
+	if _, err := ev.TryMulRelinInto(a, a, b); !errors.Is(err, ErrAliasedDestination) {
+		t.Fatalf("aliased MulRelin dest: got %v", err)
+	}
+
+	noKeys := NewEvaluator(gc.params, nil, nil)
+	if _, err := noKeys.TryMulRelin(a, b); !errors.Is(err, ErrKeyMissing) {
+		t.Fatalf("missing rlk: got %v", err)
+	}
+	if _, err := noKeys.TryRotate(a, 1); !errors.Is(err, ErrKeyMissing) {
+		t.Fatalf("missing rotation key: got %v", err)
+	}
+	if _, err := ev.TryRotate(a, 7); !errors.Is(err, ErrKeyMissing) {
+		t.Fatalf("ungenerated rotation step: got %v", err)
+	}
+	if _, err := ev.TryKeySwitchInto(out, a, nil); !errors.Is(err, ErrKeyMissing) {
+		t.Fatalf("nil switching key: got %v", err)
+	}
+
+	if _, err := ev.TryAddInto(out, nil, b); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("nil operand: got %v", err)
+	}
+	mangled := a.CopyNew()
+	mangled.Level = 99
+	if _, err := ev.TryAdd(mangled, b); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("absurd level: got %v", err)
+	}
+	small := NewCiphertext(gc.params, 0)
+	if _, err := ev.TryAddInto(small, a, b); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("undersized destination: got %v", err)
+	}
+
+	var oe *OpError
+	_, err := ev.TryMulRelinInto(a, a, b)
+	if !errors.As(err, &oe) || oe.Op != "CMult" {
+		t.Fatalf("error lacks op context: %v", err)
+	}
+}
+
+// A manually flipped bit in a sealed ciphertext is caught by
+// VerifyIntegrity and by the next Try operation's input boundary.
+func TestSealDetectsCorruption(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	ev.EnableGuards(3)
+	a, b, _ := gc.inputs(t, 3, gc.params.MaxLevel())
+	ev.SealIntegrity(a)
+	ev.SealIntegrity(b)
+	if err := ev.VerifyIntegrity(a); err != nil {
+		t.Fatalf("clean verify: %v", err)
+	}
+
+	a.C1.Coeffs[1][17] ^= 1 << 44
+	err := ev.VerifyIntegrity(a)
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("verify after flip: got %v, want ErrIntegrity", err)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || oe.Limb != 1 {
+		t.Fatalf("error does not name the corrupted limb: %v", err)
+	}
+
+	out := NewCiphertext(gc.params, gc.params.MaxLevel())
+	if _, err := ev.TryAddInto(out, a, b); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("op input boundary after flip: got %v, want ErrIntegrity", err)
+	}
+	if ev.GuardStats().IntegrityFaults < 2 {
+		t.Fatalf("integrity faults not counted: %+v", ev.GuardStats())
+	}
+}
+
+// An injector-driven single-bit HBM fault during an operation's input
+// read-back surfaces as ErrIntegrity — an error, not a panic.
+func TestInjectedHBMFaultDetected(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	ev.EnableGuards(5)
+	a, b, _ := gc.inputs(t, 4, gc.params.MaxLevel())
+	ev.SealIntegrity(a)
+	ev.SealIntegrity(b)
+
+	in := fault.NewInjector(99)
+	gc.params.RingQ.SetFaultInjector(in)
+	defer gc.params.RingQ.SetFaultInjector(nil)
+
+	// Clean pass to count HBM read-back visits — also the false-positive
+	// check: a disarmed injector must not trip the guard.
+	out := NewCiphertext(gc.params, gc.params.MaxLevel())
+	if _, err := ev.TryAddInto(out, a, b); err != nil {
+		t.Fatalf("clean pass errored: %v", err)
+	}
+	visits := in.Stats().VisitsAt(fault.SiteHBM)
+	if visits == 0 {
+		t.Fatal("no HBM read-back visits recorded")
+	}
+
+	for v := uint64(0); v < visits; v++ {
+		in.ResetVisits()
+		in.ArmAt(fault.SiteHBM, fault.BitFlip, v)
+		_, err := ev.TryAddInto(out, a, b)
+		if !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("visit %d: got %v, want ErrIntegrity", v, err)
+		}
+		// Repair for the next trial: re-apply the recorded flip and re-seal.
+		// The read-back hooks interleave C0/C1 per limb, a's visits first.
+		inj := in.Injections()
+		last := inj[len(inj)-1]
+		perCt := uint64(2 * (a.Level + 1))
+		target, local := a, last.Visit
+		if local >= perCt {
+			target, local = b, local-perCt
+		}
+		poly := target.C0
+		if local%2 == 1 {
+			poly = target.C1
+		}
+		poly.Coeffs[last.Limb][last.Coeff] ^= 1 << uint(last.Bit)
+		ev.SealIntegrity(a)
+		ev.SealIntegrity(b)
+	}
+}
+
+// The NTT spot-check catches a datapath fault injected into the forward
+// transform of a rescale output (deterministic here: the level-0 output has
+// a single limb, so the sampled limb is always the corrupted one).
+func TestSpotCheckDetectsNTTFault(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	ev.EnableGuards(11)
+	ev.EnableSpotCheck()
+	a, _, _ := gc.inputs(t, 5, 1)
+
+	in := fault.NewInjector(7)
+	gc.params.RingQ.SetFaultInjector(in)
+	defer gc.params.RingQ.SetFaultInjector(nil)
+
+	in.ArmAt(fault.SiteNTT, fault.StuckLane, 0)
+	_, err := ev.TryRescale(a)
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("got %v, want ErrIntegrity from the NTT spot-check", err)
+	}
+	if in.Stats().Injected != 1 {
+		t.Fatal("fault did not fire")
+	}
+	if ev.GuardStats().SpotChecks == 0 {
+		t.Fatal("spot check did not run")
+	}
+}
+
+// The noise guard flags a product scale the active chain cannot represent.
+func TestNoiseGuardFlagsExhaustion(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	ev.EnableGuards(13)
+	a, b, pt := gc.inputs(t, 6, gc.params.MaxLevel())
+
+	if nb := ev.NoiseBudget(a); nb <= 0 {
+		t.Fatalf("fresh ciphertext has non-positive budget %f", nb)
+	}
+
+	// At level 0 the chain holds ~2^50; a squared scale of 2^80 cannot fit.
+	la, lb := ev.DropLevel(a, 0), ev.DropLevel(b, 0)
+	out := NewCiphertext(gc.params, 0)
+	if _, err := ev.TryMulRelinInto(out, la, lb); !errors.Is(err, ErrLevelExhausted) {
+		t.Fatalf("exhausted MulRelin: got %v, want ErrLevelExhausted", err)
+	}
+	lpt := &Plaintext{Value: pt.Value, Scale: pt.Scale, Level: 0}
+	if _, err := ev.TryMulPlainInto(out, la, lpt); !errors.Is(err, ErrLevelExhausted) {
+		t.Fatalf("exhausted MulPlain: got %v, want ErrLevelExhausted", err)
+	}
+	if ev.GuardStats().NoiseFlags != 2 {
+		t.Fatalf("noise flags = %d, want 2", ev.GuardStats().NoiseFlags)
+	}
+}
+
+// An injected mid-operation panic (the Panic fault class) is converted by
+// the recovery boundary into an ErrInternal-wrapped error; the process — and
+// the arena — survive.
+func TestInjectedPanicRecovered(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	ev.EnableGuards(17)
+	a, b, _ := gc.inputs(t, 7, gc.params.MaxLevel())
+
+	in := fault.NewInjector(1)
+	gc.params.RingQ.SetFaultInjector(in)
+	defer gc.params.RingQ.SetFaultInjector(nil)
+
+	base := gc.params.ArenaStats().BytesInUse
+	in.ArmAt(fault.SiteNTT, fault.Panic, 2)
+	_, err := ev.TryMulRelin(a, b)
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("got %v, want ErrInternal wrap of injected panic", err)
+	}
+	if got := gc.params.ArenaStats().BytesInUse; got != base {
+		t.Fatalf("arena leaked across recovered panic: in-use %d, baseline %d", got, base)
+	}
+}

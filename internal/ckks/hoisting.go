@@ -32,18 +32,25 @@ type hoistedDecomposition struct {
 	c0     *ring.Poly   // coefficient-domain copy of C0
 }
 
-// release returns the borrowed digit matrices and the C0 copy.
+// release returns the borrowed digit matrices and the C0 copy. Nil-safe so
+// it can double as the panic-path sweep of a partially built decomposition.
 func (hd *hoistedDecomposition) release(params *Parameters) {
 	for _, ext := range hd.digits {
-		params.putExt(ext)
+		if ext != nil {
+			params.putExt(ext)
+		}
 	}
 	hd.digits = nil
-	params.RingQ.PutPoly(hd.c0)
-	hd.c0 = nil
+	if hd.c0 != nil {
+		params.RingQ.PutPoly(hd.c0)
+		hd.c0 = nil
+	}
 }
 
-// decomposeHoisted performs the shared phase on ct.C1.
-func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) *hoistedDecomposition {
+// decomposeHoisted performs the shared phase on ct.C1. On a panic anywhere
+// in the decomposition, every digit matrix acquired so far and both arena
+// copies are returned before the panic propagates.
+func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) (hdOut *hoistedDecomposition) {
 	params := ev.params
 	pool := ev.pool
 	serial := pool.Workers() <= 1
@@ -55,13 +62,28 @@ func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) *hoistedDecomposition {
 	qLimbs := level + 1
 	extLimbs := qLimbs + alpha
 
+	hd := &hoistedDecomposition{level: level, digits: make([][][]uint64, 0, digits)}
+	// c1 is captured by the worker-pool closures below, so it is never
+	// reassigned (a reassignment would force a by-reference capture and a
+	// heap move); the panic sweep tracks its release through c1Live, which
+	// only the non-escaping defer closure touches.
+	var c1Live *ring.Poly
+	defer func() {
+		if c1Live != nil {
+			rq.PutPoly(c1Live)
+		}
+		if hdOut == nil {
+			hd.release(params)
+		}
+	}()
 	c1 := ev.inttCopy(ct.C1)
-	c0 := ev.inttCopy(ct.C0)
+	c1Live = c1
+	hd.c0 = ev.inttCopy(ct.C0)
 
-	hd := &hoistedDecomposition{level: level, c0: c0, digits: make([][][]uint64, digits)}
 	decomposer := params.decomposer
 	for d := 0; d < digits; d++ {
 		ext := params.getExt(extLimbs)
+		hd.digits = append(hd.digits, ext)
 		if serial {
 			decomposer.DecomposeAndExtend(level, d, c1.Coeffs, ext)
 			for i := 0; i < extLimbs; i++ {
@@ -83,9 +105,9 @@ func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) *hoistedDecomposition {
 				}
 			})
 		}
-		hd.digits[d] = ext
 	}
 	rq.PutPoly(c1)
+	c1Live = nil
 	return hd
 }
 
@@ -97,13 +119,9 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 		panic("ckks: rotation requires rotation keys")
 	}
 	params := ev.params
-	pool := ev.pool
-	serial := pool.Workers() <= 1
-	rq, rp := params.RingQ, params.RingP
-	level := ct.Level
-	qLimbs := level + 1
 
 	hd := ev.decomposeHoisted(ct)
+	defer hd.release(params)
 	out := make(map[int]*Ciphertext, len(steps))
 
 	for _, step := range steps {
@@ -116,72 +134,91 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 		if !ok {
 			panic(fmt.Sprintf("ckks: no rotation key for step %d (g=%d)", step, g))
 		}
+		out[step] = ev.rotateHoistedOne(hd, ct, g, key)
+	}
+	return out
+}
 
-		// Replay the shared decomposition through the keyswitch pipeline:
-		// the mac stage permutes each cached NTT-domain digit limb by the
-		// rotation's Galois permutation instead of decomposing again. Same
-		// accumulator discipline as keySwitchCoreInto — raw 128-bit MACs per
-		// digit, one deferred Barrett reduction per coefficient folded into
-		// the inverse-NTT pass (strict kernels run macLimb instead).
-		s := params.getKsState()
-		s.ev = ev
-		s.level = level
-		s.qLimbs = qLimbs
-		s.alpha = params.Alpha()
-		s.ext1 = qLimbs + s.alpha
-		s.n = params.N
-		s.strict = rq.StrictKernels()
-		s.key = key
-		s.hoisted = true
-		s.permQ = rq.NTTGaloisPermutation(g)
-		s.permP = rp.NTTGaloisPermutation(g)
+// rotateHoistedOne replays the shared decomposition through the keyswitch
+// pipeline for one Galois element: the mac stage permutes each cached
+// NTT-domain digit limb by the rotation's Galois permutation instead of
+// decomposing again. Same accumulator discipline as keySwitchCoreInto —
+// raw 128-bit MACs per digit, one deferred Barrett reduction per
+// coefficient folded into the inverse-NTT pass (strict kernels run macLimb
+// instead). Scratch is released by the deferred sweeps on every exit,
+// panic paths included; the borrowed digit matrices stay owned by hd.
+func (ev *Evaluator) rotateHoistedOne(hd *hoistedDecomposition, ct *Ciphertext, g uint64, key *SwitchingKey) *Ciphertext {
+	params := ev.params
+	pool := ev.pool
+	serial := pool.Workers() <= 1
+	rq, rp := params.RingQ, params.RingP
+	level := hd.level
+	qLimbs := level + 1
 
-		s.acc0Q = rq.GetPoly(qLimbs)
-		s.acc1Q = rq.GetPoly(qLimbs)
-		s.acc0P = rp.GetPoly(s.alpha)
-		s.acc1P = rp.GetPoly(s.alpha)
-		s.acc0Q.IsNTT, s.acc1Q.IsNTT, s.acc0P.IsNTT, s.acc1P.IsNTT = true, true, true, true
-		if !s.strict {
-			s.wide = params.getWide(2 * s.ext1)
+	s := params.getKsState()
+	defer ev.ksRelease(s)
+	s.ev = ev
+	s.level = level
+	s.qLimbs = qLimbs
+	s.alpha = params.Alpha()
+	s.ext1 = qLimbs + s.alpha
+	s.n = params.N
+	s.strict = rq.StrictKernels()
+	s.key = key
+	s.hoisted = true
+	s.permQ = rq.NTTGaloisPermutation(g)
+	s.permP = rp.NTTGaloisPermutation(g)
+
+	s.acc0Q = rq.GetPoly(qLimbs)
+	s.acc1Q = rq.GetPoly(qLimbs)
+	s.acc0P = rp.GetPoly(s.alpha)
+	s.acc1P = rp.GetPoly(s.alpha)
+	s.acc0Q.IsNTT, s.acc1Q.IsNTT, s.acc0P.IsNTT, s.acc1P.IsNTT = true, true, true, true
+	if !s.strict {
+		s.wide = params.getWide(2 * s.ext1)
+	}
+
+	res := NewCiphertext(params, level)
+	res.Scale = ct.Scale
+	var p0 *ring.Poly
+	defer func() {
+		if p0 != nil {
+			rq.PutPoly(p0)
 		}
+	}()
+	p0 = rq.GetPolyDirty(qLimbs)
+	s.p0, s.p1 = p0, res.C1
 
-		res := NewCiphertext(params, level)
-		res.Scale = ct.Scale
-		p0 := rq.GetPolyDirty(qLimbs)
-		s.p0, s.p1 = p0, res.C1
-
-		for di := range hd.digits {
-			s.d = di
-			s.ext = hd.digits[di]
-			if s.wide != nil && di > 0 && di%(numeric.MaxLazyProducts-1) == 0 {
-				if serial {
-					for i := 0; i < s.ext1; i++ {
-						s.foldStage(i)
-					}
-				} else {
-					pool.ForEach(s.ext1, s.foldStage)
-				}
-			}
+	for di := range hd.digits {
+		s.d = di
+		s.ext = hd.digits[di]
+		if s.wide != nil && di > 0 && di%(numeric.MaxLazyProducts-1) == 0 {
 			if serial {
 				for i := 0; i < s.ext1; i++ {
-					s.macStage(i)
+					s.foldStage(i)
 				}
 			} else {
-				pool.ForEach(s.ext1, s.macStage)
+				pool.ForEach(s.ext1, s.foldStage)
 			}
 		}
-		s.ext = nil // borrowed from hd — not the pipeline's to release
-
-		rq.AutomorphismParallel(res.C0, hd.c0, g, pool)
-		ev.ksFinish(s, serial)
-		rq.NTTParallel(res.C0, pool)
-		rq.AddParallel(res.C0, res.C0, p0, pool)
-		rq.PutPoly(p0)
-		ev.observe("Rotation", level)
-		out[step] = res
+		if serial {
+			for i := 0; i < s.ext1; i++ {
+				s.macStage(i)
+			}
+		} else {
+			pool.ForEach(s.ext1, s.macStage)
+		}
 	}
-	hd.release(params)
-	return out
+	s.ext = nil // borrowed from hd — not the pipeline's to release
+
+	rq.AutomorphismParallel(res.C0, hd.c0, g, pool)
+	ev.ksFinish(s, serial)
+	rq.NTTParallel(res.C0, pool)
+	rq.AddParallel(res.C0, res.C0, p0, pool)
+	rq.PutPoly(p0)
+	p0 = nil
+	ev.observe("Rotation", level)
+	return res
 }
 
 // galoisForRotation mirrors automorph.GaloisElementForRotation without the

@@ -1,0 +1,171 @@
+package ckks
+
+import (
+	"strings"
+	"testing"
+
+	"poseidon/internal/fault"
+)
+
+// Mid-op panic injection: every destination-passing op acquires arena
+// scratch, and the deferred sweeps must return all of it even when the op
+// panics halfway through. These tests arm the fault injector's Panic class
+// at every NTT/INTT visit of every op and assert that after the recovered
+// panic the arena's BytesInUse is back at its pre-op baseline — with poison
+// mode on, so a double-Put on the unwind path (a sweep racing an eager
+// release) fails loudly instead of silently corrupting the free lists.
+
+type panicLeakFixture struct {
+	params *Parameters
+	ev     *Evaluator
+	swk    *SwitchingKey
+	ct1    *Ciphertext
+	ct2    *Ciphertext
+	inj    *fault.Injector
+}
+
+func newPanicLeakFixture(t testing.TB) *panicLeakFixture {
+	t.Helper()
+	params, err := NewParameters(ParametersLiteral{
+		LogN:     8,
+		LogQ:     []int{50, 40, 40},
+		LogP:     []int{51},
+		LogScale: 40,
+		Workers:  1, // serial: visit numbering is deterministic
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgen := NewKeyGenerator(params, 421)
+	sk := kgen.GenSecretKey()
+	sk2 := kgen.GenSecretKey()
+	rlk := kgen.GenRelinearizationKey(sk)
+	rtk := kgen.GenRotationKeys(sk, []int{1}, true)
+	swk := kgen.genSwitchingKey(sk.Value.Q, sk2)
+	ev := NewEvaluator(params, rlk, rtk)
+
+	pk := kgen.GenPublicKey(sk)
+	encr := NewEncryptor(params, pk, 422)
+	level := params.MaxLevel()
+	ct1 := encr.EncryptZero(level, params.Scale)
+	ct2 := encr.EncryptZero(level, params.Scale)
+
+	inj := fault.NewInjector(423)
+	params.RingQ.SetFaultInjector(inj)
+	params.RingP.SetFaultInjector(inj)
+	params.RingQ.Arena().SetPoison(true)
+	params.RingP.Arena().SetPoison(true)
+	t.Cleanup(func() {
+		params.RingQ.SetFaultInjector(nil)
+		params.RingP.SetFaultInjector(nil)
+	})
+	return &panicLeakFixture{params: params, ev: ev, swk: swk, ct1: ct1, ct2: ct2, inj: inj}
+}
+
+// panicLeakOps enumerates every op that owns arena scratch mid-flight.
+// Each closure gets fresh output containers so a half-written destination
+// from an aborted run never feeds the next one.
+func (fx *panicLeakFixture) ops() []struct {
+	name string
+	f    func()
+} {
+	ev, params := fx.ev, fx.params
+	level := fx.ct1.Level
+	return []struct {
+		name string
+		f    func()
+	}{
+		{"MulRelinInto", func() { ev.MulRelinInto(NewCiphertext(params, level), fx.ct1, fx.ct2) }},
+		{"RescaleInto", func() { ev.RescaleInto(NewCiphertext(params, level-1), fx.ct1) }},
+		{"RotateInto", func() { ev.RotateInto(NewCiphertext(params, level), fx.ct1, 1) }},
+		{"ConjugateInto", func() { ev.ConjugateInto(NewCiphertext(params, level), fx.ct1) }},
+		{"KeySwitchInto", func() { ev.KeySwitchInto(NewCiphertext(params, level), fx.ct1, fx.swk) }},
+		{"RotateHoisted", func() { ev.RotateHoisted(fx.ct1, []int{0, 1}) }},
+	}
+}
+
+// runWithInjectedPanic executes f once with the injector armed to panic at
+// the given visit of the given site, recovers, and returns the recovered
+// value (nil when the visit number was past the op's last visit, in which
+// case the injector stays armed and is disarmed here).
+func (fx *panicLeakFixture) runWithInjectedPanic(site fault.Site, visit uint64, f func()) (recovered any) {
+	fx.inj.ResetVisits()
+	fx.inj.ArmAt(site, fault.Panic, visit)
+	defer fx.inj.Disarm()
+	defer func() { recovered = recover() }()
+	f()
+	return nil
+}
+
+// TestMidOpPanicArenaBaseline sweeps every NTT/INTT visit of every
+// scratch-owning op, injecting a panic there, and requires (a) the
+// recovered value is the injected panic — not a poison-mode double-Put
+// tripped on the unwind path — and (b) the arena returns to its pre-op
+// BytesInUse baseline.
+func TestMidOpPanicArenaBaseline(t *testing.T) {
+	fx := newPanicLeakFixture(t)
+	for _, op := range fx.ops() {
+		t.Run(op.name, func(t *testing.T) {
+			op.f() // warm-up: free lists populated, no injector visits armed
+			for _, site := range []fault.Site{fault.SiteNTT, fault.SiteINTT} {
+				fx.inj.ResetVisits()
+				op.f() // clean run counts this op's visits at the site
+				visits := fx.inj.Stats().VisitsAt(site)
+				if visits == 0 {
+					continue
+				}
+				baseline := fx.params.ArenaStats().BytesInUse
+				for v := uint64(0); v < visits; v++ {
+					rec := fx.runWithInjectedPanic(site, v, op.f)
+					if rec == nil {
+						t.Fatalf("%s: armed panic at %v visit %d/%d never fired", op.name, site, v, visits)
+					}
+					msg, ok := rec.(string)
+					if !ok || !strings.Contains(msg, "fault: injected panic") {
+						t.Fatalf("%s: %v visit %d: recovered %v, want the injected panic (a secondary panic on the unwind path?)", op.name, site, v, rec)
+					}
+					if inUse := fx.params.ArenaStats().BytesInUse; inUse != baseline {
+						t.Fatalf("%s: %v visit %d: arena leaked across panic: in-use %d, baseline %d", op.name, site, v, inUse, baseline)
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzMidOpPanicArena is the randomized version of the sweep above: the
+// fuzzer picks the op, the site, and the visit. Out-of-range visits are
+// legal — the panic simply never fires and the op must complete cleanly,
+// still returning to baseline.
+func FuzzMidOpPanicArena(f *testing.F) {
+	f.Add(uint8(0), false, uint16(0))
+	f.Add(uint8(1), true, uint16(1))
+	f.Add(uint8(2), false, uint16(3))
+	f.Add(uint8(3), true, uint16(2))
+	f.Add(uint8(4), false, uint16(7))
+	f.Add(uint8(5), false, uint16(65535))
+
+	fx := newPanicLeakFixture(f)
+	ops := fx.ops()
+	for _, op := range ops {
+		op.f() // warm-up outside the fuzz loop
+	}
+
+	f.Fuzz(func(t *testing.T, opIdx uint8, inverse bool, visit uint16) {
+		op := ops[int(opIdx)%len(ops)]
+		site := fault.SiteNTT
+		if inverse {
+			site = fault.SiteINTT
+		}
+		baseline := fx.params.ArenaStats().BytesInUse
+		rec := fx.runWithInjectedPanic(site, uint64(visit), op.f)
+		if rec != nil {
+			if msg, ok := rec.(string); !ok || !strings.Contains(msg, "fault: injected panic") {
+				t.Fatalf("%s: %v visit %d: recovered %v, want the injected panic", op.name, site, visit, rec)
+			}
+		}
+		if inUse := fx.params.ArenaStats().BytesInUse; inUse != baseline {
+			t.Fatalf("%s: %v visit %d: arena leaked: in-use %d, baseline %d (panicked: %v)", op.name, site, visit, inUse, baseline, rec != nil)
+		}
+	})
+}

@@ -1,0 +1,467 @@
+package ckks
+
+import (
+	"poseidon/internal/automorph"
+	"poseidon/internal/numeric"
+)
+
+// Try* evaluator API: error-returning variants of the destination-passing
+// operations. Each method validates its arguments up front (returning
+// sentinel errors wrapped in *OpError instead of panicking), runs the
+// input-boundary integrity guard over sealed operands, executes the
+// corresponding *Into operation inside the recovery boundary (so an
+// internal panic — including one injected by the fault harness — comes back
+// as an error, never takes the process down), and seals the output when
+// guards are enabled.
+//
+// The direct *Into methods keep their panicking contract for hot loops that
+// have already validated; the Try* forms are the public, fallible surface
+// kit-level code builds on.
+
+func lvlOf(ct *Ciphertext) int {
+	if ct == nil {
+		return -1
+	}
+	return ct.Level
+}
+
+// aliasCt reports whether the destination shares storage with an operand.
+func aliasCt(out, in *Ciphertext) bool {
+	return out == in || aliases(out.C0, in.C0) || aliases(out.C1, in.C1)
+}
+
+// validIn checks a ciphertext operand for structural sanity: non-nil, level
+// within the modulus chain, enough limbs for its level, rows of length N.
+func (ev *Evaluator) validIn(op string, ct *Ciphertext) error {
+	if ct == nil || ct.C0 == nil || ct.C1 == nil {
+		return opErr(op, lvlOf(ct), ErrInvalidInput, "nil ciphertext")
+	}
+	if ct.Level < 0 || ct.Level > ev.params.MaxLevel() {
+		return opErr(op, ct.Level, ErrInvalidInput, "level %d outside [0, %d]", ct.Level, ev.params.MaxLevel())
+	}
+	limbs := ct.Level + 1
+	if len(ct.C0.Coeffs) < limbs || len(ct.C1.Coeffs) < limbs {
+		return opErr(op, ct.Level, ErrInvalidInput,
+			"polynomial holds %d limbs, level %d needs %d",
+			min(len(ct.C0.Coeffs), len(ct.C1.Coeffs)), ct.Level, limbs)
+	}
+	for i := 0; i < limbs; i++ {
+		if len(ct.C0.Coeffs[i]) != ev.params.N || len(ct.C1.Coeffs[i]) != ev.params.N {
+			return opErr(op, ct.Level, ErrInvalidInput, "limb %d length != N=%d", i, ev.params.N)
+		}
+	}
+	return nil
+}
+
+// validPt checks a plaintext operand.
+func (ev *Evaluator) validPt(op string, pt *Plaintext) error {
+	if pt == nil || pt.Value == nil {
+		return opErr(op, -1, ErrInvalidInput, "nil plaintext")
+	}
+	if pt.Level < 0 || pt.Level > ev.params.MaxLevel() {
+		return opErr(op, pt.Level, ErrInvalidInput, "plaintext level %d outside [0, %d]", pt.Level, ev.params.MaxLevel())
+	}
+	if len(pt.Value.Coeffs) < pt.Level+1 {
+		return opErr(op, pt.Level, ErrInvalidInput,
+			"plaintext holds %d limbs, level %d needs %d", len(pt.Value.Coeffs), pt.Level, pt.Level+1)
+	}
+	return nil
+}
+
+// validDest checks that the destination can hold a level-`level` result
+// through its capacity.
+func (ev *Evaluator) validDest(op string, out *Ciphertext, level int) error {
+	if out == nil || out.C0 == nil || out.C1 == nil {
+		return opErr(op, level, ErrInvalidInput, "nil destination")
+	}
+	if cap(out.C0.Coeffs) < level+1 || cap(out.C1.Coeffs) < level+1 {
+		return opErr(op, level, ErrInvalidInput,
+			"destination capacity %d limbs, result needs %d — create it at a higher level",
+			min(cap(out.C0.Coeffs), cap(out.C1.Coeffs)), level+1)
+	}
+	return nil
+}
+
+// TryAddInto computes out = a + b, returning typed errors instead of
+// panicking. out may alias a or b.
+func (ev *Evaluator) TryAddInto(out, a, b *Ciphertext) (res *Ciphertext, err error) {
+	const op = "HAdd"
+	defer recoverOp(op, lvlOf(a), &err)
+	if err := ev.validIn(op, a); err != nil {
+		return nil, err
+	}
+	if err := ev.validIn(op, b); err != nil {
+		return nil, err
+	}
+	level := min(a.Level, b.Level)
+	if err := ev.validDest(op, out, level); err != nil {
+		return nil, err
+	}
+	if !sameScale(a.Scale, b.Scale) {
+		return nil, opErr(op, level, ErrScaleMismatch, "scales %g vs %g", a.Scale, b.Scale)
+	}
+	if err := ev.guardInputs(op, a, b); err != nil {
+		return nil, err
+	}
+	aliased := aliasCt(out, a) || aliasCt(out, b)
+	aa, bb := ev.alignLevels(a, b)
+	ev.AddInto(out, a, b)
+	if !aliased {
+		ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
+			o0, o1 := out.C0.Coeffs[i], out.C1.Coeffs[i]
+			a0, a1 := aa.C0.Coeffs[i], aa.C1.Coeffs[i]
+			b0, b1 := bb.C0.Coeffs[i], bb.C1.Coeffs[i]
+			for j := range o0 {
+				if o0[j] != mod.Add(a0[j], b0[j]) || o1[j] != mod.Add(a1[j], b1[j]) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	ev.guardSeal(out)
+	return out, nil
+}
+
+// TrySubInto computes out = a − b. out may alias a or b.
+func (ev *Evaluator) TrySubInto(out, a, b *Ciphertext) (res *Ciphertext, err error) {
+	const op = "HAdd"
+	defer recoverOp(op, lvlOf(a), &err)
+	if err := ev.validIn(op, a); err != nil {
+		return nil, err
+	}
+	if err := ev.validIn(op, b); err != nil {
+		return nil, err
+	}
+	level := min(a.Level, b.Level)
+	if err := ev.validDest(op, out, level); err != nil {
+		return nil, err
+	}
+	if !sameScale(a.Scale, b.Scale) {
+		return nil, opErr(op, level, ErrScaleMismatch, "scales %g vs %g", a.Scale, b.Scale)
+	}
+	if err := ev.guardInputs(op, a, b); err != nil {
+		return nil, err
+	}
+	aliased := aliasCt(out, a) || aliasCt(out, b)
+	aa, bb := ev.alignLevels(a, b)
+	ev.SubInto(out, a, b)
+	if !aliased {
+		ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
+			o0, o1 := out.C0.Coeffs[i], out.C1.Coeffs[i]
+			a0, a1 := aa.C0.Coeffs[i], aa.C1.Coeffs[i]
+			b0, b1 := bb.C0.Coeffs[i], bb.C1.Coeffs[i]
+			for j := range o0 {
+				if o0[j] != mod.Sub(a0[j], b0[j]) || o1[j] != mod.Sub(a1[j], b1[j]) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	ev.guardSeal(out)
+	return out, nil
+}
+
+// TryNegInto computes out = −a. out may alias a.
+func (ev *Evaluator) TryNegInto(out, a *Ciphertext) (res *Ciphertext, err error) {
+	const op = "HNeg"
+	defer recoverOp(op, lvlOf(a), &err)
+	if err := ev.validIn(op, a); err != nil {
+		return nil, err
+	}
+	if err := ev.validDest(op, out, a.Level); err != nil {
+		return nil, err
+	}
+	if err := ev.guardInputs(op, a); err != nil {
+		return nil, err
+	}
+	aliased := aliasCt(out, a)
+	ev.NegInto(out, a)
+	if !aliased {
+		ev.spotElementwise(op, a.Level, func(mod numeric.Modulus, i int) bool {
+			o0, o1 := out.C0.Coeffs[i], out.C1.Coeffs[i]
+			a0, a1 := a.C0.Coeffs[i], a.C1.Coeffs[i]
+			for j := range o0 {
+				if o0[j] != mod.Neg(a0[j]) || o1[j] != mod.Neg(a1[j]) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	ev.guardSeal(out)
+	return out, nil
+}
+
+// TryAddPlainInto computes out = ct + pt. out may alias ct.
+func (ev *Evaluator) TryAddPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaintext) (res *Ciphertext, err error) {
+	const op = "HAddPlain"
+	defer recoverOp(op, lvlOf(ct), &err)
+	if err := ev.validIn(op, ct); err != nil {
+		return nil, err
+	}
+	if err := ev.validPt(op, pt); err != nil {
+		return nil, err
+	}
+	level := min(ct.Level, pt.Level)
+	if err := ev.validDest(op, out, level); err != nil {
+		return nil, err
+	}
+	if !sameScale(ct.Scale, pt.Scale) {
+		return nil, opErr(op, level, ErrScaleMismatch, "scales %g vs %g", ct.Scale, pt.Scale)
+	}
+	if err := ev.guardInputs(op, ct); err != nil {
+		return nil, err
+	}
+	aliased := aliasCt(out, ct)
+	ev.AddPlainInto(out, ct, pt)
+	if !aliased {
+		ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
+			o0 := out.C0.Coeffs[i]
+			c0, pv := ct.C0.Coeffs[i], pt.Value.Coeffs[i]
+			for j := range o0 {
+				if o0[j] != mod.Add(c0[j], pv[j]) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	ev.guardSeal(out)
+	return out, nil
+}
+
+// TryMulPlainInto computes out = ct · pt. out may alias ct. The noise guard
+// flags a product scale the active modulus chain cannot hold.
+func (ev *Evaluator) TryMulPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaintext) (res *Ciphertext, err error) {
+	const op = "PMult"
+	defer recoverOp(op, lvlOf(ct), &err)
+	if err := ev.validIn(op, ct); err != nil {
+		return nil, err
+	}
+	if err := ev.validPt(op, pt); err != nil {
+		return nil, err
+	}
+	level := min(ct.Level, pt.Level)
+	if err := ev.validDest(op, out, level); err != nil {
+		return nil, err
+	}
+	if err := ev.guardNoise(op, level, ct.Scale*pt.Scale); err != nil {
+		return nil, err
+	}
+	if err := ev.guardInputs(op, ct); err != nil {
+		return nil, err
+	}
+	aliased := aliasCt(out, ct)
+	ev.MulPlainInto(out, ct, pt)
+	if !aliased {
+		// The recompute uses the strict Barrett product — a genuinely
+		// different kernel from the memoized Montgomery path, proven
+		// bit-identical by the differential suites.
+		ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
+			o0, o1 := out.C0.Coeffs[i], out.C1.Coeffs[i]
+			c0, c1 := ct.C0.Coeffs[i], ct.C1.Coeffs[i]
+			pv := pt.Value.Coeffs[i]
+			for j := range o0 {
+				if o0[j] != mod.Mul(c0[j], pv[j]) || o1[j] != mod.Mul(c1[j], pv[j]) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	ev.guardSeal(out)
+	return out, nil
+}
+
+// TryMulRelinInto computes out = a·b with relinearization. out must not
+// alias an operand (ErrAliasedDestination); a missing relinearization key is
+// ErrKeyMissing; a product scale the chain cannot hold is ErrLevelExhausted.
+func (ev *Evaluator) TryMulRelinInto(out, a, b *Ciphertext) (res *Ciphertext, err error) {
+	const op = "CMult"
+	defer recoverOp(op, lvlOf(a), &err)
+	if err := ev.validIn(op, a); err != nil {
+		return nil, err
+	}
+	if err := ev.validIn(op, b); err != nil {
+		return nil, err
+	}
+	level := min(a.Level, b.Level)
+	if err := ev.validDest(op, out, level); err != nil {
+		return nil, err
+	}
+	if ev.rlk == nil {
+		return nil, opErr(op, level, ErrKeyMissing, "relinearization key not loaded")
+	}
+	if aliasCt(out, a) || aliasCt(out, b) {
+		return nil, opErr(op, level, ErrAliasedDestination, "MulRelin destination must not alias an operand")
+	}
+	if err := ev.guardNoise(op, level, a.Scale*b.Scale); err != nil {
+		return nil, err
+	}
+	if err := ev.guardInputs(op, a, b); err != nil {
+		return nil, err
+	}
+	ev.MulRelinInto(out, a, b)
+	ev.guardSeal(out)
+	return out, nil
+}
+
+// TryRescaleInto divides ct by the last active prime into out. A rescale at
+// level 0 is ErrLevelExhausted. out may alias ct.
+func (ev *Evaluator) TryRescaleInto(out *Ciphertext, ct *Ciphertext) (res *Ciphertext, err error) {
+	const op = "Rescale"
+	defer recoverOp(op, lvlOf(ct), &err)
+	if err := ev.validIn(op, ct); err != nil {
+		return nil, err
+	}
+	if ct.Level == 0 {
+		return nil, opErr(op, 0, ErrLevelExhausted, "cannot rescale at level 0")
+	}
+	if err := ev.validDest(op, out, ct.Level-1); err != nil {
+		return nil, err
+	}
+	if err := ev.guardInputs(op, ct); err != nil {
+		return nil, err
+	}
+	ev.RescaleInto(out, ct)
+	ev.guardSeal(out)
+	return out, nil
+}
+
+// TryRotateInto rotates the slot vector by steps into out. A missing
+// rotation key is ErrKeyMissing. out may alias ct.
+func (ev *Evaluator) TryRotateInto(out *Ciphertext, ct *Ciphertext, steps int) (res *Ciphertext, err error) {
+	const op = "Rotation"
+	defer recoverOp(op, lvlOf(ct), &err)
+	if err := ev.validIn(op, ct); err != nil {
+		return nil, err
+	}
+	if err := ev.validDest(op, out, ct.Level); err != nil {
+		return nil, err
+	}
+	if g := automorph.GaloisElementForRotation(steps, ev.params.N); g != 1 {
+		if ev.rtks == nil {
+			return nil, opErr(op, ct.Level, ErrKeyMissing, "rotation keys not loaded")
+		}
+		if _, ok := ev.rtks.Keys[g]; !ok {
+			return nil, opErr(op, ct.Level, ErrKeyMissing, "no rotation key for step %d (Galois element %d)", steps, g)
+		}
+	}
+	if err := ev.guardInputs(op, ct); err != nil {
+		return nil, err
+	}
+	ev.RotateInto(out, ct, steps)
+	ev.guardSeal(out)
+	return out, nil
+}
+
+// TryConjugateInto conjugates every slot into out. out may alias ct.
+func (ev *Evaluator) TryConjugateInto(out *Ciphertext, ct *Ciphertext) (res *Ciphertext, err error) {
+	const op = "Rotation"
+	defer recoverOp(op, lvlOf(ct), &err)
+	if err := ev.validIn(op, ct); err != nil {
+		return nil, err
+	}
+	if err := ev.validDest(op, out, ct.Level); err != nil {
+		return nil, err
+	}
+	if g := automorph.GaloisElementConjugate(ev.params.N); g != 1 {
+		if ev.rtks == nil {
+			return nil, opErr(op, ct.Level, ErrKeyMissing, "rotation keys not loaded")
+		}
+		if _, ok := ev.rtks.Keys[g]; !ok {
+			return nil, opErr(op, ct.Level, ErrKeyMissing, "no conjugation key (Galois element %d)", g)
+		}
+	}
+	if err := ev.guardInputs(op, ct); err != nil {
+		return nil, err
+	}
+	ev.ConjugateInto(out, ct)
+	ev.guardSeal(out)
+	return out, nil
+}
+
+// TryKeySwitchInto re-encrypts ct under swk into out. out may alias ct.
+func (ev *Evaluator) TryKeySwitchInto(out *Ciphertext, ct *Ciphertext, swk *SwitchingKey) (res *Ciphertext, err error) {
+	const op = "KeySwitch"
+	defer recoverOp(op, lvlOf(ct), &err)
+	if err := ev.validIn(op, ct); err != nil {
+		return nil, err
+	}
+	if err := ev.validDest(op, out, ct.Level); err != nil {
+		return nil, err
+	}
+	if swk == nil || len(swk.B) == 0 || len(swk.A) == 0 {
+		return nil, opErr(op, ct.Level, ErrKeyMissing, "nil or empty switching key")
+	}
+	if err := ev.guardInputs(op, ct); err != nil {
+		return nil, err
+	}
+	ev.KeySwitchInto(out, ct, swk)
+	ev.guardSeal(out)
+	return out, nil
+}
+
+// Allocating conveniences over the Try* destination-passing forms.
+
+// TryAdd returns a + b or a typed error.
+func (ev *Evaluator) TryAdd(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.validIn("HAdd", a); err != nil {
+		return nil, err
+	}
+	if err := ev.validIn("HAdd", b); err != nil {
+		return nil, err
+	}
+	return ev.TryAddInto(NewCiphertext(ev.params, min(a.Level, b.Level)), a, b)
+}
+
+// TrySub returns a − b or a typed error.
+func (ev *Evaluator) TrySub(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.validIn("HAdd", a); err != nil {
+		return nil, err
+	}
+	if err := ev.validIn("HAdd", b); err != nil {
+		return nil, err
+	}
+	return ev.TrySubInto(NewCiphertext(ev.params, min(a.Level, b.Level)), a, b)
+}
+
+// TryMulRelin returns a·b with relinearization or a typed error.
+func (ev *Evaluator) TryMulRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.validIn("CMult", a); err != nil {
+		return nil, err
+	}
+	if err := ev.validIn("CMult", b); err != nil {
+		return nil, err
+	}
+	return ev.TryMulRelinInto(NewCiphertext(ev.params, min(a.Level, b.Level)), a, b)
+}
+
+// TryRescale returns ct rescaled one level down or a typed error.
+func (ev *Evaluator) TryRescale(ct *Ciphertext) (*Ciphertext, error) {
+	if err := ev.validIn("Rescale", ct); err != nil {
+		return nil, err
+	}
+	if ct.Level == 0 {
+		return nil, opErr("Rescale", 0, ErrLevelExhausted, "cannot rescale at level 0")
+	}
+	return ev.TryRescaleInto(NewCiphertext(ev.params, ct.Level-1), ct)
+}
+
+// TryRotate returns the slot vector rotated by steps or a typed error.
+func (ev *Evaluator) TryRotate(ct *Ciphertext, steps int) (*Ciphertext, error) {
+	if err := ev.validIn("Rotation", ct); err != nil {
+		return nil, err
+	}
+	return ev.TryRotateInto(NewCiphertext(ev.params, ct.Level), ct, steps)
+}
+
+// TryConjugate returns the slot-wise conjugate or a typed error.
+func (ev *Evaluator) TryConjugate(ct *Ciphertext) (*Ciphertext, error) {
+	if err := ev.validIn("Rotation", ct); err != nil {
+		return nil, err
+	}
+	return ev.TryConjugateInto(NewCiphertext(ev.params, ct.Level), ct)
+}

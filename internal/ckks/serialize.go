@@ -28,6 +28,13 @@ const (
 	kindSecretKey  = 3
 )
 
+// corruptErr builds a deserialization error wrapping ErrCorrupt, so every
+// structural rejection — bad magic, truncation, implausible geometry — is
+// matchable with errors.Is(err, ErrCorrupt) regardless of the detail text.
+func corruptErr(format string, args ...any) error {
+	return fmt.Errorf("ckks: %w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
 type header struct {
 	kind  uint64
 	scale float64
@@ -57,14 +64,14 @@ const headerWords = 8
 
 func parseHeader(data []byte) (header, []byte, error) {
 	if len(data) < headerWords*8 {
-		return header{}, nil, fmt.Errorf("ckks: serialized object truncated (%d bytes)", len(data))
+		return header{}, nil, corruptErr("serialized object truncated (%d bytes)", len(data))
 	}
 	get := func(i int) uint64 { return binary.LittleEndian.Uint64(data[i*8:]) }
 	if get(0) != serialMagic {
-		return header{}, nil, fmt.Errorf("ckks: bad magic %#x", get(0))
+		return header{}, nil, corruptErr("bad magic %#x", get(0))
 	}
 	if get(1) != serialVersion {
-		return header{}, nil, fmt.Errorf("ckks: unsupported version %d", get(1))
+		return header{}, nil, corruptErr("unsupported version %d", get(1))
 	}
 	h := header{
 		kind:  get(2),
@@ -78,13 +85,13 @@ func parseHeader(data []byte) (header, []byte, error) {
 	// allocations or integer overflow downstream.
 	const maxN, maxLimbs = 1 << 20, 1 << 10
 	if h.n < 1 || h.n > maxN || h.limbs < 1 || h.limbs > maxLimbs {
-		return header{}, nil, fmt.Errorf("ckks: implausible geometry n=%d limbs=%d", h.n, h.limbs)
+		return header{}, nil, corruptErr("implausible geometry n=%d limbs=%d", h.n, h.limbs)
 	}
 	if h.level < 0 || h.level >= maxLimbs {
-		return header{}, nil, fmt.Errorf("ckks: implausible level %d", h.level)
+		return header{}, nil, corruptErr("implausible level %d", h.level)
 	}
 	if math.IsNaN(h.scale) || math.IsInf(h.scale, 0) || h.scale <= 0 {
-		return header{}, nil, fmt.Errorf("ckks: invalid scale")
+		return header{}, nil, corruptErr("invalid scale")
 	}
 	return h, data[headerWords*8:], nil
 }
@@ -101,7 +108,7 @@ func putPoly(buf []byte, p *ring.Poly) []byte {
 func parsePoly(data []byte, limbs, n int, isNTT bool) (*ring.Poly, []byte, error) {
 	need := limbs * n * 8
 	if len(data) < need {
-		return nil, nil, fmt.Errorf("ckks: polynomial payload truncated")
+		return nil, nil, corruptErr("polynomial payload truncated")
 	}
 	backing := make([]uint64, limbs*n)
 	p := &ring.Poly{Coeffs: make([][]uint64, limbs), IsNTT: isNTT}
@@ -135,7 +142,7 @@ func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if h.kind != kindCiphertext {
-		return fmt.Errorf("ckks: expected ciphertext, found kind %d", h.kind)
+		return corruptErr("expected ciphertext, found kind %d", h.kind)
 	}
 	c0, rest, err := parsePoly(rest, h.limbs, h.n, h.isNTT)
 	if err != nil {
@@ -146,7 +153,7 @@ func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if len(rest) != 0 {
-		return fmt.Errorf("ckks: %d trailing bytes", len(rest))
+		return corruptErr("%d trailing bytes", len(rest))
 	}
 	ct.C0, ct.C1, ct.Scale, ct.Level = c0, c1, h.scale, h.level
 	return nil
@@ -171,14 +178,14 @@ func (pt *Plaintext) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if h.kind != kindPlaintext {
-		return fmt.Errorf("ckks: expected plaintext, found kind %d", h.kind)
+		return corruptErr("expected plaintext, found kind %d", h.kind)
 	}
 	v, rest, err := parsePoly(rest, h.limbs, h.n, h.isNTT)
 	if err != nil {
 		return err
 	}
 	if len(rest) != 0 {
-		return fmt.Errorf("ckks: %d trailing bytes", len(rest))
+		return corruptErr("%d trailing bytes", len(rest))
 	}
 	pt.Value, pt.Scale, pt.Level = v, h.scale, h.level
 	return nil
@@ -206,13 +213,19 @@ func (sk *SecretKey) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if h.kind != kindSecretKey {
-		return fmt.Errorf("ckks: expected secret key, found kind %d", h.kind)
+		return corruptErr("expected secret key, found kind %d", h.kind)
 	}
 	if len(rest) < 8 {
-		return fmt.Errorf("ckks: secret key truncated")
+		return corruptErr("secret key truncated")
 	}
 	limbsP := int(binary.LittleEndian.Uint64(rest))
 	rest = rest[8:]
+	// limbsP rides outside the validated header, so it gets the same
+	// plausibility bound: an attacker-chosen value must not be able to
+	// overflow the size arithmetic in parsePoly or drive a huge make().
+	if limbsP < 1 || limbsP > 1<<10 {
+		return corruptErr("implausible secret key limbsP=%d", limbsP)
+	}
 	q, rest, err := parsePoly(rest, h.limbs, h.n, true)
 	if err != nil {
 		return err
@@ -222,7 +235,7 @@ func (sk *SecretKey) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if len(rest) != 0 {
-		return fmt.Errorf("ckks: %d trailing bytes", len(rest))
+		return corruptErr("%d trailing bytes", len(rest))
 	}
 	sk.Value = PolyQP{Q: q, P: p}
 	return nil

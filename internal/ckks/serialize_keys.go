@@ -18,7 +18,7 @@ const (
 // MarshalBinary encodes the switching key (all digits, both components).
 func (swk *SwitchingKey) MarshalBinary() ([]byte, error) {
 	if len(swk.B) == 0 {
-		return nil, fmt.Errorf("ckks: empty switching key")
+		return nil, fmt.Errorf("ckks: MarshalBinary: empty switching key")
 	}
 	limbsQ := len(swk.B[0].Q.Coeffs)
 	limbsP := len(swk.B[0].P.Coeffs)
@@ -47,16 +47,16 @@ func (swk *SwitchingKey) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if h.kind != kindSwitchingKey {
-		return fmt.Errorf("ckks: expected switching key, found kind %d", h.kind)
+		return corruptErr("expected switching key, found kind %d", h.kind)
 	}
 	if len(rest) < 16 {
-		return fmt.Errorf("ckks: switching key truncated")
+		return corruptErr("switching key truncated")
 	}
 	digits := int(binary.LittleEndian.Uint64(rest))
 	limbsP := int(binary.LittleEndian.Uint64(rest[8:]))
 	rest = rest[16:]
 	if digits < 1 || digits > 1<<10 || limbsP < 1 || limbsP > 1<<10 {
-		return fmt.Errorf("ckks: implausible key geometry digits=%d limbsP=%d", digits, limbsP)
+		return corruptErr("implausible key geometry digits=%d limbsP=%d", digits, limbsP)
 	}
 	swk.B = make([]PolyQP, digits)
 	swk.A = make([]PolyQP, digits)
@@ -82,7 +82,7 @@ func (swk *SwitchingKey) UnmarshalBinary(data []byte) error {
 		rest = r4
 	}
 	if len(rest) != 0 {
-		return fmt.Errorf("ckks: %d trailing bytes", len(rest))
+		return corruptErr("%d trailing bytes", len(rest))
 	}
 	return nil
 }
@@ -120,32 +120,32 @@ func (set *RotationKeySet) MarshalBinary() ([]byte, error) {
 // UnmarshalBinary decodes into set.
 func (set *RotationKeySet) UnmarshalBinary(data []byte) error {
 	if len(data) < 32 {
-		return fmt.Errorf("ckks: rotation key set truncated")
+		return corruptErr("rotation key set truncated")
 	}
 	if binary.LittleEndian.Uint64(data) != serialMagic {
-		return fmt.Errorf("ckks: bad magic")
+		return corruptErr("bad magic")
 	}
 	if binary.LittleEndian.Uint64(data[8:]) != serialVersion {
-		return fmt.Errorf("ckks: unsupported version")
+		return corruptErr("unsupported version")
 	}
 	if binary.LittleEndian.Uint64(data[16:]) != kindRotationKeySet {
-		return fmt.Errorf("ckks: expected rotation key set")
+		return corruptErr("expected rotation key set")
 	}
 	count := binary.LittleEndian.Uint64(data[24:])
 	if count > 1<<16 {
-		return fmt.Errorf("ckks: implausible key count %d", count)
+		return corruptErr("implausible key count %d", count)
 	}
 	rest := data[32:]
 	set.Keys = make(map[uint64]*SwitchingKey, count)
 	for i := uint64(0); i < count; i++ {
 		if len(rest) < 16 {
-			return fmt.Errorf("ckks: rotation key %d truncated", i)
+			return corruptErr("rotation key %d truncated", i)
 		}
 		g := binary.LittleEndian.Uint64(rest)
 		size := binary.LittleEndian.Uint64(rest[8:])
 		rest = rest[16:]
 		if uint64(len(rest)) < size {
-			return fmt.Errorf("ckks: rotation key %d payload truncated", i)
+			return corruptErr("rotation key %d payload truncated", i)
 		}
 		var swk SwitchingKey
 		if err := swk.UnmarshalBinary(rest[:size]); err != nil {
@@ -155,7 +155,7 @@ func (set *RotationKeySet) UnmarshalBinary(data []byte) error {
 		rest = rest[size:]
 	}
 	if len(rest) != 0 {
-		return fmt.Errorf("ckks: %d trailing bytes", len(rest))
+		return corruptErr("%d trailing bytes", len(rest))
 	}
 	return nil
 }

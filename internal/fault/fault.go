@@ -1,0 +1,297 @@
+// Package fault is the fault-injection and integrity substrate of the
+// fault-tolerance layer: a deterministic, seedable injector that models the
+// hardware fault classes the paper's platform (an Alveo U280 with HBM)
+// exposes, plus the residue-checksum primitive the runtime guards verify at
+// operator boundaries.
+//
+// The injector is hooked behind zero-cost-when-disabled injection points: a
+// nil *Injector adds exactly one pointer compare to the hot paths (see
+// ring.Ring.SetFaultInjector), so the production configuration pays nothing.
+// When armed, the injector counts every visit to an injection site and
+// corrupts the data of one pre-selected visit, which makes campaigns exactly
+// reproducible: the same seed and arming schedule corrupt the same bit of
+// the same coefficient of the same limb on every run.
+//
+// Fault classes and the hardware events they model:
+//
+//	BitFlip        — a single-bit upset in an HBM word or datapath register
+//	MultiBitFlip   — a burst error corrupting several bits of one word
+//	StuckLane      — one SIMD lane of the 512-lane datapath repeating a
+//	                 stale value across a whole limb
+//	DroppedTwiddle — a twiddle-factor load that never arrived, zeroing the
+//	                 contribution of one butterfly constant (a strided
+//	                 subset of the limb)
+//	Panic          — a software stand-in for an abort mid-operation, used
+//	                 to prove scratch-arena and error-boundary hygiene
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"poseidon/internal/numeric"
+)
+
+// Class enumerates the modeled hardware fault classes.
+type Class int
+
+const (
+	// BitFlip flips one uniformly chosen bit of one coefficient.
+	BitFlip Class = iota
+	// MultiBitFlip flips 2–8 bits of one coefficient.
+	MultiBitFlip
+	// StuckLane overwrites every coefficient of one lane (index ≡ lane mod
+	// LaneWidth) with the bitwise complement of the lane's first value —
+	// guaranteed to change the limb.
+	StuckLane
+	// DroppedTwiddle zeroes the strided subset of coefficients one twiddle
+	// constant feeds (stride 2^k for a random stage k).
+	DroppedTwiddle
+	// Panic raises a runtime panic at the injection site instead of
+	// corrupting data, exercising panic-recovery and scratch-release paths.
+	Panic
+	numClasses
+)
+
+// String names the class for reports.
+func (c Class) String() string {
+	switch c {
+	case BitFlip:
+		return "bitflip"
+	case MultiBitFlip:
+		return "multibitflip"
+	case StuckLane:
+		return "stucklane"
+	case DroppedTwiddle:
+		return "droppedtwiddle"
+	case Panic:
+		return "panic"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Site identifies a family of injection points.
+type Site int
+
+const (
+	// SiteHBM is the storage boundary: a polynomial limb read back from
+	// (modeled) HBM at the start of a guarded operation. Corruption here is
+	// what the residue checksums catch.
+	SiteHBM Site = iota
+	// SiteNTT is the datapath load feeding a forward NTT limb transform.
+	SiteNTT
+	// SiteINTT is the datapath load feeding an inverse NTT limb transform.
+	SiteINTT
+	numSites
+)
+
+// String names the site for reports.
+func (s Site) String() string {
+	switch s {
+	case SiteHBM:
+		return "hbm"
+	case SiteNTT:
+		return "ntt"
+	case SiteINTT:
+		return "intt"
+	}
+	return fmt.Sprintf("Site(%d)", int(s))
+}
+
+// LaneWidth is the modeled datapath lane count (the paper's 512-lane
+// operator cores); StuckLane faults repeat with this stride.
+const LaneWidth = 512
+
+// Injection records one applied fault, for campaign attribution.
+type Injection struct {
+	Site  Site
+	Class Class
+	Visit uint64 // site-local visit index the fault fired at
+	Limb  int    // limb index passed by the injection point
+	Coeff int    // first corrupted coefficient
+	Bit   int    // flipped bit (BitFlip only, else -1)
+}
+
+// Stats is a snapshot of the injector's counters.
+type Stats struct {
+	Visits   [numSites]uint64 // per-site injection-point visits
+	Injected uint64           // faults actually applied
+}
+
+// VisitsAt returns the visit count recorded for one site.
+func (s Stats) VisitsAt(site Site) uint64 { return s.Visits[site] }
+
+// Injector deterministically corrupts data at injection points. The zero
+// value is not usable; construct with NewInjector. All methods are safe for
+// concurrent use (the hot path takes a mutex only when the injector is
+// installed, which production configurations never do).
+type Injector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	visits [numSites]uint64
+
+	armed      bool
+	armSite    Site
+	armClass   Class
+	armVisit   uint64 // fire when the site counter reaches this value
+	injected   uint64
+	injections []Injection
+}
+
+// NewInjector creates an injector whose corruption choices (coefficient,
+// bit, lane, stride) derive deterministically from seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// ResetVisits zeroes the per-site visit counters (arming state and
+// injection log are preserved), so each campaign trial addresses visits
+// from zero.
+func (in *Injector) ResetVisits() {
+	in.mu.Lock()
+	in.visits = [numSites]uint64{}
+	in.mu.Unlock()
+}
+
+// ArmAt schedules one fault of the given class at the visit-th upcoming
+// visit of site (counting from the current ResetVisits). The injector
+// disarms after firing.
+func (in *Injector) ArmAt(site Site, class Class, visit uint64) {
+	in.mu.Lock()
+	in.armed = true
+	in.armSite = site
+	in.armClass = class
+	in.armVisit = visit
+	in.mu.Unlock()
+}
+
+// ArmRandom arms one fault of the given class at a uniformly random visit
+// in [0, totalVisits) of site, and returns the chosen visit.
+func (in *Injector) ArmRandom(site Site, class Class, totalVisits uint64) uint64 {
+	in.mu.Lock()
+	var v uint64
+	if totalVisits > 0 {
+		v = uint64(in.rng.Int63n(int64(totalVisits)))
+	}
+	in.armed = true
+	in.armSite = site
+	in.armClass = class
+	in.armVisit = v
+	in.mu.Unlock()
+	return v
+}
+
+// Disarm cancels any pending fault.
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	in.armed = false
+	in.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return Stats{Visits: in.visits, Injected: in.injected}
+}
+
+// Injections returns the applied-fault log.
+func (in *Injector) Injections() []Injection {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Injection, len(in.injections))
+	copy(out, in.injections)
+	return out
+}
+
+// OnLimbRead is the injection point: ring and guard code call it whenever a
+// limb's coefficients are (conceptually) read from HBM or fed into a
+// datapath. When counting only, it increments the site counter; when the
+// armed visit is reached it corrupts c in place (or panics, for the Panic
+// class) and disarms.
+func (in *Injector) OnLimbRead(site Site, limb int, c []uint64) {
+	in.mu.Lock()
+	v := in.visits[site]
+	in.visits[site]++
+	fire := in.armed && site == in.armSite && v == in.armVisit
+	if !fire {
+		in.mu.Unlock()
+		return
+	}
+	in.armed = false
+	class := in.armClass
+	if class == Panic {
+		in.injected++
+		in.injections = append(in.injections, Injection{
+			Site: site, Class: class, Visit: v, Limb: limb, Coeff: -1, Bit: -1,
+		})
+		in.mu.Unlock()
+		panic(fmt.Sprintf("fault: injected panic at %s visit %d (limb %d)", site, v, limb))
+	}
+	rec := in.corrupt(class, c)
+	rec.Site, rec.Class, rec.Visit, rec.Limb = site, class, v, limb
+	in.injected++
+	in.injections = append(in.injections, rec)
+	in.mu.Unlock()
+}
+
+// corrupt applies one fault of the given class to c. Caller holds the lock.
+func (in *Injector) corrupt(class Class, c []uint64) Injection {
+	rec := Injection{Coeff: -1, Bit: -1}
+	if len(c) == 0 {
+		return rec
+	}
+	switch class {
+	case BitFlip:
+		j := in.rng.Intn(len(c))
+		b := in.rng.Intn(64)
+		c[j] ^= 1 << uint(b)
+		rec.Coeff, rec.Bit = j, b
+	case MultiBitFlip:
+		j := in.rng.Intn(len(c))
+		k := 2 + in.rng.Intn(7) // 2..8 bits
+		for i := 0; i < k; i++ {
+			c[j] ^= 1 << uint(in.rng.Intn(64))
+		}
+		rec.Coeff = j
+	case StuckLane:
+		width := LaneWidth
+		if width > len(c) {
+			width = len(c)
+		}
+		lane := in.rng.Intn(width)
+		stuck := ^c[lane] // complement guarantees the limb changes
+		for j := lane; j < len(c); j += width {
+			c[j] = stuck
+		}
+		rec.Coeff = lane
+	case DroppedTwiddle:
+		// One twiddle constant feeds every 2^k-th butterfly: zero that
+		// strided subset, as if its load never completed.
+		maxK := 1
+		for 1<<uint(maxK+1) < len(c) {
+			maxK++
+		}
+		stride := 1 << uint(1+in.rng.Intn(maxK))
+		off := in.rng.Intn(stride)
+		for j := off; j < len(c); j += stride {
+			c[j] = 0
+		}
+		rec.Coeff = off
+	}
+	return rec
+}
+
+// Checksum returns the sum-mod-q residue checksum of one limb. Values are
+// Barrett-reduced before summing, so the checksum is well defined even for
+// corrupted words ≥ q, and any single-bit flip changes it: the flip alters
+// the word by ±2^b, and 2^b mod q is never zero for an odd prime q.
+func Checksum(mod numeric.Modulus, c []uint64) uint64 {
+	var s uint64
+	for _, v := range c {
+		s = mod.Add(s, mod.Reduce(v))
+	}
+	return s
+}

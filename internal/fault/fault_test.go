@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"testing"
+
+	"poseidon/internal/numeric"
+)
+
+func testModulus(t *testing.T) numeric.Modulus {
+	t.Helper()
+	ps, err := numeric.GenerateNTTPrimes(50, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return numeric.NewModulus(ps[0])
+}
+
+func testLimb(mod numeric.Modulus, n int) []uint64 {
+	c := make([]uint64, n)
+	for j := range c {
+		c[j] = (uint64(j)*2654435761 + 12345) % mod.Q
+	}
+	return c
+}
+
+// Every class must actually change the limb, and the injector must fire at
+// exactly the armed visit, once.
+func TestInjectorFiresAtArmedVisit(t *testing.T) {
+	mod := testModulus(t)
+	for _, class := range []Class{BitFlip, MultiBitFlip, StuckLane, DroppedTwiddle} {
+		in := NewInjector(7)
+		in.ArmAt(SiteNTT, class, 3)
+		ref := testLimb(mod, 256)
+		for v := 0; v < 6; v++ {
+			c := testLimb(mod, 256)
+			in.OnLimbRead(SiteNTT, 0, c)
+			changed := false
+			for j := range c {
+				if c[j] != ref[j] {
+					changed = true
+					break
+				}
+			}
+			if (v == 3) != changed {
+				t.Fatalf("%v: visit %d changed=%v, want fire only at visit 3", class, v, changed)
+			}
+		}
+		st := in.Stats()
+		if st.Injected != 1 || st.VisitsAt(SiteNTT) != 6 {
+			t.Fatalf("%v: stats = %+v, want 1 injection over 6 visits", class, st)
+		}
+		log := in.Injections()
+		if len(log) != 1 || log[0].Class != class || log[0].Visit != 3 {
+			t.Fatalf("%v: injection log %+v", class, log)
+		}
+	}
+}
+
+// The same seed and arming schedule must corrupt identically.
+func TestInjectorDeterministic(t *testing.T) {
+	mod := testModulus(t)
+	run := func() []uint64 {
+		in := NewInjector(99)
+		in.ArmAt(SiteHBM, MultiBitFlip, 0)
+		c := testLimb(mod, 128)
+		in.OnLimbRead(SiteHBM, 2, c)
+		return c
+	}
+	a, b := run(), run()
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("corruption not deterministic at coeff %d", j)
+		}
+	}
+}
+
+// Sites count independently; an armed fault on one site never fires on
+// another.
+func TestInjectorSiteIsolation(t *testing.T) {
+	mod := testModulus(t)
+	in := NewInjector(1)
+	in.ArmAt(SiteHBM, BitFlip, 0)
+	c := testLimb(mod, 64)
+	ref := testLimb(mod, 64)
+	in.OnLimbRead(SiteNTT, 0, c)
+	in.OnLimbRead(SiteINTT, 0, c)
+	for j := range c {
+		if c[j] != ref[j] {
+			t.Fatal("fault armed for hbm fired on another site")
+		}
+	}
+	in.OnLimbRead(SiteHBM, 0, c)
+	if in.Stats().Injected != 1 {
+		t.Fatal("armed hbm fault did not fire on hbm visit 0")
+	}
+}
+
+// The Panic class must raise at the armed visit.
+func TestInjectorPanicClass(t *testing.T) {
+	mod := testModulus(t)
+	in := NewInjector(5)
+	in.ArmAt(SiteNTT, Panic, 1)
+	c := testLimb(mod, 64)
+	in.OnLimbRead(SiteNTT, 0, c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("injected panic did not fire")
+		}
+		if in.Stats().Injected != 1 {
+			t.Fatal("panic injection not counted")
+		}
+	}()
+	in.OnLimbRead(SiteNTT, 0, c)
+}
+
+// A single-bit flip anywhere in the limb must change the sum-mod-q
+// checksum: 2^b mod q is nonzero for every odd prime q and b < 64.
+func TestChecksumDetectsEverySingleBitFlip(t *testing.T) {
+	mod := testModulus(t)
+	c := testLimb(mod, 64)
+	base := Checksum(mod, c)
+	for j := 0; j < len(c); j++ {
+		for b := 0; b < 64; b++ {
+			c[j] ^= 1 << uint(b)
+			if Checksum(mod, c) == base {
+				t.Fatalf("flip of coeff %d bit %d not detected", j, b)
+			}
+			c[j] ^= 1 << uint(b)
+		}
+	}
+	if Checksum(mod, c) != base {
+		t.Fatal("checksum not restored after un-flipping")
+	}
+}
+
+// ResetVisits re-zeroes the site counters so trial k addresses visits from
+// zero again.
+func TestResetVisits(t *testing.T) {
+	mod := testModulus(t)
+	in := NewInjector(3)
+	c := testLimb(mod, 32)
+	in.OnLimbRead(SiteHBM, 0, c)
+	in.OnLimbRead(SiteHBM, 0, c)
+	in.ResetVisits()
+	if got := in.Stats().VisitsAt(SiteHBM); got != 0 {
+		t.Fatalf("visits after reset = %d, want 0", got)
+	}
+	in.ArmAt(SiteHBM, BitFlip, 0)
+	in.OnLimbRead(SiteHBM, 0, c)
+	if in.Stats().Injected != 1 {
+		t.Fatal("post-reset visit 0 did not fire")
+	}
+}

@@ -66,9 +66,29 @@ func NewArena(n, maxLimbs int) *Arena {
 // SetPoison toggles poison mode: returned polynomials are overwritten with a
 // sentinel pattern, verified intact on the next checkout, and double-Puts
 // panic. Costs a full sweep of each recycled buffer — debug and fuzz use
-// only. Safe for concurrent use.
+// only. Safe for concurrent use. Enabling poison retro-fills everything
+// already sitting on the free lists, so the mode can be switched on at any
+// point in an arena's life without false write-after-Put reports against
+// slabs recycled before the switch.
 func (a *Arena) SetPoison(on bool) {
 	a.mu.Lock()
+	if on && !a.poison {
+		for _, cl := range a.classes {
+			for _, p := range cl {
+				for i := range p.Coeffs {
+					row := p.Coeffs[i]
+					for j := range row {
+						row[j] = poisonWord
+					}
+				}
+			}
+		}
+		for _, v := range a.vecs {
+			for j := range v {
+				v[j] = poisonWord
+			}
+		}
+	}
 	a.poison = on
 	a.mu.Unlock()
 }

@@ -53,7 +53,7 @@ func (r *Ring) AutomorphismNTT(dst, src *Poly, g uint64) {
 		panic("ring: AutomorphismNTT requires NTT domain")
 	}
 	if g%2 == 0 {
-		panic("ring: even Galois element")
+		panic("ring: AutomorphismNTT: even Galois element")
 	}
 	perm := r.nttPermutation(g)
 	for i := 0; i < limbs; i++ {

@@ -1,0 +1,75 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/fault"
+)
+
+// With no injector installed the transforms are untouched; with one armed,
+// an NTT-site bit flip fired mid-transform changes the forward transform of
+// exactly the targeted visit, and the injector's visit counters track every
+// ForwardLimb/InverseLimb call.
+func TestRingInjectionPoints(t *testing.T) {
+	r := testRing(t, 64, 3)
+	rng := rand.New(rand.NewSource(42))
+
+	clean := randPoly(r, rng, 3, false)
+	ref := clean.CopyNew()
+	r.NTT(ref)
+
+	// Count visits on a clean pass.
+	in := fault.NewInjector(11)
+	r.SetFaultInjector(in)
+	p := clean.CopyNew()
+	r.NTT(p)
+	if !p.Equal(ref) {
+		t.Fatal("disarmed injector changed the transform")
+	}
+	visits := in.Stats().VisitsAt(fault.SiteNTT)
+	if visits != 3 {
+		t.Fatalf("forward visits = %d, want one per limb (3)", visits)
+	}
+
+	// Arm a bit flip at the second limb's visit and rerun.
+	in.ResetVisits()
+	in.ArmAt(fault.SiteNTT, fault.BitFlip, 1)
+	p2 := clean.CopyNew()
+	r.NTT(p2)
+	if in.Stats().Injected != 1 {
+		t.Fatal("armed fault did not fire")
+	}
+	if p2.Equal(ref) {
+		t.Fatal("injected bit flip did not change the transform")
+	}
+	// Only the targeted limb differs.
+	for i := range p2.Coeffs {
+		differs := false
+		for j := range p2.Coeffs[i] {
+			if p2.Coeffs[i][j] != ref.Coeffs[i][j] {
+				differs = true
+				break
+			}
+		}
+		if differs != (i == 1) {
+			t.Fatalf("limb %d differs=%v, want corruption confined to limb 1", i, differs)
+		}
+	}
+
+	// Inverse transforms hit SiteINTT.
+	in.ResetVisits()
+	q := ref.CopyNew()
+	r.INTT(q)
+	if got := in.Stats().VisitsAt(fault.SiteINTT); got != 3 {
+		t.Fatalf("inverse visits = %d, want 3", got)
+	}
+	if !q.Equal(clean) {
+		t.Fatal("disarmed inverse transform not bit-identical")
+	}
+
+	r.SetFaultInjector(nil)
+	if r.FaultInjector() != nil {
+		t.Fatal("SetFaultInjector(nil) did not clear the hook")
+	}
+}

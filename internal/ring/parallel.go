@@ -130,7 +130,7 @@ func (r *Ring) MulScalarRNSParallel(out, a *Poly, scalars []uint64, pool *Pool) 
 	}
 	limbs := r.check(out, a)
 	if len(scalars) < limbs {
-		panic("ring: not enough scalars")
+		panic("ring: MulScalarRNS: not enough scalars for limb count")
 	}
 	pool.ForEach(limbs, func(i int) {
 		mod := r.Moduli[i]
@@ -177,7 +177,7 @@ func (r *Ring) AutomorphismNTTParallel(dst, src *Poly, g uint64, pool *Pool) {
 		panic("ring: AutomorphismNTT requires NTT domain")
 	}
 	if g%2 == 0 {
-		panic("ring: even Galois element")
+		panic("ring: AutomorphismNTT: even Galois element")
 	}
 	perm := r.nttPermutation(g)
 	pool.ForEach(limbs, func(i int) {

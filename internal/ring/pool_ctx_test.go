@@ -1,0 +1,126 @@
+package ring
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ForEachCtx with a live context behaves exactly like ForEach.
+func TestForEachCtxRunsAllItems(t *testing.T) {
+	p := NewPool(4)
+	const n = 1000
+	var hits [n]atomic.Int32
+	if err := p.ForEachCtx(context.Background(), n, func(i int) {
+		hits[i].Add(1)
+	}); err != nil {
+		t.Fatalf("ForEachCtx: %v", err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("item %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+// Cancelling the context mid-run stops further claims and surfaces
+// context.Canceled; items already started finish normally.
+func TestForEachCtxHonorsCancellation(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	const n = 10_000
+	err := p.ForEachCtx(ctx, n, func(i int) {
+		if done.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(10 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := done.Load(); d >= n {
+		t.Fatalf("all %d items ran despite cancellation", n)
+	}
+}
+
+// A context cancelled before the call runs nothing.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var ran atomic.Int64
+		err := p.ForEachCtx(ctx, 100, func(i int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d items ran under a dead context", workers, ran.Load())
+		}
+	}
+}
+
+// A worker panic is captured and returned as a *WorkerPanicError carrying
+// the panicking item's index, value, and stack — not re-raised.
+func TestForEachCtxCapturesWorkerPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		err := p.ForEachCtx(context.Background(), 64, func(i int) {
+			if i == 13 {
+				panic("boom")
+			}
+		})
+		var wp *WorkerPanicError
+		if !errors.As(err, &wp) {
+			t.Fatalf("workers=%d: err = %v, want *WorkerPanicError", workers, err)
+		}
+		if wp.Index != 13 || wp.Value != "boom" {
+			t.Fatalf("workers=%d: captured %+v, want index 13 value boom", workers, wp)
+		}
+		if len(wp.Stack) == 0 || !bytes.Contains(wp.Stack, []byte("goroutine")) {
+			t.Fatalf("workers=%d: missing stack capture", workers)
+		}
+	}
+}
+
+// A panic outranks a concurrent cancellation: exactly one error comes back
+// and it is the panic.
+func TestForEachCtxPanicOutranksCancel(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	err := p.ForEachCtx(ctx, 256, func(i int) {
+		if i == 3 {
+			cancel()
+			panic("late")
+		}
+	})
+	var wp *WorkerPanicError
+	if !errors.As(err, &wp) {
+		t.Fatalf("err = %v, want *WorkerPanicError", err)
+	}
+}
+
+// The legacy ForEach contract is unchanged: the original panic value is
+// re-raised on the caller.
+func TestForEachStillRethrowsOriginalPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		func() {
+			defer func() {
+				r := recover()
+				if r != "original" {
+					t.Fatalf("workers=%d: recovered %v, want the original panic value", workers, r)
+				}
+			}()
+			p.ForEach(32, func(i int) {
+				if i == 7 {
+					panic("original")
+				}
+			})
+		}()
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"poseidon/internal/automorph"
+	"poseidon/internal/fault"
 	"poseidon/internal/ntt"
 	"poseidon/internal/numeric"
 )
@@ -38,6 +39,12 @@ type Ring struct {
 	// the toggle exists for differential testing and before/after
 	// benchmarking. See SetStrictKernels.
 	strict bool
+
+	// injector, when non-nil, corrupts limbs at the ring's injection points
+	// (the datapath loads feeding each NTT/INTT limb transform) according
+	// to its armed fault schedule. Nil in production: the hot paths pay one
+	// pointer compare. See SetFaultInjector.
+	injector *fault.Injector
 }
 
 // HFCache caches precomputed HFAuto routing maps per Galois element.
@@ -108,12 +115,24 @@ func (r *Ring) SetStrictKernels(strict bool) { r.strict = strict }
 // StrictKernels reports whether the strict reference kernels are selected.
 func (r *Ring) StrictKernels() bool { return r.strict }
 
+// SetFaultInjector installs (or, with nil, removes) a fault injector on the
+// ring's injection points. Like SetStrictKernels, call before sharing the
+// ring across goroutines: the pointer is read without synchronization on
+// every hot path (the injector itself is internally locked).
+func (r *Ring) SetFaultInjector(in *fault.Injector) { r.injector = in }
+
+// FaultInjector returns the installed injector (nil when faults are off).
+func (r *Ring) FaultInjector() *fault.Injector { return r.injector }
+
 // ForwardLimb / InverseLimb dispatch one limb's transform to the selected
 // kernel (exported for the evaluator, whose keyswitch pipeline drives
 // per-limb transforms directly); mulLimb / mulAddLimb likewise for the elementwise products. All
 // serial and parallel ring operations funnel through these four, so the
 // strict toggle covers every execution path.
 func (r *Ring) ForwardLimb(i int, c []uint64) {
+	if r.injector != nil {
+		r.injector.OnLimbRead(fault.SiteNTT, i, c)
+	}
 	if r.strict {
 		r.Tables[i].ForwardStrict(c)
 	} else {
@@ -122,6 +141,9 @@ func (r *Ring) ForwardLimb(i int, c []uint64) {
 }
 
 func (r *Ring) InverseLimb(i int, c []uint64) {
+	if r.injector != nil {
+		r.injector.OnLimbRead(fault.SiteINTT, i, c)
+	}
 	if r.strict {
 		r.Tables[i].InverseStrict(c)
 	} else {
@@ -359,7 +381,7 @@ func (r *Ring) MulScalar(out, a *Poly, scalar uint64) {
 func (r *Ring) MulScalarRNS(out, a *Poly, scalars []uint64) {
 	limbs := r.check(out, a)
 	if len(scalars) < limbs {
-		panic("ring: not enough scalars")
+		panic("ring: MulScalarRNS: not enough scalars for limb count")
 	}
 	for i := 0; i < limbs; i++ {
 		mod := r.Moduli[i]

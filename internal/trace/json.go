@@ -23,12 +23,21 @@ type jsonMem struct {
 	PeakArenaBytes uint64  `json:"peak_arena_bytes"`
 }
 
+type jsonFault struct {
+	Seals           uint64 `json:"seals"`
+	Verifies        uint64 `json:"verifies"`
+	SpotChecks      uint64 `json:"spot_checks"`
+	IntegrityFaults uint64 `json:"integrity_faults"`
+	NoiseFlags      uint64 `json:"noise_flags"`
+}
+
 type jsonTrace struct {
-	Name        string   `json:"name"`
-	Description string   `json:"description,omitempty"`
-	Workers     int      `json:"workers,omitempty"`
-	Mem         *jsonMem `json:"mem,omitempty"`
-	Ops         []jsonOp `json:"ops"`
+	Name        string     `json:"name"`
+	Description string     `json:"description,omitempty"`
+	Workers     int        `json:"workers,omitempty"`
+	Mem         *jsonMem   `json:"mem,omitempty"`
+	Fault       *jsonFault `json:"fault,omitempty"`
+	Ops         []jsonOp   `json:"ops"`
 }
 
 // kindNames maps serialized names back to kinds.
@@ -49,6 +58,15 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 			BytesPerOp:     t.Mem.BytesPerOp,
 			ArenaBytes:     t.Mem.ArenaBytes,
 			PeakArenaBytes: t.Mem.PeakArenaBytes,
+		}
+	}
+	if t.Fault != nil {
+		jt.Fault = &jsonFault{
+			Seals:           t.Fault.Seals,
+			Verifies:        t.Fault.Verifies,
+			SpotChecks:      t.Fault.SpotChecks,
+			IntegrityFaults: t.Fault.IntegrityFaults,
+			NoiseFlags:      t.Fault.NoiseFlags,
 		}
 	}
 	for _, op := range t.Ops {
@@ -77,6 +95,15 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 			BytesPerOp:     jt.Mem.BytesPerOp,
 			ArenaBytes:     jt.Mem.ArenaBytes,
 			PeakArenaBytes: jt.Mem.PeakArenaBytes,
+		}
+	}
+	if jt.Fault != nil {
+		t.Fault = &FaultStats{
+			Seals:           jt.Fault.Seals,
+			Verifies:        jt.Fault.Verifies,
+			SpotChecks:      jt.Fault.SpotChecks,
+			IntegrityFaults: jt.Fault.IntegrityFaults,
+			NoiseFlags:      jt.Fault.NoiseFlags,
 		}
 	}
 	for i, op := range jt.Ops {

@@ -99,3 +99,45 @@ func TestJSONMemRoundTrip(t *testing.T) {
 		t.Error("Mem materialized from a trace without one")
 	}
 }
+
+// The optional integrity-guard profile must survive the JSON round trip
+// and stay absent when never set.
+func TestJSONFaultRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "fault", Fault: &FaultStats{
+		Seals:           1200,
+		Verifies:        2400,
+		SpotChecks:      300,
+		IntegrityFaults: 7,
+		NoiseFlags:      2,
+	}}
+	tr.Add(CMult, 4, 1)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fault == nil || *back.Fault != *tr.Fault {
+		t.Fatalf("Fault round trip: %+v != %+v", back.Fault, tr.Fault)
+	}
+
+	plain := &Trace{Name: "plain"}
+	plain.Add(CMult, 4, 1)
+	buf.Reset()
+	if err := plain.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\"fault\"") {
+		t.Error("fault key serialized for a trace without a guard profile")
+	}
+	back, err = ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fault != nil {
+		t.Error("Fault materialized from a trace without one")
+	}
+}

@@ -81,16 +81,31 @@ type MemStats struct {
 	PeakArenaBytes uint64  // high-water mark of simultaneously checked-out bytes
 }
 
+// FaultStats is an optional integrity-guard profile of the software run
+// that produced a trace: how many checksum seals and verifications the
+// evaluator performed, how many redundant-limb spot checks ran, and how
+// many faults the guards caught — the software analogue of an
+// accelerator's ECC/scrubbing counters.
+type FaultStats struct {
+	Seals           uint64 // integrity seals computed over operator outputs
+	Verifies        uint64 // seal verifications at operator input boundaries
+	SpotChecks      uint64 // redundant-limb recomputations compared
+	IntegrityFaults uint64 // checksum or spot-check mismatches detected
+	NoiseFlags      uint64 // operations refused for exhausted noise budget
+}
+
 // Trace is a named operation sequence. Workers records the limb-parallel
 // worker count of the software evaluator the trace was captured on (0 =
 // unknown/not captured from a live run), so simulated speedups stay
-// attributable to the execution engine that produced the trace. Mem, when
-// present, profiles the memory behavior of that same run.
+// attributable to the execution engine that produced the trace. Mem and
+// Fault, when present, profile the memory and integrity-guard behavior of
+// that same run.
 type Trace struct {
 	Name        string
 	Description string
 	Workers     int
 	Mem         *MemStats
+	Fault       *FaultStats
 	Ops         []Op
 }
 

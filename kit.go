@@ -1,6 +1,8 @@
 package poseidon
 
 import (
+	"fmt"
+
 	"poseidon/internal/ckks"
 )
 
@@ -77,14 +79,105 @@ func (k *Kit) DecryptValues(ct *Ciphertext) []complex128 {
 
 // InnerSum rotates-and-adds so that slot 0 of the result holds the sum of
 // the first n slots (n must be a power of two) — the standard reduction
-// every rotation-based workload builds on.
+// every rotation-based workload builds on. Panics on invalid input; use
+// TryInnerSum for an error-returning variant.
 func (k *Kit) InnerSum(ct *Ciphertext, n int) *Ciphertext {
+	out, err := k.TryInnerSum(ct, n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// --- Error-returning API ----------------------------------------------------
+//
+// The Try variants mirror the panicking convenience methods but validate
+// their inputs and recover internal panics, so no input — malformed
+// ciphertexts included — can take the process down. Failures carry the
+// ckks sentinel errors (ErrInvalidInput, ErrKeyMissing, ErrIntegrity, …)
+// wrapped in operation context; match them with errors.Is.
+
+// recoverKit converts a panic escaping a kit entry point into an error,
+// preserving typed *ckks.OpError panics and wrapping anything else in
+// ErrInternal so the public API never panics on malformed input.
+func recoverKit(op string, err *error) {
+	if r := recover(); r != nil {
+		if oe, ok := r.(*ckks.OpError); ok {
+			*err = oe
+			return
+		}
+		*err = &ckks.OpError{Op: op, Level: -1, Limb: -1, Err: ckks.ErrInternal, Detail: fmt.Sprint(r)}
+	}
+}
+
+// TryEncryptValues encodes and encrypts a complex vector at the top level
+// and default scale, rejecting vectors longer than the slot count.
+func (k *Kit) TryEncryptValues(values []complex128) (ct *Ciphertext, err error) {
+	defer recoverKit("EncryptValues", &err)
+	if len(values) > k.Params.Slots {
+		return nil, &ckks.OpError{
+			Op: "EncryptValues", Level: -1, Limb: -1, Err: ckks.ErrInvalidInput,
+			Detail: fmt.Sprintf("%d values exceed %d slots", len(values), k.Params.Slots),
+		}
+	}
+	pt := k.Enc.Encode(values, k.Params.MaxLevel(), k.Params.Scale)
+	return k.Encr.Encrypt(pt), nil
+}
+
+// TryDecryptValues decrypts and decodes back to the slot vector. When
+// integrity guards are enabled the ciphertext's checksum seal is verified
+// first, so a corrupted result is reported as ErrIntegrity instead of
+// silently decoding garbage.
+func (k *Kit) TryDecryptValues(ct *Ciphertext) (values []complex128, err error) {
+	defer recoverKit("DecryptValues", &err)
+	if ct == nil || ct.C0 == nil || ct.C1 == nil {
+		return nil, &ckks.OpError{
+			Op: "DecryptValues", Level: -1, Limb: -1, Err: ckks.ErrInvalidInput,
+			Detail: "nil ciphertext",
+		}
+	}
+	if k.Eval.GuardsEnabled() {
+		if verr := k.Eval.VerifyIntegrity(ct); verr != nil {
+			return nil, verr
+		}
+	}
+	return k.Enc.Decode(k.Decr.Decrypt(ct)), nil
+}
+
+// TryInnerSum is InnerSum with input validation and typed errors: a
+// non-power-of-two width is ErrInvalidInput, a missing rotation key is
+// ErrKeyMissing.
+func (k *Kit) TryInnerSum(ct *Ciphertext, n int) (out *Ciphertext, err error) {
+	defer recoverKit("InnerSum", &err)
 	if n < 1 || n&(n-1) != 0 {
-		panic("poseidon: InnerSum width must be a power of two")
+		return nil, &ckks.OpError{
+			Op: "InnerSum", Level: -1, Limb: -1, Err: ckks.ErrInvalidInput,
+			Detail: fmt.Sprintf("width %d is not a power of two", n),
+		}
 	}
 	acc := ct
 	for s := 1; s < n; s <<= 1 {
-		acc = k.Eval.Add(acc, k.Eval.Rotate(acc, s))
+		rot, rerr := k.Eval.TryRotate(acc, s)
+		if rerr != nil {
+			return nil, rerr
+		}
+		sum, aerr := k.Eval.TryAdd(acc, rot)
+		if aerr != nil {
+			return nil, aerr
+		}
+		acc = sum
 	}
-	return acc
+	return acc, nil
 }
+
+// EnableGuards switches the kit's evaluator into fault-detecting mode:
+// inputs and outputs of every Try operation are sealed with per-limb
+// residue checksums and verified at operator boundaries, and the noise
+// budget is checked before multiplications. See Evaluator.EnableGuards.
+func (k *Kit) EnableGuards(seed int64) { k.Eval.EnableGuards(seed) }
+
+// DisableGuards turns integrity guarding back off.
+func (k *Kit) DisableGuards() { k.Eval.DisableGuards() }
+
+// GuardStats snapshots the evaluator's guard counters.
+func (k *Kit) GuardStats() ckks.GuardStats { return k.Eval.GuardStats() }

@@ -97,6 +97,37 @@ var (
 	EvalChebyshevScalar = ckks.EvalChebyshevScalar
 )
 
+// --- Typed error surface ----------------------------------------------------
+
+// OpError is the error type returned by every Try* method: a sentinel
+// (below) wrapped in operation context. Match the sentinel with errors.Is
+// and recover the context with errors.As.
+type OpError = ckks.OpError
+
+// GuardStats counts integrity-guard activity on an evaluator.
+type GuardStats = ckks.GuardStats
+
+// Sentinel errors carried by OpError; see internal/ckks/errors.go.
+var (
+	// ErrLevelExhausted: the modulus chain cannot absorb the operation.
+	ErrLevelExhausted = ckks.ErrLevelExhausted
+	// ErrScaleMismatch: additive operands disagree on scale.
+	ErrScaleMismatch = ckks.ErrScaleMismatch
+	// ErrAliasedDestination: an Into destination aliases an operand that
+	// must remain readable.
+	ErrAliasedDestination = ckks.ErrAliasedDestination
+	// ErrIntegrity: a runtime integrity guard detected corrupted limb data.
+	ErrIntegrity = ckks.ErrIntegrity
+	// ErrKeyMissing: the evaluator lacks the required evaluation key.
+	ErrKeyMissing = ckks.ErrKeyMissing
+	// ErrInvalidInput: a malformed argument (nil, wrong geometry, bad width).
+	ErrInvalidInput = ckks.ErrInvalidInput
+	// ErrCorrupt: serialized bytes failed structural validation.
+	ErrCorrupt = ckks.ErrCorrupt
+	// ErrInternal: an unexpected panic recovered at the API boundary.
+	ErrInternal = ckks.ErrInternal
+)
+
 // --- Accelerator model ------------------------------------------------------
 
 // Config is an accelerator design point (lanes, fusion degree, clock, HBM).

@@ -69,6 +69,23 @@ func (r *TraceRecorder) CaptureArena(params *Parameters) {
 	r.tr.Mem.PeakArenaBytes = st.PeakBytes
 }
 
+// CaptureGuards snapshots an evaluator's integrity-guard counters into the
+// trace's fault profile: seals computed, boundary verifications, spot
+// checks, detected faults and noise-budget refusals. Call it after the
+// workload has run; a guard-free evaluator records all zeros.
+func (r *TraceRecorder) CaptureGuards(ev *Evaluator) {
+	gs := ev.GuardStats()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tr.Fault = &trace.FaultStats{
+		Seals:           gs.Seals,
+		Verifies:        gs.Verifies,
+		SpotChecks:      gs.SpotChecks,
+		IntegrityFaults: gs.IntegrityFaults,
+		NoiseFlags:      gs.NoiseFlags,
+	}
+}
+
 // SetHeapStats records externally measured Go-heap figures (e.g. from
 // testing.AllocsPerRun or a -benchmem run) in the trace's memory profile.
 func (r *TraceRecorder) SetHeapStats(allocsPerOp, bytesPerOp float64) {
