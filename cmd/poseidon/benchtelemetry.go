@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"poseidon"
+	"poseidon/internal/arch"
+	"poseidon/internal/ckks"
+	"poseidon/internal/telemetry"
+)
+
+func init() {
+	register("benchtelemetry", "telemetry overhead gates (disabled: 0 allocs/op, enabled: ≤2% on the op chain) and model-vs-measured calibration, emitted as JSON", runBenchTelemetry)
+}
+
+// telemetryOverhead is the paired chain measurement the gate inspects.
+type telemetryOverhead struct {
+	DisabledNsPerOp float64 `json:"disabled_ns_per_op"`
+	EnabledNsPerOp  float64 `json:"enabled_ns_per_op"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	Trials          int     `json:"trials"` // min-of-N on both sides
+}
+
+// telemetryReport is the BENCH_telemetry.json schema.
+type telemetryReport struct {
+	GeneratedBy string `json:"generated_by"`
+	LogN        int    `json:"log_n"`
+	QLimbs      int    `json:"q_limbs"`
+	Workers     int    `json:"workers"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	// DisabledChainAllocs is testing.AllocsPerRun over the into-op chain
+	// with no observer installed — the zero-allocation contract.
+	DisabledChainAllocs float64           `json:"disabled_chain_allocs"`
+	Overhead            telemetryOverhead `json:"overhead"`
+
+	// Report is the accelerator pricing of the telemetry workload's recorded
+	// trace, carrying the measured-vs-modeled calibration in Report.Calib.
+	Report arch.Report `json:"report"`
+}
+
+// runBenchTelemetry measures what the telemetry layer costs and what it
+// says: (1) with no observer the instrumented chain must stay at exactly
+// zero heap allocations per op; (2) with a collector installed the same
+// chain must slow down by at most the gate percentage; (3) a recorded
+// workload covering every evaluator basic-op kind is priced on the paper's
+// design point and joined with the measured histograms into per-kind
+// measured/modeled calibration ratios.
+func runBenchTelemetry(fs *flag.FlagSet, args []string) error {
+	logN := fs.Int("logn", 12, "ring degree log2")
+	out := fs.String("o", "BENCH_telemetry.json", "output path ('-' for stdout)")
+	gate := fs.Bool("gate", false, "fail unless disabled allocs are 0 and enabled overhead is within the limit")
+	maxPct := fs.Float64("maxpct", 2.0, "enabled-telemetry chain overhead limit, percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     *logN,
+		LogQ:     []int{55, 45, 45, 45, 45, 45},
+		LogP:     []int{58, 58},
+		LogScale: 45,
+		Workers:  1,
+	})
+	if err != nil {
+		return err
+	}
+	kgen := ckks.NewKeyGenerator(params, 42)
+	sk := kgen.GenSecretKey()
+	rlk := kgen.GenRelinearizationKey(sk)
+	rtk := kgen.GenRotationKeys(sk, []int{1}, true)
+	pk := kgen.GenPublicKey(sk)
+	encr := ckks.NewEncryptor(params, pk, 7)
+	enc := ckks.NewEncoder(params)
+	z := make([]complex128, params.Slots)
+	for i := range z {
+		z[i] = complex(float64(i%17)/17, float64(i%5)/5)
+	}
+	level := params.MaxLevel()
+	ct1 := encr.Encrypt(enc.Encode(z, level, params.Scale))
+	ct2 := encr.Encrypt(enc.Encode(z, level, params.Scale))
+	pt := enc.Encode(z, level, params.Scale)
+	ev := ckks.NewEvaluator(params, rlk, rtk)
+
+	// The gated chain mirrors benchalloc's into-mode chain: multiply-
+	// relinearize, rescale, rotate, accumulate into fixed destinations.
+	prod := ckks.NewCiphertext(params, level)
+	dropped := ckks.NewCiphertext(params, level-1)
+	rot := ckks.NewCiphertext(params, level-1)
+	acc := ckks.NewCiphertext(params, level-1)
+	chain := func() {
+		ev.MulRelinInto(prod, ct1, ct2)
+		ev.RescaleInto(dropped, prod)
+		ev.RotateInto(rot, dropped, 1)
+		ev.AddInto(acc, dropped, rot)
+	}
+
+	rep := telemetryReport{
+		GeneratedBy: "poseidon benchtelemetry",
+		LogN:        *logN,
+		QLimbs:      level + 1,
+		Workers:     1,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	// (1) Disabled path: no observer, zero allocations.
+	chain() // warm-up: arena free lists, permutation tables
+	rep.DisabledChainAllocs = testing.AllocsPerRun(20, chain)
+
+	// (2) Enabled path: min-of-N paired trials absorb scheduler noise; the
+	// FHE chain is milliseconds while a telemetry record is ~100ns, so the
+	// honest overhead sits far below the gate.
+	const trials = 3
+	minNs := func(f func()) float64 {
+		best := 0.0
+		for t := 0; t < trials; t++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					f()
+				}
+			})
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	rep.Overhead.Trials = trials
+	rep.Overhead.DisabledNsPerOp = minNs(chain)
+
+	collector := telemetry.NewCollector("benchtelemetry")
+	ev.SetObserver(collector)
+	chain() // materialize the chain's histograms before timing
+	rep.Overhead.EnabledNsPerOp = minNs(chain)
+	ev.SetObserver(nil)
+	rep.Overhead.OverheadPct = 100 * (rep.Overhead.EnabledNsPerOp - rep.Overhead.DisabledNsPerOp) / rep.Overhead.DisabledNsPerOp
+
+	// (3) Calibration workload: every basic-op kind the evaluator observes,
+	// recorded (for accelerator pricing) and measured (for the histograms)
+	// through the same fanout.
+	calCollector := telemetry.NewCollector("calibration")
+	recorder := poseidon.NewTraceRecorder("calibration")
+	recorder.SetWorkers(1)
+	ev.SetObserver(ckks.Fanout(recorder, calCollector))
+	dst := ckks.NewCiphertext(params, level)
+	for i := 0; i < 25; i++ {
+		ev.AddInto(dst, ct1, ct2)                        // HAdd
+		ev.AddPlainInto(dst, ct1, pt)                    // HAddPlain
+		ev.MulPlainInto(prod, ct1, pt)                   // PMult
+		ev.MulRelinInto(prod, ct1, ct2)                  // CMult
+		ev.RescaleInto(dropped, prod)                    // Rescale
+		ev.RotateInto(rot, dropped, 1)                   // Rotation
+		ev.KeySwitchInto(dst, ct1, &rlk.SwitchingKey)    // Keyswitch
+	}
+	ev.SetObserver(nil)
+
+	model, err := arch.NewModel(arch.U280(), arch.PaperParams())
+	if err != nil {
+		return err
+	}
+	rep.Report = arch.Simulate(model, arch.DefaultEnergy(), recorder.Trace())
+	rep.Report.Calib = telemetry.Calibrate(calCollector.Snapshot(), model)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(blob); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	fmt.Fprintf(os.Stderr, "  disabled chain: %.0f allocs/op, %.0f ns/op\n",
+		rep.DisabledChainAllocs, rep.Overhead.DisabledNsPerOp)
+	fmt.Fprintf(os.Stderr, "  enabled chain:  %.0f ns/op (%+.2f%%)\n",
+		rep.Overhead.EnabledNsPerOp, rep.Overhead.OverheadPct)
+	for _, kc := range rep.Report.Calib.PerKind {
+		fmt.Fprintf(os.Stderr, "  calib %-10s count %3d  measured %.3gs  modeled %.3gs  ratio %.3g\n",
+			kc.Name, kc.Count, kc.MeasuredSec, kc.ModeledSec, kc.Ratio)
+	}
+	fmt.Fprintf(os.Stderr, "  calib drift: geomean %.3g, min %.3g, max %.3g\n",
+		rep.Report.Calib.GeomeanRatio, rep.Report.Calib.MinRatio, rep.Report.Calib.MaxRatio)
+
+	if *gate {
+		if rep.DisabledChainAllocs != 0 {
+			return fmt.Errorf("telemetry gate: disabled chain allocates %.0f allocs/op, want 0", rep.DisabledChainAllocs)
+		}
+		if rep.Overhead.OverheadPct > *maxPct {
+			return fmt.Errorf("telemetry gate: enabled chain overhead %.2f%% > %.2f%%", rep.Overhead.OverheadPct, *maxPct)
+		}
+		fmt.Fprintln(os.Stderr, "  telemetry gate: PASS")
+	}
+	return nil
+}

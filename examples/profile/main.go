@@ -1,12 +1,14 @@
-// Profile: write an FHE program once, run it functionally, and price the
-// recorded operation trace on different Poseidon design points — the
-// record-then-simulate flow that connects the cryptographic library to the
-// accelerator model.
+// Profile: write an FHE program once, run it functionally under live
+// telemetry, and price the recorded operation trace on different Poseidon
+// design points — the observe → export → calibrate loop that connects the
+// cryptographic library to the accelerator model.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	"poseidon"
 )
@@ -23,11 +25,12 @@ func main() {
 	}
 	kit := poseidon.NewKit(params, 314)
 
-	// Instrument the evaluator and stamp the trace with its worker count so
-	// downstream reports know which execution engine produced it.
+	// Telemetry measures each op's wall time; the recorder captures the op
+	// sequence for accelerator pricing. EnableTelemetry fans out to both.
 	rec := poseidon.NewTraceRecorder("weighted-score")
 	rec.SetWorkers(kit.Workers())
 	kit.Eval.SetObserver(rec)
+	collector := kit.EnableTelemetry("weighted-score")
 
 	// The program: a weighted score with a rotate-and-sum reduction.
 	rec.SetPhase("inner-product")
@@ -41,6 +44,18 @@ func main() {
 
 	fmt.Printf("functional result (x·w)² = %.4f\n",
 		real(kit.DecryptValues(act)[0]))
+
+	// What the telemetry layer saw: the Prometheus exposition a /metrics
+	// scrape would serve (poseidon.StartMetricsServer mounts it over HTTP).
+	fmt.Println("\nmeasured op latencies (Prometheus text format, excerpt):")
+	var prom strings.Builder
+	collector.Snapshot().WritePrometheus(&prom)
+	for _, line := range strings.Split(prom.String(), "\n") {
+		if strings.HasPrefix(line, "poseidon_op_total") ||
+			strings.Contains(line, `quantile="0.99"`) {
+			fmt.Println("  " + line)
+		}
+	}
 
 	// Price the recorded trace across design points.
 	tr := rec.Trace()
@@ -62,6 +77,23 @@ func main() {
 		rep := poseidon.Simulate(model, em, tr)
 		fmt.Printf("  %-28s %8.3f ms   %.3g J\n", pt.name, rep.TotalTime*1e3, rep.TotalEnergy)
 	}
+
+	// Calibrate: join the measured wall times with the U280 model's
+	// predictions — the per-kind ratio is this machine's distance from the
+	// modeled accelerator.
+	model, err := poseidon.NewModel(poseidon.U280(), poseidon.PaperParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	calib := poseidon.Calibrate(collector.Snapshot(), model)
+	fmt.Println("\nmeasured vs modeled (U280 design point):")
+	fmt.Fprintf(os.Stdout, "  %-10s %6s %12s %12s %8s\n", "op", "count", "measured", "modeled", "ratio")
+	for _, kc := range calib.PerKind {
+		fmt.Printf("  %-10s %6d %10.3gs %10.3gs %8.1f\n",
+			kc.Name, kc.Count, kc.MeasuredSec, kc.ModeledSec, kc.Ratio)
+	}
+	fmt.Printf("  drift: geomean %.1f× (min %.1f×, max %.1f×)\n",
+		calib.GeomeanRatio, calib.MinRatio, calib.MaxRatio)
 }
 
 func withLanes(c poseidon.Config, lanes int) poseidon.Config {

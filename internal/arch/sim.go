@@ -43,6 +43,11 @@ type Report struct {
 	// detected faults) — the software analogue of ECC/scrubbing telemetry
 	// on the accelerator. Nil when the trace has none.
 	Fault *trace.FaultStats
+
+	// Calib joins measured per-op wall times (from the telemetry layer)
+	// with this model's predictions: per-kind measured/modeled ratios and
+	// their drift summary. Nil when the run carried no telemetry.
+	Calib *trace.CalibStats `json:",omitempty"`
 }
 
 // Simulate executes tr on the model with the given energy model.

@@ -34,7 +34,11 @@ type Evaluator struct {
 	rlk      *RelinearizationKey
 	rtks     *RotationKeySet
 	observer OpObserver
-	pool     *ring.Pool
+	// spans is the observer re-typed when it also implements SpanObserver:
+	// non-nil switches every basic op into timed-span mode (see observer.go).
+	// Kept as a separate field so the per-op gate is a single nil check.
+	spans SpanObserver
+	pool  *ring.Pool
 
 	// guards, when non-nil, activates the runtime integrity guards
 	// (residue-checksum seals, noise-budget checks, the opt-in

@@ -56,6 +56,7 @@ func aliases(a, b *ring.Poly) bool {
 
 // AddInto computes out = a + b (HAdd). out may alias a or b.
 func (ev *Evaluator) AddInto(out *Ciphertext, a, b *Ciphertext) *Ciphertext {
+	sp := ev.beginOp("HAdd")
 	a, b = ev.alignLevels(a, b)
 	if !sameScale(a.Scale, b.Scale) {
 		panic(fmt.Sprintf("ckks: Add scale mismatch %g vs %g", a.Scale, b.Scale))
@@ -65,12 +66,13 @@ func (ev *Evaluator) AddInto(out *Ciphertext, a, b *Ciphertext) *Ciphertext {
 	rq.AddParallel(out.C0, a.C0, b.C0, ev.pool)
 	rq.AddParallel(out.C1, a.C1, b.C1, ev.pool)
 	out.Scale = a.Scale
-	ev.observe("HAdd", a.Level)
+	ev.endOp("HAdd", a.Level, sp)
 	return out
 }
 
 // SubInto computes out = a − b. out may alias a or b.
 func (ev *Evaluator) SubInto(out *Ciphertext, a, b *Ciphertext) *Ciphertext {
+	sp := ev.beginOp("HAdd")
 	a, b = ev.alignLevels(a, b)
 	if !sameScale(a.Scale, b.Scale) {
 		panic(fmt.Sprintf("ckks: Sub scale mismatch %g vs %g", a.Scale, b.Scale))
@@ -80,7 +82,7 @@ func (ev *Evaluator) SubInto(out *Ciphertext, a, b *Ciphertext) *Ciphertext {
 	rq.SubParallel(out.C0, a.C0, b.C0, ev.pool)
 	rq.SubParallel(out.C1, a.C1, b.C1, ev.pool)
 	out.Scale = a.Scale
-	ev.observe("HAdd", a.Level)
+	ev.endOp("HAdd", a.Level, sp)
 	return out
 }
 
@@ -96,6 +98,7 @@ func (ev *Evaluator) NegInto(out *Ciphertext, a *Ciphertext) *Ciphertext {
 
 // AddPlainInto computes out = ct + pt (only C0 changes). out may alias ct.
 func (ev *Evaluator) AddPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	sp := ev.beginOp("HAddPlain")
 	if !sameScale(ct.Scale, pt.Scale) {
 		panic(fmt.Sprintf("ckks: AddPlain scale mismatch %g vs %g", ct.Scale, pt.Scale))
 	}
@@ -107,7 +110,7 @@ func (ev *Evaluator) AddPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaintext
 		copyInto(out.C1, prefix(ct.C1, level+1))
 	}
 	out.Scale = ct.Scale
-	ev.observe("HAddPlain", level)
+	ev.endOp("HAddPlain", level, sp)
 	return out
 }
 
@@ -117,6 +120,7 @@ func (ev *Evaluator) AddPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaintext
 // plaintext skip the per-element lift and run only the REDC tail —
 // bit-identical to the unmemoized product.
 func (ev *Evaluator) MulPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	sp := ev.beginOp("PMult")
 	level := min(ct.Level, pt.Level)
 	limbs := level + 1
 	reshapeCt(out, level)
@@ -151,7 +155,7 @@ func (ev *Evaluator) MulPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaintext
 		rq.MulCoeffwiseParallel(out.C1, c1, pv, ev.pool)
 	}
 	out.Scale = ct.Scale * pt.Scale
-	ev.observe("PMult", level)
+	ev.endOp("PMult", level, sp)
 	return out
 }
 
@@ -186,6 +190,7 @@ func (ev *Evaluator) MulRelinInto(out *Ciphertext, a, b *Ciphertext) *Ciphertext
 	if ev.rlk == nil {
 		panic("ckks: MulRelin requires a relinearization key")
 	}
+	sp := ev.beginOp("CMult")
 	a, b = ev.alignLevels(a, b)
 	level := a.Level
 	reshapeCt(out, level)
@@ -242,7 +247,7 @@ func (ev *Evaluator) MulRelinInto(out *Ciphertext, a, b *Ciphertext) *Ciphertext
 	rq.PutPoly(p1)
 	p1 = nil
 	out.Scale = a.Scale * b.Scale
-	ev.observe("CMult", level)
+	ev.endOp("CMult", level, sp)
 	return out
 }
 
@@ -253,6 +258,7 @@ func (ev *Evaluator) RescaleInto(out *Ciphertext, ct *Ciphertext) *Ciphertext {
 	if ct.Level == 0 {
 		panic("ckks: cannot rescale at level 0")
 	}
+	sp := ev.beginOp("Rescale")
 	rq := ev.params.RingQ
 	level := ct.Level
 	// c0/c1 are never reassigned once acquired so the worker-pool closure
@@ -295,7 +301,7 @@ func (ev *Evaluator) RescaleInto(out *Ciphertext, ct *Ciphertext) *Ciphertext {
 	ev.nttParallelGuarded("Rescale", out.C0)
 	ev.nttParallelGuarded("Rescale", out.C1)
 	out.Scale = ct.Scale / float64(ev.params.Q[level])
-	ev.observe("Rescale", level)
+	ev.endOp("Rescale", level, sp)
 	return out
 }
 
@@ -330,6 +336,7 @@ func (ev *Evaluator) automorphismKSInto(out *Ciphertext, ct *Ciphertext, g uint6
 	if !ok {
 		panic(fmt.Sprintf("ckks: no rotation key for Galois element %d", g))
 	}
+	sp := ev.beginOp("Rotation")
 	rq := ev.params.RingQ
 
 	c0 := ev.inttCopy(ct.C0)
@@ -369,13 +376,14 @@ func (ev *Evaluator) automorphismKSInto(out *Ciphertext, ct *Ciphertext, g uint6
 	rq.PutPoly(p0)
 	p0 = nil
 	out.Scale = ct.Scale
-	ev.observe("Rotation", level)
+	ev.endOp("Rotation", level, sp)
 	return out
 }
 
 // KeySwitchInto re-encrypts ct under swk, writing into out. out may alias
 // ct.
 func (ev *Evaluator) KeySwitchInto(out *Ciphertext, ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
+	sp := ev.beginOp("Keyswitch")
 	rq := ev.params.RingQ
 	level := ct.Level
 	c1 := ev.inttCopy(ct.C1)
@@ -397,5 +405,6 @@ func (ev *Evaluator) KeySwitchInto(out *Ciphertext, ct *Ciphertext, swk *Switchi
 	rq.PutPoly(p0)
 	p0 = nil
 	out.Scale = ct.Scale
+	ev.endOp("Keyswitch", level, sp)
 	return out
 }

@@ -148,6 +148,7 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 // instead). Scratch is released by the deferred sweeps on every exit,
 // panic paths included; the borrowed digit matrices stay owned by hd.
 func (ev *Evaluator) rotateHoistedOne(hd *hoistedDecomposition, ct *Ciphertext, g uint64, key *SwitchingKey) *Ciphertext {
+	sp := ev.beginOp("Rotation")
 	params := ev.params
 	pool := ev.pool
 	serial := pool.Workers() <= 1
@@ -217,7 +218,7 @@ func (ev *Evaluator) rotateHoistedOne(hd *hoistedDecomposition, ct *Ciphertext, 
 	rq.AddParallel(res.C0, res.C0, p0, pool)
 	rq.PutPoly(p0)
 	p0 = nil
-	ev.observe("Rotation", level)
+	ev.endOp("Rotation", level, sp)
 	return res
 }
 

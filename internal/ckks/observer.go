@@ -1,5 +1,11 @@
 package ckks
 
+import (
+	"context"
+	rttrace "runtime/trace"
+	"time"
+)
+
 // OpObserver receives a callback for every basic operation the evaluator
 // executes, with the level it ran at. Observers let application code be
 // profiled into operation traces that the accelerator model can price —
@@ -9,11 +15,141 @@ type OpObserver interface {
 	Observe(op string, level int)
 }
 
-// SetObserver installs (or clears, with nil) the evaluator's observer.
-func (ev *Evaluator) SetObserver(o OpObserver) { ev.observer = o }
+// SpanObserver widens OpObserver to timed spans: the evaluator reports the
+// measured wall time of each basic op, plus the error outcome for ops
+// executed through the Try* surface (dur 0 for failed or count-only
+// observations). Installing a SpanObserver via SetObserver switches the
+// evaluator into timed mode: every basic op is wrapped in a nanosecond
+// timestamp pair and a runtime/trace region named after the op, so
+// execution traces (`go tool trace`) attribute time to FHE operators
+// instead of Go internals. When no SpanObserver is installed, the timing
+// path is a nil check — the zero-allocation gates in alloc_test.go run with
+// observers off and still hold with a span observer on (after warm-up).
+type SpanObserver interface {
+	OpObserver
+	ObserveSpan(op string, level int, dur time.Duration, err error)
+}
+
+// SetObserver installs (or clears, with nil) the evaluator's observer. An
+// observer that also implements SpanObserver receives timed spans; a plain
+// OpObserver keeps the legacy count-only callbacks.
+func (ev *Evaluator) SetObserver(o OpObserver) {
+	ev.observer = o
+	ev.spans, _ = o.(SpanObserver)
+}
+
+// Observer returns the currently installed observer (nil if none) — so
+// callers layering telemetry on top of an existing recorder can preserve it
+// through Fanout.
+func (ev *Evaluator) Observer() OpObserver { return ev.observer }
 
 func (ev *Evaluator) observe(op string, level int) {
 	if ev.observer != nil {
 		ev.observer.Observe(op, level)
 	}
+}
+
+// opSpan carries the per-op timing state between beginOp and endOp: the
+// start timestamp and the runtime/trace region. It is a stack value — the
+// span path performs zero heap allocations (StartRegion returns a shared
+// no-op region while tracing is off).
+type opSpan struct {
+	start  time.Time
+	region *rttrace.Region
+}
+
+// beginOp opens a timed span when a SpanObserver is installed; otherwise it
+// is two nil checks and returns the zero span.
+func (ev *Evaluator) beginOp(op string) (s opSpan) {
+	if ev.spans != nil {
+		s.region = rttrace.StartRegion(context.Background(), op)
+		s.start = time.Now()
+	}
+	return
+}
+
+// endOp closes the span and reports it: a timed ObserveSpan when a
+// SpanObserver opened the span, the legacy count-only Observe otherwise.
+func (ev *Evaluator) endOp(op string, level int, s opSpan) {
+	if sp := ev.spans; sp != nil && s.region != nil {
+		d := time.Since(s.start)
+		s.region.End()
+		sp.ObserveSpan(op, level, d, nil)
+		return
+	}
+	if o := ev.observer; o != nil {
+		o.Observe(op, level)
+	}
+}
+
+// observeTryErr reports a failed Try* operation to the span observer as a
+// zero-duration errored span. Deferred (before recoverOp, so it runs after
+// the panic→error translation) by every Try*Into method.
+func (ev *Evaluator) observeTryErr(op string, level int, err *error) {
+	if *err == nil {
+		return
+	}
+	if sp := ev.spans; sp != nil {
+		sp.ObserveSpan(op, level, 0, *err)
+	}
+}
+
+// spanAdapter lifts a plain OpObserver to the SpanObserver interface by
+// dropping the duration and error — the backward-compatible shim for code
+// that needs a SpanObserver but holds a legacy observer.
+type spanAdapter struct{ OpObserver }
+
+func (a spanAdapter) ObserveSpan(op string, level int, _ time.Duration, _ error) {
+	a.Observe(op, level)
+}
+
+// AsSpanObserver adapts any OpObserver to SpanObserver: observers that
+// already implement it are returned unchanged, legacy observers are wrapped
+// so they keep receiving count-only callbacks.
+func AsSpanObserver(o OpObserver) SpanObserver {
+	if s, ok := o.(SpanObserver); ok {
+		return s
+	}
+	return spanAdapter{o}
+}
+
+// fanout broadcasts observations to several observers; it implements
+// SpanObserver so that one timed measurement feeds a trace recorder and a
+// telemetry collector simultaneously.
+type fanout struct{ obs []OpObserver }
+
+func (f *fanout) Observe(op string, level int) {
+	for _, o := range f.obs {
+		o.Observe(op, level)
+	}
+}
+
+func (f *fanout) ObserveSpan(op string, level int, dur time.Duration, err error) {
+	for _, o := range f.obs {
+		if s, ok := o.(SpanObserver); ok {
+			s.ObserveSpan(op, level, dur, err)
+		} else {
+			o.Observe(op, level)
+		}
+	}
+}
+
+// Fanout combines observers into one: spans are timed once and delivered to
+// every SpanObserver in the list, while plain OpObservers receive the legacy
+// count-only callback. Nil entries are skipped; a single non-nil observer is
+// returned as-is.
+func Fanout(obs ...OpObserver) OpObserver {
+	kept := make([]OpObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &fanout{obs: kept}
 }

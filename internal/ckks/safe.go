@@ -86,6 +86,7 @@ func (ev *Evaluator) validDest(op string, out *Ciphertext, level int) error {
 // panicking. out may alias a or b.
 func (ev *Evaluator) TryAddInto(out, a, b *Ciphertext) (res *Ciphertext, err error) {
 	const op = "HAdd"
+	defer ev.observeTryErr(op, lvlOf(a), &err)
 	defer recoverOp(op, lvlOf(a), &err)
 	if err := ev.validIn(op, a); err != nil {
 		return nil, err
@@ -126,6 +127,7 @@ func (ev *Evaluator) TryAddInto(out, a, b *Ciphertext) (res *Ciphertext, err err
 // TrySubInto computes out = a − b. out may alias a or b.
 func (ev *Evaluator) TrySubInto(out, a, b *Ciphertext) (res *Ciphertext, err error) {
 	const op = "HAdd"
+	defer ev.observeTryErr(op, lvlOf(a), &err)
 	defer recoverOp(op, lvlOf(a), &err)
 	if err := ev.validIn(op, a); err != nil {
 		return nil, err
@@ -166,6 +168,7 @@ func (ev *Evaluator) TrySubInto(out, a, b *Ciphertext) (res *Ciphertext, err err
 // TryNegInto computes out = −a. out may alias a.
 func (ev *Evaluator) TryNegInto(out, a *Ciphertext) (res *Ciphertext, err error) {
 	const op = "HNeg"
+	defer ev.observeTryErr(op, lvlOf(a), &err)
 	defer recoverOp(op, lvlOf(a), &err)
 	if err := ev.validIn(op, a); err != nil {
 		return nil, err
@@ -197,6 +200,7 @@ func (ev *Evaluator) TryNegInto(out, a *Ciphertext) (res *Ciphertext, err error)
 // TryAddPlainInto computes out = ct + pt. out may alias ct.
 func (ev *Evaluator) TryAddPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaintext) (res *Ciphertext, err error) {
 	const op = "HAddPlain"
+	defer ev.observeTryErr(op, lvlOf(ct), &err)
 	defer recoverOp(op, lvlOf(ct), &err)
 	if err := ev.validIn(op, ct); err != nil {
 		return nil, err
@@ -236,6 +240,7 @@ func (ev *Evaluator) TryAddPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaint
 // flags a product scale the active modulus chain cannot hold.
 func (ev *Evaluator) TryMulPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaintext) (res *Ciphertext, err error) {
 	const op = "PMult"
+	defer ev.observeTryErr(op, lvlOf(ct), &err)
 	defer recoverOp(op, lvlOf(ct), &err)
 	if err := ev.validIn(op, ct); err != nil {
 		return nil, err
@@ -280,6 +285,7 @@ func (ev *Evaluator) TryMulPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaint
 // ErrKeyMissing; a product scale the chain cannot hold is ErrLevelExhausted.
 func (ev *Evaluator) TryMulRelinInto(out, a, b *Ciphertext) (res *Ciphertext, err error) {
 	const op = "CMult"
+	defer ev.observeTryErr(op, lvlOf(a), &err)
 	defer recoverOp(op, lvlOf(a), &err)
 	if err := ev.validIn(op, a); err != nil {
 		return nil, err
@@ -312,6 +318,7 @@ func (ev *Evaluator) TryMulRelinInto(out, a, b *Ciphertext) (res *Ciphertext, er
 // level 0 is ErrLevelExhausted. out may alias ct.
 func (ev *Evaluator) TryRescaleInto(out *Ciphertext, ct *Ciphertext) (res *Ciphertext, err error) {
 	const op = "Rescale"
+	defer ev.observeTryErr(op, lvlOf(ct), &err)
 	defer recoverOp(op, lvlOf(ct), &err)
 	if err := ev.validIn(op, ct); err != nil {
 		return nil, err
@@ -334,6 +341,7 @@ func (ev *Evaluator) TryRescaleInto(out *Ciphertext, ct *Ciphertext) (res *Ciphe
 // rotation key is ErrKeyMissing. out may alias ct.
 func (ev *Evaluator) TryRotateInto(out *Ciphertext, ct *Ciphertext, steps int) (res *Ciphertext, err error) {
 	const op = "Rotation"
+	defer ev.observeTryErr(op, lvlOf(ct), &err)
 	defer recoverOp(op, lvlOf(ct), &err)
 	if err := ev.validIn(op, ct); err != nil {
 		return nil, err
@@ -360,6 +368,7 @@ func (ev *Evaluator) TryRotateInto(out *Ciphertext, ct *Ciphertext, steps int) (
 // TryConjugateInto conjugates every slot into out. out may alias ct.
 func (ev *Evaluator) TryConjugateInto(out *Ciphertext, ct *Ciphertext) (res *Ciphertext, err error) {
 	const op = "Rotation"
+	defer ev.observeTryErr(op, lvlOf(ct), &err)
 	defer recoverOp(op, lvlOf(ct), &err)
 	if err := ev.validIn(op, ct); err != nil {
 		return nil, err
@@ -385,7 +394,8 @@ func (ev *Evaluator) TryConjugateInto(out *Ciphertext, ct *Ciphertext) (res *Cip
 
 // TryKeySwitchInto re-encrypts ct under swk into out. out may alias ct.
 func (ev *Evaluator) TryKeySwitchInto(out *Ciphertext, ct *Ciphertext, swk *SwitchingKey) (res *Ciphertext, err error) {
-	const op = "KeySwitch"
+	const op = "Keyswitch"
+	defer ev.observeTryErr(op, lvlOf(ct), &err)
 	defer recoverOp(op, lvlOf(ct), &err)
 	if err := ev.validIn(op, ct); err != nil {
 		return nil, err

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"math"
+
+	"poseidon/internal/arch"
+	"poseidon/internal/trace"
+)
+
+// Calibrate joins a telemetry snapshot's measured per-op wall times with the
+// accelerator model's predictions: for every kind that executed, measured
+// seconds are the histogram sums and modeled seconds are count × the model's
+// per-op latency at the same limb count. The per-kind measured/modeled ratio
+// says how far this software baseline sits from the modeled accelerator —
+// the drift summary (geomean, min, max over kinds) is the one-number health
+// check that the cost model and the measured workload still describe the
+// same machine.
+func Calibrate(snap *Snapshot, model *arch.Model) *trace.CalibStats {
+	type acc struct {
+		count    uint64
+		measured float64
+		modeled  float64
+	}
+	perKind := map[trace.Kind]*acc{}
+	for _, ks := range snap.Keys {
+		if ks.Count == 0 {
+			continue
+		}
+		a := perKind[ks.Kind]
+		if a == nil {
+			a = &acc{}
+			perKind[ks.Kind] = a
+		}
+		a.count += ks.Count
+		a.measured += float64(ks.SumNs) / 1e9
+		a.modeled += float64(ks.Count) * model.Latency(model.ProfileFor(ks.Kind, ks.Limbs))
+	}
+
+	cs := &trace.CalibStats{Workload: snap.Workload}
+	logSum, nRatio := 0.0, 0
+	cs.MinRatio = math.Inf(1)
+	cs.MaxRatio = math.Inf(-1)
+	for _, k := range trace.Kinds() {
+		a := perKind[k]
+		if a == nil {
+			continue
+		}
+		kc := trace.KindCalib{
+			Kind:        k,
+			Name:        k.String(),
+			Count:       a.count,
+			MeasuredSec: a.measured,
+			ModeledSec:  a.modeled,
+		}
+		if a.measured > 0 && a.modeled > 0 {
+			kc.Ratio = a.measured / a.modeled
+			logSum += math.Log(kc.Ratio)
+			nRatio++
+			cs.MinRatio = math.Min(cs.MinRatio, kc.Ratio)
+			cs.MaxRatio = math.Max(cs.MaxRatio, kc.Ratio)
+		}
+		cs.PerKind = append(cs.PerKind, kc)
+	}
+	if nRatio > 0 {
+		cs.GeomeanRatio = math.Exp(logSum / float64(nRatio))
+	} else {
+		cs.MinRatio, cs.MaxRatio = 0, 0
+	}
+	return cs
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventLog is the structured JSONL event stream: one line per observed
+// span, for offline analysis (latency time series, per-op error
+// correlation, trace alignment). Attaching a stream adds an encode + write
+// per op, so it is meant for capture sessions, not steady-state serving —
+// the histograms stay the zero-allocation path.
+type EventLog struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	n  uint64
+}
+
+// StreamTo attaches a JSONL event stream writing to w; a nil w detaches
+// the current stream. Returns the attached log (nil when detaching) whose
+// Flush should be called when the capture ends.
+func (c *Collector) StreamTo(w io.Writer) *EventLog {
+	if w == nil {
+		c.events.Store(nil)
+		return nil
+	}
+	ev := &EventLog{w: bufio.NewWriter(w)}
+	c.events.Store(ev)
+	return ev
+}
+
+// emit writes one event line. The fields are flat and stable:
+// {"ts_ns":…,"op":"CMult","limbs":6,"dur_ns":…,"err":"…"}.
+func (e *EventLog) emit(op string, level int, dur time.Duration, err error) {
+	ts := time.Now().UnixNano()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.n++
+	if err == nil {
+		fmt.Fprintf(e.w, `{"ts_ns":%d,"op":%q,"limbs":%d,"dur_ns":%d}`+"\n", ts, op, level+1, dur.Nanoseconds())
+		return
+	}
+	msg := strings.ReplaceAll(err.Error(), `"`, `'`)
+	fmt.Fprintf(e.w, `{"ts_ns":%d,"op":%q,"limbs":%d,"dur_ns":%d,"err":%q}`+"\n", ts, op, level+1, dur.Nanoseconds(), msg)
+}
+
+// Events reports how many lines have been emitted.
+func (e *EventLog) Events() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Flush drains the buffered writer.
+func (e *EventLog) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.w.Flush()
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries checks the log-bucket layout invariants: every value
+// maps into a bucket whose [low, high) range contains it, boundaries are
+// monotone, and the sub-bucket resolution bounds relative error.
+func TestBucketBoundaries(t *testing.T) {
+	for b := 0; b < NumBuckets; b++ {
+		lo, hi := BucketLow(b), BucketHigh(b)
+		if hi <= lo {
+			t.Fatalf("bucket %d: high %d <= low %d", b, hi, lo)
+		}
+		if b > 0 && lo != BucketHigh(b-1) {
+			t.Fatalf("bucket %d: low %d != previous high %d", b, lo, BucketHigh(b-1))
+		}
+		if got := bucketOf(lo); got != b {
+			t.Fatalf("bucketOf(low=%d) = %d, want %d", lo, got, b)
+		}
+		if hi-1 >= lo {
+			if got := bucketOf(hi - 1); got != b && b != NumBuckets-1 {
+				t.Fatalf("bucketOf(high-1=%d) = %d, want %d", hi-1, got, b)
+			}
+		}
+	}
+	// Values beyond the table clamp into the last bucket.
+	if got := bucketOf(math.MaxUint64); got != NumBuckets-1 {
+		t.Fatalf("bucketOf(MaxUint64) = %d, want %d", got, NumBuckets-1)
+	}
+	// The 3 sub-bits give ≤ 1/8 relative bucket width above the linear range.
+	for _, v := range []uint64{100, 1 << 20, 1 << 40, 1<<40 + 12345} {
+		b := bucketOf(v)
+		lo, hi := BucketLow(b), BucketHigh(b)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d not in its bucket [%d,%d)", v, lo, hi)
+		}
+		if rel := float64(hi-lo) / float64(lo); rel > 1.0/8+1e-9 {
+			t.Fatalf("bucket %d for %d: relative width %g > 1/8", b, v, rel)
+		}
+	}
+}
+
+func TestHistogramObserveSnapshot(t *testing.T) {
+	h := NewHistogram()
+	var sum uint64
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+		sum += i * 1000
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	if s.SumNs != sum {
+		t.Fatalf("SumNs = %d, want %d", s.SumNs, sum)
+	}
+	if s.MaxNs != 1000_000 {
+		t.Fatalf("MaxNs = %d, want 1000000", s.MaxNs)
+	}
+	var total uint64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	h1, h2 := NewHistogram(), NewHistogram()
+	for i := uint64(1); i <= 100; i++ {
+		h1.Observe(i)
+		h2.Observe(i * 1_000_000)
+	}
+	s := h1.Snapshot()
+	s.Merge(h2.Snapshot())
+	if s.Count != 200 {
+		t.Fatalf("merged Count = %d, want 200", s.Count)
+	}
+	if s.MaxNs != 100_000_000 {
+		t.Fatalf("merged MaxNs = %d, want 100000000", s.MaxNs)
+	}
+	wantSum := uint64(100*101/2) * (1 + 1_000_000)
+	if s.SumNs != wantSum {
+		t.Fatalf("merged SumNs = %d, want %d", s.SumNs, wantSum)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var empty HistSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+
+	h := NewHistogram()
+	h.Observe(42)
+	s := h.Snapshot()
+	// A single sample answers every quantile with (about) itself; q≥1 is
+	// exact because it returns the tracked max.
+	if q := s.Quantile(1.0); q != 42 {
+		t.Fatalf("q=1 of single sample = %g, want 42", q)
+	}
+	if q := s.Quantile(0.5); q < float64(BucketLow(bucketOf(42))) || q > float64(BucketHigh(bucketOf(42))) {
+		t.Fatalf("q=0.5 of single sample = %g, outside its bucket", q)
+	}
+	if q := s.Quantile(-1); q != s.Quantile(0) {
+		t.Fatalf("q<0 (%g) should clamp to q=0 (%g)", s.Quantile(-1), s.Quantile(0))
+	}
+
+	// Quantiles are monotone in q and bounded by the exact max.
+	h2 := NewHistogram()
+	for i := uint64(1); i <= 10_000; i++ {
+		h2.Observe(i * 997)
+	}
+	s2 := h2.Snapshot()
+	prev := 0.0
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		v := s2.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%g gives %g < %g", q, v, prev)
+		}
+		if v > float64(s2.MaxNs) {
+			t.Fatalf("quantile %g = %g exceeds max %d", q, v, s2.MaxNs)
+		}
+		prev = v
+	}
+	// The median of 1..10000 (×997) lands near 5000×997 — the log buckets
+	// guarantee ≤ ~12.5% relative error.
+	med := s2.Quantile(0.5)
+	want := 5000.0 * 997
+	if math.Abs(med-want)/want > 0.15 {
+		t.Fatalf("median = %g, want within 15%% of %g", med, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const perG, goroutines = 10_000, 4
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(uint64(i + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != perG*goroutines {
+		t.Fatalf("Count = %d, want %d", s.Count, perG*goroutines)
+	}
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the optional live-metrics HTTP endpoint:
+//
+//	/metrics      Prometheus text exposition of the collector
+//	/debug/vars   expvar JSON (includes poseidon_telemetry)
+//	/debug/pprof  the standard Go profiling handlers
+//
+// It binds its own listener and mux, so it never pollutes
+// http.DefaultServeMux and multiple servers (e.g. in tests) coexist.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartServer starts serving the collector's metrics on addr ("host:port";
+// use "127.0.0.1:0" to bind an ephemeral port and read it back from Addr).
+// The collector is also published to expvar so /debug/vars carries the
+// same snapshot.
+func StartServer(addr string, c *Collector) (*Server, error) {
+	c.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", c.MetricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (resolves the ephemeral port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }

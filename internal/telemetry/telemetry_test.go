@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"poseidon/internal/arch"
+	"poseidon/internal/trace"
+)
+
+func TestCollectorObserve(t *testing.T) {
+	c := NewCollector("unit")
+	c.ObserveSpan("CMult", 5, 100*time.Microsecond, nil)
+	c.ObserveSpan("CMult", 5, 200*time.Microsecond, nil)
+	c.ObserveSpan("Rescale", 5, 50*time.Microsecond, nil)
+	c.Observe("HAdd", 3) // count-only, no timing
+	c.Observe("NoSuchOp", 3)
+	c.ObserveSpan("HAdd", 3, time.Microsecond, errors.New("boom"))
+
+	snap := c.Snapshot()
+	if snap.Workload != "unit" {
+		t.Fatalf("workload = %q", snap.Workload)
+	}
+	if snap.UnknownOps != 1 {
+		t.Fatalf("UnknownOps = %d, want 1", snap.UnknownOps)
+	}
+	if snap.Errors["HAdd"] != 1 {
+		t.Fatalf("Errors = %v, want HAdd:1", snap.Errors)
+	}
+	byKey := map[string]KeyStat{}
+	for _, ks := range snap.Keys {
+		byKey[ks.Op] = ks
+	}
+	cm := byKey["CMult"]
+	if cm.Ops != 2 || cm.Count != 2 || cm.Limbs != 6 {
+		t.Fatalf("CMult stat = %+v", cm)
+	}
+	if cm.SumNs != uint64(300*time.Microsecond) {
+		t.Fatalf("CMult SumNs = %d", cm.SumNs)
+	}
+	ha := byKey["HAdd"]
+	if ha.Ops != 1 || ha.Count != 0 {
+		t.Fatalf("HAdd stat = %+v (count-only observe must not add a sample)", ha)
+	}
+}
+
+func TestCollectorByKind(t *testing.T) {
+	c := NewCollector("unit")
+	c.ObserveSpan("Rotation", 3, time.Millisecond, nil)
+	c.ObserveSpan("Rotation", 7, 3*time.Millisecond, nil)
+	agg := c.Snapshot().ByKind()
+	rot, ok := agg[trace.Rotation]
+	if !ok {
+		t.Fatalf("no Rotation aggregate; got %v", agg)
+	}
+	if rot.Count != 2 || rot.SumNs != uint64(4*time.Millisecond) {
+		t.Fatalf("Rotation aggregate = %+v", rot)
+	}
+	if rot.MaxNs != uint64(3*time.Millisecond) {
+		t.Fatalf("Rotation MaxNs = %d", rot.MaxNs)
+	}
+}
+
+func TestLimbClamp(t *testing.T) {
+	c := NewCollector("unit")
+	c.ObserveSpan("HAdd", MaxLimbs+100, time.Microsecond, nil) // clamps high
+	c.ObserveSpan("HAdd", -5, time.Microsecond, nil)           // clamps low
+	snap := c.Snapshot()
+	if len(snap.Keys) != 2 {
+		t.Fatalf("keys = %+v, want clamped 0 and MaxLimbs rows", snap.Keys)
+	}
+	if snap.Keys[0].Limbs != 0 || snap.Keys[1].Limbs != MaxLimbs {
+		t.Fatalf("clamped limbs = %d, %d", snap.Keys[0].Limbs, snap.Keys[1].Limbs)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	c := NewCollector("wl")
+	c.ObserveSpan("CMult", 5, time.Millisecond, nil)
+	c.Observe("BadName", 1)
+	var buf bytes.Buffer
+	c.Snapshot().WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`poseidon_op_total{workload="wl",op="CMult",limbs="6"} 1`,
+		`poseidon_op_latency_seconds{workload="wl",op="CMult",limbs="6",quantile="1"} 0.001`,
+		`poseidon_op_latency_seconds_count{workload="wl",op="CMult",limbs="6"} 1`,
+		`poseidon_unknown_ops_total{workload="wl"} 1`,
+		"# TYPE poseidon_op_latency_seconds summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventStream(t *testing.T) {
+	c := NewCollector("wl")
+	var buf bytes.Buffer
+	ev := c.StreamTo(&buf)
+	c.ObserveSpan("Rescale", 4, 123*time.Microsecond, nil)
+	c.ObserveSpan("CMult", 4, 0, errors.New(`bad "input"`))
+	if err := ev.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Events() != 2 {
+		t.Fatalf("Events = %d, want 2", ev.Events())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var rec struct {
+		TsNs  int64  `json:"ts_ns"`
+		Op    string `json:"op"`
+		Limbs int    `json:"limbs"`
+		DurNs int64  `json:"dur_ns"`
+		Err   string `json:"err"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec.Op != "Rescale" || rec.Limbs != 5 || rec.DurNs != 123000 {
+		t.Fatalf("event 0 = %+v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if rec.Err == "" {
+		t.Fatalf("event 1 lost the error: %+v", rec)
+	}
+	// Detach and confirm no more lines arrive.
+	c.StreamTo(nil)
+	c.ObserveSpan("Rescale", 4, time.Microsecond, nil)
+	if ev.Events() != 2 {
+		t.Fatalf("detached stream still receiving: %d", ev.Events())
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	model, err := arch.NewModel(arch.U280(), arch.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector("calib")
+	// Measured = 2× modeled for CMult, exactly modeled for Rescale.
+	cmModeled := model.Latency(model.ProfileFor(trace.CMult, 6))
+	rsModeled := model.Latency(model.ProfileFor(trace.Rescale, 6))
+	c.ObserveSpan("CMult", 5, time.Duration(2*cmModeled*1e9), nil)
+	c.ObserveSpan("Rescale", 5, time.Duration(rsModeled*1e9), nil)
+
+	cs := Calibrate(c.Snapshot(), model)
+	if cs.Workload != "calib" {
+		t.Fatalf("workload = %q", cs.Workload)
+	}
+	if len(cs.PerKind) != 2 {
+		t.Fatalf("PerKind = %+v, want 2 kinds", cs.PerKind)
+	}
+	byName := map[string]trace.KindCalib{}
+	for _, kc := range cs.PerKind {
+		byName[kc.Name] = kc
+	}
+	cm := byName["CMult"]
+	if cm.Count != 1 || cm.ModeledSec == 0 {
+		t.Fatalf("CMult calib = %+v", cm)
+	}
+	// time.Duration truncation costs sub-ns precision; 1% slack is plenty.
+	if cm.Ratio < 1.98 || cm.Ratio > 2.02 {
+		t.Fatalf("CMult ratio = %g, want ~2", cm.Ratio)
+	}
+	rs := byName["Rescale"]
+	if rs.Ratio < 0.99 || rs.Ratio > 1.01 {
+		t.Fatalf("Rescale ratio = %g, want ~1", rs.Ratio)
+	}
+	if cs.MinRatio > cs.GeomeanRatio || cs.GeomeanRatio > cs.MaxRatio {
+		t.Fatalf("drift summary out of order: min %g geomean %g max %g",
+			cs.MinRatio, cs.GeomeanRatio, cs.MaxRatio)
+	}
+}
+
+func TestCalibrateEmpty(t *testing.T) {
+	model, err := arch.NewModel(arch.U280(), arch.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := Calibrate(NewCollector("empty").Snapshot(), model)
+	if len(cs.PerKind) != 0 || cs.GeomeanRatio != 0 || cs.MinRatio != 0 || cs.MaxRatio != 0 {
+		t.Fatalf("empty calibration = %+v", cs)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	c := NewCollector("http")
+	c.ObserveSpan("HAdd", 2, time.Microsecond, nil)
+	srv, err := StartServer("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, `poseidon_op_total{workload="http",op="HAdd",limbs="3"} 1`) {
+		t.Fatalf("/metrics missing HAdd series:\n%s", body)
+	}
+
+	vars, _ := get("/debug/vars")
+	if !strings.Contains(vars, "poseidon_telemetry") {
+		t.Fatalf("/debug/vars missing poseidon_telemetry:\n%s", vars)
+	}
+
+	idx, _ := get("/debug/pprof/")
+	if !strings.Contains(idx, "goroutine") {
+		t.Fatalf("/debug/pprof/ missing profile index")
+	}
+}
+
+func TestRecordPathZeroAlloc(t *testing.T) {
+	c := NewCollector("alloc")
+	// Warm up: materialize the histogram for the key.
+	c.ObserveSpan("CMult", 5, time.Microsecond, nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.ObserveSpan("CMult", 5, time.Microsecond, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveSpan allocates %g allocs/op after warm-up, want 0", allocs)
+	}
+}

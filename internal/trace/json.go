@@ -40,15 +40,6 @@ type jsonTrace struct {
 	Ops         []jsonOp   `json:"ops"`
 }
 
-// kindNames maps serialized names back to kinds.
-var kindNames = func() map[string]Kind {
-	m := map[string]Kind{}
-	for _, k := range Kinds() {
-		m[k.String()] = k
-	}
-	return m
-}()
-
 // WriteJSON serializes the trace.
 func (t *Trace) WriteJSON(w io.Writer) error {
 	jt := jsonTrace{Name: t.Name, Description: t.Description, Workers: t.Workers}
@@ -107,7 +98,7 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 		}
 	}
 	for i, op := range jt.Ops {
-		kind, ok := kindNames[op.Kind]
+		kind, ok := KindByName(op.Kind)
 		if !ok {
 			return nil, fmt.Errorf("trace: op %d: unknown kind %q", i, op.Kind)
 		}

@@ -61,6 +61,28 @@ func Kinds() []Kind {
 	return ks
 }
 
+// NumKinds is the number of operation kinds — the index space observers and
+// telemetry collectors size their per-kind tables with.
+func NumKinds() int { return int(numKinds) }
+
+// kindsByName maps every kind's paper name back to the kind, so observers
+// resolving op-name strings pay one map lookup instead of a linear scan.
+var kindsByName = func() map[string]Kind {
+	m := make(map[string]Kind, numKinds)
+	for _, k := range Kinds() {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// KindByName resolves an operation name ("CMult", "Rescale", …) to its kind.
+// Unknown names return ok=false; callers decide whether to drop or count
+// them.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindsByName[name]
+	return k, ok
+}
+
 // Op is a batch of identical basic operations at one level.
 type Op struct {
 	Kind  Kind
@@ -92,6 +114,32 @@ type FaultStats struct {
 	SpotChecks      uint64 // redundant-limb recomputations compared
 	IntegrityFaults uint64 // checksum or spot-check mismatches detected
 	NoiseFlags      uint64 // operations refused for exhausted noise budget
+}
+
+// KindCalib is one row of a model-vs-measured calibration: for one basic
+// operation kind, how much wall time the software evaluator actually spent
+// (summed over all limb counts) against what the accelerator model predicts
+// for the same op sequence. Ratio = measured/modeled — the software-vs-
+// accelerator speedup the paper's Table VII evaluation is built on.
+type KindCalib struct {
+	Kind        Kind    `json:"kind"`
+	Name        string  `json:"name"`
+	Count       uint64  `json:"count"`        // timed op executions joined
+	MeasuredSec float64 `json:"measured_sec"` // software wall time (telemetry histograms)
+	ModeledSec  float64 `json:"modeled_sec"`  // accelerator model prediction
+	Ratio       float64 `json:"ratio"`        // measured / modeled
+}
+
+// CalibStats is the calibration summary joining a telemetry snapshot with an
+// accelerator model over the same run: per-kind measured/modeled ratios plus
+// a drift summary (geomean and spread of the ratios). A geomean far from its
+// historical value means either the software or the model drifted.
+type CalibStats struct {
+	Workload     string      `json:"workload,omitempty"`
+	PerKind      []KindCalib `json:"per_kind"`
+	GeomeanRatio float64     `json:"geomean_ratio"`
+	MinRatio     float64     `json:"min_ratio"`
+	MaxRatio     float64     `json:"max_ratio"`
 }
 
 // Trace is a named operation sequence. Workers records the limb-parallel

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"poseidon/internal/ckks"
+	"poseidon/internal/telemetry"
 )
 
 // Kit bundles everything a quick-start user needs: keys, encoder,
@@ -19,6 +20,12 @@ type Kit struct {
 	Encr   *Encryptor
 	Decr   *Decryptor
 	Eval   *Evaluator
+
+	// tele is the kit's installed telemetry collector (nil when telemetry
+	// is off); telePrev remembers the observer that was installed before
+	// EnableTelemetry so DisableTelemetry can restore it.
+	tele     *telemetry.Collector
+	telePrev ckks.OpObserver
 }
 
 // NewKit generates all key material from the seed and returns a ready-to-use
@@ -181,3 +188,34 @@ func (k *Kit) DisableGuards() { k.Eval.DisableGuards() }
 
 // GuardStats snapshots the evaluator's guard counters.
 func (k *Kit) GuardStats() ckks.GuardStats { return k.Eval.GuardStats() }
+
+// EnableTelemetry installs a telemetry collector on the kit's evaluator:
+// every basic operation's wall time lands in a per-(op, limb-count) latency
+// histogram, ready for Prometheus/expvar export and model calibration. Any
+// observer already installed (e.g. a TraceRecorder) keeps receiving its
+// callbacks via a fanout. Returns the collector; calling again while
+// telemetry is enabled returns the existing collector unchanged.
+func (k *Kit) EnableTelemetry(workload string) *telemetry.Collector {
+	if k.tele != nil {
+		return k.tele
+	}
+	k.telePrev = k.Eval.Observer()
+	k.tele = telemetry.NewCollector(workload)
+	k.Eval.SetObserver(ckks.Fanout(k.telePrev, k.tele))
+	return k.tele
+}
+
+// Metrics returns the installed telemetry collector, or nil when telemetry
+// is off.
+func (k *Kit) Metrics() *telemetry.Collector { return k.tele }
+
+// DisableTelemetry removes the collector and restores whatever observer was
+// installed before EnableTelemetry. The detached collector (and its
+// accumulated histograms) remains readable.
+func (k *Kit) DisableTelemetry() {
+	if k.tele == nil {
+		return
+	}
+	k.Eval.SetObserver(k.telePrev)
+	k.tele, k.telePrev = nil, nil
+}

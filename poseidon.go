@@ -31,6 +31,7 @@ package poseidon
 import (
 	"poseidon/internal/arch"
 	"poseidon/internal/ckks"
+	"poseidon/internal/telemetry"
 	"poseidon/internal/trace"
 	"poseidon/internal/workloads"
 )
@@ -194,6 +195,46 @@ const (
 const (
 	HFAutoCore    = arch.HFAutoCore
 	NaiveAutoCore = arch.NaiveAutoCore
+)
+
+// --- Telemetry --------------------------------------------------------------
+
+// OpObserver receives a count-only callback per evaluator basic operation.
+type OpObserver = ckks.OpObserver
+
+// SpanObserver additionally receives each operation's wall time and outcome.
+type SpanObserver = ckks.SpanObserver
+
+// Collector accumulates per-(op, limb-count) latency histograms; install it
+// with Kit.EnableTelemetry or Eval.SetObserver.
+type Collector = telemetry.Collector
+
+// MetricsSnapshot is a point-in-time view of a collector.
+type MetricsSnapshot = telemetry.Snapshot
+
+// MetricsServer is the optional /metrics + /debug/pprof HTTP endpoint.
+type MetricsServer = telemetry.Server
+
+// CalibStats joins measured per-op wall time with model predictions.
+type CalibStats = trace.CalibStats
+
+// KindCalib is one operation kind's measured-vs-modeled calibration row.
+type KindCalib = trace.KindCalib
+
+// Telemetry constructors and helpers.
+var (
+	// NewCollector creates a standalone collector for a named workload.
+	NewCollector = telemetry.NewCollector
+	// StartMetricsServer serves a collector on addr ("127.0.0.1:0" for an
+	// ephemeral port): /metrics, /debug/vars, /debug/pprof.
+	StartMetricsServer = telemetry.StartServer
+	// Calibrate computes per-kind measured/modeled ratios for a snapshot.
+	Calibrate = telemetry.Calibrate
+	// Fanout combines observers so a recorder and a collector can watch the
+	// same evaluator.
+	Fanout = ckks.Fanout
+	// ProfileDo runs fn under pprof labels {workload, phase}.
+	ProfileDo = telemetry.Do
 )
 
 // --- Workloads and traces --------------------------------------------------

@@ -3,6 +3,7 @@ package poseidon
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"poseidon/internal/trace"
 )
@@ -16,9 +17,10 @@ import (
 // meaningful op ordering, and phase tags apply to whatever lands after
 // SetPhase.
 type TraceRecorder struct {
-	mu  sync.Mutex
-	tr  *Trace
-	tag string
+	mu      sync.Mutex
+	tr      *Trace
+	tag     string
+	dropped atomic.Uint64
 }
 
 // NewTraceRecorder starts a recorder for a named workload.
@@ -45,14 +47,21 @@ func (r *TraceRecorder) SetWorkers(n int) {
 
 // Observe implements the evaluator observer.
 func (r *TraceRecorder) Observe(op string, level int) {
-	kind, ok := kindByName(op)
+	kind, ok := trace.KindByName(op)
 	if !ok {
-		return // unknown ops are skipped rather than mis-priced
+		// Unknown ops are excluded from the priced trace rather than
+		// mis-binned — but counted, so a renamed op can't vanish silently.
+		r.dropped.Add(1)
+		return
 	}
 	r.mu.Lock()
 	r.tr.AddTagged(kind, level+1, 1, r.tag)
 	r.mu.Unlock()
 }
+
+// Dropped reports how many observations carried an op name outside the
+// trace kind set and were therefore excluded from the recorded trace.
+func (r *TraceRecorder) Dropped() uint64 { return r.dropped.Load() }
 
 // CaptureArena snapshots the parameters' polynomial-arena counters into the
 // trace's memory profile: total slab footprint and the high-water mark of
@@ -103,15 +112,6 @@ func (r *TraceRecorder) Trace() *Trace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.tr
-}
-
-func kindByName(op string) (trace.Kind, bool) {
-	for _, k := range trace.Kinds() {
-		if k.String() == op {
-			return k, true
-		}
-	}
-	return 0, false
 }
 
 // PriceRecorded is a convenience: simulate the recorded trace on a design

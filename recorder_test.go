@@ -64,6 +64,26 @@ func TestTraceRecorderCapturesProgram(t *testing.T) {
 	}
 }
 
+// Unknown op names must be counted on the drop counter, not silently lost,
+// and must not enter the priced trace.
+func TestTraceRecorderDropped(t *testing.T) {
+	rec := NewTraceRecorder("drops")
+	rec.Observe("CMult", 3)
+	rec.Observe("NotAnOp", 3)
+	rec.Observe("AlsoNotAnOp", 2)
+	if got := rec.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	counts := rec.Trace().CountByKind()
+	var total float64
+	for _, n := range counts {
+		total += n
+	}
+	if counts[trace.CMult] != 1 || total != 1 {
+		t.Fatalf("trace counts = %v, want exactly one CMult", counts)
+	}
+}
+
 // The recorder's phase labels must flow through to the simulator report.
 func TestTraceRecorderPhases(t *testing.T) {
 	params, err := NewParameters(ParametersLiteral{
