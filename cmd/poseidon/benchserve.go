@@ -1,0 +1,309 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"poseidon/internal/ckks"
+	"poseidon/internal/server"
+)
+
+func init() {
+	register("benchserve",
+		"multi-tenant serving load test: batched vs serial dispatch ops/sec, p99, batch occupancy, emitted as BENCH_serve.json (-gate asserts batching wins)",
+		runBenchServe)
+}
+
+// servePhase is one load-test pass (serial or batched dispatch).
+type servePhase struct {
+	MaxBatch    int      `json:"max_batch"`
+	Ops         int      `json:"ops"`
+	ElapsedSec  float64  `json:"elapsed_sec"`
+	OpsPerSec   float64  `json:"ops_per_sec"`
+	P50Ns       int64    `json:"p50_ns"`
+	P99Ns       int64    `json:"p99_ns"`
+	MeanBatch   float64  `json:"mean_batch"`
+	BatchedFrac float64  `json:"batched_frac"`
+	Occupancy   []uint64 `json:"occupancy"`
+	HoistGroups uint64   `json:"hoist_groups"`
+	HoistShared uint64   `json:"hoist_shared"`
+}
+
+// serveReport is the BENCH_serve.json schema.
+type serveReport struct {
+	GeneratedBy string `json:"generated_by"`
+	LogN        int    `json:"log_n"`
+	QLimbs      int    `json:"q_limbs"`
+	Workers     int    `json:"workers"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	Tenants int `json:"tenants"`
+	Keysets int `json:"keysets"`
+	Bursts  int `json:"bursts"`
+	Burst   int `json:"burst"` // same-ciphertext rotations per burst
+
+	BytesInPerOp  int `json:"bytes_in_per_op"`
+	BytesOutPerOp int `json:"bytes_out_per_op"`
+
+	Serial  servePhase `json:"serial"`
+	Batched servePhase `json:"batched"`
+	Speedup float64    `json:"speedup"` // batched ops/sec over serial
+
+	Gate struct {
+		Enabled      bool    `json:"enabled"`
+		MinSpeedup   float64 `json:"min_speedup"`
+		MinMeanBatch float64 `json:"min_mean_batch"`
+		Pass         bool    `json:"pass"`
+	} `json:"gate"`
+}
+
+// benchTenantKeys is one shared keyset: several simulated tenants register
+// the same decoded key objects (pointer-shared, read-only) so hundreds of
+// tenants don't cost hundreds of keygens — the scheduler still sees them
+// as distinct tenants and never shares hoisting across them.
+type benchTenantKeys struct {
+	rlk     *ckks.RelinearizationKey
+	rtk     *ckks.RotationKeySet
+	ctBytes []byte
+	decr    *ckks.Decryptor
+	enc     *ckks.Encoder
+	z       []complex128
+}
+
+// runBenchServe measures the serving layer's batching win on a rotation-
+// burst workload: every client issues bursts of rotations of one input
+// ciphertext, the shape produced by BSGS linear transforms, so batched
+// dispatch can amortize the hoisted digit decomposition across each burst
+// while serial dispatch pays it per rotation. The same offered load runs
+// once with MaxBatch=1 (serial) and once batched; the gate asserts the
+// batched pass clears the required ops/sec ratio with real batch
+// occupancy, i.e. that request fusion — the paper's operator time-
+// multiplexing, in software — actually buys throughput.
+func runBenchServe(fs *flag.FlagSet, args []string) error {
+	logN := fs.Int("logn", 11, "ring degree log2")
+	workers := fs.Int("workers", 1, "evaluator worker goroutines")
+	tenants := fs.Int("tenants", 128, "simulated concurrent tenants")
+	keysets := fs.Int("keysets", 8, "distinct key materials shared across tenants")
+	bursts := fs.Int("bursts", 4, "rotation bursts per tenant")
+	burst := fs.Int("burst", 4, "same-ciphertext rotations per burst")
+	maxBatch := fs.Int("maxbatch", 16, "batched-phase fusion limit")
+	flush := fs.Duration("flush", time.Millisecond, "batch flush timeout")
+	out := fs.String("o", "BENCH_serve.json", "output path ('-' for stdout)")
+	gate := fs.Bool("gate", false, "fail unless batched beats serial by -minspeedup at -minmeanbatch occupancy")
+	minSpeedup := fs.Float64("minspeedup", 1.2, "required batched/serial ops-per-sec ratio")
+	minMeanBatch := fs.Float64("minmeanbatch", 4.0, "required mean batch occupancy in the batched phase")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     *logN,
+		LogQ:     []int{50, 40, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+		Workers:  *workers,
+	})
+	if err != nil {
+		return err
+	}
+	if *keysets > *tenants {
+		*keysets = *tenants
+	}
+	steps := []int{1, 2, 4, 8}
+
+	keys := make([]*benchTenantKeys, *keysets)
+	for i := range keys {
+		kgen := ckks.NewKeyGenerator(params, int64(4000+i))
+		sk := kgen.GenSecretKey()
+		pk := kgen.GenPublicKey(sk)
+		enc := ckks.NewEncoder(params)
+		encr := ckks.NewEncryptor(params, pk, int64(5000+i))
+		rng := rand.New(rand.NewSource(int64(6000 + i)))
+		z := make([]complex128, params.Slots)
+		for j := range z {
+			z[j] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+		}
+		ctBytes, err := encr.Encrypt(enc.Encode(z, params.MaxLevel(), params.Scale)).MarshalBinary()
+		if err != nil {
+			return err
+		}
+		keys[i] = &benchTenantKeys{
+			rlk:     kgen.GenRelinearizationKey(sk),
+			rtk:     kgen.GenRotationKeys(sk, steps, false),
+			ctBytes: ctBytes,
+			decr:    ckks.NewDecryptor(params, sk),
+			enc:     enc,
+			z:       z,
+		}
+	}
+
+	rep := serveReport{
+		GeneratedBy: "poseidon benchserve",
+		LogN:        *logN,
+		QLimbs:      params.MaxLevel() + 1,
+		Workers:     *workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Tenants:     *tenants,
+		Keysets:     *keysets,
+		Bursts:      *bursts,
+		Burst:       *burst,
+	}
+	sampleReq := server.EncodeEvalRequest(&server.EvalRequest{
+		Tenant: "t", Op: server.OpRotate, Steps: 1, Ct: keys[0].ctBytes,
+	})
+	rep.BytesInPerOp = len(sampleReq)
+
+	phase := func(phaseMaxBatch int) (servePhase, error) {
+		srv, err := server.NewEvalServer(server.Config{
+			Params:       params,
+			MaxBatch:     phaseMaxBatch,
+			FlushTimeout: *flush,
+			QueueDepth:   4 * *tenants,
+			RegistryCap:  *tenants + 1,
+		})
+		if err != nil {
+			return servePhase{}, err
+		}
+		defer srv.Close()
+		names := make([]string, *tenants)
+		for i := range names {
+			names[i] = fmt.Sprintf("bench-%03d", i)
+			if err := srv.Registry().Register(names[i], keys[i%*keysets].rlk, keys[i%*keysets].rtk); err != nil {
+				return servePhase{}, err
+			}
+		}
+
+		totalOps := *tenants * *bursts * *burst
+		latencies := make([]int64, totalOps)
+		errs := make(chan error, *tenants)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for ti := 0; ti < *tenants; ti++ {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				ks := keys[ti%*keysets]
+				base := ti * *bursts * *burst
+				for b := 0; b < *bursts; b++ {
+					var burstWg sync.WaitGroup
+					for k := 0; k < *burst; k++ {
+						burstWg.Add(1)
+						go func(b, k int) {
+							defer burstWg.Done()
+							req := &server.EvalRequest{
+								Tenant: names[ti],
+								Op:     server.OpRotate,
+								Steps:  steps[k%len(steps)],
+								Ct:     ks.ctBytes,
+							}
+							opStart := time.Now()
+							_, _, err := srv.Eval(req)
+							latencies[base+b**burst+k] = time.Since(opStart).Nanoseconds()
+							if err != nil {
+								select {
+								case errs <- fmt.Errorf("%s: %v", names[ti], err):
+								default:
+								}
+							}
+						}(b, k)
+					}
+					burstWg.Wait()
+				}
+			}(ti)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errs:
+			return servePhase{}, err
+		default:
+		}
+
+		// Decrypt-validate one rotation per keyset so the bench numbers
+		// cannot come from wrong answers.
+		for i, ks := range keys {
+			ct, _, err := srv.Eval(&server.EvalRequest{
+				Tenant: names[i], Op: server.OpRotate, Steps: 1, Ct: ks.ctBytes,
+			})
+			if err != nil {
+				return servePhase{}, err
+			}
+			got := ks.enc.Decode(ks.decr.Decrypt(ct))
+			n := len(ks.z)
+			for j := range got {
+				want := ks.z[(j+1)%n]
+				if d := got[j] - want; real(d)*real(d)+imag(d)*imag(d) > 1e-6 {
+					return servePhase{}, fmt.Errorf("keyset %d: rotation validation failed at slot %d", i, j)
+				}
+			}
+		}
+
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		st := srv.Stats()
+		ph := servePhase{
+			MaxBatch:    phaseMaxBatch,
+			Ops:         totalOps,
+			ElapsedSec:  elapsed.Seconds(),
+			OpsPerSec:   float64(totalOps) / elapsed.Seconds(),
+			P50Ns:       latencies[totalOps/2],
+			P99Ns:       latencies[totalOps*99/100],
+			MeanBatch:   st.MeanBatch,
+			BatchedFrac: st.BatchedFrac,
+			Occupancy:   st.Occupancy,
+			HoistGroups: st.HoistGroups,
+			HoistShared: st.HoistShared,
+		}
+		return ph, nil
+	}
+
+	serial, err := phase(1)
+	if err != nil {
+		return fmt.Errorf("serial phase: %w", err)
+	}
+	batched, err := phase(*maxBatch)
+	if err != nil {
+		return fmt.Errorf("batched phase: %w", err)
+	}
+	rep.Serial, rep.Batched = serial, batched
+	rep.Speedup = batched.OpsPerSec / serial.OpsPerSec
+
+	ct := new(ckks.Ciphertext)
+	if err := ct.UnmarshalBinary(keys[0].ctBytes); err == nil {
+		if b, err := ct.MarshalBinary(); err == nil {
+			rep.BytesOutPerOp = len(b)
+		}
+	}
+
+	rep.Gate.Enabled = *gate
+	rep.Gate.MinSpeedup = *minSpeedup
+	rep.Gate.MinMeanBatch = *minMeanBatch
+	rep.Gate.Pass = rep.Speedup >= *minSpeedup && batched.MeanBatch >= *minMeanBatch
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("benchserve: serial %.1f ops/s, batched %.1f ops/s (%.2fx, mean batch %.2f, %d hoists shared)\n",
+		serial.OpsPerSec, batched.OpsPerSec, rep.Speedup, batched.MeanBatch, batched.HoistShared)
+
+	if *gate && !rep.Gate.Pass {
+		return fmt.Errorf("gate: speedup %.3f (need ≥ %.2f) at mean batch %.2f (need ≥ %.2f)",
+			rep.Speedup, *minSpeedup, batched.MeanBatch, *minMeanBatch)
+	}
+	return nil
+}

@@ -22,7 +22,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	}()
 
 	for _, e := range experiments {
-		if e.name == "cpu" || e.name == "benchkernels" {
+		if e.name == "cpu" || e.name == "benchkernels" || e.name == "benchserve" {
 			continue // slow measurement loops; exercised by their own tests/CI steps
 		}
 		e := e
@@ -73,5 +73,33 @@ func TestCPUExperimentSmall(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+	}
+}
+
+// benchserve at a toy scale: the load harness must run end to end and
+// emit a well-formed report; the throughput gate is CI's, at full scale.
+func TestBenchServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving load test is slow")
+	}
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	out := t.TempDir() + "/BENCH_serve.json"
+	fs := flag.NewFlagSet("benchserve", flag.ContinueOnError)
+	for _, e := range experiments {
+		if e.name == "benchserve" {
+			args := []string{"-logn", "8", "-tenants", "8", "-keysets", "2", "-bursts", "2", "-burst", "4", "-o", out}
+			if err := e.run(fs, args); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("report not written: %v", err)
 	}
 }

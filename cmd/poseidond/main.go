@@ -1,0 +1,180 @@
+// Command poseidond serves multi-tenant CKKS evaluation over HTTP — the
+// FHE-as-a-service front end to this repository's evaluator. Tenants
+// upload evaluation keys to /v1/keys, post binary evaluation envelopes to
+// /v1/eval, and scrape scheduler/arena/latency gauges from the telemetry
+// endpoint. Compatible requests are batched through one evaluator pass
+// with hoisted-rotation sharing; admission control sheds load when arena
+// bytes or the request p99 cross their ceilings.
+//
+// Quickstart:
+//
+//	poseidond -demo demo/ &          # writes demo/keys.bin + demo/eval.bin
+//	curl --data-binary @demo/keys.bin http://127.0.0.1:8080/v1/keys
+//	curl --data-binary @demo/eval.bin http://127.0.0.1:8080/v1/eval -o result.bin
+//	curl http://127.0.0.1:8080/v1/health
+//	curl http://127.0.0.1:9090/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"poseidon/internal/ckks"
+	"poseidon/internal/server"
+	"poseidon/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "evaluation API listen address")
+		metricsAddr = flag.String("metrics", "127.0.0.1:9090", "telemetry listen address ('' disables)")
+		logN        = flag.Int("logn", 11, "ring degree log2")
+		workers     = flag.Int("workers", 0, "evaluator worker goroutines (0 = GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", 16, "max requests fused into one batch")
+		flush       = flag.Duration("flush", 2*time.Millisecond, "max wait for a batch to fill")
+		queueDepth  = flag.Int("queue", 256, "dispatch queue depth")
+		registryCap = flag.Int("registry-cap", 64, "resident tenant key sets")
+		maxArenaMB  = flag.Int64("max-arena-mb", 0, "arena-bytes admission ceiling in MiB (0 = off)")
+		maxP99      = flag.Duration("max-p99", 0, "request-p99 admission ceiling (0 = off)")
+		guardSeed   = flag.Int64("guard-seed", 1, "integrity guard seed (0 disables guards)")
+		demoDir     = flag.String("demo", "", "write curl-able demo request files to this directory")
+	)
+	flag.Parse()
+
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     *logN,
+		LogQ:     []int{50, 40, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+		Workers:  *workers,
+	})
+	if err != nil {
+		log.Fatalf("parameters: %v", err)
+	}
+
+	col := telemetry.NewCollector("poseidond")
+	srv, err := server.NewEvalServer(server.Config{
+		Params:          params,
+		MaxBatch:        *maxBatch,
+		FlushTimeout:    *flush,
+		QueueDepth:      *queueDepth,
+		RegistryCap:     *registryCap,
+		MaxArenaBytes:   *maxArenaMB << 20,
+		MaxP99:          *maxP99,
+		GuardSeed:       *guardSeed,
+		Collector:       col,
+		DegradeCooldown: 2 * time.Second,
+	})
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+
+	if *demoDir != "" {
+		if err := writeDemo(*demoDir, params); err != nil {
+			log.Fatalf("demo: %v", err)
+		}
+	}
+
+	var ms *telemetry.Server
+	if *metricsAddr != "" {
+		ms, err = telemetry.StartServer(*metricsAddr, col)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		log.Printf("telemetry on http://%s/metrics", ms.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	api := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := api.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+	log.Printf("poseidond serving LogN=%d on http://%s (batch ≤%d, flush %v, registry cap %d)",
+		*logN, ln.Addr(), *maxBatch, *flush, *registryCap)
+
+	// Graceful shutdown: stop accepting, drain in-flight API requests,
+	// drain the dispatch queue, then drain metrics scrapes.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := api.Shutdown(ctx); err != nil {
+		log.Printf("api shutdown: %v", err)
+	}
+	srv.Close()
+	if ms != nil {
+		if err := ms.Shutdown(ctx); err != nil {
+			log.Printf("metrics shutdown: %v", err)
+		}
+	}
+	log.Print("drained")
+}
+
+// writeDemo generates a throwaway tenant ("demo") and writes ready-to-curl
+// binary envelopes: keys.bin registers the tenant's evaluation keys,
+// eval.bin rotates an encrypted 1..8 ramp by one slot. The secret key
+// stays in demo/sk.bin so a later session can decrypt the response.
+func writeDemo(dir string, params *ckks.Parameters) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	kgen := ckks.NewKeyGenerator(params, time.Now().UnixNano())
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	rlk := kgen.GenRelinearizationKey(sk)
+	rtk := kgen.GenRotationKeys(sk, []int{1, 2, 4}, true)
+
+	rlkBytes, err := rlk.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	rtkBytes, err := rtk.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	keys := server.EncodeKeyUpload(&server.KeyUpload{Tenant: "demo", Relin: rlkBytes, Rotations: rtkBytes})
+	if err := os.WriteFile(filepath.Join(dir, "keys.bin"), keys, 0o644); err != nil {
+		return err
+	}
+
+	enc := ckks.NewEncoder(params)
+	encr := ckks.NewEncryptor(params, pk, time.Now().UnixNano()+1)
+	z := make([]complex128, params.Slots)
+	for i := range z {
+		z[i] = complex(float64(i%8+1), 0)
+	}
+	ctBytes, err := encr.Encrypt(enc.Encode(z, params.MaxLevel(), params.Scale)).MarshalBinary()
+	if err != nil {
+		return err
+	}
+	eval := server.EncodeEvalRequest(&server.EvalRequest{Tenant: "demo", Op: server.OpRotate, Steps: 1, Ct: ctBytes})
+	if err := os.WriteFile(filepath.Join(dir, "eval.bin"), eval, 0o644); err != nil {
+		return err
+	}
+	skBytes, err := sk.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sk.bin"), skBytes, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("demo files in %s: curl --data-binary @%s/keys.bin http://<addr>/v1/keys, then @%s/eval.bin to /v1/eval\n",
+		dir, dir, dir)
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"poseidon/internal/ckks"
+	"poseidon/internal/server"
+)
+
+// The demo files must be valid envelopes a curl user can post verbatim:
+// keys.bin decodes as a key upload carrying both keys, eval.bin as a
+// rotation request whose ciphertext deserializes at the demo parameters.
+func TestWriteDemoProducesValidEnvelopes(t *testing.T) {
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     8,
+		LogQ:     []int{50, 40, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+		Workers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := writeDemo(dir, params); err != nil {
+		t.Fatal(err)
+	}
+
+	keysBytes := readFile(t, dir+"/keys.bin")
+	u, err := server.DecodeKeyUpload(keysBytes)
+	if err != nil {
+		t.Fatalf("keys.bin: %v", err)
+	}
+	if u.Tenant != "demo" || len(u.Relin) == 0 || len(u.Rotations) == 0 {
+		t.Fatalf("keys.bin incomplete: tenant %q relin %d rot %d", u.Tenant, len(u.Relin), len(u.Rotations))
+	}
+	rtk := new(ckks.RotationKeySet)
+	if err := rtk.UnmarshalBinary(u.Rotations); err != nil {
+		t.Fatalf("rotation keys: %v", err)
+	}
+
+	evalBytes := readFile(t, dir+"/eval.bin")
+	req, err := server.DecodeEvalRequest(evalBytes)
+	if err != nil {
+		t.Fatalf("eval.bin: %v", err)
+	}
+	if req.Tenant != "demo" || req.Op != server.OpRotate || req.Steps != 1 {
+		t.Fatalf("eval.bin wrong request: %+v", req)
+	}
+	ct := new(ckks.Ciphertext)
+	if err := ct.UnmarshalBinary(req.Ct); err != nil {
+		t.Fatalf("demo ciphertext: %v", err)
+	}
+
+	sk := new(ckks.SecretKey)
+	if err := sk.UnmarshalBinary(readFile(t, dir+"/sk.bin")); err != nil {
+		t.Fatalf("sk.bin: %v", err)
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

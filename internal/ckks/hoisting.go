@@ -111,30 +111,116 @@ func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) (hdOut *hoistedDecompositi
 	return hd
 }
 
+// Hoisted is a reusable handle over one ciphertext's shared keyswitch
+// decomposition — the batch-friendly entry point to rotation hoisting.
+// Where RotateHoisted fixes the step set up front, a Hoisted handle lets a
+// caller (the serving layer's batch scheduler, a BSGS loop discovering its
+// steps incrementally) pay the decomposition once and request rotations one
+// at a time, possibly interleaved with other work. The handle borrows digit
+// matrices from the parameter set's free lists: call Release when done, or
+// the arena reports the bytes as permanently in use. A Hoisted is bound to
+// the evaluator that created it and is not safe for concurrent use.
+type Hoisted struct {
+	ev *Evaluator
+	ct *Ciphertext
+	hd *hoistedDecomposition
+}
+
+// Hoist performs the shared decomposition phase for ct and returns the
+// handle. Panics on malformed input; TryHoist is the error-returning form.
+func (ev *Evaluator) Hoist(ct *Ciphertext) *Hoisted {
+	if ev.rtks == nil {
+		panic("ckks: rotation requires rotation keys")
+	}
+	return &Hoisted{ev: ev, ct: ct, hd: ev.decomposeHoisted(ct)}
+}
+
+// TryHoist is Hoist with input validation, guard verification of ct, and
+// panic recovery — the serving layer's entry point, where ciphertexts
+// arrive from the wire.
+func (ev *Evaluator) TryHoist(ct *Ciphertext) (h *Hoisted, err error) {
+	const op = "Rotation"
+	defer recoverOp(op, lvlOf(ct), &err)
+	if err := ev.validIn(op, ct); err != nil {
+		return nil, err
+	}
+	if ev.rtks == nil {
+		return nil, opErr(op, ct.Level, ErrKeyMissing, "rotation keys not loaded")
+	}
+	if err := ev.guardInputs(op, ct); err != nil {
+		return nil, err
+	}
+	return &Hoisted{ev: ev, ct: ct, hd: ev.decomposeHoisted(ct)}, nil
+}
+
+// Level reports the level the decomposition was taken at.
+func (h *Hoisted) Level() int { return h.hd.level }
+
+// Rotate applies one rotation through the shared decomposition. Panics on
+// a missing key or a released handle; TryRotate is the error-returning
+// form.
+func (h *Hoisted) Rotate(steps int) *Ciphertext {
+	if h.hd == nil {
+		panic("ckks: Rotate on a released Hoisted handle")
+	}
+	ev := h.ev
+	g := galoisForRotation(steps, ev.params.N)
+	if g == 1 {
+		return h.ct.CopyNew()
+	}
+	key, ok := ev.rtks.Keys[g]
+	if !ok {
+		panic(fmt.Sprintf("ckks: no rotation key for step %d (g=%d)", steps, g))
+	}
+	return ev.rotateHoistedOne(h.hd, h.ct, g, key)
+}
+
+// TryRotate applies one rotation through the shared decomposition with the
+// Try* error contract: a missing key is ErrKeyMissing, a released handle
+// is ErrInvalidInput, internal panics surface as typed errors, and the
+// result is sealed when integrity guards are on.
+func (h *Hoisted) TryRotate(steps int) (res *Ciphertext, err error) {
+	const op = "Rotation"
+	ev := h.ev
+	level := lvlOf(h.ct)
+	defer ev.observeTryErr(op, level, &err)
+	defer recoverOp(op, level, &err)
+	if h.hd == nil {
+		return nil, opErr(op, level, ErrInvalidInput, "hoisted handle already released")
+	}
+	g := galoisForRotation(steps, ev.params.N)
+	if g == 1 {
+		out := h.ct.CopyNew()
+		ev.guardSeal(out)
+		return out, nil
+	}
+	key, ok := ev.rtks.Keys[g]
+	if !ok {
+		return nil, opErr(op, level, ErrKeyMissing, "no rotation key for step %d (Galois element %d)", steps, g)
+	}
+	out := ev.rotateHoistedOne(h.hd, h.ct, g, key)
+	ev.guardSeal(out)
+	return out, nil
+}
+
+// Release returns the borrowed digit matrices to the parameter free lists.
+// Safe to call more than once; the handle rejects rotations afterwards.
+func (h *Hoisted) Release() {
+	if h.hd != nil {
+		h.hd.release(h.ev.params)
+		h.hd = nil
+	}
+}
+
 // RotateHoisted rotates ct by every step in steps, sharing one digit
 // decomposition across all of them. Returns a map from step to result.
 // Requires rotation keys for every step.
 func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphertext {
-	if ev.rtks == nil {
-		panic("ckks: rotation requires rotation keys")
-	}
-	params := ev.params
-
-	hd := ev.decomposeHoisted(ct)
-	defer hd.release(params)
+	h := ev.Hoist(ct)
+	defer h.Release()
 	out := make(map[int]*Ciphertext, len(steps))
-
 	for _, step := range steps {
-		g := galoisForRotation(step, params.N)
-		if g == 1 {
-			out[step] = ct.CopyNew()
-			continue
-		}
-		key, ok := ev.rtks.Keys[g]
-		if !ok {
-			panic(fmt.Sprintf("ckks: no rotation key for step %d (g=%d)", step, g))
-		}
-		out[step] = ev.rotateHoistedOne(hd, ct, g, key)
+		out[step] = h.Rotate(step)
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package ckks
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -110,4 +111,81 @@ func TestRotateHoistedMissingKeyPanics(t *testing.T) {
 		}
 	}()
 	ev.RotateHoisted(ct, []int{7})
+}
+
+// The incremental Hoisted handle must agree with the plain rotation path
+// and with RotateHoisted, one step at a time.
+func TestHoistedHandleMatchesRotate(t *testing.T) {
+	tc := newTestContext(t)
+	steps := []int{1, 3, -2, 0}
+	rtks := tc.kgen.GenRotationKeys(tc.sk, steps, false)
+	ev := NewEvaluator(tc.params, tc.rlk, rtks)
+	rng := rand.New(rand.NewSource(33))
+	z := randomComplex(rng, tc.params.Slots, 1.0)
+	ct := tc.encryptVec(z)
+
+	h := ev.Hoist(ct)
+	defer h.Release()
+	if h.Level() != ct.Level {
+		t.Fatalf("Level() = %d, want %d", h.Level(), ct.Level)
+	}
+	n := tc.params.Slots
+	for _, s := range steps {
+		got := tc.decryptVec(h.Rotate(s))
+		want := make([]complex128, n)
+		for i := range want {
+			want[i] = z[((i+s)%n+n)%n]
+		}
+		assertClose(t, got, want, 1e-4, "hoisted handle rotation")
+	}
+}
+
+// TryHoist/TryRotate carry the Try* error contract: missing keys are
+// ErrKeyMissing, a released handle is ErrInvalidInput, and valid inputs
+// round-trip. Releasing twice is safe, and releasing must return every
+// borrowed buffer to the arena and free lists.
+func TestHoistedHandleTryAndRelease(t *testing.T) {
+	tc := newTestContext(t)
+	rtks := tc.kgen.GenRotationKeys(tc.sk, []int{1}, false)
+	ev := NewEvaluator(tc.params, tc.rlk, rtks)
+	rng := rand.New(rand.NewSource(34))
+	z := randomComplex(rng, tc.params.Slots, 1.0)
+	ct := tc.encryptVec(z)
+
+	if _, err := ev.TryHoist(nil); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("TryHoist(nil) = %v, want ErrInvalidInput", err)
+	}
+	evNoKeys := NewEvaluator(tc.params, tc.rlk, nil)
+	if _, err := evNoKeys.TryHoist(ct); !errors.Is(err, ErrKeyMissing) {
+		t.Fatalf("TryHoist without keys = %v, want ErrKeyMissing", err)
+	}
+
+	base := tc.params.ArenaStats().BytesInUse
+
+	h, err := ev.TryHoist(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.TryRotate(7); !errors.Is(err, ErrKeyMissing) {
+		t.Fatalf("TryRotate missing key = %v, want ErrKeyMissing", err)
+	}
+	out, err := h.TryRotate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tc.params.Slots
+	want := make([]complex128, n)
+	for i := range want {
+		want[i] = z[(i+1)%n]
+	}
+	assertClose(t, tc.decryptVec(out), want, 1e-4, "TryRotate")
+
+	h.Release()
+	h.Release() // idempotent
+	if _, err := h.TryRotate(1); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("TryRotate after Release = %v, want ErrInvalidInput", err)
+	}
+	if inUse := tc.params.ArenaStats().BytesInUse; inUse != base {
+		t.Fatalf("arena bytes in use %d != baseline %d after Release", inUse, base)
+	}
 }

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"poseidon/internal/ckks"
+)
+
+// Client is a thin typed client over the poseidond HTTP API, used by the
+// soak tests and the benchserve load harness. Safe for concurrent use
+// (http.Client is).
+type Client struct {
+	Base string // e.g. "http://127.0.0.1:8080"
+	HTTP *http.Client
+}
+
+// EvalMeta reports transfer- and scheduling-side facts about one call.
+type EvalMeta struct {
+	Batch    int // occupancy of the batch the request rode in
+	BytesIn  int // request body size
+	BytesOut int // response body size
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// UploadKeys registers (or rotates) a tenant's key material. Either key
+// may be nil.
+func (c *Client) UploadKeys(tenant string, rlk *ckks.RelinearizationKey, rtk *ckks.RotationKeySet) error {
+	u := &KeyUpload{Tenant: tenant}
+	if rlk != nil {
+		b, err := rlk.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		u.Relin = b
+	}
+	if rtk != nil {
+		b, err := rtk.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		u.Rotations = b
+	}
+	resp, err := c.hc().Post(c.Base+"/v1/keys", "application/octet-stream", bytes.NewReader(EncodeKeyUpload(u)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return statusErr(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Eval sends one evaluation request and decodes the result ciphertext.
+func (c *Client) Eval(req *EvalRequest) (*ckks.Ciphertext, EvalMeta, error) {
+	body := EncodeEvalRequest(req)
+	meta := EvalMeta{BytesIn: len(body)}
+	resp, err := c.hc().Post(c.Base+"/v1/eval", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, meta, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, meta, statusErr(resp)
+	}
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, meta, err
+	}
+	meta.BytesOut = len(out)
+	if b := resp.Header.Get("X-Poseidon-Batch"); b != "" {
+		meta.Batch, _ = strconv.Atoi(b)
+	}
+	ct := new(ckks.Ciphertext)
+	if err := ct.UnmarshalBinary(out); err != nil {
+		return nil, meta, err
+	}
+	return ct, meta, nil
+}
+
+// Stats fetches /v1/health raw (callers json.Unmarshal into server.Stats).
+func (c *Client) Stats() ([]byte, error) {
+	resp, err := c.hc().Get(c.Base + "/v1/health")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusErr(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// statusErr maps an HTTP failure back onto the server's sentinel errors
+// so callers keep one errors.Is dispatch for local and remote use.
+func statusErr(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	text := bytes.TrimSpace(msg)
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrUnknownTenant, text)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", ErrOverloaded, text)
+	case http.StatusBadRequest:
+		return fmt.Errorf("%w: %s", ErrBadRequest, text)
+	default:
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, text)
+	}
+}

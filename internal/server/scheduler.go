@@ -1,0 +1,378 @@
+package server
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"poseidon/internal/ckks"
+)
+
+// The scheduler is the software analogue of the paper's operator
+// time-multiplexing: one execution resource (a single dispatcher
+// goroutine driving the evaluator) serves many tenant request streams by
+// interleaving them in batches. A batch holds requests at the same level
+// (same limb count → the same arena size classes stay hot and one
+// evaluator pass covers the batch); rotations of the same input
+// ciphertext within a batch share one hoisted digit decomposition, the
+// dominant cost of a keyswitch. Batch formation waits at most
+// FlushTimeout for a batch to fill, flushes early when full, and splits
+// on a level mismatch — the mismatched request opens the next batch, it
+// is never dropped.
+
+// dispatch modes — the degradation ladder.
+const (
+	modeBatched int32 = iota // normal: batches up to MaxBatch
+	modeSerial               // after a guard trip: one request per batch
+	modeShed                 // repeated trips: admission rejects new work
+)
+
+func modeName(m int32) string {
+	switch m {
+	case modeSerial:
+		return "serial"
+	case modeShed:
+		return "shed"
+	}
+	return "batched"
+}
+
+// job is one admitted evaluation request queued for dispatch.
+type job struct {
+	entry *tenantEntry
+	op    Op
+	steps int
+	width int
+	ct    *ckks.Ciphertext
+	ct2   *ckks.Ciphertext
+
+	// digest identifies the raw input ciphertext bytes of a rotation so
+	// the batch executor can recognize same-input rotations and run them
+	// through one hoisted decomposition. Tenant-scoped: requests from
+	// different tenants never share (their keys differ).
+	digest    [sha256.Size]byte
+	hasDigest bool
+
+	done chan jobResult // buffered(1): the executor never blocks delivering
+}
+
+func (j *job) level() int { return j.ct.Level }
+
+type jobResult struct {
+	ct    *ckks.Ciphertext
+	batch int // occupancy of the batch the job rode in
+	err   error
+}
+
+type scheduler struct {
+	cfg    Config
+	params *ckks.Parameters
+
+	queue  chan *job
+	qmu    sync.RWMutex
+	closed bool
+	done   chan struct{}
+
+	mode      atomic.Int32
+	coolUntil atomic.Int64 // unix nanos; mode decays one rung per elapsed cooldown
+
+	batches     atomic.Uint64
+	occupancy   []atomic.Uint64 // index = batch size, [0] unused
+	hoistGroups atomic.Uint64   // batches of ≥2 rotations sharing a decomposition
+	hoistShared atomic.Uint64   // decompositions saved by sharing
+	guardTrips  atomic.Uint64
+
+	// testExec, when set (tests only), replaces the evaluator call for a
+	// job: a non-nil return is delivered as the op's failure. It lets the
+	// degradation tests inject a deterministic mid-batch integrity fault
+	// without arming the global fault injector.
+	testExec func(*job) error
+}
+
+func newScheduler(cfg Config, params *ckks.Parameters) *scheduler {
+	s := &scheduler{
+		cfg:       cfg,
+		params:    params,
+		queue:     make(chan *job, cfg.QueueDepth),
+		done:      make(chan struct{}),
+		occupancy: make([]atomic.Uint64, cfg.MaxBatch+1),
+	}
+	go s.run()
+	return s
+}
+
+// enqueue admits a job to the dispatch queue without blocking: a full
+// queue is backpressure, reported as ErrOverloaded.
+func (s *scheduler) enqueue(j *job) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return errOverloadedf("shutting down")
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return errOverloadedf("dispatch queue full (%d)", s.cfg.QueueDepth)
+	}
+}
+
+// stop closes the queue and waits for the dispatcher to drain every
+// admitted job — graceful: queued work completes, new work is refused.
+func (s *scheduler) stop() {
+	s.qmu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+	<-s.done
+}
+
+// currentMode returns the dispatch mode after applying cooldown decay:
+// each elapsed DegradeCooldown since the last escalation steps the ladder
+// down one rung.
+func (s *scheduler) currentMode() int32 {
+	now := time.Now().UnixNano()
+	for {
+		m := s.mode.Load()
+		if m == modeBatched {
+			return m
+		}
+		cu := s.coolUntil.Load()
+		if now < cu {
+			return m
+		}
+		if s.mode.CompareAndSwap(m, m-1) {
+			s.coolUntil.CompareAndSwap(cu, cu+s.cfg.DegradeCooldown.Nanoseconds())
+		}
+	}
+}
+
+// tripGuard escalates the ladder one rung and restarts the cooldown.
+func (s *scheduler) tripGuard() {
+	s.guardTrips.Add(1)
+	for {
+		m := s.mode.Load()
+		next := m + 1
+		if next > modeShed {
+			next = modeShed
+		}
+		if s.mode.CompareAndSwap(m, next) {
+			s.coolUntil.Store(time.Now().Add(s.cfg.DegradeCooldown).UnixNano())
+			return
+		}
+	}
+}
+
+func (s *scheduler) maxBatchNow() int {
+	if s.currentMode() != modeBatched {
+		return 1 // degraded: serial dispatch, queued work still drains
+	}
+	return s.cfg.MaxBatch
+}
+
+// run is the dispatcher: one goroutine, one batch at a time — the single
+// time-multiplexed datapath.
+func (s *scheduler) run() {
+	defer close(s.done)
+	var pending *job
+	for {
+		first := pending
+		pending = nil
+		if first == nil {
+			j, ok := <-s.queue
+			if !ok {
+				return
+			}
+			first = j
+		}
+		batch := s.collect(first, &pending)
+		s.execBatch(batch)
+	}
+}
+
+// collect forms one batch: same level throughout, at most maxBatchNow
+// jobs, waiting at most FlushTimeout for laggards. A level-mismatched job
+// flushes the batch and is carried into the next one via pending.
+func (s *scheduler) collect(first *job, pending **job) []*job {
+	batch := []*job{first}
+	level := first.level()
+	max := s.maxBatchNow()
+	if max <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.FlushTimeout)
+	defer timer.Stop()
+	for len(batch) < max {
+		select {
+		case j, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			if j.level() != level {
+				*pending = j // level mismatch splits the batch; the job opens the next one
+				return batch
+			}
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch // timeout flush of a partial batch
+		}
+	}
+	return batch
+}
+
+// groupKey identifies a hoist-sharing group within a batch: same tenant
+// entry, same input ciphertext bytes.
+type groupKey struct {
+	entry  *tenantEntry
+	digest [sha256.Size]byte
+}
+
+// execBatch runs every job of a batch, amortizing hoisted-rotation
+// decompositions across same-input rotations. An integrity failure
+// degrades the dispatch mode but never drops the rest of the batch or the
+// queue: remaining jobs still execute (serially, on the next batches).
+func (s *scheduler) execBatch(batch []*job) {
+	s.batches.Add(1)
+	occ := len(batch)
+	if occ >= len(s.occupancy) {
+		occ = len(s.occupancy) - 1
+	}
+	s.occupancy[occ].Add(1)
+
+	// Pass 1: find hoist-sharing groups (≥2 rotations of identical input
+	// bytes from the same tenant).
+	var groups map[groupKey][]*job
+	for _, j := range batch {
+		if !j.hasDigest {
+			continue
+		}
+		if groups == nil {
+			groups = map[groupKey][]*job{}
+		}
+		k := groupKey{entry: j.entry, digest: j.digest}
+		groups[k] = append(groups[k], j)
+	}
+
+	// Pass 2: execute in arrival order; a job in a shared group executes
+	// the whole group at its first member.
+	ran := map[*job]bool{}
+	for _, j := range batch {
+		if ran[j] {
+			continue
+		}
+		if j.hasDigest {
+			k := groupKey{entry: j.entry, digest: j.digest}
+			if g := groups[k]; len(g) >= 2 {
+				s.execHoistGroup(g, len(batch))
+				for _, gj := range g {
+					ran[gj] = true
+				}
+				continue
+			}
+		}
+		s.execOne(j, len(batch))
+		ran[j] = true
+	}
+}
+
+// execHoistGroup runs ≥2 same-input rotations through one shared digit
+// decomposition. Any failure of the shared phase falls back to individual
+// rotations so a group member never sees a worse outcome than serial
+// dispatch.
+func (s *scheduler) execHoistGroup(group []*job, batchSize int) {
+	ev := group[0].entry.ev
+	if s.testExec != nil {
+		for _, j := range group {
+			s.execOne(j, batchSize)
+		}
+		return
+	}
+	h, err := ev.TryHoist(group[0].ct)
+	if err != nil {
+		s.noteErr(err)
+		for _, j := range group {
+			s.execOne(j, batchSize)
+		}
+		return
+	}
+	defer h.Release()
+	s.hoistGroups.Add(1)
+	s.hoistShared.Add(uint64(len(group) - 1))
+	for _, j := range group {
+		res, err := h.TryRotate(j.steps)
+		if err != nil {
+			s.noteErr(err)
+		}
+		j.done <- jobResult{ct: res, batch: batchSize, err: err}
+	}
+}
+
+// execOne runs a single job through its tenant's evaluator.
+func (s *scheduler) execOne(j *job, batchSize int) {
+	var res *ckks.Ciphertext
+	var err error
+	if s.testExec != nil {
+		err = s.testExec(j)
+	}
+	if err == nil {
+		res, err = s.eval(j)
+	}
+	if err != nil {
+		s.noteErr(err)
+		res = nil
+	}
+	j.done <- jobResult{ct: res, batch: batchSize, err: err}
+}
+
+func (s *scheduler) eval(j *job) (*ckks.Ciphertext, error) {
+	ev := j.entry.ev
+	switch j.op {
+	case OpAdd:
+		return ev.TryAdd(j.ct, j.ct2)
+	case OpSub:
+		return ev.TrySub(j.ct, j.ct2)
+	case OpMulRelin:
+		return ev.TryMulRelin(j.ct, j.ct2)
+	case OpRescale:
+		return ev.TryRescale(j.ct)
+	case OpRotate:
+		return ev.TryRotate(j.ct, j.steps)
+	case OpConjugate:
+		return ev.TryConjugate(j.ct)
+	case OpNegate:
+		out := ckks.NewCiphertext(s.params, j.ct.Level)
+		return ev.TryNegInto(out, j.ct)
+	case OpInnerSum:
+		acc := j.ct
+		for st := 1; st < j.width; st <<= 1 {
+			rot, err := ev.TryRotate(acc, st)
+			if err != nil {
+				return nil, err
+			}
+			sum, err := ev.TryAdd(acc, rot)
+			if err != nil {
+				return nil, err
+			}
+			acc = sum
+		}
+		return acc, nil
+	}
+	return nil, badf("unexecutable opcode %d", uint64(j.op))
+}
+
+// noteErr inspects an op failure: integrity faults drive the degradation
+// ladder.
+func (s *scheduler) noteErr(err error) {
+	if errors.Is(err, ckks.ErrIntegrity) {
+		s.tripGuard()
+	}
+}
+
+func errOverloadedf(format string, args ...any) error {
+	return fmt.Errorf("server: %w: "+format, append([]any{ErrOverloaded}, args...)...)
+}

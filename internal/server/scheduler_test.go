@@ -1,0 +1,300 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"poseidon/internal/ckks"
+)
+
+// bareScheduler builds a scheduler without starting its dispatcher so
+// batch formation can be driven deterministically from the test.
+func bareScheduler(cfg Config) *scheduler {
+	cfg = cfg.withDefaults()
+	return &scheduler{
+		cfg:       cfg,
+		queue:     make(chan *job, cfg.QueueDepth),
+		done:      make(chan struct{}),
+		occupancy: make([]atomic.Uint64, cfg.MaxBatch+1),
+	}
+}
+
+// levelJob makes a dispatchable job whose only meaningful field is the
+// ciphertext level batch formation keys on.
+func levelJob(level int) *job {
+	return &job{ct: &ckks.Ciphertext{Level: level}, done: make(chan jobResult, 1)}
+}
+
+// Batch formation edge cases, table-driven: the level-mismatch split, the
+// max-batch cap, and the timeout flush of a partial batch.
+func TestCollectEdgeCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		maxBatch    int
+		flush       time.Duration
+		levels      []int // enqueued in order; collect starts from the first
+		wantBatch   int
+		wantPending bool
+		wantQueued  int // jobs left in the queue after one collect
+		wantWait    time.Duration
+	}{
+		{
+			name:     "level mismatch splits the batch",
+			maxBatch: 8, flush: time.Second,
+			levels:    []int{3, 3, 2, 2},
+			wantBatch: 2, wantPending: true, wantQueued: 1,
+		},
+		{
+			name:     "mismatch on second job yields a singleton",
+			maxBatch: 8, flush: time.Second,
+			levels:    []int{3, 1},
+			wantBatch: 1, wantPending: true, wantQueued: 0,
+		},
+		{
+			name:     "max batch size caps collection",
+			maxBatch: 4, flush: time.Second,
+			levels:    []int{2, 2, 2, 2, 2, 2},
+			wantBatch: 4, wantQueued: 2,
+		},
+		{
+			name:     "timeout flushes a partial batch",
+			maxBatch: 8, flush: 40 * time.Millisecond,
+			levels:    []int{2, 2},
+			wantBatch: 2, wantWait: 30 * time.Millisecond,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := bareScheduler(Config{MaxBatch: tc.maxBatch, FlushTimeout: tc.flush, QueueDepth: 64})
+			for _, lvl := range tc.levels {
+				if err := s.enqueue(levelJob(lvl)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			first := <-s.queue
+			var pending *job
+			start := time.Now()
+			batch := s.collect(first, &pending)
+			elapsed := time.Since(start)
+			if len(batch) != tc.wantBatch {
+				t.Fatalf("batch size = %d, want %d", len(batch), tc.wantBatch)
+			}
+			for _, j := range batch {
+				if j.level() != batch[0].level() {
+					t.Fatal("mixed levels within one batch")
+				}
+			}
+			if (pending != nil) != tc.wantPending {
+				t.Fatalf("pending = %v, want pending %v", pending, tc.wantPending)
+			}
+			if pending != nil && pending.level() == batch[0].level() {
+				t.Fatal("pending job has the batch's level — split for no reason")
+			}
+			if len(s.queue) != tc.wantQueued {
+				t.Fatalf("queued = %d, want %d", len(s.queue), tc.wantQueued)
+			}
+			if elapsed < tc.wantWait {
+				t.Fatalf("collect returned after %v, want at least %v (timeout flush)", elapsed, tc.wantWait)
+			}
+		})
+	}
+}
+
+func TestCollectSerialModeSingleton(t *testing.T) {
+	s := bareScheduler(Config{MaxBatch: 8, FlushTimeout: time.Second, QueueDepth: 8, DegradeCooldown: time.Minute})
+	s.tripGuard() // batched → serial
+	for i := 0; i < 3; i++ {
+		s.enqueue(levelJob(2))
+	}
+	var pending *job
+	start := time.Now()
+	batch := s.collect(<-s.queue, &pending)
+	if len(batch) != 1 {
+		t.Fatalf("serial-mode batch size = %d, want 1", len(batch))
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("serial-mode collect waited on the flush timer")
+	}
+}
+
+func TestEnqueueBackpressure(t *testing.T) {
+	s := bareScheduler(Config{QueueDepth: 2})
+	for i := 0; i < 2; i++ {
+		if err := s.enqueue(levelJob(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.enqueue(levelJob(1)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue: %v, want ErrOverloaded", err)
+	}
+	s.qmu.Lock()
+	s.closed = true
+	s.qmu.Unlock()
+	if err := s.enqueue(levelJob(1)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("closed queue: %v, want ErrOverloaded", err)
+	}
+}
+
+// The degradation ladder: guard trips escalate batched → serial → shed and
+// saturate; each elapsed cooldown decays one rung.
+func TestModeLadderEscalationAndDecay(t *testing.T) {
+	s := bareScheduler(Config{DegradeCooldown: 40 * time.Millisecond})
+	if m := s.currentMode(); m != modeBatched {
+		t.Fatalf("initial mode %s", modeName(m))
+	}
+	s.tripGuard()
+	if m := s.currentMode(); m != modeSerial {
+		t.Fatalf("after one trip: %s, want serial", modeName(m))
+	}
+	if s.maxBatchNow() != 1 {
+		t.Fatal("serial mode must dispatch singletons")
+	}
+	s.tripGuard()
+	if m := s.currentMode(); m != modeShed {
+		t.Fatalf("after two trips: %s, want shed", modeName(m))
+	}
+	s.tripGuard() // saturates
+	if m := s.currentMode(); m != modeShed {
+		t.Fatalf("ladder overflowed: %s", modeName(m))
+	}
+	time.Sleep(55 * time.Millisecond)
+	if m := s.currentMode(); m != modeSerial {
+		t.Fatalf("after one cooldown: %s, want serial", modeName(m))
+	}
+	time.Sleep(55 * time.Millisecond)
+	if m := s.currentMode(); m != modeBatched {
+		t.Fatalf("after two cooldowns: %s, want batched", modeName(m))
+	}
+	if s.guardTrips.Load() != 3 {
+		t.Fatalf("guardTrips = %d, want 3", s.guardTrips.Load())
+	}
+}
+
+// A guard trip mid-batch degrades the dispatch mode but drops nothing:
+// every job of the tripping batch and every job queued behind it still
+// gets a response, with post-trip batches dispatched serially.
+func TestGuardTripMidBatchDegradesWithoutDropping(t *testing.T) {
+	s := bareScheduler(Config{MaxBatch: 8, FlushTimeout: time.Second, QueueDepth: 16, DegradeCooldown: time.Minute})
+	var poisoned *job
+	s.testExec = func(j *job) error {
+		if j == poisoned {
+			return fmt.Errorf("%w: injected residue mismatch", ckks.ErrIntegrity)
+		}
+		return fmt.Errorf("benign: not evaluated in this test")
+	}
+
+	jobs := make([]*job, 6)
+	for i := range jobs {
+		jobs[i] = levelJob(2)
+		if err := s.enqueue(jobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	poisoned = jobs[2]
+
+	var pending *job
+	batch := s.collect(<-s.queue, &pending)
+	if len(batch) != 6 {
+		t.Fatalf("batch size = %d, want 6", len(batch))
+	}
+	s.execBatch(batch)
+
+	for i, j := range jobs {
+		select {
+		case res := <-j.done:
+			if j == poisoned {
+				if !errors.Is(res.err, ckks.ErrIntegrity) {
+					t.Fatalf("poisoned job error = %v", res.err)
+				}
+			} else if res.err == nil {
+				t.Fatalf("job %d: testExec error swallowed", i)
+			}
+		default:
+			t.Fatalf("job %d dropped: no response delivered", i)
+		}
+	}
+	if m := s.currentMode(); m != modeSerial {
+		t.Fatalf("mode after mid-batch trip = %s, want serial", modeName(m))
+	}
+
+	// Requests queued after the trip drain serially, none dropped.
+	late := []*job{levelJob(2), levelJob(2)}
+	for _, j := range late {
+		if err := s.enqueue(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for len(s.queue) > 0 {
+		b := s.collect(<-s.queue, &pending)
+		if len(b) != 1 {
+			t.Fatalf("post-trip batch size = %d, want 1 (serial)", len(b))
+		}
+		s.execBatch(b)
+	}
+	for i, j := range late {
+		select {
+		case <-j.done:
+		default:
+			t.Fatalf("post-trip job %d dropped", i)
+		}
+	}
+	if got := s.occupancy[1].Load(); got < 2 {
+		t.Fatalf("occupancy[1] = %d, want ≥ 2 serial batches", got)
+	}
+}
+
+// Same-input rotations inside one batch must share a single hoisted
+// decomposition, and the shared path must agree with plain rotation.
+func TestHoistSharingAcrossBatch(t *testing.T) {
+	params := newServeParams(t, 1)
+	srv, err := NewEvalServer(Config{
+		Params:       params,
+		MaxBatch:     8,
+		FlushTimeout: 200 * time.Millisecond,
+		QueueDepth:   32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tt := newTestTenant(t, params, "alice", 100, []int{1, 2}, false)
+	tt.upload(t, srv)
+
+	z := randomVec(rand.New(rand.NewSource(101)), params.Slots)
+	ctBytes := tt.encryptBytes(t, z)
+
+	steps := []int{1, 1, 2, 2}
+	results := make([]*ckks.Ciphertext, len(steps))
+	var wg sync.WaitGroup
+	for i, st := range steps {
+		wg.Add(1)
+		go func(i, st int) {
+			defer wg.Done()
+			ct, _, err := srv.Eval(&EvalRequest{Tenant: "alice", Op: OpRotate, Steps: st, Ct: ctBytes})
+			if err != nil {
+				t.Errorf("rotate %d: %v", st, err)
+				return
+			}
+			results[i] = ct
+		}(i, st)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, st := range steps {
+		assertVecClose(t, tt.decrypt(results[i]), expected(OpRotate, z, nil, st, 0), 1e-4,
+			fmt.Sprintf("shared-hoist rotate %d", st))
+	}
+	stats := srv.Stats()
+	if stats.HoistGroups < 1 || stats.HoistShared < 1 {
+		t.Logf("occupancy: %v", stats.Occupancy)
+		t.Fatalf("no hoist sharing recorded: groups=%d shared=%d (timing may have split the batch)",
+			stats.HoistGroups, stats.HoistShared)
+	}
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/ckks"
+)
+
+// newServeParams builds the small parameter set the serving tests share:
+// LogN 8 keeps keygen and per-op cost low so the soak test can push
+// thousands of requests under -race.
+func newServeParams(t testing.TB, workers int) *ckks.Parameters {
+	t.Helper()
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     8,
+		LogQ:     []int{50, 40, 40, 40},
+		LogP:     []int{51, 51},
+		LogScale: 40,
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params
+}
+
+// testTenant is one tenant's client-side crypto state: its own secret key,
+// the serialized public evaluation keys it uploads, and the encrypt /
+// decrypt endpoints the server never sees.
+type testTenant struct {
+	name     string
+	params   *ckks.Parameters
+	enc      *ckks.Encoder
+	encr     *ckks.Encryptor
+	decr     *ckks.Decryptor
+	rlkBytes []byte
+	rtkBytes []byte
+}
+
+// newTestTenant generates a tenant keyed for the given rotation steps.
+func newTestTenant(t testing.TB, params *ckks.Parameters, name string, seed int64, steps []int, conjugate bool) *testTenant {
+	t.Helper()
+	kgen := ckks.NewKeyGenerator(params, seed)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	rlk := kgen.GenRelinearizationKey(sk)
+	rtks := kgen.GenRotationKeys(sk, steps, conjugate)
+	rlkBytes, err := rlk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtkBytes, err := rtks.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testTenant{
+		name:     name,
+		params:   params,
+		enc:      ckks.NewEncoder(params),
+		encr:     ckks.NewEncryptor(params, pk, seed+1),
+		decr:     ckks.NewDecryptor(params, sk),
+		rlkBytes: rlkBytes,
+		rtkBytes: rtkBytes,
+	}
+}
+
+// upload registers the tenant's keys with the server in-process.
+func (tt *testTenant) upload(t testing.TB, s *EvalServer) {
+	t.Helper()
+	if err := s.RegisterKeys(&KeyUpload{Tenant: tt.name, Relin: tt.rlkBytes, Rotations: tt.rtkBytes}); err != nil {
+		t.Fatalf("tenant %s: RegisterKeys: %v", tt.name, err)
+	}
+}
+
+// encryptBytes encrypts z at the top level and serializes the ciphertext.
+func (tt *testTenant) encryptBytes(t testing.TB, z []complex128) []byte {
+	t.Helper()
+	return tt.encryptBytesScale(t, z, tt.params.Scale)
+}
+
+// encryptBytesScale encrypts at an explicit scale — scale² mimics a
+// post-multiplication ciphertext, the legitimate input to OpRescale.
+func (tt *testTenant) encryptBytesScale(t testing.TB, z []complex128, scale float64) []byte {
+	t.Helper()
+	pt := tt.enc.Encode(z, tt.params.MaxLevel(), scale)
+	b, err := tt.encr.Encrypt(pt).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// decrypt decodes a result ciphertext back to slots.
+func (tt *testTenant) decrypt(ct *ckks.Ciphertext) []complex128 {
+	return tt.enc.Decode(tt.decr.Decrypt(ct))
+}
+
+func randomVec(rng *rand.Rand, n int) []complex128 {
+	z := make([]complex128, n)
+	for i := range z {
+		z[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+	}
+	return z
+}
+
+// maxErr returns the worst slot-wise distance, or +Inf on length mismatch.
+func maxErr(got, want []complex128) float64 {
+	if len(got) != len(want) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range want {
+		if e := cmplx.Abs(got[i] - want[i]); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func assertVecClose(t testing.TB, got, want []complex128, tol float64, msg string) {
+	t.Helper()
+	if worst := maxErr(got, want); worst > tol {
+		t.Fatalf("%s: max error %g > %g", msg, worst, tol)
+	}
+}
+
+// expected computes the plaintext-side result for an op, mirroring the
+// evaluator's slot semantics.
+func expected(op Op, a, b []complex128, steps, width int) []complex128 {
+	n := len(a)
+	out := make([]complex128, n)
+	switch op {
+	case OpAdd:
+		for i := range out {
+			out[i] = a[i] + b[i]
+		}
+	case OpSub:
+		for i := range out {
+			out[i] = a[i] - b[i]
+		}
+	case OpMulRelin:
+		for i := range out {
+			out[i] = a[i] * b[i]
+		}
+	case OpRescale:
+		copy(out, a)
+	case OpRotate:
+		for i := range out {
+			out[i] = a[((i+steps)%n+n)%n]
+		}
+	case OpConjugate:
+		for i := range out {
+			out[i] = cmplx.Conj(a[i])
+		}
+	case OpNegate:
+		for i := range out {
+			out[i] = -a[i]
+		}
+	case OpInnerSum:
+		// The evaluator's log-step ladder sums width consecutive slots
+		// (width a power of two) with rotating wraparound.
+		copy(out, a)
+		for st := 1; st < width; st <<= 1 {
+			next := make([]complex128, n)
+			for i := range next {
+				next[i] = out[i] + out[(i+st)%n]
+			}
+			out = next
+		}
+	}
+	return out
+}

@@ -1,0 +1,482 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"poseidon/internal/ckks"
+	"poseidon/internal/telemetry"
+)
+
+// Config parameterizes an EvalServer. The zero value of every tunable is
+// replaced by the default noted on the field; Params is required.
+type Config struct {
+	Params *ckks.Parameters
+
+	MaxBatch     int           // max requests per batch (default 16)
+	FlushTimeout time.Duration // max wait for a batch to fill (default 2ms)
+	QueueDepth   int           // dispatch queue capacity (default 256)
+	RegistryCap  int           // resident tenant key sets (default 64)
+
+	// Admission ceilings. A request is rejected with 503 when live arena
+	// bytes exceed MaxArenaBytes or the windowed request p99 exceeds
+	// MaxP99. Zero disables the respective ceiling.
+	MaxArenaBytes int64
+	MaxP99        time.Duration
+	P99Window     time.Duration // p99 refresh window (default 2s)
+
+	DegradeCooldown time.Duration // ladder decay interval (default 2s)
+
+	// GuardSeed, when non-zero, arms integrity guards on every tenant
+	// evaluator; guard trips drive the degradation ladder.
+	GuardSeed int64
+
+	// Collector, when set, receives per-op spans from every tenant
+	// evaluator and exports the server gauges on its /metrics page.
+	Collector *telemetry.Collector
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.FlushTimeout <= 0 {
+		c.FlushTimeout = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.RegistryCap <= 0 {
+		c.RegistryCap = 64
+	}
+	if c.P99Window <= 0 {
+		c.P99Window = 2 * time.Second
+	}
+	if c.DegradeCooldown <= 0 {
+		c.DegradeCooldown = 2 * time.Second
+	}
+	return c
+}
+
+// EvalServer is the multi-tenant evaluation service: a key registry, a
+// batching scheduler, and the HTTP surface over both. One EvalServer owns
+// one parameter set; every tenant shares its arena and worker pool the way
+// the paper's operators share one set of physical kernels.
+type EvalServer struct {
+	cfg      Config
+	params   *ckks.Parameters
+	registry *Registry
+	sched    *scheduler
+
+	reqHist *telemetry.Histogram // end-to-end request latency
+
+	// windowed p99 cache: refreshed at most once per P99Window by
+	// differencing cumulative histogram snapshots.
+	p99Mu     chan struct{} // 1-buffered: a non-blocking mutex
+	p99Snap   telemetry.HistSnapshot
+	p99At     time.Time
+	p99Cached atomic.Int64 // ns
+
+	requests    atomic.Uint64
+	rejected    atomic.Uint64 // 503s from admission control
+	badRequests atomic.Uint64
+	opErrors    atomic.Uint64 // admitted requests whose evaluation failed
+	bytesIn     atomic.Uint64
+	bytesOut    atomic.Uint64
+
+	gauges *telemetry.GaugeSet
+}
+
+// NewEvalServer builds the service and starts its dispatcher.
+func NewEvalServer(cfg Config) (*EvalServer, error) {
+	if cfg.Params == nil {
+		return nil, errors.New("server: Config.Params is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &EvalServer{
+		cfg:     cfg,
+		params:  cfg.Params,
+		reqHist: telemetry.NewHistogram(),
+		p99Mu:   make(chan struct{}, 1),
+	}
+	var obs ckks.OpObserver
+	if cfg.Collector != nil {
+		obs = cfg.Collector
+	}
+	s.registry = newRegistry(cfg.Params, cfg.RegistryCap, obs, cfg.GuardSeed)
+	s.sched = newScheduler(cfg, cfg.Params)
+	s.initGauges()
+	return s, nil
+}
+
+// initGauges exports the serving-layer signals next to the evaluator
+// histograms on the collector's /metrics page.
+func (s *EvalServer) initGauges() {
+	g := telemetry.NewGaugeSet()
+	g.NewFunc("poseidon_serve_mode", "dispatch mode: 0 batched, 1 serial, 2 shed",
+		func() float64 { return float64(s.sched.currentMode()) })
+	g.NewFunc("poseidon_serve_queue_depth", "jobs waiting for dispatch",
+		func() float64 { return float64(len(s.sched.queue)) })
+	g.NewFunc("poseidon_serve_arena_bytes", "live arena bytes (admission signal)",
+		func() float64 { return float64(s.params.ArenaStats().BytesInUse) })
+	g.NewFunc("poseidon_serve_resident_tenants", "tenant key sets resident in the registry",
+		func() float64 { return float64(s.registry.Resident()) })
+	g.NewFunc("poseidon_serve_request_p99_seconds", "windowed end-to-end request p99",
+		func() float64 { return time.Duration(s.windowedP99()).Seconds() })
+	g.NewFunc("poseidon_serve_requests_total", "evaluation requests accepted",
+		func() float64 { return float64(s.requests.Load()) })
+	g.NewFunc("poseidon_serve_rejected_total", "requests rejected by admission control",
+		func() float64 { return float64(s.rejected.Load()) })
+	g.NewFunc("poseidon_serve_guard_trips_total", "integrity guard trips observed by the scheduler",
+		func() float64 { return float64(s.sched.guardTrips.Load()) })
+	s.gauges = g
+	if s.cfg.Collector != nil {
+		s.cfg.Collector.RegisterAux(g.WritePrometheus)
+	}
+}
+
+// Close drains the dispatch queue and stops the dispatcher. In-flight and
+// queued requests complete; new ones are refused with ErrOverloaded.
+func (s *EvalServer) Close() { s.sched.stop() }
+
+// Registry exposes the tenant key registry (tests, in-process embedding).
+func (s *EvalServer) Registry() *Registry { return s.registry }
+
+// windowedP99 returns the request p99 over roughly the last P99Window,
+// computed by differencing cumulative histogram snapshots. Refresh is
+// lazy and non-blocking: concurrent callers read the cached value.
+func (s *EvalServer) windowedP99() int64 {
+	select {
+	case s.p99Mu <- struct{}{}:
+	default:
+		return s.p99Cached.Load()
+	}
+	defer func() { <-s.p99Mu }()
+	now := time.Now()
+	if now.Sub(s.p99At) < s.cfg.P99Window {
+		return s.p99Cached.Load()
+	}
+	cur := s.reqHist.Snapshot()
+	win := cur
+	win.Sub(s.p99Snap)
+	s.p99Snap = cur
+	s.p99At = now
+	if win.Count == 0 {
+		s.p99Cached.Store(0)
+		return 0
+	}
+	p99 := int64(win.Quantile(0.99))
+	s.p99Cached.Store(p99)
+	return p99
+}
+
+// admit applies backpressure before a request touches the evaluator:
+// shed mode, the arena-bytes ceiling, and the windowed-p99 ceiling each
+// reject with ErrOverloaded (HTTP 503 + Retry-After).
+func (s *EvalServer) admit() error {
+	if s.sched.currentMode() == modeShed {
+		return errOverloadedf("shedding load after integrity guard trips")
+	}
+	if max := s.cfg.MaxArenaBytes; max > 0 {
+		if inUse := int64(s.params.ArenaStats().BytesInUse); inUse > max {
+			return errOverloadedf("arena bytes %d over ceiling %d", inUse, max)
+		}
+	}
+	if max := s.cfg.MaxP99; max > 0 {
+		if p99 := s.windowedP99(); p99 > int64(max) {
+			return errOverloadedf("request p99 %s over ceiling %s", time.Duration(p99), max)
+		}
+	}
+	return nil
+}
+
+// Eval runs one decoded request through admission, the registry, and the
+// batch scheduler, returning the result ciphertext and the occupancy of
+// the batch that carried it. This is the in-process entry point; the HTTP
+// handler wraps it.
+func (s *EvalServer) Eval(req *EvalRequest) (ct *ckks.Ciphertext, batch int, err error) {
+	start := time.Now()
+	defer func() {
+		s.reqHist.Observe(uint64(time.Since(start).Nanoseconds()))
+		if err != nil && !errors.Is(err, ErrBadRequest) && !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrUnknownTenant) {
+			s.opErrors.Add(1)
+		}
+	}()
+	if err := s.validateEval(req); err != nil {
+		s.badRequests.Add(1)
+		return nil, 0, err
+	}
+	if err := s.admit(); err != nil {
+		s.rejected.Add(1)
+		return nil, 0, err
+	}
+	entry, err := s.registry.Acquire(req.Tenant)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer s.registry.Release(entry)
+
+	j := &job{
+		entry: entry,
+		op:    req.Op,
+		steps: req.Steps,
+		width: req.Width,
+		done:  make(chan jobResult, 1),
+	}
+	j.ct = new(ckks.Ciphertext)
+	if err := j.ct.UnmarshalBinary(req.Ct); err != nil {
+		s.badRequests.Add(1)
+		return nil, 0, fmt.Errorf("%w: ciphertext: %w", ErrBadRequest, err)
+	}
+	if req.Op.twoOperand() {
+		j.ct2 = new(ckks.Ciphertext)
+		if err := j.ct2.UnmarshalBinary(req.Ct2); err != nil {
+			s.badRequests.Add(1)
+			return nil, 0, fmt.Errorf("%w: second ciphertext: %w", ErrBadRequest, err)
+		}
+	}
+	if req.Op == OpRotate {
+		// Digest the raw bytes so the executor can recognize same-input
+		// rotations and share one hoisted decomposition across them.
+		j.digest = sha256.Sum256(req.Ct)
+		j.hasDigest = true
+	}
+	if err := s.sched.enqueue(j); err != nil {
+		s.rejected.Add(1)
+		return nil, 0, err
+	}
+	res := <-j.done
+	s.requests.Add(1)
+	if res.err != nil {
+		return nil, res.batch, res.err
+	}
+	return res.ct, res.batch, nil
+}
+
+// validateEval checks the request fields the wire decoder cannot: opcode
+// range against the server's parameter set.
+func (s *EvalServer) validateEval(req *EvalRequest) error {
+	if req.Op <= 0 || req.Op >= opEnd {
+		return badf("opcode %d out of range", uint64(req.Op))
+	}
+	if req.Op == OpInnerSum {
+		if req.Width < 1 || req.Width > s.params.Slots {
+			return badf("inner-sum width %d outside [1, %d]", req.Width, s.params.Slots)
+		}
+	}
+	if len(req.Ct) == 0 {
+		return badf("empty ciphertext")
+	}
+	if req.Op.twoOperand() && len(req.Ct2) == 0 {
+		return badf("%s needs a second ciphertext", req.Op)
+	}
+	return nil
+}
+
+// RegisterKeys decodes and installs a tenant's uploaded key material.
+func (s *EvalServer) RegisterKeys(u *KeyUpload) error {
+	var rlk *ckks.RelinearizationKey
+	if len(u.Relin) > 0 {
+		rlk = new(ckks.RelinearizationKey)
+		if err := rlk.UnmarshalBinary(u.Relin); err != nil {
+			return fmt.Errorf("%w: relinearization key: %w", ErrBadRequest, err)
+		}
+	}
+	var rtk *ckks.RotationKeySet
+	if len(u.Rotations) > 0 {
+		rtk = new(ckks.RotationKeySet)
+		if err := rtk.UnmarshalBinary(u.Rotations); err != nil {
+			return fmt.Errorf("%w: rotation key set: %w", ErrBadRequest, err)
+		}
+	}
+	return s.registry.Register(u.Tenant, rlk, rtk)
+}
+
+// Stats is a point-in-time summary of the serving layer, exported by
+// /v1/health and the bench harness.
+type Stats struct {
+	Mode           string   `json:"mode"`
+	Requests       uint64   `json:"requests"`
+	Rejected       uint64   `json:"rejected"`
+	BadRequests    uint64   `json:"bad_requests"`
+	OpErrors       uint64   `json:"op_errors"`
+	Batches        uint64   `json:"batches"`
+	Occupancy      []uint64 `json:"occupancy"` // index = batch size; [0] unused
+	HoistGroups    uint64   `json:"hoist_groups"`
+	HoistShared    uint64   `json:"hoist_shared"` // decompositions saved by sharing
+	GuardTrips     uint64   `json:"guard_trips"`
+	ResidentKeys   int      `json:"resident_keys"`
+	Evictions      uint64   `json:"evictions"`
+	PinnedSkips    uint64   `json:"pinned_skips"`
+	QueueLen       int      `json:"queue_len"`
+	ArenaBytes     uint64   `json:"arena_bytes"`
+	RequestP99Ns   int64    `json:"request_p99_ns"`
+	BytesIn        uint64   `json:"bytes_in"`
+	BytesOut       uint64   `json:"bytes_out"`
+	MeanBatch      float64  `json:"mean_batch"`
+	BatchedFrac    float64  `json:"batched_frac"` // fraction of requests served in batches ≥2
+	RequestMeanNs  float64  `json:"request_mean_ns"`
+	RequestCount   uint64   `json:"request_count"`
+	RequestTotalNs uint64   `json:"request_total_ns"`
+}
+
+// Stats snapshots the serving counters.
+func (s *EvalServer) Stats() Stats {
+	occ := make([]uint64, len(s.sched.occupancy))
+	var jobs, batched uint64
+	for i := range s.sched.occupancy {
+		occ[i] = s.sched.occupancy[i].Load()
+		jobs += occ[i] * uint64(i)
+		if i >= 2 {
+			batched += occ[i] * uint64(i)
+		}
+	}
+	hist := s.reqHist.Snapshot()
+	st := Stats{
+		Mode:           modeName(s.sched.currentMode()),
+		Requests:       s.requests.Load(),
+		Rejected:       s.rejected.Load(),
+		BadRequests:    s.badRequests.Load(),
+		OpErrors:       s.opErrors.Load(),
+		Batches:        s.sched.batches.Load(),
+		Occupancy:      occ,
+		HoistGroups:    s.sched.hoistGroups.Load(),
+		HoistShared:    s.sched.hoistShared.Load(),
+		GuardTrips:     s.sched.guardTrips.Load(),
+		ResidentKeys:   s.registry.Resident(),
+		Evictions:      s.registry.Evictions(),
+		PinnedSkips:    s.registry.PinnedSkips(),
+		QueueLen:       len(s.sched.queue),
+		ArenaBytes:     s.params.ArenaStats().BytesInUse,
+		RequestP99Ns:   s.windowedP99(),
+		BytesIn:        s.bytesIn.Load(),
+		BytesOut:       s.bytesOut.Load(),
+		RequestMeanNs:  hist.MeanNs(),
+		RequestCount:   hist.Count,
+		RequestTotalNs: hist.SumNs,
+	}
+	if b := st.Batches; b > 0 {
+		st.MeanBatch = float64(jobs) / float64(b)
+	}
+	if jobs > 0 {
+		st.BatchedFrac = float64(batched) / float64(jobs)
+	}
+	return st
+}
+
+// maxBodyBytes bounds any request body: the largest legitimate payload is
+// a key upload (a rotation key set is tens of switching keys).
+const maxBodyBytes = 1 << 30
+
+// Handler returns the HTTP surface: POST /v1/eval, POST /v1/keys,
+// GET /v1/health.
+func (s *EvalServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/eval", s.handleEval)
+	mux.HandleFunc("/v1/keys", s.handleKeys)
+	mux.HandleFunc("/v1/health", s.handleHealth)
+	return mux
+}
+
+// httpStatus maps the typed error surface onto status codes: structural
+// rejections are 400, unknown tenants 404, evaluation failures on valid
+// envelopes 422, overload 503 (with Retry-After), anything else 500.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ckks.ErrCorrupt),
+		errors.Is(err, ckks.ErrInvalidInput),
+		errors.Is(err, ckks.ErrKeyMissing),
+		errors.Is(err, ckks.ErrScaleMismatch),
+		errors.Is(err, ckks.ErrLevelExhausted):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *EvalServer) fail(w http.ResponseWriter, err error) {
+	code := httpStatus(err)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func (s *EvalServer) handleEval(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.fail(w, badf("reading body: %v", err))
+		return
+	}
+	s.bytesIn.Add(uint64(len(body)))
+	req, err := DecodeEvalRequest(body)
+	if err != nil {
+		s.badRequests.Add(1)
+		s.fail(w, err)
+		return
+	}
+	ct, batch, err := s.Eval(req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	out, err := ct.MarshalBinary()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.bytesOut.Add(uint64(len(out)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Poseidon-Batch", fmt.Sprint(batch))
+	w.Write(out)
+}
+
+func (s *EvalServer) handleKeys(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.fail(w, badf("reading body: %v", err))
+		return
+	}
+	s.bytesIn.Add(uint64(len(body)))
+	u, err := DecodeKeyUpload(body)
+	if err != nil {
+		s.badRequests.Add(1)
+		s.fail(w, err)
+		return
+	}
+	if err := s.RegisterKeys(u); err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *EvalServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The multi-tenant soak: 32 tenants hammer one EvalServer concurrently —
+// 5k+ requests through a shared parameter set, arena, and worker pool,
+// with a 16-entry key registry forcing constant eviction churn and key
+// re-upload. Every response is decrypt-validated against a plaintext
+// model computed with the issuing tenant's secret key, so any cross-tenant
+// state bleed (wrong key, wrong arena buffer, wrong batch slot) surfaces
+// as a decryption mismatch, not a silent wrong answer. Run under -race in
+// CI; integrity guards are armed throughout.
+func TestSoakMultiTenant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		tenants       = 32
+		reqsPerTenant = 157 // 32 × 157 = 5024 requests
+		registryCap   = 16  // < tenants: continuous eviction + re-upload
+	)
+	params := newServeParams(t, 2)
+	srv, err := NewEvalServer(Config{
+		Params:       params,
+		MaxBatch:     8,
+		FlushTimeout: 300 * time.Microsecond,
+		QueueDepth:   256,
+		RegistryCap:  registryCap,
+		GuardSeed:    0xB0A7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	fixtures := make([]*testTenant, tenants)
+	for i := range fixtures {
+		fixtures[i] = newTestTenant(t, params, fmt.Sprintf("tenant-%02d", i), int64(1000+i*17), []int{1, 2, 4}, true)
+		fixtures[i].upload(t, srv)
+	}
+
+	var validated atomic.Uint64
+	var reuploads atomic.Uint64
+	var wg sync.WaitGroup
+	for ti := range fixtures {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			tt := fixtures[ti]
+			rng := rand.New(rand.NewSource(int64(9000 + ti)))
+			ops := []Op{OpAdd, OpSub, OpMulRelin, OpRotate, OpConjugate, OpNegate, OpInnerSum}
+			for r := 0; r < reqsPerTenant; r++ {
+				op := ops[rng.Intn(len(ops))]
+				a := randomVec(rng, params.Slots)
+				var b []complex128
+				req := &EvalRequest{Tenant: tt.name, Op: op, Ct: tt.encryptBytes(t, a)}
+				switch {
+				case op.twoOperand():
+					b = randomVec(rng, params.Slots)
+					req.Ct2 = tt.encryptBytes(t, b)
+				case op == OpRotate:
+					req.Steps = []int{1, 2, 4}[rng.Intn(3)]
+				case op == OpInnerSum:
+					req.Width = []int{2, 4, 8}[rng.Intn(3)]
+				}
+				for attempt := 0; ; attempt++ {
+					ct, batch, err := srv.Eval(req)
+					switch {
+					case errors.Is(err, ErrUnknownTenant):
+						// Evicted by the churn: re-upload and retry — the
+						// client-visible cost of the LRU cap.
+						if err := srv.RegisterKeys(&KeyUpload{Tenant: tt.name, Relin: tt.rlkBytes, Rotations: tt.rtkBytes}); err != nil {
+							t.Errorf("%s: re-upload: %v", tt.name, err)
+							return
+						}
+						reuploads.Add(1)
+						continue
+					case errors.Is(err, ErrOverloaded):
+						if attempt > 1000 {
+							t.Errorf("%s: still overloaded after %d attempts", tt.name, attempt)
+							return
+						}
+						time.Sleep(time.Millisecond)
+						continue
+					case err != nil:
+						t.Errorf("%s: req %d (%s): %v", tt.name, r, op, err)
+						return
+					}
+					if batch < 1 {
+						t.Errorf("%s: batch occupancy %d", tt.name, batch)
+						return
+					}
+					tol := 1e-4
+					if op == OpMulRelin || op == OpInnerSum {
+						tol = 1e-3
+					}
+					if e := maxErr(tt.decrypt(ct), expected(op, a, b, req.Steps, req.Width)); e > tol {
+						t.Errorf("%s: req %d %s: decrypt mismatch, max error %g > %g — cross-tenant corruption?",
+							tt.name, r, op, e, tol)
+						return
+					}
+					validated.Add(1)
+					break
+				}
+			}
+		}(ti)
+	}
+
+	// A stats poller races the request path the way a metrics scraper
+	// would in production.
+	stop := make(chan struct{})
+	var pollWg sync.WaitGroup
+	pollWg.Add(1)
+	go func() {
+		defer pollWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				_ = srv.Stats()
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	pollWg.Wait()
+
+	if got := validated.Load(); got != tenants*reqsPerTenant {
+		t.Fatalf("validated %d responses, want %d — some requests vanished", got, tenants*reqsPerTenant)
+	}
+	st := srv.Stats()
+	if st.GuardTrips != 0 {
+		t.Fatalf("integrity guards tripped %d times during the soak", st.GuardTrips)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no registry evictions: the soak never exercised churn")
+	}
+	if st.ResidentKeys > registryCap {
+		t.Fatalf("resident keys %d exceed cap %d after drain", st.ResidentKeys, registryCap)
+	}
+	t.Logf("soak: %d validated, %d re-uploads, %d evictions, %d pinned skips, mean batch %.2f, batched frac %.2f",
+		validated.Load(), reuploads.Load(), st.Evictions, st.PinnedSkips, st.MeanBatch, st.BatchedFrac)
+}

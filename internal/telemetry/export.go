@@ -74,12 +74,30 @@ func (s *Snapshot) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "poseidon_uptime_seconds{workload=%q} %g\n", s.Workload, s.UptimeSec)
 }
 
+// RegisterAux attaches an auxiliary metric writer that runs after the
+// collector's own families on every /metrics scrape — how subsystems that
+// track state the collector does not (the serving layer's scheduler gauges,
+// request-latency summaries) ride the same endpoint. Writers must emit
+// complete Prometheus text families and must not block indefinitely.
+func (c *Collector) RegisterAux(write func(io.Writer)) {
+	c.auxMu.Lock()
+	c.aux = append(c.aux, write)
+	c.auxMu.Unlock()
+}
+
 // MetricsHandler serves the collector in Prometheus text format — mount it
-// at /metrics.
+// at /metrics. Auxiliary writers registered with RegisterAux are appended
+// to every scrape.
 func (c *Collector) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		c.Snapshot().WritePrometheus(w)
+		c.auxMu.Lock()
+		aux := append(make([]func(io.Writer), 0, len(c.aux)), c.aux...)
+		c.auxMu.Unlock()
+		for _, write := range aux {
+			write(w)
+		}
 	})
 }
 

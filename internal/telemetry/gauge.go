@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler gauges: the serving layer (internal/server) exposes its live
+// state — queue depth, dispatch mode, resident tenants, shed counters —
+// alongside the per-op histograms. A Gauge is an atomically updated int64;
+// a GaugeFunc is sampled at scrape time, for values that live elsewhere
+// (channel lengths, arena byte counters) and would be wasteful to mirror
+// on every update. Both render through GaugeSet.WritePrometheus, which a
+// Collector aux writer (RegisterAux) splices into /metrics.
+
+// Gauge is a single atomically updated metric value. The zero value is
+// usable; gauges are normally created through GaugeSet.New so they render
+// on scrapes.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add increments by delta (negative deltas decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one — the counter idiom.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// gaugeFunc is a scrape-time sampled metric.
+type gaugeFunc struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+// GaugeSet is a named collection of gauges with a Prometheus text
+// renderer. Safe for concurrent registration and scraping.
+type GaugeSet struct {
+	mu     sync.Mutex
+	gauges []*Gauge
+	funcs  []gaugeFunc
+}
+
+// NewGaugeSet returns an empty set.
+func NewGaugeSet() *GaugeSet { return &GaugeSet{} }
+
+// New registers and returns a gauge. Names should follow Prometheus
+// conventions (snake_case, namespaced, e.g. "poseidon_serve_queue_depth").
+func (s *GaugeSet) New(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	s.mu.Lock()
+	s.gauges = append(s.gauges, g)
+	s.mu.Unlock()
+	return g
+}
+
+// NewFunc registers a gauge sampled by fn at every scrape.
+func (s *GaugeSet) NewFunc(name, help string, fn func() float64) {
+	s.mu.Lock()
+	s.funcs = append(s.funcs, gaugeFunc{name: name, help: help, fn: fn})
+	s.mu.Unlock()
+}
+
+// WritePrometheus renders every gauge in text exposition format, sorted by
+// name so scrapes are deterministic.
+func (s *GaugeSet) WritePrometheus(w io.Writer) {
+	type row struct {
+		name, help string
+		v          float64
+	}
+	s.mu.Lock()
+	rows := make([]row, 0, len(s.gauges)+len(s.funcs))
+	for _, g := range s.gauges {
+		rows = append(rows, row{g.name, g.help, float64(g.Value())})
+	}
+	for _, f := range s.funcs {
+		rows = append(rows, row{f.name, f.help, f.fn()})
+	}
+	s.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		if r.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", r.name, r.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n", r.name)
+		fmt.Fprintf(w, "%s %g\n", r.name, r.v)
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -51,5 +52,13 @@ func StartServer(addr string, c *Collector) (*Server, error) {
 // Addr returns the bound address (resolves the ephemeral port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and its listener.
+// Close stops the server and its listener immediately, aborting in-flight
+// scrapes. Prefer Shutdown for a clean exit.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight scrapes
+// to complete (or ctx to expire, whichever comes first) before releasing
+// the listener — the graceful counterpart of Close, so a host process
+// (poseidond, tests) can drain /metrics readers instead of cutting them
+// off mid-response and leaking half-written sockets.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

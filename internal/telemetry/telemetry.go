@@ -18,6 +18,7 @@
 package telemetry
 
 import (
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -54,6 +55,12 @@ type Collector struct {
 
 	events atomic.Pointer[EventLog]
 	start  time.Time
+
+	// aux holds auxiliary metric writers appended to every /metrics scrape
+	// (see RegisterAux) — the hook the serving layer uses to export its
+	// scheduler gauges through the collector's endpoint.
+	auxMu sync.Mutex
+	aux   []func(io.Writer)
 }
 
 // NewCollector creates a collector for a named workload (the `workload`

@@ -31,6 +31,7 @@ package poseidon
 import (
 	"poseidon/internal/arch"
 	"poseidon/internal/ckks"
+	"poseidon/internal/server"
 	"poseidon/internal/telemetry"
 	"poseidon/internal/trace"
 	"poseidon/internal/workloads"
@@ -235,6 +236,72 @@ var (
 	Fanout = ckks.Fanout
 	// ProfileDo runs fn under pprof labels {workload, phase}.
 	ProfileDo = telemetry.Do
+)
+
+// --- Serving ---------------------------------------------------------------
+
+// Hoisted is a reusable key-switch digit decomposition: decompose once with
+// Evaluator.Hoist (or TryHoist), rotate by many step counts, then Release.
+type Hoisted = ckks.Hoisted
+
+// EvalServer is the multi-tenant batching evaluation server behind
+// cmd/poseidond: hardened wire decoding, a refcounted LRU key registry,
+// and a scheduler that fuses compatible requests into one evaluator pass.
+type EvalServer = server.EvalServer
+
+// EvalServerConfig sizes an EvalServer (batching, queue depth, registry
+// capacity, admission-control thresholds).
+type EvalServerConfig = server.Config
+
+// EvalServerStats is a point-in-time snapshot of serving counters
+// (batch occupancy, hoist sharing, degradation mode, rejections).
+type EvalServerStats = server.Stats
+
+// ServeClient is a thin HTTP client for the poseidond wire protocol.
+type ServeClient = server.Client
+
+// EvalRequest is one evaluation request in the serving wire envelope.
+type EvalRequest = server.EvalRequest
+
+// KeyUpload carries a tenant's evaluation keys to /v1/keys.
+type KeyUpload = server.KeyUpload
+
+// ServeOp names the operation an EvalRequest asks for.
+type ServeOp = server.Op
+
+// Serving opcodes.
+const (
+	ServeOpAdd       = server.OpAdd
+	ServeOpSub       = server.OpSub
+	ServeOpMulRelin  = server.OpMulRelin
+	ServeOpRescale   = server.OpRescale
+	ServeOpRotate    = server.OpRotate
+	ServeOpConjugate = server.OpConjugate
+	ServeOpInnerSum  = server.OpInnerSum
+	ServeOpNegate    = server.OpNegate
+)
+
+// Serving error sentinels (test with errors.Is; the HTTP layer maps them
+// to 400 / 404 / 503 respectively).
+var (
+	ErrBadRequest    = server.ErrBadRequest
+	ErrUnknownTenant = server.ErrUnknownTenant
+	ErrOverloaded    = server.ErrOverloaded
+)
+
+// Serving constructors and wire codecs.
+var (
+	// NewEvalServer builds a serving stack from a config; Close drains it.
+	NewEvalServer = server.NewEvalServer
+	// EncodeEvalRequest / DecodeEvalRequest round-trip the binary eval
+	// envelope POSTed to /v1/eval.
+	EncodeEvalRequest = server.EncodeEvalRequest
+	DecodeEvalRequest = server.DecodeEvalRequest
+	// EncodeKeyUpload / DecodeKeyUpload round-trip the key envelope.
+	EncodeKeyUpload = server.EncodeKeyUpload
+	DecodeKeyUpload = server.DecodeKeyUpload
+	// ParseServeOp maps an op name ("rotate", "mulrelin", ...) to its code.
+	ParseServeOp = server.ParseOp
 )
 
 // --- Workloads and traces --------------------------------------------------
