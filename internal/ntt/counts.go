@@ -17,6 +17,11 @@ type Stats struct {
 	// pair reports what the lazy schedule really executed.
 	Deferred       int64
 	Normalizations int64
+
+	// FusedPasses counts full sweeps over the coefficient vector executed by
+	// fused-plan kernels — the memory-traffic side of the Fig-10 tradeoff
+	// (ceil(logN/k) per transform instead of logN).
+	FusedPasses int64
 }
 
 // Add accumulates o into s.
@@ -27,6 +32,7 @@ func (s *Stats) Add(o Stats) {
 	s.TwiddleLoads += o.TwiddleLoads
 	s.Deferred += o.Deferred
 	s.Normalizations += o.Normalizations
+	s.FusedPasses += o.FusedPasses
 }
 
 // BlockCosts are the per-fused-block operation counts underlying Table II

@@ -5,56 +5,73 @@ import (
 	"math/bits"
 )
 
-// FusedPlan is a radix-2^k execution plan for the forward NTT of one Table.
-// Each "pass" fuses up to k consecutive radix-2 stages into dense
-// 2^κ-point kernels ("fused TAM" in the paper): every kernel output is a
-// dot product of the 2^κ gathered inputs against a precomputed twiddle
-// matrix, accumulated in 128 bits and reduced once, so the number of
-// modular reductions drops from κ·2^κ to 2^κ per block at the cost of
-// 2^κ·(2^κ-1) twiddle multiplications.
+// FusedPlan is a radix-2^k execution plan for the forward NTT of one Table —
+// the software form of the paper's "fused TAM" (§IV-B). Each pass fuses up
+// to k consecutive radix-2 stages into one sweep over the coefficient
+// vector: a block of 2^κ operands is gathered into registers, pushed through
+// κ Harvey butterfly stages without touching memory in between, and written
+// back once. Intermediate residues stay in the lazy [0, 4q) band the whole
+// transform; the single deferred normalization per coefficient happens in
+// the final pass, so the number of memory passes drops from log2(N) to
+// ceil(log2(N)/k) and every in-block reduction slot is deferred by
+// construction rather than checked per butterfly.
+//
+// Where the hardware TAM pays for fusion with precomputed twiddle-product
+// storage (the dense matrices of Table II, modeled by FusedBlockCosts), the
+// CPU kernel pays with register pressure and code size: the per-pass
+// twiddles are the ordinary stage twiddles, re-laid-out per segment so the
+// inner loop reads them from a handful of locals. Plans are immutable after
+// construction and safe for concurrent use; Forward/Inverse allocate
+// nothing.
 type FusedPlan struct {
 	Table *Table
 	K     int
 
 	passes []fusedPass
-
-	// lazy reports whether 128-bit accumulation without intermediate
-	// reduction is safe: 2^κ products of two (<q) residues must fit.
-	lazy bool
 }
 
+// fusedPass is one stage-group sweep. For the forward plan m0 is the first
+// stage parameter of the group; for the inverse plan it is the group's
+// starting span. Blocks gather 2^kappa elements at spacing stride; segments
+// (segLen = stride·2^kappa) share one twiddle set of 2^kappa−1 factors.
 type fusedPass struct {
-	kappa  int // stages fused in this pass (≤ K)
-	m0     int // first stage parameter of the pass
-	stride int // distance between gathered elements (= final-stage span)
-	segLen int // 2^kappa · stride
-	// mats[block] is the 2^kappa × 2^kappa twiddle matrix, row-major,
-	// indexed by [seg*stridePerSeg + r].
-	mats [][]uint64
+	kappa  int
+	m0     int
+	stride int
+	segLen int
+	segs   int
+
+	// tw holds (w, wShoup) pairs, (2^kappa − 1) per segment, stage-major
+	// within the segment, so one segment's twiddles are a single contiguous
+	// read hoisted into locals before its inner loop.
+	tw []uint64
 }
 
 // NewFusedPlan constructs the radix-2^k plan. k must be in [1, 6]; values
-// above log2(N) are clamped by shorter trailing passes.
+// above log2(N) are clamped to a single full-width pass. When log2(N) is
+// not a multiple of k, the remainder runs as a shorter first pass (where
+// strides are largest and per-segment overhead amortizes best); all
+// remaining passes fuse exactly k stages.
 func NewFusedPlan(t *Table, k int) (*FusedPlan, error) {
 	if k < 1 || k > 6 {
 		return nil, fmt.Errorf("ntt: fusion degree k=%d out of range [1,6]", k)
 	}
 	p := &FusedPlan{Table: t, K: k}
-	// Safe lazy accumulation: 2^κ · (q-1)^2 < 2^128.
-	p.lazy = uint(k)+2*uint(t.Mod.Bits) <= 128
 
 	n := t.N
-	for m0 := 1; m0 < n; {
+	numPasses := (t.LogN + k - 1) / k
+	first := t.LogN - k*(numPasses-1) // in [1, k]
+	m0 := 1
+	for pi := 0; pi < numPasses; pi++ {
 		kappa := k
-		// Remaining stages: stage parameters m0, 2m0, ... while < n.
-		remaining := t.LogN - log2(m0)
-		if kappa > remaining {
-			kappa = remaining
+		if pi == 0 {
+			kappa = first
 		}
 		pass := fusedPass{kappa: kappa, m0: m0}
 		pass.stride = n / (m0 << uint(kappa))
 		pass.segLen = pass.stride << uint(kappa)
-		pass.mats = p.buildPassMatrices(pass)
+		pass.segs = m0
+		pass.tw = p.buildPassTwiddles(pass)
 		p.passes = append(p.passes, pass)
 		m0 <<= uint(kappa)
 	}
@@ -63,143 +80,192 @@ func NewFusedPlan(t *Table, k int) (*FusedPlan, error) {
 
 func log2(x int) int { return bits.Len(uint(x)) - 1 }
 
-// buildPassMatrices derives every block's dense twiddle matrix by pushing
-// unit vectors through the pass's constituent radix-2 stages with the exact
-// global twiddles, guaranteeing bit-exact agreement with Table.Forward.
-func (p *FusedPlan) buildPassMatrices(pass fusedPass) [][]uint64 {
+// buildPassTwiddles lays out the pass's stage twiddles segment-major: for
+// segment g, stage s of the group (global stage parameter m0·2^s)
+// contributes the 2^s factors psiBR[m0·2^s + g·2^s + c], c < 2^s, each
+// stored with its Shoup dual.
+func (p *FusedPlan) buildPassTwiddles(pass fusedPass) []uint64 {
 	t := p.Table
-	n := t.N
-	size := 1 << uint(pass.kappa)
-	numBlocks := n / size
-	mats := make([][]uint64, numBlocks)
-
-	col := make([]uint64, size)
-	for b := 0; b < numBlocks; b++ {
-		seg := b / pass.stride
-		r := b % pass.stride
-		base := seg*pass.segLen + r
-		mat := make([]uint64, size*size)
-		for j := 0; j < size; j++ {
-			for i := range col {
-				col[i] = 0
-			}
-			col[j] = 1
-			p.applyLocalStages(pass, base, col)
-			for i := 0; i < size; i++ {
-				mat[i*size+j] = col[i]
-			}
-		}
-		mats[b] = mat
-	}
-	return mats
-}
-
-// applyLocalStages runs the pass's radix-2 stages on the local vector v,
-// where v[t] mirrors global index base + t·stride.
-func (p *FusedPlan) applyLocalStages(pass fusedPass, base int, v []uint64) {
-	t := p.Table
-	mod := t.Mod
-	size := len(v)
-	for s := 0; s < pass.kappa; s++ {
-		m := pass.m0 << uint(s)
-		span := t.N / (2 * m)
-		localSpan := size >> uint(s+1) // span / stride
-		for lb := 0; lb < size; lb += 2 * localSpan {
-			for lj := lb; lj < lb+localSpan; lj++ {
-				gj := base + lj*pass.stride
-				i := gj / (2 * span)
-				w := t.psiBR[m+i]
-				u := v[lj]
-				x := mod.Mul(v[lj+localSpan], w)
-				v[lj] = mod.Add(u, x)
-				v[lj+localSpan] = mod.Sub(u, x)
+	pairs := (1 << uint(pass.kappa)) - 1
+	tw := make([]uint64, 2*pairs*pass.segs)
+	for g := 0; g < pass.segs; g++ {
+		off := 2 * pairs * g
+		for s := 0; s < pass.kappa; s++ {
+			m := pass.m0 << uint(s)
+			for c := 0; c < 1<<uint(s); c++ {
+				idx := m + (g << uint(s)) + c
+				tw[off] = t.psiBR[idx]
+				tw[off+1] = t.psiBRShoup[idx]
+				off += 2
 			}
 		}
 	}
+	return tw
 }
 
 // Forward computes the forward negacyclic NTT of a via the fused plan.
-// Output matches Table.Forward exactly (bit-reversed order).
+// Output is bit-identical to Table.Forward (bit-reversed order, fully
+// reduced). Zero allocations.
 func (p *FusedPlan) Forward(a []uint64) {
-	p.ForwardCounted(a, nil)
+	t := p.Table
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: length %d != N=%d", len(a), t.N))
+	}
+	mod := t.Mod
+	last := len(p.passes) - 1
+	for pi := range p.passes {
+		pass := &p.passes[pi]
+		if pi == last {
+			// The final pass always lands on stride 1 (contiguous blocks)
+			// and performs the one deferred normalization per coefficient.
+			switch pass.kappa {
+			case 3:
+				fwdPass8Last(mod, a, pass.tw, pass.segs)
+			case 2:
+				fwdPass4Last(mod, a, pass.tw, pass.segs)
+			case 1:
+				fwdPass2Last(mod, a, pass.tw, pass.segs)
+			default:
+				p.runPassGeneric(a, pass, true, nil)
+			}
+			continue
+		}
+		switch pass.kappa {
+		case 3:
+			fwdPass8(mod, a, pass.tw, pass.stride, pass.segs)
+		case 2:
+			fwdPass4(mod, a, pass.tw, pass.stride, pass.segs)
+		case 1:
+			fwdPass2(mod, a, pass.tw, pass.stride, pass.segs)
+		default:
+			p.runPassGeneric(a, pass, false, nil)
+		}
+	}
 }
 
-// ForwardCounted is Forward with optional operation accounting into s.
+// ForwardCounted is Forward with operation accounting into s. The counted
+// run executes the generic (non-specialized) kernels, which are bit-identical
+// to the fast path; counting follows the TAM convention of Stats — one
+// reduction slot per block output per pass, so fusion's deferral shows up as
+// a Reductions total of N per pass instead of N per stage.
 func (p *FusedPlan) ForwardCounted(a []uint64, s *Stats) {
 	t := p.Table
 	if len(a) != t.N {
 		panic(fmt.Sprintf("ntt: length %d != N=%d", len(a), t.N))
 	}
-	size0 := 0
-	_ = size0
-	in := make([]uint64, 1<<uint(p.K))
-	out := make([]uint64, 1<<uint(p.K))
-	for _, pass := range p.passes {
-		size := 1 << uint(pass.kappa)
-		numBlocks := t.N / size
-		for b := 0; b < numBlocks; b++ {
-			seg := b / pass.stride
-			r := b % pass.stride
-			base := seg*pass.segLen + r
-			for tt := 0; tt < size; tt++ {
-				in[tt] = a[base+tt*pass.stride]
-			}
-			p.applyMatrix(pass.mats[b], in[:size], out[:size], s)
-			for tt := 0; tt < size; tt++ {
-				a[base+tt*pass.stride] = out[tt]
-			}
-		}
+	if s == nil {
+		p.Forward(a)
+		return
+	}
+	last := len(p.passes) - 1
+	for pi := range p.passes {
+		p.runPassGeneric(a, &p.passes[pi], pi == last, s)
 	}
 }
 
-// applyMatrix computes out = M·in via the shared fused-TAM kernel, adding
-// the twiddle-load accounting the forward direction reports.
-func (p *FusedPlan) applyMatrix(mat, in, out []uint64, s *Stats) {
-	applyDenseMatrix(p.Table.Mod, mat, in, out, s, p.lazy)
-	if s != nil {
-		s.TwiddleLoads += int64(countNontrivial(mat))
-	}
-}
-
-func countNontrivial(mat []uint64) int {
-	n := 0
-	for _, w := range mat {
-		if w != 0 && w != 1 {
-			n++
+// runPassGeneric executes one fused pass through a stack block buffer —
+// the reference path for arbitrary kappa (up to 6), also used for counted
+// runs. Bit-identical to the specialized kernels.
+func (p *FusedPlan) runPassGeneric(a []uint64, pass *fusedPass, final bool, st *Stats) {
+	mod := p.Table.Mod
+	q := mod.Q
+	twoQ := q << 1
+	size := 1 << uint(pass.kappa)
+	pairs := size - 1
+	var buf [64]uint64
+	for seg := 0; seg < pass.segs; seg++ {
+		tw := pass.tw[seg*2*pairs : (seg+1)*2*pairs]
+		base := seg * pass.segLen
+		for r := 0; r < pass.stride; r++ {
+			for tt := 0; tt < size; tt++ {
+				buf[tt] = a[base+r+tt*pass.stride]
+			}
+			twOff := 0
+			for s := 0; s < pass.kappa; s++ {
+				groups := 1 << uint(s)
+				span := size >> uint(s+1)
+				for c := 0; c < groups; c++ {
+					w, ws := tw[2*(twOff+c)], tw[2*(twOff+c)+1]
+					lb := c * 2 * span
+					for lj := lb; lj < lb+span; lj++ {
+						u := buf[lj]
+						if u >= twoQ {
+							u -= twoQ
+						}
+						x := buf[lj+span]
+						hi, _ := bits.Mul64(x, ws)
+						v := x*w - hi*q
+						buf[lj] = u + v
+						buf[lj+span] = u + twoQ - v
+					}
+				}
+				twOff += groups
+			}
+			if final {
+				for tt := 0; tt < size; tt++ {
+					a[base+r+tt*pass.stride] = mod.ReduceFourQ(buf[tt])
+				}
+			} else {
+				for tt := 0; tt < size; tt++ {
+					a[base+r+tt*pass.stride] = buf[tt]
+				}
+			}
 		}
 	}
-	return n
+	if st != nil {
+		n := int64(p.Table.N)
+		kappa := int64(pass.kappa)
+		// TAM convention: two mult/add slots per butterfly (one per output),
+		// size/2 butterflies per block per stage.
+		st.Mults += n * kappa
+		st.Adds += n * kappa
+		// One reduction slot per block output per pass; only the final
+		// pass's band-edge normalizations are performed.
+		st.Reductions += n
+		if final {
+			st.Normalizations += n
+		} else {
+			st.Deferred += n
+		}
+		st.TwiddleLoads += int64(pairs * pass.segs)
+		st.FusedPasses++
+	}
 }
 
 // DistinctTwiddles returns the number of distinct non-trivial (≠0, ≠1)
-// twiddle values in the first block's matrix of each pass. This is the
-// empirical counterpart of the paper's W column in Table II.
+// twiddle values held by each pass — the empirical counterpart of the
+// paper's W column in Table II.
 func (p *FusedPlan) DistinctTwiddles() []int {
 	res := make([]int, len(p.passes))
-	for i, pass := range p.passes {
-		set := map[uint64]struct{}{}
-		for _, w := range pass.mats[0] {
-			if w != 0 && w != 1 {
-				set[w] = struct{}{}
-			}
-		}
-		res[i] = len(set)
+	for i := range p.passes {
+		res[i] = distinctTwiddles(p.passes[i].tw)
 	}
 	return res
+}
+
+func distinctTwiddles(tw []uint64) int {
+	set := map[uint64]struct{}{}
+	for i := 0; i < len(tw); i += 2 {
+		if w := tw[i]; w != 0 && w != 1 {
+			set[w] = struct{}{}
+		}
+	}
+	return len(set)
 }
 
 // Passes returns the number of fused passes (the paper's "iterations":
 // ceil(logN / k)).
 func (p *FusedPlan) Passes() int { return len(p.passes) }
 
-// TwiddleStorage returns the total number of twiddle-matrix entries held by
-// the plan — the storage overhead fusion pays for fewer reductions.
+// TwiddleStorage returns the total number of uint64 words of precomputed
+// twiddle state held by the plan (factors plus Shoup duals). The register
+// kernel stores each stage twiddle exactly once — 2(N−1) pairs across all
+// passes regardless of k — unlike the hardware TAM's dense matrices, whose
+// modeled k-dependent growth is FusedBlockCosts(k).Twiddles.
 func (p *FusedPlan) TwiddleStorage() int {
 	total := 0
-	for _, pass := range p.passes {
-		for _, m := range pass.mats {
-			total += len(m)
-		}
+	for i := range p.passes {
+		total += len(p.passes[i].tw)
 	}
 	return total
 }

@@ -3,202 +3,232 @@ package ntt
 import (
 	"fmt"
 	"math/bits"
-
-	"poseidon/internal/numeric"
 )
 
-// InverseFusedPlan is the radix-2^k plan for the inverse (Gentleman-Sande)
-// transform: the same fused-TAM construction as the forward plan, with the
-// N^-1 scaling folded into the final pass's matrices so the inverse costs
-// no extra multiplication sweep.
+// InverseFusedPlan is the radix-2^k execution plan for the inverse
+// (Gentleman-Sande) transform — the mirror of FusedPlan. GS stages run with
+// growing span (1, 2, 4, …, N/2), so the plan groups them from the bottom:
+// the first pass is always contiguous (stride 1) and any remainder group
+// runs last, where strides are largest. The N^-1 scaling is folded into the
+// final stage of the final pass via exact Shoup products (nInv on the sum
+// output, nInv·psiInv on the difference output), so the inverse costs no
+// separate scaling sweep and the output is fully reduced — bit-identical to
+// Table.Inverse. Plans are immutable after construction and safe for
+// concurrent use; Inverse allocates nothing.
 type InverseFusedPlan struct {
 	Table *Table
 	K     int
 
 	passes []fusedPass
-	lazy   bool
 }
 
-// NewInverseFusedPlan constructs the inverse plan for fusion degree k.
+// NewInverseFusedPlan constructs the inverse plan for fusion degree k in
+// [1, 6]. When log2(N) is not a multiple of k the remainder runs as a
+// shorter final pass; all earlier passes fuse exactly k stages.
 func NewInverseFusedPlan(t *Table, k int) (*InverseFusedPlan, error) {
 	if k < 1 || k > 6 {
 		return nil, fmt.Errorf("ntt: fusion degree k=%d out of range [1,6]", k)
 	}
 	p := &InverseFusedPlan{Table: t, K: k}
-	p.lazy = uint(k)+2*uint(t.Mod.Bits) <= 128
 
-	// GS stages run with increasing span: m = N/2 … 1, span = N/(2m).
-	// Group κ consecutive stages; the group starting at span t couples
-	// indices base + t·{0..2^κ−1} within segments of length 2^κ·t.
 	n := t.N
-	span := 1
-	for span < n {
+	numPasses := (t.LogN + k - 1) / k
+	s0 := 1 // starting span of the pass (m0 field reused as span)
+	for pi := 0; pi < numPasses; pi++ {
 		kappa := k
-		remaining := t.LogN - log2(span)
-		if kappa > remaining {
-			kappa = remaining
+		if pi == numPasses-1 {
+			kappa = t.LogN - k*(numPasses-1) // remainder in [1, k]
 		}
-		pass := fusedPass{kappa: kappa, m0: span /* reuse field as start span */}
-		pass.stride = span
-		pass.segLen = span << uint(kappa)
-		last := span<<uint(kappa) == n // final pass gets the N^-1 fold
-		pass.mats = p.buildPassMatrices(pass, last)
+		pass := fusedPass{kappa: kappa, m0: s0, stride: s0}
+		pass.segLen = s0 << uint(kappa)
+		pass.segs = n / pass.segLen
+		pass.tw = p.buildPassTwiddles(pass, pi == numPasses-1)
 		p.passes = append(p.passes, pass)
-		span <<= uint(kappa)
+		s0 <<= uint(kappa)
 	}
 	return p, nil
 }
 
-// buildPassMatrices pushes unit vectors through the local GS stages.
-func (p *InverseFusedPlan) buildPassMatrices(pass fusedPass, fold bool) [][]uint64 {
+// buildPassTwiddles lays out the pass's GS stage twiddles segment-major:
+// for segment g, stage s of the group (global span m0·2^s, stage parameter
+// m = N/(2·m0·2^s)) contributes the 2^(kappa−1−s) factors
+// psiInvBR[m + g·2^(kappa−1−s) + c], each with its Shoup dual. For the
+// final (folding) pass, the last stage's single twiddle is replaced by
+// nInv·psiInv so the difference outputs absorb the N^-1 scaling in place.
+func (p *InverseFusedPlan) buildPassTwiddles(pass fusedPass, fold bool) []uint64 {
 	t := p.Table
-	n := t.N
-	size := 1 << uint(pass.kappa)
-	numBlocks := n / size
-	mats := make([][]uint64, numBlocks)
-
-	col := make([]uint64, size)
-	for b := 0; b < numBlocks; b++ {
-		seg := b / pass.stride
-		r := b % pass.stride
-		base := seg*pass.segLen + r
-		mat := make([]uint64, size*size)
-		for j := 0; j < size; j++ {
-			for i := range col {
-				col[i] = 0
-			}
-			col[j] = 1
-			p.applyLocalStages(pass, base, col)
-			for i := 0; i < size; i++ {
-				v := col[i]
-				if fold {
-					v = t.Mod.Mul(v, t.nInv)
+	pairs := (1 << uint(pass.kappa)) - 1
+	tw := make([]uint64, 2*pairs*pass.segs)
+	for g := 0; g < pass.segs; g++ {
+		off := 2 * pairs * g
+		for s := 0; s < pass.kappa; s++ {
+			m := t.N / (2 * (pass.m0 << uint(s)))
+			cnt := 1 << uint(pass.kappa-1-s)
+			for c := 0; c < cnt; c++ {
+				idx := m + g*cnt + c
+				w, ws := t.psiInvBR[idx], t.psiInvBRShoup[idx]
+				if fold && s == pass.kappa-1 {
+					w, ws = t.nInvPsiInv, t.nInvPsiInvShoup
 				}
-				mat[i*size+j] = v
-			}
-		}
-		mats[b] = mat
-	}
-	return mats
-}
-
-// applyLocalStages runs the pass's GS stages on the local vector.
-func (p *InverseFusedPlan) applyLocalStages(pass fusedPass, base int, v []uint64) {
-	t := p.Table
-	mod := t.Mod
-	size := len(v)
-	for s := 0; s < pass.kappa; s++ {
-		span := pass.m0 << uint(s) // global span of this stage
-		m := t.N / (2 * span)
-		localSpan := 1 << uint(s)
-		for lb := 0; lb < size; lb += 2 * localSpan {
-			for lj := lb; lj < lb+localSpan; lj++ {
-				gj := base + lj*pass.stride
-				i := gj / (2 * span)
-				w := t.psiInvBR[m+i]
-				u := v[lj]
-				x := v[lj+localSpan]
-				v[lj] = mod.Add(u, x)
-				v[lj+localSpan] = mod.Mul(mod.Sub(u, x), w)
+				tw[off] = w
+				tw[off+1] = ws
+				off += 2
 			}
 		}
 	}
+	return tw
 }
 
-// Inverse computes the inverse NTT via the fused plan; output matches
-// Table.Inverse exactly.
+// Inverse computes the inverse negacyclic NTT of a (input bit-reversed,
+// output natural order, scaled by N^-1) via the fused plan. Output is
+// bit-identical to Table.Inverse. Zero allocations.
 func (p *InverseFusedPlan) Inverse(a []uint64) {
-	p.InverseCounted(a, nil)
+	t := p.Table
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: length %d != N=%d", len(a), t.N))
+	}
+	mod := t.Mod
+	last := len(p.passes) - 1
+	for pi := range p.passes {
+		pass := &p.passes[pi]
+		if pi == last {
+			// The final pass carries the N^-1 fold on its last stage.
+			switch pass.kappa {
+			case 3:
+				invPass8Fold(mod, a, pass.tw, pass.stride, t.nInv, t.nInvShoup)
+			case 2:
+				invPass4Fold(mod, a, pass.tw, pass.stride, t.nInv, t.nInvShoup)
+			case 1:
+				invPass2Fold(mod, a, pass.tw, pass.stride, t.nInv, t.nInvShoup)
+			default:
+				p.runPassGeneric(a, pass, true, nil)
+			}
+			continue
+		}
+		if pi == 0 {
+			// The first pass always lands on stride 1: contiguous blocks.
+			switch pass.kappa {
+			case 3:
+				invPass8First(mod, a, pass.tw, pass.segs)
+			case 2:
+				invPass4First(mod, a, pass.tw, pass.segs)
+			case 1:
+				invPass2First(mod, a, pass.tw, pass.segs)
+			default:
+				p.runPassGeneric(a, pass, false, nil)
+			}
+			continue
+		}
+		switch pass.kappa {
+		case 3:
+			invPass8(mod, a, pass.tw, pass.stride, pass.segs)
+		case 2:
+			invPass4(mod, a, pass.tw, pass.stride, pass.segs)
+		case 1:
+			invPass2(mod, a, pass.tw, pass.stride, pass.segs)
+		default:
+			p.runPassGeneric(a, pass, false, nil)
+		}
+	}
 }
 
-// InverseCounted is Inverse with operation accounting.
+// InverseCounted is Inverse with operation accounting into s, following the
+// same TAM convention as FusedPlan.ForwardCounted: one reduction slot per
+// block output per pass. The counted run executes the generic kernels,
+// which are bit-identical to the fast path.
 func (p *InverseFusedPlan) InverseCounted(a []uint64, s *Stats) {
 	t := p.Table
 	if len(a) != t.N {
 		panic(fmt.Sprintf("ntt: length %d != N=%d", len(a), t.N))
 	}
-	in := make([]uint64, 1<<uint(p.K))
-	out := make([]uint64, 1<<uint(p.K))
-	for _, pass := range p.passes {
-		size := 1 << uint(pass.kappa)
-		numBlocks := t.N / size
-		for b := 0; b < numBlocks; b++ {
-			seg := b / pass.stride
-			r := b % pass.stride
-			base := seg*pass.segLen + r
-			for tt := 0; tt < size; tt++ {
-				in[tt] = a[base+tt*pass.stride]
-			}
-			applyDenseMatrix(t.Mod, pass.mats[b], in[:size], out[:size], s, p.lazy)
-			for tt := 0; tt < size; tt++ {
-				a[base+tt*pass.stride] = out[tt]
-			}
-		}
+	if s == nil {
+		p.Inverse(a)
+		return
+	}
+	last := len(p.passes) - 1
+	for pi := range p.passes {
+		p.runPassGeneric(a, &p.passes[pi], pi == last, s)
 	}
 }
 
-// Passes returns the number of fused passes.
-func (p *InverseFusedPlan) Passes() int { return len(p.passes) }
-
-// applyDenseMatrix is the shared fused-TAM kernel: out = M·in with one
-// deferred Barrett reduction per output under lazy accumulation.
-func applyDenseMatrix(mod numeric.Modulus, mat, in, out []uint64, s *Stats, lazy bool) {
-	size := len(in)
-	if lazy {
-		for i := 0; i < size; i++ {
-			var hi, lo uint64
-			row := mat[i*size : (i+1)*size]
-			for j, w := range row {
-				if w == 0 || in[j] == 0 {
-					continue
-				}
-				if w == 1 {
-					var c uint64
-					lo, c = bits.Add64(lo, in[j], 0)
-					hi += c
-				} else {
-					hi, lo = numeric.MACWide(hi, lo, in[j], w)
-					if s != nil {
-						s.Mults++
+// runPassGeneric executes one fused GS pass through a stack block buffer —
+// the reference path for arbitrary kappa (up to 6), also used for counted
+// runs. Bit-identical to the specialized kernels.
+func (p *InverseFusedPlan) runPassGeneric(a []uint64, pass *fusedPass, fold bool, st *Stats) {
+	t := p.Table
+	mod := t.Mod
+	q := mod.Q
+	twoQ := q << 1
+	size := 1 << uint(pass.kappa)
+	pairs := size - 1
+	nI, nIS := t.nInv, t.nInvShoup
+	var buf [64]uint64
+	for seg := 0; seg < pass.segs; seg++ {
+		tw := pass.tw[seg*2*pairs : (seg+1)*2*pairs]
+		base := seg * pass.segLen
+		for r := 0; r < pass.stride; r++ {
+			for tt := 0; tt < size; tt++ {
+				buf[tt] = a[base+r+tt*pass.stride]
+			}
+			twOff := 0
+			for s := 0; s < pass.kappa; s++ {
+				span := 1 << uint(s)
+				cnt := size >> uint(s+1)
+				lastStage := fold && s == pass.kappa-1
+				for c := 0; c < cnt; c++ {
+					w, ws := tw[2*(twOff+c)], tw[2*(twOff+c)+1]
+					lb := c * 2 * span
+					for lj := lb; lj < lb+span; lj++ {
+						u, v := buf[lj], buf[lj+span]
+						if lastStage {
+							// Exact Shoup products fold N^-1 and fully reduce.
+							buf[lj] = mod.MulShoup(u+v, nI, nIS)
+							buf[lj+span] = mod.MulShoup(u+twoQ-v, w, ws)
+							continue
+						}
+						xx := u + v
+						if xx >= twoQ {
+							xx -= twoQ
+						}
+						buf[lj] = xx
+						d := u + twoQ - v
+						hi, _ := bits.Mul64(d, ws)
+						buf[lj+span] = d*w - hi*q
 					}
 				}
-				if s != nil {
-					s.Adds++
-				}
+				twOff += cnt
 			}
-			out[i] = mod.ReduceWide(hi, lo)
-			if s != nil {
-				// The fused kernel's one reduction per output is performed,
-				// not deferred — its deferral relative to the unfused
-				// schedule is already expressed by the smaller Reductions
-				// total (FusedBlockCosts).
-				s.Reductions++
-				s.Normalizations++
+			for tt := 0; tt < size; tt++ {
+				a[base+r+tt*pass.stride] = buf[tt]
 			}
 		}
-		return
 	}
-	for i := 0; i < size; i++ {
-		var acc uint64
-		row := mat[i*size : (i+1)*size]
-		for j, w := range row {
-			if w == 0 {
-				continue
-			}
-			term := in[j]
-			if w != 1 {
-				term = mod.Mul(in[j], w)
-				if s != nil {
-					s.Mults++
-					s.Reductions++
-					s.Normalizations++
-				}
-			}
-			acc = mod.Add(acc, term)
-			if s != nil {
-				s.Adds++
-			}
+	if st != nil {
+		n := int64(t.N)
+		kappa := int64(pass.kappa)
+		st.Mults += n * kappa
+		st.Adds += n * kappa
+		st.Reductions += n
+		if fold {
+			st.Normalizations += n
+		} else {
+			st.Deferred += n
 		}
-		out[i] = acc
+		st.TwiddleLoads += int64(pairs * pass.segs)
+		st.FusedPasses++
 	}
+}
+
+// Passes returns the number of fused passes (ceil(logN / k)).
+func (p *InverseFusedPlan) Passes() int { return len(p.passes) }
+
+// TwiddleStorage returns the total uint64 words of precomputed twiddle
+// state held by the plan (factors plus Shoup duals); like the forward plan
+// this is 2(N−1) pairs regardless of k.
+func (p *InverseFusedPlan) TwiddleStorage() int {
+	total := 0
+	for i := range p.passes {
+		total += len(p.passes[i].tw)
+	}
+	return total
 }

@@ -64,16 +64,31 @@ const MaxLazyProducts = 64
 // (hi[j], lo[j]) — the vector form of MACWide used by the fused keyswitch
 // and linear-transform inner products. Pure integer arithmetic, no
 // reductions: the caller budgets MaxLazyProducts terms between folds.
+// 4×-unrolled over array-pointer blocks like VecMontMul: one bounds check
+// per four columns, four independent multiply/carry chains in flight.
 func VecMACWide(hi, lo, a, b []uint64) {
 	n := len(hi)
 	lo = lo[:n]
 	a = a[:n]
 	b = b[:n]
-	for j := range hi {
-		ph, pl := bits.Mul64(a[j], b[j])
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		hb := (*[4]uint64)(hi[i:])
+		lb := (*[4]uint64)(lo[i:])
+		ab := (*[4]uint64)(a[i:])
+		bb := (*[4]uint64)(b[i:])
+		for j := 0; j < 4; j++ {
+			ph, pl := bits.Mul64(ab[j], bb[j])
+			var c uint64
+			lb[j], c = bits.Add64(lb[j], pl, 0)
+			hb[j] += ph + c
+		}
+	}
+	for ; i < n; i++ {
+		ph, pl := bits.Mul64(a[i], b[i])
 		var c uint64
-		lo[j], c = bits.Add64(lo[j], pl, 0)
-		hi[j] += ph + c
+		lo[i], c = bits.Add64(lo[i], pl, 0)
+		hi[i] += ph + c
 	}
 }
 

@@ -45,6 +45,22 @@ type Ring struct {
 	// to its armed fault schedule. Nil in production: the hot paths pay one
 	// pointer compare. See SetFaultInjector.
 	injector *fault.Injector
+
+	// fusionK selects the fused radix-2^k NTT kernels (0 = plain radix-2).
+	// fwdPlans/invPlans hold the active per-limb plans; planCache keeps one
+	// plan set per fusion degree so toggling k is free after the first build.
+	// Strict mode wins over fusion: strict > fused > lazy radix-2. See
+	// SetFusionDegree.
+	fusionK   int
+	fwdPlans  []*ntt.FusedPlan
+	invPlans  []*ntt.InverseFusedPlan
+	planCache map[int]*fusedPlanSet
+}
+
+// fusedPlanSet is one fusion degree's per-limb plan pair.
+type fusedPlanSet struct {
+	fwd []*ntt.FusedPlan
+	inv []*ntt.InverseFusedPlan
 }
 
 // HFCache caches precomputed HFAuto routing maps per Galois element.
@@ -115,6 +131,49 @@ func (r *Ring) SetStrictKernels(strict bool) { r.strict = strict }
 // StrictKernels reports whether the strict reference kernels are selected.
 func (r *Ring) StrictKernels() bool { return r.strict }
 
+// SetFusionDegree selects the fused radix-2^k NTT kernels for every limb
+// transform: k in [1, 6] fuses k butterfly stages per memory pass (k=3 is
+// the paper's Fig-10 sweet spot and the measured one on amd64 — see
+// BENCH_kernels.json); k=0 restores the plain lazy radix-2 kernels. Plans
+// are built once per (table, k) on first selection and cached for the life
+// of the ring, shared by every evaluator on it; the fused and plain paths
+// are bit-identical. Strict mode overrides fusion while set. Like
+// SetStrictKernels, call before sharing the ring across goroutines.
+func (r *Ring) SetFusionDegree(k int) error {
+	if k == 0 {
+		r.fusionK, r.fwdPlans, r.invPlans = 0, nil, nil
+		return nil
+	}
+	if set, ok := r.planCache[k]; ok {
+		r.fusionK, r.fwdPlans, r.invPlans = k, set.fwd, set.inv
+		return nil
+	}
+	set := &fusedPlanSet{
+		fwd: make([]*ntt.FusedPlan, len(r.Tables)),
+		inv: make([]*ntt.InverseFusedPlan, len(r.Tables)),
+	}
+	for i, tab := range r.Tables {
+		fwd, err := ntt.NewFusedPlan(tab, k)
+		if err != nil {
+			return fmt.Errorf("ring: limb %d: %w", i, err)
+		}
+		inv, err := ntt.NewInverseFusedPlan(tab, k)
+		if err != nil {
+			return fmt.Errorf("ring: limb %d: %w", i, err)
+		}
+		set.fwd[i], set.inv[i] = fwd, inv
+	}
+	if r.planCache == nil {
+		r.planCache = make(map[int]*fusedPlanSet)
+	}
+	r.planCache[k] = set
+	r.fusionK, r.fwdPlans, r.invPlans = k, set.fwd, set.inv
+	return nil
+}
+
+// FusionDegree returns the selected fusion degree (0 = plain radix-2).
+func (r *Ring) FusionDegree() int { return r.fusionK }
+
 // SetFaultInjector installs (or, with nil, removes) a fault injector on the
 // ring's injection points. Like SetStrictKernels, call before sharing the
 // ring across goroutines: the pointer is read without synchronization on
@@ -133,9 +192,12 @@ func (r *Ring) ForwardLimb(i int, c []uint64) {
 	if r.injector != nil {
 		r.injector.OnLimbRead(fault.SiteNTT, i, c)
 	}
-	if r.strict {
+	switch {
+	case r.strict:
 		r.Tables[i].ForwardStrict(c)
-	} else {
+	case r.fwdPlans != nil:
+		r.fwdPlans[i].Forward(c)
+	default:
 		r.Tables[i].Forward(c)
 	}
 }
@@ -144,9 +206,12 @@ func (r *Ring) InverseLimb(i int, c []uint64) {
 	if r.injector != nil {
 		r.injector.OnLimbRead(fault.SiteINTT, i, c)
 	}
-	if r.strict {
+	switch {
+	case r.strict:
 		r.Tables[i].InverseStrict(c)
-	} else {
+	case r.invPlans != nil:
+		r.invPlans[i].Inverse(c)
+	default:
 		r.Tables[i].Inverse(c)
 	}
 }

@@ -63,6 +63,18 @@ func (k *Kit) SetWorkers(n int) { k.Eval = k.Eval.WithWorkers(n) }
 // Workers reports the evaluator's current limb-parallel worker bound.
 func (k *Kit) Workers() int { return k.Eval.Workers() }
 
+// SetFusionDegree switches every NTT in the kit onto the fused radix-2^k
+// kernels (k in [1, 6]; 0 restores plain radix-2). Plans are built once per
+// degree and cached on the parameters' rings, so the toggle is cheap after
+// first use; results are bit-identical for every setting. k=3 is the
+// measured sweet spot on amd64 (see BENCH_kernels.json).
+func (k *Kit) SetFusionDegree(degree int) error {
+	return k.Params.SetFusionDegree(degree)
+}
+
+// FusionDegree reports the kit's selected NTT fusion degree (0 = radix-2).
+func (k *Kit) FusionDegree() int { return k.Params.FusionDegree() }
+
 // EncryptValues encodes and encrypts a complex vector at the top level and
 // default scale.
 func (k *Kit) EncryptValues(values []complex128) *Ciphertext {
