@@ -69,11 +69,16 @@ func TestWorkloadTraceMatchesRealBootstrap(t *testing.T) {
 	if recorded[trace.CMult] < 10 || recorded[trace.CMult] > 400 {
 		t.Errorf("recorded CMult count %v outside the modeled order of magnitude", recorded[trace.CMult])
 	}
-	// Rotations dominate over CMults in count (transform rotations plus
-	// the BSGS baby/giant steps).
-	if recorded[trace.Rotation] < recorded[trace.CMult]/4 {
-		t.Errorf("rotations (%v) implausibly few vs CMult (%v)",
-			recorded[trace.Rotation], recorded[trace.CMult])
+	// The slot transforms run on the double-hoisted engine, which records
+	// one LinTrans op per giant-step group instead of a Rotation per BSGS
+	// step; together with the remaining explicit rotations they must still
+	// dominate the CMult count (the transform share of the pipeline).
+	if recorded[trace.LinTrans] == 0 {
+		t.Error("real bootstrap recorded no LinTrans groups from the slot transforms")
+	}
+	if recorded[trace.LinTrans]+recorded[trace.Rotation] < recorded[trace.CMult]/4 {
+		t.Errorf("transform groups + rotations (%v + %v) implausibly few vs CMult (%v)",
+			recorded[trace.LinTrans], recorded[trace.Rotation], recorded[trace.CMult])
 	}
 
 	// The recorded trace prices on the accelerator like any workload.

@@ -38,7 +38,7 @@ func main() {
 	if name == "all" {
 		sort.Slice(experiments, func(i, j int) bool { return experiments[i].name < experiments[j].name })
 		for _, e := range experiments {
-			if e.name == "cpu" || e.name == "benchkernels" || e.name == "benchalloc" || e.name == "faultcampaign" || e.name == "benchtelemetry" || e.name == "benchserve" {
+			if e.name == "cpu" || e.name == "benchkernels" || e.name == "benchalloc" || e.name == "faultcampaign" || e.name == "benchtelemetry" || e.name == "benchserve" || e.name == "benchlinalg" {
 				continue // slow; run explicitly
 			}
 			fs := flag.NewFlagSet(e.name, flag.ExitOnError)

@@ -335,6 +335,27 @@ func (m *Model) ModUp(limbs int) Profile {
 	return p
 }
 
+// LinTrans is one giant-step group of a double-hoisted BSGS linear
+// transform: the per-diagonal plaintext MACs stay in the extended basis, so
+// a group costs roughly one keyswitch pipeline (decompose + MAC + ModDown)
+// plus the plaintext multiply-accumulates and the group automorphism and
+// final addition. This is a coarse per-group estimate — the software
+// evaluator amortizes the baby-step decomposition across groups, which the
+// model does not attempt to split out.
+func (m *Model) LinTrans(limbs int) Profile {
+	e := float64(m.Params.N() * limbs)
+	p := m.keySwitchProfile(limbs)
+	p.Name = "LinTrans"
+	// Two plaintext MACs (both ciphertext components) per group plus the
+	// group automorphism and the accumulation into the running sum.
+	p.Cycles[MM] += 2 * m.elemCycles(2*e, m.Cfg.PipeMM)
+	p.Cycles[MA] += 2 * m.elemCycles(2*e, m.Cfg.PipeMA)
+	p.Cycles[Auto] += m.autoCycles(2 * e)
+	p.Cycles[MA] += m.elemCycles(2*e, m.Cfg.PipeMA)
+	p.HBMBytes += m.words(2*e + 4*e)
+	return p
+}
+
 // ModDown reduces the extended basis back to Q.
 func (m *Model) ModDown(limbs int) Profile {
 	n := float64(m.Params.N())

@@ -146,6 +146,8 @@ func (m *Model) ProfileFor(kind trace.Kind, limbs int) Profile {
 		return m.ModUp(limbs)
 	case trace.ModDown:
 		return m.ModDown(limbs)
+	case trace.LinTrans:
+		return m.LinTrans(limbs)
 	}
 	panic(fmt.Sprintf("arch: unknown trace kind %v", kind))
 }

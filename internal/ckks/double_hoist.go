@@ -1,0 +1,742 @@
+package ckks
+
+import (
+	"fmt"
+	"time"
+
+	"poseidon/internal/numeric"
+	"poseidon/internal/ring"
+)
+
+// Double-hoisted linear transforms.
+//
+// The per-rotation BSGS schedule pays one full keyswitch — digit MACs plus
+// an inverse-NTT sweep and a ModDown — for every baby-step rotation AND
+// every giant-step group. Hoisting (hoisting.go) already shares the digit
+// decomposition across the baby steps; double-hoisting additionally defers
+// every basis reduction to the group boundary:
+//
+//   - each baby rotation is kept lazy: the accumulate-only keyswitch replay
+//     (rotateHoistedAccum) plus the P·σ_g(c0) correction leave the rotation
+//     as NTT-domain residues of P·rot_g(ct) over the extended basis Q_l ∪ P
+//     — no inverse NTT, no ModDown;
+//   - a giant-step group MACs its plaintext diagonals against those lazy
+//     images into 128-bit columns over the full extended basis, then spends
+//     exactly ONE ModDown (and one inverse-NTT sweep) on the group's c1 to
+//     re-enter the Q basis for the giant rotation's own keyswitch, whose
+//     MACs accumulate straight into the output residues;
+//   - the output accumulator is itself kept in the extended basis until the
+//     very end: one inverse-NTT sweep and two ModDowns close the whole
+//     transform.
+//
+// For a transform with b baby steps and g giant-step groups the per-rotation
+// schedule runs 2·(b+g) ModDown sweeps; the double-hoisted schedule runs
+// g+1 (j≠0 groups plus the final close, +1 when a j=0 group exists). The
+// digit-MAC arithmetic is identical — the win is entirely in basis
+// reductions and (inverse-)NTT passes, which is what LinTransStats makes
+// visible and cmd/poseidon benchlinalg gates on.
+//
+// Numerically the two schedules are NOT bit-identical: ModDown rounds once
+// per reduction, so regrouping the reductions shifts the rounding noise by
+// O(1) units — far below the encoding noise floor. Within the
+// double-hoisted path, strict and lazy kernels compute the same exact
+// modular sums and agree bit-for-bit; the differential tests pin both
+// properties.
+
+// qpAccum is a ciphertext-component accumulator over the extended basis
+// Q_l ∪ P: NTT-domain residue polys for the c0 and c1 rows of both the Q
+// and the P half.
+type qpAccum struct {
+	c0Q, c1Q *ring.Poly // qLimbs rows over RingQ
+	c0P, c1P *ring.Poly // alpha rows over RingP
+}
+
+// row0 returns the c0 row of extended limb i (Q rows first, then P).
+func (a *qpAccum) row0(qLimbs, i int) []uint64 {
+	if i < qLimbs {
+		return a.c0Q.Coeffs[i]
+	}
+	return a.c0P.Coeffs[i-qLimbs]
+}
+
+// row1 returns the c1 row of extended limb i.
+func (a *qpAccum) row1(qLimbs, i int) []uint64 {
+	if i < qLimbs {
+		return a.c1Q.Coeffs[i]
+	}
+	return a.c1P.Coeffs[i-qLimbs]
+}
+
+// addVec accumulates a into out modulo mod, element-wise.
+func addVec(mod numeric.Modulus, out, a []uint64) {
+	for j := range out {
+		out[j] = mod.Add(out[j], a[j])
+	}
+}
+
+// ltState bundles the double-hoisted engine's per-call state so every stage
+// runs either as a plain serial loop over its methods (no closures, no
+// allocations) or fanned out across the worker pool. Records are recycled
+// through the Parameters free list (getLtState/putLtState) and keep their
+// slice capacities across checkouts, so a steady-state transform loop
+// allocates nothing beyond the result ciphertext.
+type ltState struct {
+	ev   *Evaluator
+	plan *LinearTransformPlan
+
+	level  int
+	qLimbs int
+	alpha  int
+	ext1   int // extended limb count qLimbs + alpha
+	n      int
+	strict bool
+	serial bool
+
+	hd hoistedDecomposition // shared baby-step digit decomposition
+
+	// ctP0/ctP1 hold P·ct over the Q rows (NTT domain) — the lazy QP image
+	// of the identity rotation; its P rows are identically zero, which the
+	// MAC stage exploits by skipping identity terms on P limbs.
+	ctP0, ctP1 *ring.Poly
+
+	babies []qpAccum // lazy QP rotations, one per plan baby step
+
+	out qpAccum // running transform result over the extended basis
+
+	grp   qpAccum    // per-group staging (strict residues / reduction target)
+	c1Std *ring.Poly // group c1 after its single ModDown (coeff domain, Q)
+	ext   [][]uint64 // extended digit scratch for the group keyswitch
+
+	wideG *wideAcc // 128-bit columns for the group's plaintext MACs
+	wideK *wideAcc // 128-bit columns for the group's key-switch MACs
+
+	// current-group / current-baby context for the stage methods
+	terms        []ltPlanTerm
+	permQ, permP []int
+	key          *SwitchingKey
+	d            int
+	srcC0        *ring.Poly
+	cur          qpAccum
+
+	dst0, dst1 *ring.Poly // final destination rows
+
+	stats LinTransStats
+}
+
+// reset binds the record to one evaluation; acquire draws the scratch.
+func (st *ltState) reset(ev *Evaluator, plan *LinearTransformPlan, level int) {
+	params := ev.params
+	st.ev = ev
+	st.plan = plan
+	st.level = level
+	st.qLimbs = level + 1
+	st.alpha = params.Alpha()
+	st.ext1 = st.qLimbs + st.alpha
+	st.n = params.N
+	st.strict = params.RingQ.StrictKernels()
+	st.serial = ev.pool.Workers() <= 1
+	st.stats = LinTransStats{}
+}
+
+func (st *ltState) acquire() {
+	params := st.ev.params
+	rq, rp := params.RingQ, params.RingP
+	st.ctP0 = rq.GetPolyDirty(st.qLimbs)
+	st.ctP1 = rq.GetPolyDirty(st.qLimbs)
+	// Accumulators start zeroed: the output sum and (under strict kernels)
+	// the per-baby and per-group residues are built by modular adds.
+	st.out = qpAccum{c0Q: rq.GetPoly(st.qLimbs), c1Q: rq.GetPoly(st.qLimbs), c0P: rp.GetPoly(st.alpha), c1P: rp.GetPoly(st.alpha)}
+	st.grp = qpAccum{c0Q: rq.GetPoly(st.qLimbs), c1Q: rq.GetPoly(st.qLimbs), c0P: rp.GetPoly(st.alpha), c1P: rp.GetPoly(st.alpha)}
+	st.c1Std = rq.GetPolyDirty(st.qLimbs)
+	st.ext = params.getExt(st.ext1)
+	for range st.plan.babySteps {
+		st.babies = append(st.babies, qpAccum{c0Q: rq.GetPoly(st.qLimbs), c1Q: rq.GetPoly(st.qLimbs), c0P: rp.GetPoly(st.alpha), c1P: rp.GetPoly(st.alpha)})
+	}
+}
+
+func (st *ltState) putAccum(a *qpAccum) {
+	rq, rp := st.ev.params.RingQ, st.ev.params.RingP
+	if a.c0Q != nil {
+		rq.PutPoly(a.c0Q)
+	}
+	if a.c1Q != nil {
+		rq.PutPoly(a.c1Q)
+	}
+	if a.c0P != nil {
+		rp.PutPoly(a.c0P)
+	}
+	if a.c1P != nil {
+		rp.PutPoly(a.c1P)
+	}
+	*a = qpAccum{}
+}
+
+// release returns every borrowed buffer and recycles the record. Nil-safe
+// field by field, so it doubles as the panic-path sweep (deferred by the
+// driver); slice capacities are kept for the next checkout.
+func (st *ltState) release() {
+	params := st.ev.params
+	rq := params.RingQ
+	for i, ext := range st.hd.digits {
+		if ext != nil {
+			params.putExt(ext)
+		}
+		st.hd.digits[i] = nil
+	}
+	st.hd.digits = st.hd.digits[:0]
+	if st.hd.c0 != nil {
+		rq.PutPoly(st.hd.c0)
+		st.hd.c0 = nil
+	}
+	if st.ctP0 != nil {
+		rq.PutPoly(st.ctP0)
+		st.ctP0 = nil
+	}
+	if st.ctP1 != nil {
+		rq.PutPoly(st.ctP1)
+		st.ctP1 = nil
+	}
+	for k := range st.babies {
+		st.putAccum(&st.babies[k])
+	}
+	st.babies = st.babies[:0]
+	st.putAccum(&st.out)
+	st.putAccum(&st.grp)
+	if st.c1Std != nil {
+		rq.PutPoly(st.c1Std)
+		st.c1Std = nil
+	}
+	if st.ext != nil {
+		params.putExt(st.ext)
+		st.ext = nil
+	}
+	if st.wideG != nil {
+		params.putWide(st.wideG)
+		st.wideG = nil
+	}
+	if st.wideK != nil {
+		params.putWide(st.wideK)
+		st.wideK = nil
+	}
+	st.terms = nil
+	st.permQ, st.permP = nil, nil
+	st.key = nil
+	st.plan = nil
+	st.srcC0 = nil
+	st.cur = qpAccum{}
+	st.dst0, st.dst1 = nil, nil
+	ev := st.ev
+	st.ev = nil
+	ev.params.putLtState(st)
+}
+
+// EvaluateLinearTransform applies lt to ct with the double-hoisted schedule
+// described at the top of this file: shared baby-step decomposition, lazy
+// extended-basis baby rotations, one ModDown per giant-step group, one
+// final close. The result encrypts M·slots(ct) with scale
+// ct.Scale·lt.Scale (rescale afterwards). Requires rotation keys for
+// lt.Plan().GaloisElements(). The result is decrypt-equivalent to — but not
+// bit-identical with — EvaluateLinearTransformPerRotation (ModDown rounding
+// is regrouped; the difference is O(1) ring units, far below the noise
+// floor).
+func (ev *Evaluator) EvaluateLinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	out := NewCiphertext(ev.params, lt.Level)
+	ev.evalDoubleHoisted(out, ct, lt)
+	return out
+}
+
+// EvaluateLinearTransformInto is EvaluateLinearTransform writing into dst
+// (resliced to the transform level; dst may alias ct). Returns dst.
+func (ev *Evaluator) EvaluateLinearTransformInto(dst, ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	ev.evalDoubleHoisted(dst, ct, lt)
+	return dst
+}
+
+// EvaluateLinearTransformWithStats is EvaluateLinearTransform returning the
+// per-call work counters (counted inline by the engine, not estimated).
+func (ev *Evaluator) EvaluateLinearTransformWithStats(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, LinTransStats) {
+	out := NewCiphertext(ev.params, lt.Level)
+	stats := ev.evalDoubleHoisted(out, ct, lt)
+	return out, stats
+}
+
+// phaseSpan reports a timed engine sub-phase ("LinTrans/hoist", …) to the
+// installed SpanObserver. Phase names carry a '/' so kind-based consumers
+// (the trace recorder) can tell them apart from basic ops; the telemetry
+// collector files them into its phase table. No observer, no work.
+func (ev *Evaluator) phaseSpan(op string, level int, start time.Time) {
+	if ev.spans != nil {
+		ev.spans.ObserveSpan(op, level, time.Since(start), nil)
+	}
+}
+
+// phaseStart timestamps a sub-phase only when someone is listening.
+func (ev *Evaluator) phaseStart() (t time.Time) {
+	if ev.spans != nil {
+		t = time.Now()
+	}
+	return
+}
+
+// evalDoubleHoisted is the engine driver. One timed "LinTrans" op is
+// reported per giant-step group — matching the accelerator model, whose
+// trace.LinTrans profile prices one group — plus the '/'-tagged phase spans
+// when a SpanObserver is installed.
+func (ev *Evaluator) evalDoubleHoisted(dst, ct *Ciphertext, lt *LinearTransform) LinTransStats {
+	if ct.Level < lt.Level {
+		panic(fmt.Sprintf("ckks: transform needs level %d, ciphertext at %d", lt.Level, ct.Level))
+	}
+	if ct.Level > lt.Level {
+		ct = ev.DropLevel(ct, lt.Level)
+	}
+	plan := lt.Plan()
+	params := ev.params
+	level := lt.Level
+	scale := ct.Scale * lt.Scale
+
+	if len(plan.groups) == 0 {
+		// All-zero matrix: write a zero ciphertext without staging a copy.
+		reshapeCt(dst, level)
+		for i := range dst.C0.Coeffs {
+			clear(dst.C0.Coeffs[i])
+			clear(dst.C1.Coeffs[i])
+		}
+		dst.C0.IsNTT, dst.C1.IsNTT = true, true
+		dst.Scale = scale
+		return LinTransStats{BabySteps: 0, GiantSteps: 0}
+	}
+	if len(plan.galois) > 0 && ev.rtks == nil {
+		panic("ckks: rotation requires rotation keys")
+	}
+
+	st := params.getLtState()
+	defer st.release()
+	st.reset(ev, plan, level)
+	st.acquire()
+	st.stats.BabySteps = len(plan.babySteps)
+	st.stats.GiantSteps = len(plan.groups)
+
+	t := ev.phaseStart()
+	st.hoist(ct)
+	ev.phaseSpan("LinTrans/hoist", level, t)
+
+	t = ev.phaseStart()
+	st.babyPhase(ct)
+	ev.phaseSpan("LinTrans/baby", level, t)
+
+	t = ev.phaseStart()
+	st.giantPhase()
+	ev.phaseSpan("LinTrans/giant", level, t)
+
+	t = ev.phaseStart()
+	st.finish(dst, scale)
+	ev.phaseSpan("LinTrans/finish", level, t)
+
+	return st.stats
+}
+
+// hoist runs the shared phase: the baby-step digit decomposition of ct.C1
+// (skipped when the plan has no baby steps) and the scalar lift
+// ctP0/ctP1 = P·ct over the Q rows — the lazy QP image of the identity
+// rotation.
+func (st *ltState) hoist(ct *Ciphertext) {
+	ev := st.ev
+	params := ev.params
+	if len(st.plan.babySteps) > 0 {
+		ev.decomposeHoistedInto(&st.hd, ct, false)
+		st.stats.InverseNTTLimbs += st.qLimbs
+		st.stats.NTTLimbs += params.Digits(st.level) * st.ext1
+	}
+	params.RingQ.MulScalarRNSParallel(st.ctP0, ct.C0, params.pModQ[:st.qLimbs], ev.pool)
+	params.RingQ.MulScalarRNSParallel(st.ctP1, ct.C1, params.pModQ[:st.qLimbs], ev.pool)
+	st.ctP0.IsNTT, st.ctP1.IsNTT = true, true
+}
+
+// babyPhase materializes each baby step as a lazy extended-basis rotation:
+// the accumulate-only keyswitch replay, then the P·σ_g(c0) correction
+// (NTT-domain Galois permutation of the raw c0 limb, multiply-added by the
+// per-limb scalar [P]_{q_i}). P rows need no correction — P·x vanishes mod
+// every p_j.
+func (st *ltState) babyPhase(ct *Ciphertext) {
+	ev := st.ev
+	plan := st.plan
+	if len(plan.babySteps) == 0 {
+		return
+	}
+	rq := ev.params.RingQ
+	st.srcC0 = ct.C0
+	for k := range plan.babySteps {
+		g := plan.babyGal[k]
+		key, ok := ev.rtks.Keys[g]
+		if !ok {
+			panic(fmt.Sprintf("ckks: no rotation key for step %d (g=%d)", plan.babySteps[k], g))
+		}
+		ev.rotateHoistedAccum(&st.hd, g, key, st.babies[k])
+		st.stats.KeySwitches++
+		st.permQ = rq.NTTGaloisPermutation(g)
+		st.cur = st.babies[k]
+		if st.serial {
+			for l := 0; l < st.qLimbs; l++ {
+				st.babyC0Stage(l)
+			}
+		} else {
+			ev.pool.ForEach(st.qLimbs, st.babyC0Stage)
+		}
+	}
+	st.srcC0 = nil
+	st.cur = qpAccum{}
+}
+
+func (st *ltState) babyC0Stage(l int) {
+	params := st.ev.params
+	rq := params.RingQ
+	buf := rq.GetVec()
+	ring.ApplyPermutationNTT(buf, st.srcC0.Coeffs[l], st.permQ)
+	rq.Moduli[l].VecMulShoupAdd(st.cur.c0Q.Coeffs[l], buf, params.pModQ[l], params.pModQShoup[l])
+	rq.PutVec(buf)
+}
+
+// giantPhase evaluates the groups in plan order. Each group MACs its
+// diagonals against the lazy rotations over the full extended basis; a j=0
+// group folds straight into the output accumulator, while a j≠0 group
+// spends its single ModDown on the group c1, runs the giant rotation's
+// keyswitch MACs into the output residues, and permute-adds the group c0.
+func (st *ltState) giantPhase() {
+	ev := st.ev
+	params := ev.params
+	rq, rp := params.RingQ, params.RingP
+	digits := params.Digits(st.level)
+	for gi := range st.plan.groups {
+		g := &st.plan.groups[gi]
+		sp := ev.beginOp("LinTrans")
+		st.terms = g.terms
+		st.stats.PlainMACs += len(g.terms)
+		if st.strict {
+			if st.serial {
+				for i := 0; i < st.ext1; i++ {
+					st.clearGrpStage(i)
+				}
+			} else {
+				ev.pool.ForEach(st.ext1, st.clearGrpStage)
+			}
+		} else {
+			st.wideG = params.getWide(2 * st.ext1)
+		}
+		if st.serial {
+			for i := 0; i < st.ext1; i++ {
+				st.groupMacStage(i)
+			}
+		} else {
+			ev.pool.ForEach(st.ext1, st.groupMacStage)
+		}
+
+		if g.j == 0 {
+			if st.serial {
+				for i := 0; i < st.ext1; i++ {
+					st.groupAddStage(i)
+				}
+			} else {
+				ev.pool.ForEach(st.ext1, st.groupAddStage)
+			}
+		} else {
+			key, ok := ev.rtks.Keys[g.gal]
+			if !ok {
+				panic(fmt.Sprintf("ckks: no rotation key for step %d (g=%d)", g.j, g.gal))
+			}
+			st.key = key
+			st.permQ = rq.NTTGaloisPermutation(g.gal)
+			st.permP = rp.NTTGaloisPermutation(g.gal)
+
+			// Close the group c1 and leave the extended basis — the ONE
+			// ModDown this group pays.
+			if st.serial {
+				for i := 0; i < st.ext1; i++ {
+					st.groupC1Stage(i)
+				}
+				st.groupModDownChunk(0, st.n)
+			} else {
+				ev.pool.ForEach(st.ext1, st.groupC1Stage)
+				ev.pool.ForEachChunk(st.n, st.groupModDownChunk)
+			}
+			st.stats.InverseNTTLimbs += st.ext1
+			st.stats.ModDownSweeps++
+
+			// Giant rotation: decompose the group c1 digit by digit, forward
+			// transform, permute by σ_j, MAC against the rotation key —
+			// accumulating straight into the output residues.
+			if !st.strict {
+				st.wideK = params.getWide(2 * st.ext1)
+			}
+			for d := 0; d < digits; d++ {
+				st.d = d
+				if st.wideK != nil && d > 0 && d%(numeric.MaxLazyProducts-1) == 0 {
+					if st.serial {
+						for i := 0; i < st.ext1; i++ {
+							st.groupKsFoldStage(i)
+						}
+					} else {
+						ev.pool.ForEach(st.ext1, st.groupKsFoldStage)
+					}
+				}
+				if st.serial {
+					st.groupDecomposeChunk(0, st.n)
+					for i := 0; i < st.ext1; i++ {
+						st.groupKsMacStage(i)
+					}
+				} else {
+					ev.pool.ForEachChunk(st.n, st.groupDecomposeChunk)
+					ev.pool.ForEach(st.ext1, st.groupKsMacStage)
+				}
+			}
+			st.stats.NTTLimbs += digits * st.ext1
+			st.stats.KeySwitches++
+			if st.wideK != nil {
+				if st.serial {
+					for i := 0; i < st.ext1; i++ {
+						st.groupKsAddStage(i)
+					}
+				} else {
+					ev.pool.ForEach(st.ext1, st.groupKsAddStage)
+				}
+				params.putWide(st.wideK)
+				st.wideK = nil
+			}
+
+			// The group c0 rides along as σ_j(c0_group) added in the
+			// extended basis — no keyswitch, just the permutation.
+			if st.serial {
+				for i := 0; i < st.ext1; i++ {
+					st.groupC0Stage(i)
+				}
+			} else {
+				ev.pool.ForEach(st.ext1, st.groupC0Stage)
+			}
+		}
+		if st.wideG != nil {
+			params.putWide(st.wideG)
+			st.wideG = nil
+		}
+		st.terms = nil
+		ev.endOp("LinTrans", st.level, sp)
+	}
+}
+
+func (st *ltState) clearGrpStage(i int) {
+	clear(st.grp.row0(st.qLimbs, i))
+	clear(st.grp.row1(st.qLimbs, i))
+}
+
+// groupMacStage MACs every diagonal of the current group on extended limb
+// i: lazy 128-bit columns in production (rows i for c0, ext1+i for c1),
+// exact residues in st.grp under strict kernels. Identity terms read the
+// precomputed P·ct image and contribute nothing on P limbs.
+func (st *ltState) groupMacStage(i int) {
+	params := st.ev.params
+	mod := extModulus(params.RingQ, params.RingP, st.qLimbs, i)
+	cnt := 0
+	for _, t := range st.terms {
+		var ptc, r0, r1 []uint64
+		if i < st.qLimbs {
+			ptc = t.pt.Value.Coeffs[i]
+			if t.babyIdx < 0 {
+				r0, r1 = st.ctP0.Coeffs[i], st.ctP1.Coeffs[i]
+			} else {
+				b := &st.babies[t.babyIdx]
+				r0, r1 = b.c0Q.Coeffs[i], b.c1Q.Coeffs[i]
+			}
+		} else {
+			if t.babyIdx < 0 {
+				continue
+			}
+			r := i - st.qLimbs
+			ptc = t.ptP.Coeffs[r]
+			b := &st.babies[t.babyIdx]
+			r0, r1 = b.c0P.Coeffs[r], b.c1P.Coeffs[r]
+		}
+		if st.strict {
+			macLimb(st.grp.row0(st.qLimbs, i), r0, ptc, mod)
+			macLimb(st.grp.row1(st.qLimbs, i), r1, ptc, mod)
+		} else {
+			if cnt > 0 && cnt%(numeric.MaxLazyProducts-1) == 0 {
+				st.wideG.fold(mod, i)
+				st.wideG.fold(mod, st.ext1+i)
+			}
+			st.wideG.mac(i, r0, ptc)
+			st.wideG.mac(st.ext1+i, r1, ptc)
+			cnt++
+		}
+	}
+}
+
+// groupAddStage folds a j=0 group straight into the output accumulator.
+func (st *ltState) groupAddStage(i int) {
+	params := st.ev.params
+	mod := extModulus(params.RingQ, params.RingP, st.qLimbs, i)
+	o0, o1 := st.out.row0(st.qLimbs, i), st.out.row1(st.qLimbs, i)
+	if st.strict {
+		addVec(mod, o0, st.grp.row0(st.qLimbs, i))
+		addVec(mod, o1, st.grp.row1(st.qLimbs, i))
+	} else {
+		mod.VecReduceWideAdd(o0, st.wideG.hi[i], st.wideG.lo[i])
+		mod.VecReduceWideAdd(o1, st.wideG.hi[st.ext1+i], st.wideG.lo[st.ext1+i])
+	}
+}
+
+// groupC1Stage closes the group c1 on extended limb i and returns it to
+// the coefficient domain, feeding the group's single ModDown.
+func (st *ltState) groupC1Stage(i int) {
+	params := st.ev.params
+	rq, rp := params.RingQ, params.RingP
+	dst := st.grp.row1(st.qLimbs, i)
+	if !st.strict {
+		st.wideG.reduce(extModulus(rq, rp, st.qLimbs, i), st.ext1+i, dst)
+	}
+	if i < st.qLimbs {
+		rq.InverseLimb(i, dst)
+	} else {
+		rp.InverseLimb(i-st.qLimbs, dst)
+	}
+}
+
+func (st *ltState) groupModDownChunk(lo, hi int) {
+	md := st.ev.params.modDown[st.level]
+	md.ModDown(rangeView(st.c1Std.Coeffs, lo, hi), rangeView(st.grp.c1Q.Coeffs, lo, hi), rangeView(st.grp.c1P.Coeffs, lo, hi))
+}
+
+func (st *ltState) groupDecomposeChunk(lo, hi int) {
+	st.ev.params.decomposer.DecomposeAndExtend(
+		st.level, st.d, rangeView(st.c1Std.Coeffs, lo, hi), rangeView(st.ext, lo, hi))
+}
+
+func (st *ltState) groupKsFoldStage(i int) {
+	mod := extModulus(st.ev.params.RingQ, st.ev.params.RingP, st.qLimbs, i)
+	st.wideK.fold(mod, i)
+	st.wideK.fold(mod, st.ext1+i)
+}
+
+// groupKsMacStage processes extended limb i of the current digit of the
+// giant rotation's keyswitch: forward NTT of the decomposed limb, Galois
+// permutation through an arena staging vector, MAC against the digit keys.
+// Strict kernels accumulate exact residues directly into the output rows;
+// the lazy path defers through wideK.
+func (st *ltState) groupKsMacStage(i int) {
+	params := st.ev.params
+	rq, rp := params.RingQ, params.RingP
+	bd, ad := st.key.B[st.d], st.key.A[st.d]
+	src := st.ext[i]
+	buf := rq.GetVec()
+	if i < st.qLimbs {
+		rq.ForwardLimb(i, src)
+		ring.ApplyPermutationNTT(buf, src, st.permQ)
+		if st.strict {
+			mod := rq.Moduli[i]
+			macLimb(st.out.c0Q.Coeffs[i], buf, bd.Q.Coeffs[i], mod)
+			macLimb(st.out.c1Q.Coeffs[i], buf, ad.Q.Coeffs[i], mod)
+		} else {
+			st.wideK.mac(i, buf, bd.Q.Coeffs[i])
+			st.wideK.mac(st.ext1+i, buf, ad.Q.Coeffs[i])
+		}
+	} else {
+		j := i - st.qLimbs
+		rp.ForwardLimb(j, src)
+		ring.ApplyPermutationNTT(buf, src, st.permP)
+		if st.strict {
+			mod := rp.Moduli[j]
+			macLimb(st.out.c0P.Coeffs[j], buf, bd.P.Coeffs[j], mod)
+			macLimb(st.out.c1P.Coeffs[j], buf, ad.P.Coeffs[j], mod)
+		} else {
+			st.wideK.mac(i, buf, bd.P.Coeffs[j])
+			st.wideK.mac(st.ext1+i, buf, ad.P.Coeffs[j])
+		}
+	}
+	rq.PutVec(buf)
+}
+
+// groupKsAddStage closes the lazy keyswitch columns of extended limb i into
+// the output accumulator (one deferred Barrett reduction + modular add).
+func (st *ltState) groupKsAddStage(i int) {
+	params := st.ev.params
+	mod := extModulus(params.RingQ, params.RingP, st.qLimbs, i)
+	mod.VecReduceWideAdd(st.out.row0(st.qLimbs, i), st.wideK.hi[i], st.wideK.lo[i])
+	mod.VecReduceWideAdd(st.out.row1(st.qLimbs, i), st.wideK.hi[st.ext1+i], st.wideK.lo[st.ext1+i])
+}
+
+// groupC0Stage closes the group c0 on extended limb i, permutes it by the
+// giant rotation's Galois element, and adds it to the output accumulator.
+func (st *ltState) groupC0Stage(i int) {
+	params := st.ev.params
+	rq, rp := params.RingQ, params.RingP
+	mod := extModulus(rq, rp, st.qLimbs, i)
+	src := st.grp.row0(st.qLimbs, i)
+	if !st.strict {
+		st.wideG.reduce(mod, i, src)
+	}
+	buf := rq.GetVec()
+	if i < st.qLimbs {
+		ring.ApplyPermutationNTT(buf, src, st.permQ)
+	} else {
+		ring.ApplyPermutationNTT(buf, src, st.permP)
+	}
+	addVec(mod, st.out.row0(st.qLimbs, i), buf)
+	rq.PutVec(buf)
+}
+
+// finish closes the output accumulator: one inverse-NTT sweep over the
+// extended basis, two ModDowns (c0, c1) into the destination, and the
+// forward transforms of the result.
+func (st *ltState) finish(dst *Ciphertext, scale float64) {
+	ev := st.ev
+	reshapeCt(dst, st.level)
+	st.dst0, st.dst1 = dst.C0, dst.C1
+	if st.serial {
+		for t := 0; t < 2*st.ext1; t++ {
+			st.finishInttStage(t)
+		}
+		st.finishModDownChunk(0, st.n)
+		for t := 0; t < 2*st.qLimbs; t++ {
+			st.finishNttStage(t)
+		}
+	} else {
+		ev.pool.ForEach(2*st.ext1, st.finishInttStage)
+		ev.pool.ForEachChunk(st.n, st.finishModDownChunk)
+		ev.pool.ForEach(2*st.qLimbs, st.finishNttStage)
+	}
+	st.stats.InverseNTTLimbs += 2 * st.ext1
+	st.stats.ModDownSweeps += 2
+	st.stats.NTTLimbs += 2 * st.qLimbs
+	dst.C0.IsNTT, dst.C1.IsNTT = true, true
+	dst.Scale = scale
+	st.dst0, st.dst1 = nil, nil
+}
+
+func (st *ltState) finishInttStage(t int) {
+	params := st.ev.params
+	rq, rp := params.RingQ, params.RingP
+	c, i := t/st.ext1, t%st.ext1
+	var row []uint64
+	if c == 0 {
+		row = st.out.row0(st.qLimbs, i)
+	} else {
+		row = st.out.row1(st.qLimbs, i)
+	}
+	if i < st.qLimbs {
+		rq.InverseLimb(i, row)
+	} else {
+		rp.InverseLimb(i-st.qLimbs, row)
+	}
+}
+
+func (st *ltState) finishModDownChunk(lo, hi int) {
+	md := st.ev.params.modDown[st.level]
+	md.ModDown(rangeView(st.dst0.Coeffs, lo, hi), rangeView(st.out.c0Q.Coeffs, lo, hi), rangeView(st.out.c0P.Coeffs, lo, hi))
+	md.ModDown(rangeView(st.dst1.Coeffs, lo, hi), rangeView(st.out.c1Q.Coeffs, lo, hi), rangeView(st.out.c1P.Coeffs, lo, hi))
+}
+
+func (st *ltState) finishNttStage(t int) {
+	rq := st.ev.params.RingQ
+	if t < st.qLimbs {
+		rq.ForwardLimb(t, st.dst0.Coeffs[t])
+	} else {
+		rq.ForwardLimb(t-st.qLimbs, st.dst1.Coeffs[t-st.qLimbs])
+	}
+}

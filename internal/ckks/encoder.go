@@ -128,6 +128,44 @@ func (e *Encoder) Encode(values []complex128, level int, scale float64) *Plainte
 	return pt
 }
 
+// encodeQP is Encode extended to the keyswitching basis: alongside the
+// Q-basis plaintext it reduces the same rounded message integers over the
+// special primes P and transforms them — the image double-hoisted linear
+// transforms multiply against lazy (QP-basis) baby-step rotations. The
+// input slice is clobbered in place by the IFFT, so callers can reuse one
+// scratch vector across many diagonals; it must span exactly Slots values.
+func (e *Encoder) encodeQP(values []complex128, level int, scale float64) (*Plaintext, *ring.Poly) {
+	n := e.params.Slots
+	if len(values) != n {
+		panic("ckks: encodeQP requires a full slot vector")
+	}
+	e.specialIFFT(values)
+
+	rq, rp := e.params.RingQ, e.params.RingP
+	alpha := e.params.Alpha()
+	pt := &Plaintext{
+		Value: rq.NewPoly(level + 1),
+		Scale: scale,
+		Level: level,
+	}
+	ptP := rp.NewPoly(alpha)
+	for j := 0; j < n; j++ {
+		re := int64(math.Round(real(values[j]) * scale))
+		im := int64(math.Round(imag(values[j]) * scale))
+		for i := 0; i <= level; i++ {
+			pt.Value.Coeffs[i][j] = rq.Moduli[i].ReduceSigned(re)
+			pt.Value.Coeffs[i][j+n] = rq.Moduli[i].ReduceSigned(im)
+		}
+		for i := 0; i < alpha; i++ {
+			ptP.Coeffs[i][j] = rp.Moduli[i].ReduceSigned(re)
+			ptP.Coeffs[i][j+n] = rp.Moduli[i].ReduceSigned(im)
+		}
+	}
+	rq.NTT(pt.Value)
+	rp.NTT(ptP)
+	return pt, ptP
+}
+
 // EncodeReal embeds real values (convenience wrapper).
 func (e *Encoder) EncodeReal(values []float64, level int, scale float64) *Plaintext {
 	cs := make([]complex128, len(values))

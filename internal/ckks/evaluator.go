@@ -255,6 +255,14 @@ type ksState struct {
 	// permQ/permP instead of decomposing and transforming.
 	hoisted      bool
 	permQ, permP []int
+
+	// accumOnly marks an accumulate-only run: the pipeline stops after
+	// reducing the digit MACs to NTT-domain residues over the extended
+	// basis (reduceResidueStage) — no inverse NTT, no ModDown. The acc
+	// polys are then caller-owned accumulator destinations, and neither
+	// ksFinish nor ksRelease may touch them. The double-hoisted
+	// linear-transform engine runs baby-step rotations in this mode.
+	accumOnly bool
 }
 
 // foldStage folds accumulator columns to residues, restarting the lazy
@@ -319,6 +327,27 @@ func (s *ksState) macStage(i int) {
 	}
 	if permBuf != nil {
 		rq.PutVec(permBuf)
+	}
+}
+
+// reduceResidueStage closes the accumulator columns of extended limb i to
+// NTT-domain residues in the acc polys without leaving the extended basis —
+// the accumulate-only pipeline tail. Under strict kernels the mac stage
+// already maintained exact residues in the acc polys, so there is nothing
+// to reduce; both paths leave identical values (the lazy columns hold the
+// exact same modular sum, closed by one deferred Barrett reduction).
+func (s *ksState) reduceResidueStage(i int) {
+	if s.wide == nil {
+		return
+	}
+	mod := extModulus(s.ev.params.RingQ, s.ev.params.RingP, s.qLimbs, i)
+	if i < s.qLimbs {
+		s.wide.reduce(mod, i, s.acc0Q.Coeffs[i])
+		s.wide.reduce(mod, s.ext1+i, s.acc1Q.Coeffs[i])
+	} else {
+		j := i - s.qLimbs
+		s.wide.reduce(mod, i, s.acc0P.Coeffs[j])
+		s.wide.reduce(mod, s.ext1+i, s.acc1P.Coeffs[j])
 	}
 }
 
@@ -510,6 +539,12 @@ func (ev *Evaluator) ksFinish(s *ksState, serial bool) {
 func (ev *Evaluator) ksRelease(s *ksState) {
 	params := ev.params
 	rq, rp := params.RingQ, params.RingP
+	if s.accumOnly {
+		// Accumulate-only runs borrow caller-owned accumulator polys; the
+		// caller's own deferred sweep releases them (a Put here would
+		// double-free on the panic path).
+		s.acc0Q, s.acc1Q, s.acc0P, s.acc1P = nil, nil, nil, nil
+	}
 	if s.acc0Q != nil {
 		rq.PutPoly(s.acc0Q)
 		s.acc0Q = nil

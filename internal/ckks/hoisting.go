@@ -51,6 +51,24 @@ func (hd *hoistedDecomposition) release(params *Parameters) {
 // in the decomposition, every digit matrix acquired so far and both arena
 // copies are returned before the panic propagates.
 func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) (hdOut *hoistedDecomposition) {
+	hd := &hoistedDecomposition{digits: make([][][]uint64, 0, ev.params.Digits(ct.Level))}
+	defer func() {
+		if hdOut == nil {
+			hd.release(ev.params)
+		}
+	}()
+	ev.decomposeHoistedInto(hd, ct, true)
+	return hd
+}
+
+// decomposeHoistedInto performs the shared phase on ct.C1 into a
+// caller-owned record, reusing hd.digits capacity across calls — the
+// zero-allocation entry the pooled linear-transform state uses. withC0
+// controls whether the coefficient-domain C0 copy is taken: the
+// double-hoisted path permutes C0 in the NTT domain and skips it, saving
+// qLimbs inverse transforms. The caller owns the release of hd (panic paths
+// included); the c1 scratch acquired here is swept locally.
+func (ev *Evaluator) decomposeHoistedInto(hd *hoistedDecomposition, ct *Ciphertext, withC0 bool) {
 	params := ev.params
 	pool := ev.pool
 	serial := pool.Workers() <= 1
@@ -62,7 +80,8 @@ func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) (hdOut *hoistedDecompositi
 	qLimbs := level + 1
 	extLimbs := qLimbs + alpha
 
-	hd := &hoistedDecomposition{level: level, digits: make([][][]uint64, 0, digits)}
+	hd.level = level
+	hd.digits = hd.digits[:0]
 	// c1 is captured by the worker-pool closures below, so it is never
 	// reassigned (a reassignment would force a by-reference capture and a
 	// heap move); the panic sweep tracks its release through c1Live, which
@@ -72,13 +91,12 @@ func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) (hdOut *hoistedDecompositi
 		if c1Live != nil {
 			rq.PutPoly(c1Live)
 		}
-		if hdOut == nil {
-			hd.release(params)
-		}
 	}()
 	c1 := ev.inttCopy(ct.C1)
 	c1Live = c1
-	hd.c0 = ev.inttCopy(ct.C0)
+	if withC0 {
+		hd.c0 = ev.inttCopy(ct.C0)
+	}
 
 	decomposer := params.decomposer
 	for d := 0; d < digits; d++ {
@@ -108,7 +126,6 @@ func (ev *Evaluator) decomposeHoisted(ct *Ciphertext) (hdOut *hoistedDecompositi
 	}
 	rq.PutPoly(c1)
 	c1Live = nil
-	return hd
 }
 
 // Hoisted is a reusable handle over one ciphertext's shared keyswitch
@@ -306,6 +323,79 @@ func (ev *Evaluator) rotateHoistedOne(hd *hoistedDecomposition, ct *Ciphertext, 
 	p0 = nil
 	ev.endOp("Rotation", level, sp)
 	return res
+}
+
+// rotateHoistedAccum is the group-level sibling of rotateHoistedOne: it
+// replays the shared decomposition for one Galois element in accumulate-only
+// mode, leaving the key-switch MACs as NTT-domain residues over the extended
+// basis Q_l ∪ P in the caller-owned accumulator acc — no inverse NTT, no
+// ModDown. Together with the P·σ_g(c0) correction (which the caller folds in
+// via the parameter set's pModQ scalars) the residues form the lazy QP-basis
+// image P·rot_g(ct) that double-hoisted giant-step groups multiply
+// plaintext diagonals against, deferring the entire basis reduction to one
+// ModDown per group.
+func (ev *Evaluator) rotateHoistedAccum(hd *hoistedDecomposition, g uint64, key *SwitchingKey, acc qpAccum) {
+	params := ev.params
+	pool := ev.pool
+	serial := pool.Workers() <= 1
+	rq, rp := params.RingQ, params.RingP
+	level := hd.level
+	qLimbs := level + 1
+
+	s := params.getKsState()
+	defer ev.ksRelease(s)
+	s.ev = ev
+	s.level = level
+	s.qLimbs = qLimbs
+	s.alpha = params.Alpha()
+	s.ext1 = qLimbs + s.alpha
+	s.n = params.N
+	s.strict = rq.StrictKernels()
+	s.key = key
+	s.hoisted = true
+	s.accumOnly = true
+	s.permQ = rq.NTTGaloisPermutation(g)
+	s.permP = rp.NTTGaloisPermutation(g)
+
+	// Caller-owned destinations (zeroed by the caller): under strict kernels
+	// the mac stage accumulates exact residues directly into them; on the
+	// lazy path they receive the deferred reductions of the wide columns.
+	s.acc0Q, s.acc1Q = acc.c0Q, acc.c1Q
+	s.acc0P, s.acc1P = acc.c0P, acc.c1P
+	if !s.strict {
+		s.wide = params.getWide(2 * s.ext1)
+	}
+
+	for di := range hd.digits {
+		s.d = di
+		s.ext = hd.digits[di]
+		if s.wide != nil && di > 0 && di%(numeric.MaxLazyProducts-1) == 0 {
+			if serial {
+				for i := 0; i < s.ext1; i++ {
+					s.foldStage(i)
+				}
+			} else {
+				pool.ForEach(s.ext1, s.foldStage)
+			}
+		}
+		if serial {
+			for i := 0; i < s.ext1; i++ {
+				s.macStage(i)
+			}
+		} else {
+			pool.ForEach(s.ext1, s.macStage)
+		}
+	}
+	s.ext = nil // borrowed from hd
+
+	if serial {
+		for i := 0; i < s.ext1; i++ {
+			s.reduceResidueStage(i)
+		}
+	} else {
+		pool.ForEach(s.ext1, s.reduceResidueStage)
+	}
+	acc.c0Q.IsNTT, acc.c1Q.IsNTT, acc.c0P.IsNTT, acc.c1P.IsNTT = true, true, true, true
 }
 
 // galoisForRotation mirrors automorph.GaloisElementForRotation without the

@@ -148,15 +148,9 @@ func (kg *KeyGenerator) genSwitchingKey(target *ring.Poly, sk *SecretKey) *Switc
 	alpha := params.Alpha()
 	digits := (limbsQ + alpha - 1) / alpha
 
-	// [P]_{q_i}: the factor applied to the target on digit-own limbs.
-	pModQ := make([]uint64, limbsQ)
-	for i, qi := range rq.Moduli {
-		prod := uint64(1)
-		for _, pj := range rp.Moduli {
-			prod = qi.Mul(prod, qi.Reduce(pj.Q))
-		}
-		pModQ[i] = prod
-	}
+	// [P]_{q_i}: the factor applied to the target on digit-own limbs
+	// (precomputed once on the parameter set).
+	pModQ := params.pModQ
 
 	swk := &SwitchingKey{
 		B: make([]PolyQP, digits),
@@ -222,6 +216,25 @@ func (kg *KeyGenerator) GenRotationKeys(sk *SecretKey, steps []int, conjugate bo
 		gs = append(gs, automorph.GaloisElementConjugate(kg.params.N))
 	}
 	for _, g := range gs {
+		if _, ok := set.Keys[g]; ok {
+			continue
+		}
+		set.Keys[g] = kg.genGaloisKey(sk, g)
+	}
+	return set
+}
+
+// GenGaloisKeys builds switching keys for exactly the given Galois
+// elements — the companion to LinearTransformPlan.GaloisElements, letting a
+// tenant provision precisely the rotation keys one transform needs instead
+// of guessing a power-of-two ladder. Duplicates and the identity element
+// are skipped.
+func (kg *KeyGenerator) GenGaloisKeys(sk *SecretKey, galEls []uint64) *RotationKeySet {
+	set := &RotationKeySet{Keys: map[uint64]*SwitchingKey{}}
+	for _, g := range galEls {
+		if g == 1 {
+			continue
+		}
 		if _, ok := set.Keys[g]; ok {
 			continue
 		}

@@ -3,65 +3,213 @@ package ckks
 import (
 	"fmt"
 	"math/cmplx"
+	"sort"
+	"sync"
 
 	"poseidon/internal/numeric"
+	"poseidon/internal/ring"
 )
 
 // LinearTransform is an encoded n×n slot-wise matrix multiplication,
 // evaluated with the baby-step/giant-step diagonal method: the matrix is
 // stored as its generalized diagonals, pre-rotated so evaluation needs only
-// ~2·√n rotations.
+// ~2·√n rotations. Diagonals are encoded over the extended basis Q·P as
+// well, so the double-hoisted evaluation path can multiply them against
+// lazy (not-yet-ModDowned) baby-step rotations; see double_hoist.go.
 type LinearTransform struct {
 	N1    int // baby-step width
 	Level int // evaluation level (input must be at this level)
 	Scale float64
 
+	n int // ring degree, fixed at construction
+
 	// diag[d] is the plaintext of diagonal d (already rotated by −(d/N1)·N1
-	// for the giant-step regrouping); nil for all-zero diagonals.
-	diag map[int]*Plaintext
+	// for the giant-step regrouping); absent for all-zero diagonals.
+	// diagP[d] is the same message encoded over the special primes P.
+	diag  map[int]*Plaintext
+	diagP map[int]*ring.Poly
+
+	// plan caches the evaluation plan (diagonal grouping, Galois elements,
+	// key layout), built once on first use.
+	planMu sync.Mutex
+	plan   *LinearTransformPlan
 }
 
-// Rotations returns the rotation steps required to evaluate the transform.
-func (lt *LinearTransform) Rotations() []int {
+// LinearTransformPlan is the precomputed evaluation schedule of one
+// transform: baby steps and giant-step groups in deterministic (sorted)
+// order, with the Galois element of every rotation resolved once. Both
+// evaluation paths (double-hoisted and per-rotation) run off the plan, so
+// operator traces and telemetry spans are reproducible run-to-run.
+type LinearTransformPlan struct {
+	lt *LinearTransform
+	n1 int
+
+	babySteps []int    // sorted nonzero inner rotation steps
+	babyGal   []uint64 // Galois element per baby step
+
+	groups []ltGroup // giant-step groups, sorted by outer step j
+
+	rotations []int    // all rotation steps, sorted ascending
+	galois    []uint64 // distinct non-identity Galois elements, sorted
+}
+
+// ltGroup is one giant-step group: the diagonals sharing outer step j.
+type ltGroup struct {
+	j     int
+	gal   uint64 // Galois element of the giant rotation (1 when j == 0)
+	terms []ltPlanTerm
+}
+
+// ltPlanTerm is one diagonal's contribution to a group sum.
+type ltPlanTerm struct {
+	i       int // inner (baby) step
+	babyIdx int // index into babySteps; −1 for i == 0 (the input itself)
+	pt      *Plaintext
+	ptP     *ring.Poly
+}
+
+// Plan returns the transform's cached evaluation plan, building it on first
+// use. Safe for concurrent use.
+func (lt *LinearTransform) Plan() *LinearTransformPlan {
+	lt.planMu.Lock()
+	defer lt.planMu.Unlock()
+	if lt.plan == nil {
+		lt.plan = lt.buildPlan()
+	}
+	return lt.plan
+}
+
+func (lt *LinearTransform) buildPlan() *LinearTransformPlan {
 	n1 := lt.N1
-	seen := map[int]bool{}
-	var rots []int
+	ds := make([]int, 0, len(lt.diag))
 	for d := range lt.diag {
-		i := d % n1
-		j := d - i
-		if i != 0 && !seen[i] {
-			seen[i] = true
-			rots = append(rots, i)
-		}
-		if j != 0 && !seen[j] {
-			seen[j] = true
-			rots = append(rots, j)
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+
+	p := &LinearTransformPlan{lt: lt, n1: n1}
+
+	// Baby steps, sorted, with a step → slot index for the group terms.
+	seenBaby := map[int]bool{}
+	for _, d := range ds {
+		if i := d % n1; i != 0 && !seenBaby[i] {
+			seenBaby[i] = true
+			p.babySteps = append(p.babySteps, i)
 		}
 	}
-	return rots
+	sort.Ints(p.babySteps)
+	babyIdx := make(map[int]int, len(p.babySteps))
+	p.babyGal = make([]uint64, len(p.babySteps))
+	for k, s := range p.babySteps {
+		babyIdx[s] = k
+		p.babyGal[k] = galoisForRotation(s, lt.n)
+	}
+
+	// Giant-step groups: ds is sorted, so j = ⌊d/n1⌋·n1 is nondecreasing
+	// and the terms of each group arrive in ascending inner-step order.
+	for _, d := range ds {
+		i := d % n1
+		j := d - i
+		if len(p.groups) == 0 || p.groups[len(p.groups)-1].j != j {
+			p.groups = append(p.groups, ltGroup{j: j, gal: galoisForRotation(j, lt.n)})
+		}
+		g := &p.groups[len(p.groups)-1]
+		bi := -1
+		if i != 0 {
+			bi = babyIdx[i]
+		}
+		g.terms = append(g.terms, ltPlanTerm{i: i, babyIdx: bi, pt: lt.diag[d], ptP: lt.diagP[d]})
+	}
+
+	p.rotations = append(p.rotations, p.babySteps...)
+	for _, g := range p.groups {
+		if g.j != 0 {
+			p.rotations = append(p.rotations, g.j)
+		}
+	}
+	sort.Ints(p.rotations)
+	for _, s := range p.rotations {
+		if g := galoisForRotation(s, lt.n); g != 1 {
+			p.galois = append(p.galois, g)
+		}
+	}
+	sort.Slice(p.galois, func(a, b int) bool { return p.galois[a] < p.galois[b] })
+	return p
+}
+
+// Rotations returns the rotation steps the plan needs, sorted ascending.
+func (p *LinearTransformPlan) Rotations() []int {
+	return append([]int(nil), p.rotations...)
+}
+
+// GaloisElements returns the distinct non-identity Galois elements the plan
+// needs keys for, sorted ascending — the exact key set a serving tenant
+// should upload before submitting transform evaluations.
+func (p *LinearTransformPlan) GaloisElements() []uint64 {
+	return append([]uint64(nil), p.galois...)
+}
+
+// Rotations returns the rotation steps required to evaluate the transform,
+// sorted ascending (delegates to the cached plan, so repeated calls are
+// cheap and the order is reproducible).
+func (lt *LinearTransform) Rotations() []int {
+	return lt.Plan().Rotations()
 }
 
 // NewLinearTransform encodes matrix M (row-major, n×n with n = Slots) for
-// evaluation at the given level. scale is the plaintext scale of the
-// diagonals (the evaluation multiplies the ciphertext scale by it; rescale
-// afterwards). Zero diagonals are skipped.
+// evaluation at the given level, with the baby-step width chosen as the
+// smallest power of two whose square covers the slot count. scale is the
+// plaintext scale of the diagonals (the evaluation multiplies the
+// ciphertext scale by it; rescale afterwards). Zero diagonals are skipped.
 func NewLinearTransform(enc *Encoder, m [][]complex128, level int, scale float64) (*LinearTransform, error) {
+	return NewLinearTransformBSGS(enc, m, level, scale, 0)
+}
+
+// NewLinearTransformBSGS is NewLinearTransform with an explicit baby-step
+// width n1 (a power of two in [1, Slots]; 0 selects the default √n split).
+// The double-hoisted path's baby steps cost no transforms, so widths above
+// √n often win there — benchlinalg sweeps this.
+func NewLinearTransformBSGS(enc *Encoder, m [][]complex128, level int, scale float64, n1 int) (*LinearTransform, error) {
 	n := enc.params.Slots
 	if len(m) != n {
 		return nil, fmt.Errorf("ckks: matrix has %d rows, want %d", len(m), n)
 	}
-	n1 := 1
-	for n1*n1 < n {
-		n1 <<= 1
+	for t := range m {
+		if len(m[t]) != n {
+			return nil, fmt.Errorf("ckks: matrix row %d has %d columns, want %d", t, len(m[t]), n)
+		}
 	}
-	lt := &LinearTransform{N1: n1, Level: level, Scale: scale, diag: map[int]*Plaintext{}}
+	if n1 == 0 {
+		n1 = 1
+		for n1*n1 < n {
+			n1 <<= 1
+		}
+	}
+	if n1 < 1 || n1 > n || n1&(n1-1) != 0 {
+		return nil, fmt.Errorf("ckks: baby-step width %d must be a power of two in [1, %d]", n1, n)
+	}
+	lt := &LinearTransform{
+		N1: n1, Level: level, Scale: scale, n: enc.params.N,
+		diag:  map[int]*Plaintext{},
+		diagP: map[int]*ring.Poly{},
+	}
 
-	diagVec := make([]complex128, n)
+	// One scratch vector serves every diagonal: the pre-rotation by −j·n1
+	// is folded into the gather itself (rot[t] = diag_d[t−j]), so nothing
+	// is copied — j=0 diagonals included — and all-zero diagonals cost one
+	// scan. encodeQP clobbers the scratch in place; it is refilled each
+	// iteration.
+	rot := make([]complex128, n)
 	for d := 0; d < n; d++ {
+		j := (d / n1) * n1
 		nonZero := false
 		for t := 0; t < n; t++ {
-			v := m[t][(t+d)%n]
-			diagVec[t] = v
+			src := t - j
+			if src < 0 {
+				src += n
+			}
+			v := m[src][(src+d)%n]
+			rot[t] = v
 			if cmplx.Abs(v) > 1e-14 {
 				nonZero = true
 			}
@@ -69,67 +217,118 @@ func NewLinearTransform(enc *Encoder, m [][]complex128, level int, scale float64
 		if !nonZero {
 			continue
 		}
-		// Pre-rotate by −j·n1 for the giant-step factorization.
-		j := (d / n1) * n1
-		rot := make([]complex128, n)
-		for t := 0; t < n; t++ {
-			rot[t] = diagVec[((t-j)%n+n)%n]
-		}
-		lt.diag[d] = enc.Encode(rot, level, scale)
+		pt, ptP := enc.encodeQP(rot, level, scale)
+		lt.diag[d] = pt
+		lt.diagP[d] = ptP
 	}
 	return lt, nil
 }
 
-// EvaluateLinearTransform applies lt to ct: the result encrypts M·slots(ct)
-// with scale ct.Scale·lt.Scale (rescale afterwards). Requires the rotation
-// keys reported by lt.Rotations().
-func (ev *Evaluator) EvaluateLinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+// LinTransStats counts the work one linear-transform evaluation performed —
+// the observable behind the benchlinalg gate. KeySwitches counts key-switch
+// MAC pipelines (digit inner products against a switching key); the
+// double-hoisted path runs the same number of MACs as the per-rotation
+// baseline but collapses their basis reductions, which ModDownSweeps (one
+// per rns.ModDown invocation) and the NTT limb counts make visible.
+// PlainMACs counts per-diagonal plaintext multiply-accumulates (each one
+// touches both ciphertext components).
+type LinTransStats struct {
+	BabySteps       int
+	GiantSteps      int
+	KeySwitches     int
+	ModDownSweeps   int
+	NTTLimbs        int
+	InverseNTTLimbs int
+	PlainMACs       int
+}
+
+// EvaluateLinearTransformPerRotation applies lt to ct with the per-rotation
+// reference schedule: hoisted baby steps, then one full keyswitch (Rotate)
+// per giant-step group. The result encrypts M·slots(ct) with scale
+// ct.Scale·lt.Scale (rescale afterwards). Requires the rotation keys
+// reported by lt.Rotations(). EvaluateLinearTransform is the double-hoisted
+// production path; this one is kept as the differential baseline and for
+// level-0 edge cases where the extended-basis traffic does not pay off.
+func (ev *Evaluator) EvaluateLinearTransformPerRotation(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	out, _ := ev.evalPerRotation(ct, lt)
+	return out
+}
+
+// EvaluateLinearTransformPerRotationWithStats is
+// EvaluateLinearTransformPerRotation returning the per-call work counters.
+func (ev *Evaluator) EvaluateLinearTransformPerRotationWithStats(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, LinTransStats) {
+	return ev.evalPerRotation(ct, lt)
+}
+
+func (ev *Evaluator) evalPerRotation(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, LinTransStats) {
 	if ct.Level < lt.Level {
 		panic(fmt.Sprintf("ckks: transform needs level %d, ciphertext at %d", lt.Level, ct.Level))
 	}
 	if ct.Level > lt.Level {
 		ct = ev.DropLevel(ct, lt.Level)
 	}
-	n1 := lt.N1
+	plan := lt.Plan()
+	params := ev.params
+	level := lt.Level
+	qLimbs := level + 1
+	ext1 := qLimbs + params.Alpha()
+	digits := params.Digits(level)
 
-	// Baby steps: rot_i(ct) for every inner index in use, computed with a
-	// single hoisted decomposition of ct.
-	var babySteps []int
-	seen := map[int]bool{}
-	for d := range lt.diag {
-		i := d % n1
-		if i != 0 && !seen[i] {
-			seen[i] = true
-			babySteps = append(babySteps, i)
+	var stats LinTransStats
+	stats.BabySteps = len(plan.babySteps)
+	stats.GiantSteps = len(plan.groups)
+
+	if len(plan.groups) == 0 {
+		// All-zero matrix: a zero ciphertext is the result — fresh
+		// containers are zero by construction, no copy-and-clear needed.
+		z := NewCiphertext(params, level)
+		z.C0.IsNTT, z.C1.IsNTT = true, true
+		z.Scale = ct.Scale * lt.Scale
+		return z, stats
+	}
+
+	// Baby steps in sorted order through one shared hoisted decomposition.
+	inner := make([]*Ciphertext, len(plan.babySteps))
+	if len(plan.babySteps) > 0 {
+		h := ev.Hoist(ct)
+		for k, s := range plan.babySteps {
+			inner[k] = h.Rotate(s)
 		}
-	}
-	inner := map[int]*Ciphertext{0: ct}
-	if len(babySteps) > 0 {
-		for i, r := range ev.RotateHoisted(ct, babySteps) {
-			inner[i] = r
-		}
-	}
-
-	// Giant steps: group by j, multiply-accumulate, rotate group sums. Each
-	// group sum Σ_i rot_i(ct)·diag_{j+i} is a fused lazy inner product (see
-	// mulPlainSum); under StrictKernels it runs as the reference
-	// MulPlain/Add chain. Both are bit-identical and report the same
-	// operator counts.
-	members := map[int][]ltTerm{}
-	for d, pt := range lt.diag {
-		i := d % n1
-		j := d - i
-		members[j] = append(members[j], ltTerm{ct: inner[i], pt: pt})
-	}
-	groups := map[int]*Ciphertext{}
-	for j, terms := range members {
-		groups[j] = ev.mulPlainSum(terms)
+		h.Release()
+		// Shared phase: INTT of C0 and C1 copies, digit forward NTTs.
+		stats.InverseNTTLimbs += 2 * qLimbs
+		stats.NTTLimbs += digits * ext1
+		// Per rotation: close accumulators, ModDown, transform out.
+		nb := len(plan.babySteps)
+		stats.KeySwitches += nb
+		stats.ModDownSweeps += 2 * nb
+		stats.InverseNTTLimbs += nb * 2 * ext1
+		stats.NTTLimbs += nb * 3 * qLimbs
 	}
 
+	// Giant steps in sorted order: multiply-accumulate each group, rotate
+	// its sum, add into the running result.
 	var out *Ciphertext
-	for j, acc := range groups {
-		if j != 0 {
-			acc = ev.Rotate(acc, j)
+	terms := make([]ltTerm, 0, len(plan.groups[0].terms))
+	for _, g := range plan.groups {
+		terms = terms[:0]
+		for _, t := range g.terms {
+			c := ct
+			if t.babyIdx >= 0 {
+				c = inner[t.babyIdx]
+			}
+			terms = append(terms, ltTerm{ct: c, pt: t.pt})
+		}
+		stats.PlainMACs += len(terms)
+		acc := ev.mulPlainSum(terms)
+		if g.j != 0 {
+			acc = ev.Rotate(acc, g.j)
+			// A full keyswitch per giant step: INTT both components,
+			// per-digit decompose + forward NTT, close, ModDown, NTT out.
+			stats.KeySwitches++
+			stats.ModDownSweeps += 2
+			stats.InverseNTTLimbs += 2*qLimbs + 2*ext1
+			stats.NTTLimbs += digits*ext1 + 3*qLimbs
 		}
 		if out == nil {
 			out = acc
@@ -137,19 +336,7 @@ func (ev *Evaluator) EvaluateLinearTransform(ct *Ciphertext, lt *LinearTransform
 			out = ev.Add(out, acc)
 		}
 	}
-	if out == nil {
-		// All-zero matrix: return an encryption-of-zero shaped result.
-		z := ct.CopyNew()
-		for i := range z.C0.Coeffs {
-			for j := range z.C0.Coeffs[i] {
-				z.C0.Coeffs[i][j] = 0
-				z.C1.Coeffs[i][j] = 0
-			}
-		}
-		z.Scale = ct.Scale * lt.Scale
-		return z
-	}
-	return out
+	return out, stats
 }
 
 // ltTerm is one diagonal's contribution to a giant-step group sum.

@@ -40,6 +40,14 @@ type Parameters struct {
 	// these parameters inherit (overridable per evaluator via WithWorkers).
 	pool *ring.Pool
 
+	// pModQ[i] = Π_j p_j mod q_i (with Shoup constants): the scalar that
+	// lifts a Q-basis polynomial x to the value P·x the extended-basis
+	// accumulators of hoisted keyswitching hold before ModDown. The
+	// double-hoisted linear-transform engine uses it to fold the identity
+	// rotation and the baby-step c0 corrections into the lazy QP basis.
+	pModQ      []uint64
+	pModQShoup []uint64
+
 	// Deterministic scratch free lists for the keyswitch pipeline. Like the
 	// ring arena these are mutex-guarded typed stacks, not sync.Pools: they
 	// are never cleared by the GC and pushing onto them does not box, so a
@@ -49,6 +57,7 @@ type Parameters struct {
 	extFree   [][][]uint64 // full (|Q|+|P|)-row extended-digit matrices
 	wideFree  []*wideAcc   // full-capacity 128-bit accumulator banks
 	ksFree    []*ksState   // keyswitch pipeline state records
+	ltFree    []*ltState   // double-hoisted linear-transform state records
 }
 
 // getExt returns a `limbs`-row extended-digit scratch buffer (each row N
@@ -137,6 +146,33 @@ func (p *Parameters) putKsState(s *ksState) {
 	*s = ksState{}
 	p.scratchMu.Lock()
 	p.ksFree = append(p.ksFree, s)
+	p.scratchMu.Unlock()
+}
+
+// getLtState returns a (possibly recycled) double-hoisted linear-transform
+// state record. Unlike ksState records, ltState keeps its slice capacities
+// across checkouts — the per-call reset happens in ltState.reset — so the
+// baby-step tables never reallocate in steady state.
+func (p *Parameters) getLtState() *ltState {
+	p.scratchMu.Lock()
+	var s *ltState
+	if n := len(p.ltFree); n > 0 {
+		s = p.ltFree[n-1]
+		p.ltFree[n-1] = nil
+		p.ltFree = p.ltFree[:n-1]
+	}
+	p.scratchMu.Unlock()
+	if s == nil {
+		s = &ltState{}
+	}
+	return s
+}
+
+// putLtState recycles a linear-transform state record (already reset by its
+// release path).
+func (p *Parameters) putLtState(s *ltState) {
+	p.scratchMu.Lock()
+	p.ltFree = append(p.ltFree, s)
 	p.scratchMu.Unlock()
 }
 
@@ -240,6 +276,17 @@ func NewParameters(lit ParametersLiteral) (*Parameters, error) {
 	}
 	if p.RingP, err = ring.NewRing(p.N, p.P, lit.LaneC); err != nil {
 		return nil, err
+	}
+
+	p.pModQ = make([]uint64, len(p.Q))
+	p.pModQShoup = make([]uint64, len(p.Q))
+	for i, qi := range p.RingQ.Moduli {
+		prod := uint64(1)
+		for _, pj := range p.RingP.Moduli {
+			prod = qi.Mul(prod, qi.Reduce(pj.Q))
+		}
+		p.pModQ[i] = prod
+		p.pModQShoup[i] = qi.ShoupConstant(prod)
 	}
 
 	alpha := len(p.P)

@@ -121,6 +121,39 @@ func (m Modulus) VecReduceWide(out, hi, lo []uint64) {
 	}
 }
 
+// VecReduceWideAdd sets out[j] = (out[j] + (hi[j]·2^64 + lo[j])) mod q —
+// VecReduceWide fused with the modular add that folds a reduced accumulator
+// bank into a running residue sum, saving one memory pass in the
+// giant-step accumulation of double-hoisted linear transforms.
+func (m Modulus) VecReduceWideAdd(out, hi, lo []uint64) {
+	q, bHi, bLo := m.Q, m.BarrettHi, m.BarrettLo
+	n := len(out)
+	hi = hi[:n]
+	lo = lo[:n]
+	for j := range out {
+		h, l := hi[j], lo[j]
+		mh1, _ := bits.Mul64(l, bLo)
+		h2, l2 := bits.Mul64(l, bHi)
+		h3, l3 := bits.Mul64(h, bLo)
+		l4 := h * bHi
+		s, c1 := bits.Add64(mh1, l2, 0)
+		_, c2 := bits.Add64(s, l3, 0)
+		t := l4 + h2 + h3 + c1 + c2
+		r := l - t*q
+		if r >= q {
+			r -= q
+		}
+		if r >= q {
+			r -= q
+		}
+		r += out[j]
+		if r >= q {
+			r -= q
+		}
+		out[j] = r
+	}
+}
+
 // VecFoldWide reduces each 128-bit accumulator column to its residue in
 // place — lo[j] becomes the column mod q, hi[j] becomes zero — restarting
 // the MaxLazyProducts budget while preserving the accumulated value mod q.
@@ -128,6 +161,29 @@ func (m Modulus) VecFoldWide(hi, lo []uint64) {
 	m.VecReduceWide(lo, hi, lo)
 	for j := range hi {
 		hi[j] = 0
+	}
+}
+
+// VecMulShoupAdd sets out[j] = (out[j] + a[j]·w) mod q using the
+// precomputed Shoup constant for w — the scalar-multiply-accumulate that
+// adds P·σ(c0) onto a running residue sum in the double-hoisted baby-step
+// construction. The lazy product lands in [0, 2q); one conditional
+// subtraction re-normalizes before the modular add.
+func (m Modulus) VecMulShoupAdd(out, a []uint64, w, wShoup uint64) {
+	q := m.Q
+	n := len(out)
+	a = a[:n]
+	for j := range out {
+		hi, _ := bits.Mul64(a[j], wShoup)
+		r := a[j]*w - hi*q
+		if r >= q {
+			r -= q
+		}
+		r += out[j]
+		if r >= q {
+			r -= q
+		}
+		out[j] = r
 	}
 }
 

@@ -196,6 +196,54 @@ func TestVecWideKernels(t *testing.T) {
 	}
 }
 
+// VecReduceWideAdd must match Add(out, ReduceWide) column-wise, and
+// VecMulShoupAdd must match Add(out, MulShoup), including maximal residues —
+// these close the giant-step accumulation of double-hoisted linear
+// transforms.
+func TestVecWideAddKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	const n = 32
+	for _, q := range testModuli {
+		m := NewModulus(q)
+		hi := make([]uint64, n)
+		lo := make([]uint64, n)
+		out := make([]uint64, n)
+		want := make([]uint64, n)
+		for j := 0; j < n; j++ {
+			hi[j], lo[j] = rng.Uint64(), rng.Uint64()
+			out[j] = rng.Uint64() % q
+		}
+		hi[0], lo[0], out[0] = ^uint64(0), ^uint64(0), q-1
+		for j := 0; j < n; j++ {
+			want[j] = m.Add(out[j], m.ReduceWide(hi[j], lo[j]))
+		}
+		m.VecReduceWideAdd(out, hi, lo)
+		for j := 0; j < n; j++ {
+			if out[j] != want[j] {
+				t.Fatalf("q=%d col %d: VecReduceWideAdd %d want %d", q, j, out[j], want[j])
+			}
+		}
+
+		a := make([]uint64, n)
+		for j := 0; j < n; j++ {
+			a[j] = rng.Uint64() % q
+			out[j] = rng.Uint64() % q
+		}
+		a[0], out[0] = q-1, q-1
+		w := q - 1
+		ws := m.ShoupConstant(w)
+		for j := 0; j < n; j++ {
+			want[j] = m.Add(out[j], m.Mul(a[j], w))
+		}
+		m.VecMulShoupAdd(out, a, w, ws)
+		for j := 0; j < n; j++ {
+			if out[j] != want[j] {
+				t.Fatalf("q=%d col %d: VecMulShoupAdd %d want %d", q, j, out[j], want[j])
+			}
+		}
+	}
+}
+
 // VecMulPairSum must match Add(Mul, Mul) bit for bit, including maximal
 // residues.
 func TestVecMulPairSum(t *testing.T) {

@@ -20,6 +20,7 @@ package telemetry
 import (
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,13 @@ type Collector struct {
 	errMu   sync.Mutex
 	errs    map[string]uint64
 
+	// phases accumulates '/'-tagged engine sub-phase spans (e.g.
+	// "LinTrans/giant"): timing detail nested inside ops that are already
+	// counted, so they get their own table instead of the kind histograms
+	// (and are not "unknown" — a phase name is intentional, not a typo).
+	phaseMu sync.Mutex
+	phases  map[string]PhaseStat
+
 	events atomic.Pointer[EventLog]
 	start  time.Time
 
@@ -72,8 +80,37 @@ func NewCollector(workload string) *Collector {
 		ops:      make([]atomic.Uint64, n),
 		hists:    make([]atomic.Pointer[Histogram], n),
 		errs:     map[string]uint64{},
+		phases:   map[string]PhaseStat{},
 		start:    time.Now(),
 	}
+}
+
+// PhaseStat summarizes one engine sub-phase: how many spans landed under
+// the name and their cumulative wall time.
+type PhaseStat struct {
+	Count uint64 `json:"count"`
+	SumNs uint64 `json:"sum_ns"`
+}
+
+// phase files a sub-phase observation (dur 0 for count-only callbacks).
+func (c *Collector) phase(op string, dur time.Duration) {
+	c.phaseMu.Lock()
+	ps := c.phases[op]
+	ps.Count++
+	ps.SumNs += uint64(dur)
+	c.phases[op] = ps
+	c.phaseMu.Unlock()
+}
+
+// Phases returns a copy of the sub-phase table.
+func (c *Collector) Phases() map[string]PhaseStat {
+	c.phaseMu.Lock()
+	defer c.phaseMu.Unlock()
+	out := make(map[string]PhaseStat, len(c.phases))
+	for k, v := range c.phases {
+		out[k] = v
+	}
+	return out
 }
 
 // Workload returns the collector's workload label.
@@ -109,6 +146,10 @@ func (c *Collector) hist(idx int) *Histogram {
 func (c *Collector) Observe(op string, level int) {
 	kind, ok := trace.KindByName(op)
 	if !ok {
+		if strings.ContainsRune(op, '/') {
+			c.phase(op, 0)
+			return
+		}
 		c.unknown.Add(1)
 		return
 	}
@@ -130,6 +171,13 @@ func (c *Collector) ObserveSpan(op string, level int, dur time.Duration, err err
 	}
 	kind, ok := trace.KindByName(op)
 	if !ok {
+		if strings.ContainsRune(op, '/') {
+			c.phase(op, dur)
+			if ev := c.events.Load(); ev != nil {
+				ev.emit(op, level, dur, nil)
+			}
+			return
+		}
 		c.unknown.Add(1)
 		return
 	}
@@ -166,11 +214,12 @@ type KeyStat struct {
 
 // Snapshot is a consistent-enough point-in-time view of a collector.
 type Snapshot struct {
-	Workload   string            `json:"workload"`
-	UptimeSec  float64           `json:"uptime_sec"`
-	Keys       []KeyStat         `json:"keys"`
-	UnknownOps uint64            `json:"unknown_ops"`
-	Errors     map[string]uint64 `json:"errors,omitempty"`
+	Workload   string               `json:"workload"`
+	UptimeSec  float64              `json:"uptime_sec"`
+	Keys       []KeyStat            `json:"keys"`
+	UnknownOps uint64               `json:"unknown_ops"`
+	Errors     map[string]uint64    `json:"errors,omitempty"`
+	Phases     map[string]PhaseStat `json:"phases,omitempty"`
 }
 
 // Snapshot merges every shard and materializes quantiles. Keys are sorted
@@ -218,6 +267,9 @@ func (c *Collector) Snapshot() *Snapshot {
 		}
 	}
 	c.errMu.Unlock()
+	if ph := c.Phases(); len(ph) > 0 {
+		snap.Phases = ph
+	}
 	return snap
 }
 

@@ -20,6 +20,7 @@ const (
 	NTTTransform
 	ModUp
 	ModDown
+	LinTrans
 	numKinds
 )
 
@@ -48,6 +49,8 @@ func (k Kind) String() string {
 		return "ModUp"
 	case ModDown:
 		return "ModDown"
+	case LinTrans:
+		return "LinTrans"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

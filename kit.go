@@ -26,6 +26,12 @@ type Kit struct {
 	// EnableTelemetry so DisableTelemetry can restore it.
 	tele     *telemetry.Collector
 	telePrev ckks.OpObserver
+
+	// kgen is retained so key material generated after construction
+	// (LinearTransformKeys) continues the same deterministic random stream
+	// instead of reusing the seed — regenerating from the seed would reuse
+	// the (a, e) samples across different Galois targets.
+	kgen *ckks.KeyGenerator
 }
 
 // NewKit generates all key material from the seed and returns a ready-to-use
@@ -51,7 +57,25 @@ func NewKit(params *Parameters, seed int64) *Kit {
 		Encr:   ckks.NewEncryptor(params, pk, seed+1),
 		Decr:   ckks.NewDecryptor(params, sk),
 		Eval:   ckks.NewEvaluator(params, rlk, rtk),
+		kgen:   kgen,
 	}
+}
+
+// LinearTransformKeys provisions rotation keys for exactly the Galois
+// elements lt's evaluation plan needs (lt.Plan().GaloisElements()) and
+// merges them into the kit's key set. The kit's evaluator holds the same
+// RotationKeySet, so the new keys are usable immediately — no rebuild,
+// observers and guards stay installed. Elements already covered by the
+// power-of-two ladder are regenerated harmlessly (same secret, fresh
+// randomness). Returns the Galois elements provisioned — the list a serving
+// tenant uploads alongside the transform.
+func (k *Kit) LinearTransformKeys(lt *LinearTransform) []uint64 {
+	gals := lt.Plan().GaloisElements()
+	fresh := k.kgen.GenGaloisKeys(k.SK, gals)
+	for g, swk := range fresh.Keys {
+		k.RTK.Keys[g] = swk
+	}
+	return gals
 }
 
 // SetWorkers re-routes the kit's evaluator through a limb-parallel pool of

@@ -79,6 +79,13 @@ type (
 	Evaluator = ckks.Evaluator
 	// LinearTransform is an encoded slot-matrix multiplication (BSGS).
 	LinearTransform = ckks.LinearTransform
+	// LinearTransformPlan is a transform's cached evaluation schedule:
+	// sorted baby steps, giant-step groups, and the exact Galois element
+	// set to provision keys for (GaloisElements).
+	LinearTransformPlan = ckks.LinearTransformPlan
+	// LinTransStats counts the work one linear-transform evaluation did
+	// (keyswitches, ModDown sweeps, NTT limbs) — the benchlinalg observable.
+	LinTransStats = ckks.LinTransStats
 	// Bootstrapper refreshes exhausted ciphertexts.
 	Bootstrapper = ckks.Bootstrapper
 	// BootstrapConfig tunes the bootstrapping pipeline.
@@ -94,6 +101,9 @@ var (
 	NewEvaluator        = ckks.NewEvaluator
 	NewCiphertext       = ckks.NewCiphertext
 	NewLinearTransform  = ckks.NewLinearTransform
+	// NewLinearTransformBSGS exposes the baby-step width n1 (0 = auto √n);
+	// the double-hoisted path often profits from widths above √n.
+	NewLinearTransformBSGS = ckks.NewLinearTransformBSGS
 	NewBootstrapper     = ckks.NewBootstrapper
 	ChebyshevCoeffsOf   = ckks.ChebyshevCoefficients
 	EvalChebyshevScalar = ckks.EvalChebyshevScalar

@@ -2,6 +2,7 @@ package poseidon
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -49,6 +50,13 @@ func (r *TraceRecorder) SetWorkers(n int) {
 func (r *TraceRecorder) Observe(op string, level int) {
 	kind, ok := trace.KindByName(op)
 	if !ok {
+		// '/'-tagged names are engine sub-phases (e.g. "LinTrans/giant"):
+		// informational timing detail nested inside an op the evaluator
+		// already reports, so they are silently skipped — counting them as
+		// dropped would make every instrumented transform look lossy.
+		if strings.ContainsRune(op, '/') {
+			return
+		}
 		// Unknown ops are excluded from the priced trace rather than
 		// mis-binned — but counted, so a renamed op can't vanish silently.
 		r.dropped.Add(1)
