@@ -526,6 +526,32 @@ func (st *ltState) clearGrpStage(i int) {
 	clear(st.grp.row1(st.qLimbs, i))
 }
 
+// ltMacBlock is the column-block width of the lazy plaintext-MAC loop: the
+// four 128-bit accumulator half-rows of a block (hi/lo × c0/c1) occupy
+// 4·ltMacBlock·8 B = 16 KiB, which stays L1-resident while the group's
+// diagonals stream through it.
+const ltMacBlock = 512
+
+// resolveTerm returns the plaintext and lazy-rotation rows of term t on
+// extended limb i, or ok=false for the nothing-to-add case (identity term,
+// P limb).
+func (st *ltState) resolveTerm(t *ltPlanTerm, i int) (ptc, r0, r1 []uint64, ok bool) {
+	if i < st.qLimbs {
+		ptc = t.pt.Value.Coeffs[i]
+		if t.babyIdx < 0 {
+			return ptc, st.ctP0.Coeffs[i], st.ctP1.Coeffs[i], true
+		}
+		b := &st.babies[t.babyIdx]
+		return ptc, b.c0Q.Coeffs[i], b.c1Q.Coeffs[i], true
+	}
+	if t.babyIdx < 0 {
+		return nil, nil, nil, false
+	}
+	r := i - st.qLimbs
+	b := &st.babies[t.babyIdx]
+	return t.ptP.Coeffs[r], b.c0P.Coeffs[r], b.c1P.Coeffs[r], true
+}
+
 // groupMacStage MACs every diagonal of the current group on extended limb
 // i: lazy 128-bit columns in production (rows i for c0, ext1+i for c1),
 // exact residues in st.grp under strict kernels. Identity terms read the
@@ -533,36 +559,45 @@ func (st *ltState) clearGrpStage(i int) {
 func (st *ltState) groupMacStage(i int) {
 	params := st.ev.params
 	mod := extModulus(params.RingQ, params.RingP, st.qLimbs, i)
-	cnt := 0
-	for _, t := range st.terms {
-		var ptc, r0, r1 []uint64
-		if i < st.qLimbs {
-			ptc = t.pt.Value.Coeffs[i]
-			if t.babyIdx < 0 {
-				r0, r1 = st.ctP0.Coeffs[i], st.ctP1.Coeffs[i]
-			} else {
-				b := &st.babies[t.babyIdx]
-				r0, r1 = b.c0Q.Coeffs[i], b.c1Q.Coeffs[i]
-			}
-		} else {
-			if t.babyIdx < 0 {
+	if st.strict {
+		for k := range st.terms {
+			ptc, r0, r1, ok := st.resolveTerm(&st.terms[k], i)
+			if !ok {
 				continue
 			}
-			r := i - st.qLimbs
-			ptc = t.ptP.Coeffs[r]
-			b := &st.babies[t.babyIdx]
-			r0, r1 = b.c0P.Coeffs[r], b.c1P.Coeffs[r]
-		}
-		if st.strict {
 			macLimb(st.grp.row0(st.qLimbs, i), r0, ptc, mod)
 			macLimb(st.grp.row1(st.qLimbs, i), r1, ptc, mod)
-		} else {
-			if cnt > 0 && cnt%(numeric.MaxLazyProducts-1) == 0 {
-				st.wideG.fold(mod, i)
-				st.wideG.fold(mod, st.ext1+i)
+		}
+		return
+	}
+	// Lazy path: column-blocked loop interchange. Streaming the full
+	// accumulator rows (hi+lo, read+write, both ciphertext components) per
+	// diagonal made the MAC phase memory-bound — roughly 4× the compulsory
+	// traffic. Walking column blocks instead keeps the accumulator block
+	// L1-resident across all of the group's diagonals, and the paired MAC
+	// kernel loads each diagonal's plaintext block once for both ciphertext
+	// rows. The per-coefficient MAC/fold sequence is unchanged, so the
+	// result is bit-identical.
+	hi0, lo0 := st.wideG.hi[i], st.wideG.lo[i]
+	hi1, lo1 := st.wideG.hi[st.ext1+i], st.wideG.lo[st.ext1+i]
+	for jlo := 0; jlo < st.n; jlo += ltMacBlock {
+		jhi := jlo + ltMacBlock
+		if jhi > st.n {
+			jhi = st.n
+		}
+		bh0, bl0 := hi0[jlo:jhi], lo0[jlo:jhi]
+		bh1, bl1 := hi1[jlo:jhi], lo1[jlo:jhi]
+		cnt := 0
+		for k := range st.terms {
+			ptc, r0, r1, ok := st.resolveTerm(&st.terms[k], i)
+			if !ok {
+				continue
 			}
-			st.wideG.mac(i, r0, ptc)
-			st.wideG.mac(st.ext1+i, r1, ptc)
+			if cnt > 0 && cnt%(numeric.MaxLazyProducts-1) == 0 {
+				mod.VecFoldWide(bh0, bl0)
+				mod.VecFoldWide(bh1, bl1)
+			}
+			numeric.VecMACWidePair(bh0, bl0, bh1, bl1, r0[jlo:jhi], r1[jlo:jhi], ptc[jlo:jhi])
 			cnt++
 		}
 	}
@@ -633,8 +668,7 @@ func (st *ltState) groupKsMacStage(i int) {
 			macLimb(st.out.c0Q.Coeffs[i], buf, bd.Q.Coeffs[i], mod)
 			macLimb(st.out.c1Q.Coeffs[i], buf, ad.Q.Coeffs[i], mod)
 		} else {
-			st.wideK.mac(i, buf, bd.Q.Coeffs[i])
-			st.wideK.mac(st.ext1+i, buf, ad.Q.Coeffs[i])
+			st.wideK.macPair(i, st.ext1+i, bd.Q.Coeffs[i], ad.Q.Coeffs[i], buf)
 		}
 	} else {
 		j := i - st.qLimbs
@@ -645,8 +679,7 @@ func (st *ltState) groupKsMacStage(i int) {
 			macLimb(st.out.c0P.Coeffs[j], buf, bd.P.Coeffs[j], mod)
 			macLimb(st.out.c1P.Coeffs[j], buf, ad.P.Coeffs[j], mod)
 		} else {
-			st.wideK.mac(i, buf, bd.P.Coeffs[j])
-			st.wideK.mac(st.ext1+i, buf, ad.P.Coeffs[j])
+			st.wideK.macPair(i, st.ext1+i, bd.P.Coeffs[j], ad.P.Coeffs[j], buf)
 		}
 	}
 	rq.PutVec(buf)

@@ -308,8 +308,7 @@ func (s *ksState) macStage(i int) {
 			macLimb(s.acc0Q.Coeffs[i], src, bd.Q.Coeffs[i], mod)
 			macLimb(s.acc1Q.Coeffs[i], src, ad.Q.Coeffs[i], mod)
 		} else {
-			s.wide.mac(i, src, bd.Q.Coeffs[i])
-			s.wide.mac(s.ext1+i, src, ad.Q.Coeffs[i])
+			s.wide.macPair(i, s.ext1+i, bd.Q.Coeffs[i], ad.Q.Coeffs[i], src)
 		}
 	} else {
 		j := i - s.qLimbs
@@ -321,8 +320,7 @@ func (s *ksState) macStage(i int) {
 			macLimb(s.acc0P.Coeffs[j], src, bd.P.Coeffs[j], mod)
 			macLimb(s.acc1P.Coeffs[j], src, ad.P.Coeffs[j], mod)
 		} else {
-			s.wide.mac(i, src, bd.P.Coeffs[j])
-			s.wide.mac(s.ext1+i, src, ad.P.Coeffs[j])
+			s.wide.macPair(i, s.ext1+i, bd.P.Coeffs[j], ad.P.Coeffs[j], src)
 		}
 	}
 	if permBuf != nil {
@@ -606,6 +604,12 @@ func newWideAcc(rows, n int) *wideAcc {
 // mac accumulates a[j]·b[j] onto row r.
 func (w *wideAcc) mac(r int, a, b []uint64) {
 	numeric.VecMACWide(w.hi[r], w.lo[r], a, b)
+}
+
+// macPair accumulates a0[j]·b[j] onto row r0 and a1[j]·b[j] onto row r1 in
+// one pass over the shared multiplicand b (see numeric.VecMACWidePair).
+func (w *wideAcc) macPair(r0, r1 int, a0, a1, b []uint64) {
+	numeric.VecMACWidePair(w.hi[r0], w.lo[r0], w.hi[r1], w.lo[r1], a0, a1, b)
 }
 
 // fold reduces row r to residues, restarting the lazy-product budget.

@@ -384,8 +384,7 @@ func (ev *Evaluator) mulPlainSum(terms []ltTerm) *Ciphertext {
 				wide.fold(mod, qLimbs+l)
 			}
 			ptc := t.pt.Value.Coeffs[l]
-			wide.mac(l, t.ct.C0.Coeffs[l], ptc)
-			wide.mac(qLimbs+l, t.ct.C1.Coeffs[l], ptc)
+			wide.macPair(l, qLimbs+l, t.ct.C0.Coeffs[l], t.ct.C1.Coeffs[l], ptc)
 		}
 		wide.reduce(mod, l, out.C0.Coeffs[l])
 		wide.reduce(mod, qLimbs+l, out.C1.Coeffs[l])

@@ -92,6 +92,53 @@ func VecMACWide(hi, lo, a, b []uint64) {
 	}
 }
 
+// VecMACWidePair accumulates a0[j]·b[j] into (hi0,lo0) and a1[j]·b[j] into
+// (hi1,lo1) in one pass. The shared multiplicand b is loaded once for both
+// rows and the two independent carry chains interleave, which hides the
+// 64×64-bit multiply latency the single-row kernel exposes — exactly the
+// shape of the linear-transform MAC stage, where every plaintext diagonal
+// multiplies both ciphertext components. Element-wise the arithmetic is
+// identical to two VecMACWide calls.
+func VecMACWidePair(hi0, lo0, hi1, lo1, a0, a1, b []uint64) {
+	n := len(hi0)
+	lo0 = lo0[:n]
+	hi1 = hi1[:n]
+	lo1 = lo1[:n]
+	a0 = a0[:n]
+	a1 = a1[:n]
+	b = b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		h0 := (*[4]uint64)(hi0[i:])
+		l0 := (*[4]uint64)(lo0[i:])
+		h1 := (*[4]uint64)(hi1[i:])
+		l1 := (*[4]uint64)(lo1[i:])
+		x0 := (*[4]uint64)(a0[i:])
+		x1 := (*[4]uint64)(a1[i:])
+		bb := (*[4]uint64)(b[i:])
+		for j := 0; j < 4; j++ {
+			m := bb[j]
+			p0h, p0l := bits.Mul64(x0[j], m)
+			p1h, p1l := bits.Mul64(x1[j], m)
+			var c uint64
+			l0[j], c = bits.Add64(l0[j], p0l, 0)
+			h0[j] += p0h + c
+			l1[j], c = bits.Add64(l1[j], p1l, 0)
+			h1[j] += p1h + c
+		}
+	}
+	for ; i < n; i++ {
+		m := b[i]
+		p0h, p0l := bits.Mul64(a0[i], m)
+		p1h, p1l := bits.Mul64(a1[i], m)
+		var c uint64
+		lo0[i], c = bits.Add64(lo0[i], p0l, 0)
+		hi0[i] += p0h + c
+		lo1[i], c = bits.Add64(lo1[i], p1l, 0)
+		hi1[i] += p1h + c
+	}
+}
+
 // VecReduceWide sets out[j] = (hi[j]·2^64 + lo[j]) mod q — the single
 // deferred Barrett reduction per coefficient that closes a fused inner
 // product. The ReduceWide body is written out with hoisted constants so the

@@ -302,3 +302,38 @@ func TestLazyButterflyAlgebra(t *testing.T) {
 		}
 	}
 }
+
+// VecMACWidePair must be element-for-element identical to two VecMACWide
+// calls over the shared multiplicand — including odd tail lengths that
+// exercise the scalar remainder loop.
+func TestVecMACWidePairMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 3, 4, 7, 64, 129} {
+		a0 := make([]uint64, n)
+		a1 := make([]uint64, n)
+		b := make([]uint64, n)
+		hi0 := make([]uint64, n)
+		lo0 := make([]uint64, n)
+		hi1 := make([]uint64, n)
+		lo1 := make([]uint64, n)
+		wantHi0 := make([]uint64, n)
+		wantLo0 := make([]uint64, n)
+		wantHi1 := make([]uint64, n)
+		wantLo1 := make([]uint64, n)
+		for j := 0; j < n; j++ {
+			a0[j], a1[j], b[j] = rng.Uint64(), rng.Uint64(), rng.Uint64()
+			hi0[j], lo0[j] = rng.Uint64(), rng.Uint64()
+			hi1[j], lo1[j] = rng.Uint64(), rng.Uint64()
+			wantHi0[j], wantLo0[j] = hi0[j], lo0[j]
+			wantHi1[j], wantLo1[j] = hi1[j], lo1[j]
+		}
+		VecMACWide(wantHi0, wantLo0, a0, b)
+		VecMACWide(wantHi1, wantLo1, a1, b)
+		VecMACWidePair(hi0, lo0, hi1, lo1, a0, a1, b)
+		for j := 0; j < n; j++ {
+			if hi0[j] != wantHi0[j] || lo0[j] != wantLo0[j] || hi1[j] != wantHi1[j] || lo1[j] != wantLo1[j] {
+				t.Fatalf("n=%d j=%d pair kernel diverges from single-row kernel", n, j)
+			}
+		}
+	}
+}
