@@ -33,95 +33,165 @@ import (
 	"poseidon/internal/telemetry"
 )
 
-func main() {
-	var (
-		addr        = flag.String("addr", "127.0.0.1:8080", "evaluation API listen address")
-		metricsAddr = flag.String("metrics", "127.0.0.1:9090", "telemetry listen address ('' disables)")
-		logN        = flag.Int("logn", 11, "ring degree log2")
-		workers     = flag.Int("workers", 0, "evaluator worker goroutines (0 = GOMAXPROCS)")
-		maxBatch    = flag.Int("max-batch", 16, "max requests fused into one batch")
-		flush       = flag.Duration("flush", 2*time.Millisecond, "max wait for a batch to fill")
-		queueDepth  = flag.Int("queue", 256, "dispatch queue depth")
-		registryCap = flag.Int("registry-cap", 64, "resident tenant key sets")
-		maxArenaMB  = flag.Int64("max-arena-mb", 0, "arena-bytes admission ceiling in MiB (0 = off)")
-		maxP99      = flag.Duration("max-p99", 0, "request-p99 admission ceiling (0 = off)")
-		guardSeed   = flag.Int64("guard-seed", 1, "integrity guard seed (0 disables guards)")
-		demoDir     = flag.String("demo", "", "write curl-able demo request files to this directory")
-	)
-	flag.Parse()
+// daemonConfig collects the tunables main parses from flags, so tests can
+// start the same daemon in-process on ephemeral ports.
+type daemonConfig struct {
+	addr        string
+	metricsAddr string
+	logN        int
+	workers     int
+	maxBatch    int
+	flush       time.Duration
+	queueDepth  int
+	registryCap int
+	maxArenaMB  int64
+	maxP99      time.Duration
+	guardSeed   int64
+	opAttempts  int
+	jobAttempts int
+	deadline    time.Duration
+	drain       time.Duration
+}
 
+// daemon is a running poseidond: the eval server, its HTTP front end, and
+// the optional metrics listener, wired for ordered shutdown.
+type daemon struct {
+	params *ckks.Parameters
+	srv    *server.EvalServer
+	api    *http.Server
+	ln     net.Listener
+	ms     *telemetry.Server
+	drain  time.Duration
+}
+
+// startDaemon builds the parameter set and eval server, binds the
+// listeners, and starts serving. It returns once the API listener accepts
+// connections.
+func startDaemon(cfg daemonConfig) (*daemon, error) {
 	params, err := ckks.NewParameters(ckks.ParametersLiteral{
-		LogN:     *logN,
+		LogN:     cfg.logN,
 		LogQ:     []int{50, 40, 40, 40},
 		LogP:     []int{51, 51},
 		LogScale: 40,
-		Workers:  *workers,
+		Workers:  cfg.workers,
 	})
 	if err != nil {
-		log.Fatalf("parameters: %v", err)
+		return nil, fmt.Errorf("parameters: %w", err)
 	}
 
 	col := telemetry.NewCollector("poseidond")
 	srv, err := server.NewEvalServer(server.Config{
 		Params:          params,
-		MaxBatch:        *maxBatch,
-		FlushTimeout:    *flush,
-		QueueDepth:      *queueDepth,
-		RegistryCap:     *registryCap,
-		MaxArenaBytes:   *maxArenaMB << 20,
-		MaxP99:          *maxP99,
-		GuardSeed:       *guardSeed,
+		MaxBatch:        cfg.maxBatch,
+		FlushTimeout:    cfg.flush,
+		QueueDepth:      cfg.queueDepth,
+		RegistryCap:     cfg.registryCap,
+		MaxArenaBytes:   cfg.maxArenaMB << 20,
+		MaxP99:          cfg.maxP99,
+		GuardSeed:       cfg.guardSeed,
+		OpMaxAttempts:   cfg.opAttempts,
+		MaxJobAttempts:  cfg.jobAttempts,
+		DefaultDeadline: cfg.deadline,
 		Collector:       col,
 		DegradeCooldown: 2 * time.Second,
 	})
 	if err != nil {
-		log.Fatalf("server: %v", err)
+		return nil, fmt.Errorf("server: %w", err)
 	}
 
+	d := &daemon{params: params, srv: srv, drain: cfg.drain}
+	if cfg.metricsAddr != "" {
+		d.ms, err = telemetry.StartServer(cfg.metricsAddr, col)
+		if err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("metrics: %w", err)
+		}
+	}
+
+	d.ln, err = net.Listen("tcp", cfg.addr)
+	if err != nil {
+		srv.Close()
+		if d.ms != nil {
+			d.ms.Shutdown(context.Background())
+		}
+		return nil, fmt.Errorf("listen: %w", err)
+	}
+	d.api = &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := d.api.Serve(d.ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("serve: %v", err)
+		}
+	}()
+	return d, nil
+}
+
+// Addr returns the API listener's address (useful with ":0").
+func (d *daemon) Addr() string { return d.ln.Addr().String() }
+
+// Shutdown drains the daemon in dependency order, each stage bounded by
+// the drain budget: stop accepting and finish in-flight HTTP requests,
+// drain the scheduler's queued jobs, then stop the metrics listener.
+// In-flight evaluations complete and deliver their responses — the soak
+// clients see results, not connection resets.
+func (d *daemon) Shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), d.drain)
+	defer cancel()
+	var firstErr error
+	if err := d.api.Shutdown(ctx); err != nil {
+		firstErr = fmt.Errorf("api shutdown: %w", err)
+	}
+	if err := d.srv.Shutdown(ctx); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("scheduler drain: %w", err)
+	}
+	if d.ms != nil {
+		if err := d.ms.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("metrics shutdown: %w", err)
+		}
+	}
+	return firstErr
+}
+
+func main() {
+	var cfg daemonConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "evaluation API listen address")
+	flag.StringVar(&cfg.metricsAddr, "metrics", "127.0.0.1:9090", "telemetry listen address ('' disables)")
+	flag.IntVar(&cfg.logN, "logn", 11, "ring degree log2")
+	flag.IntVar(&cfg.workers, "workers", 0, "evaluator worker goroutines (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.maxBatch, "max-batch", 16, "max requests fused into one batch")
+	flag.DurationVar(&cfg.flush, "flush", 2*time.Millisecond, "max wait for a batch to fill")
+	flag.IntVar(&cfg.queueDepth, "queue", 256, "dispatch queue depth")
+	flag.IntVar(&cfg.registryCap, "registry-cap", 64, "resident tenant key sets")
+	flag.Int64Var(&cfg.maxArenaMB, "max-arena-mb", 0, "arena-bytes admission ceiling in MiB (0 = off)")
+	flag.DurationVar(&cfg.maxP99, "max-p99", 0, "request-p99 admission ceiling (0 = off)")
+	flag.Int64Var(&cfg.guardSeed, "guard-seed", 1, "integrity guard seed (0 disables guards)")
+	flag.IntVar(&cfg.opAttempts, "op-attempts", 1, "op-level recovery attempts per integrity failure (1 = off)")
+	flag.IntVar(&cfg.jobAttempts, "job-attempts", 1, "scheduler attempts per integrity-failed job (1 = off)")
+	flag.DurationVar(&cfg.deadline, "deadline", 0, "default per-request deadline (0 = unbounded)")
+	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "shutdown drain budget")
+	demoDir := flag.String("demo", "", "write curl-able demo request files to this directory")
+	flag.Parse()
+
+	d, err := startDaemon(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *demoDir != "" {
-		if err := writeDemo(*demoDir, params); err != nil {
+		if err := writeDemo(*demoDir, d.params); err != nil {
 			log.Fatalf("demo: %v", err)
 		}
 	}
-
-	var ms *telemetry.Server
-	if *metricsAddr != "" {
-		ms, err = telemetry.StartServer(*metricsAddr, col)
-		if err != nil {
-			log.Fatalf("metrics: %v", err)
-		}
-		log.Printf("telemetry on http://%s/metrics", ms.Addr())
+	if d.ms != nil {
+		log.Printf("telemetry on http://%s/metrics", d.ms.Addr())
 	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("listen: %v", err)
-	}
-	api := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	go func() {
-		if err := api.Serve(ln); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("serve: %v", err)
-		}
-	}()
 	log.Printf("poseidond serving LogN=%d on http://%s (batch ≤%d, flush %v, registry cap %d)",
-		*logN, ln.Addr(), *maxBatch, *flush, *registryCap)
+		cfg.logN, d.Addr(), cfg.maxBatch, cfg.flush, cfg.registryCap)
 
-	// Graceful shutdown: stop accepting, drain in-flight API requests,
-	// drain the dispatch queue, then drain metrics scrapes.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := api.Shutdown(ctx); err != nil {
-		log.Printf("api shutdown: %v", err)
-	}
-	srv.Close()
-	if ms != nil {
-		if err := ms.Shutdown(ctx); err != nil {
-			log.Printf("metrics shutdown: %v", err)
-		}
+	if err := d.Shutdown(); err != nil {
+		log.Printf("shutdown: %v", err)
 	}
 	log.Print("drained")
 }

@@ -1,12 +1,92 @@
 package main
 
 import (
+	"fmt"
 	"os"
+	"sync"
 	"testing"
+	"time"
 
 	"poseidon/internal/ckks"
 	"poseidon/internal/server"
 )
+
+// TestShutdownDrainsInFlight starts the daemon on ephemeral ports, puts a
+// burst of evaluation requests in flight, and shuts down while they run:
+// every request must complete with a decryptable result — graceful drain
+// means responses, not connection resets.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	d, err := startDaemon(daemonConfig{
+		addr:        "127.0.0.1:0",
+		metricsAddr: "", // no telemetry listener in tests
+		logN:        8,
+		maxBatch:    4,
+		flush:       time.Millisecond,
+		queueDepth:  64,
+		registryCap: 4,
+		guardSeed:   1,
+		drain:       10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kgen := ckks.NewKeyGenerator(d.params, 42)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	rtk := kgen.GenRotationKeys(sk, []int{1}, false)
+	cl := &server.Client{Base: "http://" + d.Addr()}
+	if err := cl.UploadKeys("tenant", nil, rtk); err != nil {
+		t.Fatal(err)
+	}
+
+	enc := ckks.NewEncoder(d.params)
+	encr := ckks.NewEncryptor(d.params, pk, 43)
+	dec := ckks.NewDecryptor(d.params, sk)
+	want := make([]complex128, d.params.Slots)
+	for i := range want {
+		want[i] = complex(float64(i%7+1), 0)
+	}
+	ctBytes, err := encr.Encrypt(enc.Encode(want, d.params.MaxLevel(), d.params.Scale)).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inflight = 12
+	errs := make([]error, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ct, _, err := cl.Eval(&server.EvalRequest{Tenant: "tenant", Op: server.OpRotate, Steps: 1, Ct: ctBytes})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got := enc.Decode(dec.Decrypt(ct))
+			for s := range want {
+				exp := want[(s+1)%len(want)]
+				if diff := real(got[s]) - real(exp); diff > 0.5 || diff < -0.5 {
+					errs[i] = fmt.Errorf("slot %d: got %v want %v", s, got[s], exp)
+					return
+				}
+			}
+		}(i)
+	}
+	// Let the burst reach the server before draining; Shutdown must then
+	// wait for every admitted request rather than cutting them off.
+	time.Sleep(20 * time.Millisecond)
+	if err := d.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		}
+	}
+}
 
 // The demo files must be valid envelopes a curl user can post verbatim:
 // keys.bin decodes as a key upload carrying both keys, eval.bin as a

@@ -45,6 +45,13 @@ type Evaluator struct {
 	// redundant-limb spot-check) used by the Try* API; see guard.go. Shared
 	// by pointer with evaluators derived via WithWorkers.
 	guards *guardState
+
+	// recovery, when non-nil, re-executes Try* operations that fail with
+	// ErrIntegrity, transactionally (attempts run into arena scratch; the
+	// destination is only written from a verified attempt); see
+	// recovery.go. Shared by pointer with evaluators derived via
+	// WithWorkers, like guards.
+	recovery *recoveryState
 }
 
 // NewEvaluator creates an evaluator. rlk may be nil if Mul is never

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"poseidon/internal/fault"
 	"poseidon/internal/numeric"
@@ -48,31 +49,43 @@ type GuardStats struct {
 }
 
 // guardState is shared by evaluators derived via WithWorkers (pointer copy);
-// a nil *guardState on the Evaluator means guards are off.
+// a nil *guardState on the Evaluator means guards are off. The counters are
+// atomics, not a mutex-guarded struct: noteSeal/noteVerify fire on every
+// operator boundary of every worker, and a shared lock there would
+// serialize exactly the multi-worker batches the scheduler fuses. (The
+// single-worker faultcampaign overhead — ~15%, see BENCH_fault.json — is
+// checksum and spot-check arithmetic, the same under either variant.) Only
+// the spot-check's limb sampling keeps a lock, and only because
+// math/rand.Rand is not concurrency-safe.
 type guardState struct {
-	mu    sync.Mutex
+	rngMu sync.Mutex
 	rng   *rand.Rand
 	spot  bool
-	stats GuardStats
+
+	seals, verifies, spots, faults, noise atomic.Uint64
 }
 
 func (g *guardState) pickLimb(limbs int) int {
-	g.mu.Lock()
+	g.rngMu.Lock()
 	i := g.rng.Intn(limbs)
-	g.mu.Unlock()
+	g.rngMu.Unlock()
 	return i
 }
 
-func (g *guardState) noteSeal()     { g.mu.Lock(); g.stats.Seals++; g.mu.Unlock() }
-func (g *guardState) noteVerify()   { g.mu.Lock(); g.stats.Verifies++; g.mu.Unlock() }
-func (g *guardState) noteSpot()     { g.mu.Lock(); g.stats.SpotChecks++; g.mu.Unlock() }
-func (g *guardState) noteFault()    { g.mu.Lock(); g.stats.IntegrityFaults++; g.mu.Unlock() }
-func (g *guardState) noteNoise()    { g.mu.Lock(); g.stats.NoiseFlags++; g.mu.Unlock() }
-func (g *guardState) spotOn() bool  { return g != nil && g.spot }
+func (g *guardState) noteSeal()    { g.seals.Add(1) }
+func (g *guardState) noteVerify()  { g.verifies.Add(1) }
+func (g *guardState) noteSpot()    { g.spots.Add(1) }
+func (g *guardState) noteFault()   { g.faults.Add(1) }
+func (g *guardState) noteNoise()   { g.noise.Add(1) }
+func (g *guardState) spotOn() bool { return g != nil && g.spot }
 func (g *guardState) snapshot() GuardStats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+	return GuardStats{
+		Seals:           g.seals.Load(),
+		Verifies:        g.verifies.Load(),
+		SpotChecks:      g.spots.Load(),
+		IntegrityFaults: g.faults.Load(),
+		NoiseFlags:      g.noise.Load(),
+	}
 }
 
 // integritySeal stores the per-limb residue checksums of a ciphertext's two

@@ -165,7 +165,14 @@ func (ev *Evaluator) TryHoist(ct *Ciphertext) (h *Hoisted, err error) {
 		return nil, opErr(op, ct.Level, ErrKeyMissing, "rotation keys not loaded")
 	}
 	if err := ev.guardInputs(op, ct); err != nil {
-		return nil, err
+		// A corrupted input read is the recoverable failure mode here: each
+		// re-verification re-reads every limb through the HBM hooks, which
+		// is the read a transient fault decays on. Failures *inside* a
+		// hoisted rotation are recovered one level up, by the scheduler's
+		// job retry (a re-enqueue rebuilds the decomposition).
+		if err = ev.retryVerify(op, ct, err); err != nil {
+			return nil, err
+		}
 	}
 	return &Hoisted{ev: ev, ct: ct, hd: ev.decomposeHoisted(ct)}, nil
 }

@@ -1,0 +1,227 @@
+package ckks
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Op-level fault recovery: the detect→recover half of the fault-tolerance
+// story. PR 4's guards *detect* corruption (residue checksums at operator
+// boundaries, the redundant-limb spot-check) and surface it as
+// ErrIntegrity; with a RecoveryPolicy installed the evaluator additionally
+// *re-executes* the failed operation from its inputs, which recovers every
+// transient fault — an HBM word that scrubs clean on re-read, a datapath
+// glitch that corrupted one attempt's scratch — while sticky corruption
+// still fails after the attempt budget and propagates to the caller.
+//
+// Correctness rests on transactional destination semantics: with recovery
+// armed, every attempt executes into arena scratch and the caller's
+// destination is written only from a verified attempt. A failed attempt
+// therefore never leaves a partially-written destination, and a
+// destination that aliases an input never destroys the operand a retry
+// needs. The scratch follows PR 3/4's panic-leak discipline: it is
+// released on every exit path, including attempts that die in an injected
+// panic.
+//
+// With no policy installed (the default) the Try* methods run exactly the
+// pre-recovery direct path — no scratch, no copies, zero additional heap
+// allocations — so the alloc gates hold unchanged.
+
+// RecoveryPolicy configures transparent re-execution of Try* operations
+// that fail with ErrIntegrity.
+type RecoveryPolicy struct {
+	// MaxAttempts is the total execution budget per operation, first try
+	// included. Values ≤ 1 disable recovery.
+	MaxAttempts int
+	// OnRetry, when set, is called before each re-execution with the op
+	// name, the attempt number about to run (2-based: the first retry is
+	// attempt 2) and the error that failed the previous attempt.
+	OnRetry func(op string, attempt int, err error)
+}
+
+// RecoveryStats counts recovery activity, exported into traces and the
+// chaos campaign report.
+type RecoveryStats struct {
+	Attempts      uint64 // re-executions performed (first tries not counted)
+	Recovered     uint64 // ops that succeeded after ≥1 re-execution
+	Unrecoverable uint64 // ops that exhausted the budget still failing integrity
+}
+
+// RecoveryObserver extends the observer surface with op-level recovery
+// outcomes: retries is the number of re-executions performed, recovered
+// whether the op eventually succeeded, dur the wall time from first
+// failure to final outcome. telemetry.Collector implements it.
+type RecoveryObserver interface {
+	ObserveRecovery(op string, retries int, recovered bool, dur time.Duration)
+}
+
+// recoveryState is shared by evaluators derived via WithWorkers (pointer
+// copy), like guardState; a nil *recoveryState means recovery is off.
+type recoveryState struct {
+	policy                             RecoveryPolicy
+	attempts, recovered, unrecoverable atomic.Uint64
+}
+
+// SetRecoveryPolicy installs (or, with nil or MaxAttempts ≤ 1, removes)
+// the evaluator's recovery policy. The policy is shared with evaluators
+// later derived via WithWorkers.
+func (ev *Evaluator) SetRecoveryPolicy(p *RecoveryPolicy) {
+	if p == nil || p.MaxAttempts <= 1 {
+		ev.recovery = nil
+		return
+	}
+	ev.recovery = &recoveryState{policy: *p}
+}
+
+// RecoveryPolicy returns a copy of the installed policy, or nil when
+// recovery is off.
+func (ev *Evaluator) RecoveryPolicy() *RecoveryPolicy {
+	if ev.recovery == nil {
+		return nil
+	}
+	p := ev.recovery.policy
+	return &p
+}
+
+// RecoveryStats returns a snapshot of the recovery counters (zero value
+// when recovery is off).
+func (ev *Evaluator) RecoveryStats() RecoveryStats {
+	r := ev.recovery
+	if r == nil {
+		return RecoveryStats{}
+	}
+	return RecoveryStats{
+		Attempts:      r.attempts.Load(),
+		Recovered:     r.recovered.Load(),
+		Unrecoverable: r.unrecoverable.Load(),
+	}
+}
+
+// observeRecovery reports one recovery outcome to the observer when it
+// implements RecoveryObserver.
+func (ev *Evaluator) observeRecovery(op string, retries int, recovered bool, dur time.Duration) {
+	if ro, ok := ev.observer.(RecoveryObserver); ok {
+		ro.ObserveRecovery(op, retries, recovered, dur)
+	}
+}
+
+// attemptFunc is one guarded execution of an op into dst: input-boundary
+// guard, the *Into kernel, and the spot-check. The caller owns sealing dst
+// and the panic→error boundary around the call.
+type attemptFunc func(dst *Ciphertext) error
+
+// runAttempt executes one attempt inside its own recovery boundary, so an
+// injected panic fails the attempt instead of the whole Try* call — the
+// retry loop can inspect the error and re-execute.
+func (ev *Evaluator) runAttempt(op string, level int, dst *Ciphertext, run attemptFunc) (err error) {
+	defer recoverOp(op, level, &err)
+	return run(dst)
+}
+
+// execTry is the shared tail of every Try*Into method: run the guarded
+// attempt (with re-execution per the recovery policy), seal the verified
+// result, and return it. level is the result level; out is the caller's
+// destination.
+func (ev *Evaluator) execTry(op string, level int, out *Ciphertext, run attemptFunc) (*Ciphertext, error) {
+	rec := ev.recovery
+	if rec == nil {
+		// Direct path: execute straight into the caller's destination.
+		if err := ev.runAttempt(op, level, out, run); err != nil {
+			return nil, err
+		}
+		ev.guardSeal(out)
+		return out, nil
+	}
+	return ev.execTryRecover(op, level, out, run)
+}
+
+// execTryRecover is the transactional retry path. Every attempt executes
+// into arena scratch; only a verified attempt is copied into out.
+func (ev *Evaluator) execTryRecover(op string, level int, out *Ciphertext, run attemptFunc) (res *Ciphertext, err error) {
+	rec := ev.recovery
+	rq := ev.params.RingQ
+	scratch := &Ciphertext{C0: rq.GetPolyDirty(level + 1), C1: rq.GetPolyDirty(level + 1), Level: level}
+	defer func() {
+		rq.PutPoly(scratch.C0)
+		rq.PutPoly(scratch.C1)
+	}()
+
+	var start time.Time
+	for attempt := 1; ; attempt++ {
+		err = ev.runAttempt(op, level, scratch, run)
+		if err == nil {
+			ev.commitScratch(out, scratch)
+			ev.guardSeal(out)
+			if attempt > 1 {
+				rec.recovered.Add(1)
+				ev.observeRecovery(op, attempt-1, true, time.Since(start))
+			}
+			return out, nil
+		}
+		if !errors.Is(err, ErrIntegrity) {
+			return nil, err // not a fault-detection failure: retry cannot help
+		}
+		if attempt >= rec.policy.MaxAttempts {
+			rec.unrecoverable.Add(1)
+			if attempt > 1 {
+				ev.observeRecovery(op, attempt-1, false, time.Since(start))
+			}
+			return nil, err
+		}
+		if attempt == 1 {
+			start = time.Now()
+		}
+		rec.attempts.Add(1)
+		if h := rec.policy.OnRetry; h != nil {
+			h(op, attempt+1, err)
+		}
+	}
+}
+
+// commitScratch copies a verified attempt's result into the caller's
+// destination. Sized writes through reshapeCt, like every *Into kernel;
+// the seal is recomputed by the caller over the destination's own storage
+// so it vouches for the copy, not the discarded scratch.
+func (ev *Evaluator) commitScratch(out, scratch *Ciphertext) {
+	reshapeCt(out, scratch.Level)
+	for i := 0; i <= scratch.Level; i++ {
+		copy(out.C0.Coeffs[i], scratch.C0.Coeffs[i])
+		copy(out.C1.Coeffs[i], scratch.C1.Coeffs[i])
+	}
+	out.C0.IsNTT = scratch.C0.IsNTT
+	out.C1.IsNTT = scratch.C1.IsNTT
+	out.Scale = scratch.Scale
+}
+
+// retryVerify re-runs the input-boundary verification of ct under the
+// recovery policy — the recovery path for operations whose failure mode is
+// a corrupted *input* read rather than a corrupted execution (TryHoist's
+// shared decomposition). Each re-verification re-reads every limb through
+// the HBM hooks, which is exactly the read that lets a transient fault
+// decay. firstErr is the verification failure that triggered the retry.
+func (ev *Evaluator) retryVerify(op string, ct *Ciphertext, firstErr error) error {
+	rec := ev.recovery
+	if rec == nil || !errors.Is(firstErr, ErrIntegrity) {
+		return firstErr
+	}
+	start := time.Now()
+	err := firstErr
+	for attempt := 2; attempt <= rec.policy.MaxAttempts; attempt++ {
+		rec.attempts.Add(1)
+		if h := rec.policy.OnRetry; h != nil {
+			h(op, attempt, err)
+		}
+		if err = ev.verifySealed(op, ct); err == nil {
+			rec.recovered.Add(1)
+			ev.observeRecovery(op, attempt-1, true, time.Since(start))
+			return nil
+		}
+		if !errors.Is(err, ErrIntegrity) {
+			return err
+		}
+	}
+	rec.unrecoverable.Add(1)
+	ev.observeRecovery(op, rec.policy.MaxAttempts-1, false, time.Since(start))
+	return err
+}

@@ -1,0 +1,186 @@
+package ckks
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"poseidon/internal/fault"
+)
+
+// armRecovery wires a guarded context to a fault injector and installs a
+// recovery policy, returning the injector and a hook-call log.
+func armRecovery(t *testing.T, gc *guardContext, maxAttempts int) (*fault.Injector, *[]int) {
+	t.Helper()
+	gc.ev.EnableGuards(21)
+	in := fault.NewInjector(101)
+	gc.params.RingQ.SetFaultInjector(in)
+	t.Cleanup(func() { gc.params.RingQ.SetFaultInjector(nil) })
+	var retries []int
+	gc.ev.SetRecoveryPolicy(&RecoveryPolicy{
+		MaxAttempts: maxAttempts,
+		OnRetry:     func(op string, attempt int, err error) { retries = append(retries, attempt) },
+	})
+	return in, &retries
+}
+
+// A transient HBM fault that decays on re-read must be recovered by one
+// re-execution: the Try call succeeds, the result matches the clean
+// reference, and the counters attribute exactly one retry.
+func TestRecoveryTransientFaultRecovered(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	a, b, _ := gc.inputs(t, 11, gc.params.MaxLevel())
+	ref := NewEvaluator(gc.params, ev.rlk, ev.rtks)
+	want := ref.Add(a, b) // clean reference before any corruption
+
+	in, retries := armRecovery(t, gc, 3)
+	ev.SealIntegrity(a)
+	ev.SealIntegrity(b)
+
+	// Fires on the first limb read of the input verification; decay 0 means
+	// the retry's re-read scrubs it clean.
+	in.ArmAtMode(fault.SiteHBM, fault.BitFlip, 0, fault.Transient, 0)
+
+	out := NewCiphertext(gc.params, a.Level)
+	got, err := ev.TryAddInto(out, a, b)
+	if err != nil {
+		t.Fatalf("transient fault not recovered: %v", err)
+	}
+	requireCtEqual(t, got, want, "recovered Add")
+	if got.seal == nil {
+		t.Fatal("recovered result not sealed")
+	}
+
+	st := ev.RecoveryStats()
+	if st.Attempts != 1 || st.Recovered != 1 || st.Unrecoverable != 0 {
+		t.Fatalf("stats = %+v, want 1 attempt, 1 recovered", st)
+	}
+	if len(*retries) != 1 || (*retries)[0] != 2 {
+		t.Fatalf("OnRetry calls = %v, want one call announcing attempt 2", *retries)
+	}
+	if in.Stats().Healed != 1 {
+		t.Fatalf("injector stats %+v: transient fault did not heal", in.Stats())
+	}
+}
+
+// A sticky fault survives every re-read, so the retry budget must exhaust:
+// the call fails with ErrIntegrity and the op counts as unrecoverable.
+func TestRecoveryStickyFaultExhaustsBudget(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	a, b, _ := gc.inputs(t, 12, gc.params.MaxLevel())
+	in, retries := armRecovery(t, gc, 3)
+	ev.SealIntegrity(a)
+	ev.SealIntegrity(b)
+
+	in.ArmAtMode(fault.SiteHBM, fault.BitFlip, 0, fault.Sticky, 0)
+
+	out := NewCiphertext(gc.params, a.Level)
+	_, err := ev.TryAddInto(out, a, b)
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("got %v, want ErrIntegrity after budget exhaustion", err)
+	}
+	st := ev.RecoveryStats()
+	if st.Attempts != 2 || st.Recovered != 0 || st.Unrecoverable != 1 {
+		t.Fatalf("stats = %+v, want 2 attempts, 1 unrecoverable", st)
+	}
+	if got := len(*retries); got != 2 {
+		t.Fatalf("OnRetry called %d times, want 2", got)
+	}
+}
+
+// Transactional semantics: a failed Try must not leave a partially-written
+// destination. The destination's words are bit-identical before and after
+// the failed call.
+func TestRecoveryFailureLeavesDestinationUntouched(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	a, b, _ := gc.inputs(t, 13, gc.params.MaxLevel())
+	in, _ := armRecovery(t, gc, 2)
+	ev.SealIntegrity(a)
+	ev.SealIntegrity(b)
+
+	// A recognizable destination payload: a fresh ciphertext with a pattern.
+	out := NewCiphertext(gc.params, a.Level)
+	for i := range out.C0.Coeffs {
+		for j := range out.C0.Coeffs[i] {
+			out.C0.Coeffs[i][j] = uint64(i + j)
+			out.C1.Coeffs[i][j] = uint64(i * 3)
+		}
+	}
+	snap := out.CopyNew()
+
+	in.ArmAtMode(fault.SiteHBM, fault.BitFlip, 0, fault.Sticky, 0)
+	if _, err := ev.TryAddInto(out, a, b); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("got %v, want ErrIntegrity", err)
+	}
+	for i := range snap.C0.Coeffs {
+		for j := range snap.C0.Coeffs[i] {
+			if out.C0.Coeffs[i][j] != snap.C0.Coeffs[i][j] || out.C1.Coeffs[i][j] != snap.C1.Coeffs[i][j] {
+				t.Fatalf("failed attempt wrote destination at limb %d coeff %d", i, j)
+			}
+		}
+	}
+}
+
+// With recovery off (nil policy or MaxAttempts ≤ 1) the evaluator reports
+// no policy and the Try path behaves exactly as before.
+func TestRecoveryPolicyInstallAndClear(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	if ev.RecoveryPolicy() != nil {
+		t.Fatal("fresh evaluator has a recovery policy")
+	}
+	ev.SetRecoveryPolicy(&RecoveryPolicy{MaxAttempts: 4})
+	if p := ev.RecoveryPolicy(); p == nil || p.MaxAttempts != 4 {
+		t.Fatalf("policy not installed: %+v", p)
+	}
+	ev.SetRecoveryPolicy(&RecoveryPolicy{MaxAttempts: 1})
+	if ev.RecoveryPolicy() != nil {
+		t.Fatal("MaxAttempts 1 should clear the policy")
+	}
+	ev.SetRecoveryPolicy(&RecoveryPolicy{MaxAttempts: 4})
+	ev.SetRecoveryPolicy(nil)
+	if ev.RecoveryPolicy() != nil {
+		t.Fatal("nil should clear the policy")
+	}
+}
+
+// recoveryObserver records ObserveRecovery notifications alongside the
+// base OpObserver surface.
+type recoveryObserver struct {
+	ops       []string
+	recovered []bool
+	retries   []int
+}
+
+func (r *recoveryObserver) Observe(op string, level int) {}
+func (r *recoveryObserver) ObserveRecovery(op string, retries int, recovered bool, dur time.Duration) {
+	r.ops = append(r.ops, op)
+	r.retries = append(r.retries, retries)
+	r.recovered = append(r.recovered, recovered)
+}
+
+// An observer implementing RecoveryObserver receives one notification per
+// recovery episode — the wire telemetry.Collector rides into /metrics.
+func TestRecoveryObserverNotified(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	a, b, _ := gc.inputs(t, 14, gc.params.MaxLevel())
+	obs := &recoveryObserver{}
+	ev.SetObserver(obs)
+	in, _ := armRecovery(t, gc, 3)
+	ev.SealIntegrity(a)
+	ev.SealIntegrity(b)
+
+	in.ArmAtMode(fault.SiteHBM, fault.BitFlip, 0, fault.Transient, 0)
+	out := NewCiphertext(gc.params, a.Level)
+	if _, err := ev.TryAddInto(out, a, b); err != nil {
+		t.Fatalf("recovered call failed: %v", err)
+	}
+	if len(obs.ops) != 1 || !obs.recovered[0] || obs.retries[0] != 1 {
+		t.Fatalf("observer saw %v/%v/%v, want one recovered episode with 1 retry",
+			obs.ops, obs.retries, obs.recovered)
+	}
+}

@@ -7,12 +7,13 @@ import (
 
 // Try* evaluator API: error-returning variants of the destination-passing
 // operations. Each method validates its arguments up front (returning
-// sentinel errors wrapped in *OpError instead of panicking), runs the
-// input-boundary integrity guard over sealed operands, executes the
-// corresponding *Into operation inside the recovery boundary (so an
-// internal panic — including one injected by the fault harness — comes back
-// as an error, never takes the process down), and seals the output when
-// guards are enabled.
+// sentinel errors wrapped in *OpError instead of panicking), then hands an
+// attempt closure — input-boundary integrity guard, the *Into kernel, the
+// spot-check — to execTry (recovery.go), which executes it inside the
+// recovery boundary (so an internal panic — including one injected by the
+// fault harness — comes back as an error, never takes the process down),
+// re-executes on ErrIntegrity when a RecoveryPolicy is installed, and
+// seals the output when guards are enabled.
 //
 // The direct *Into methods keep their panicking contract for hot loops that
 // have already validated; the Try* forms are the public, fallible surface
@@ -101,27 +102,28 @@ func (ev *Evaluator) TryAddInto(out, a, b *Ciphertext) (res *Ciphertext, err err
 	if !sameScale(a.Scale, b.Scale) {
 		return nil, opErr(op, level, ErrScaleMismatch, "scales %g vs %g", a.Scale, b.Scale)
 	}
-	if err := ev.guardInputs(op, a, b); err != nil {
-		return nil, err
-	}
-	aliased := aliasCt(out, a) || aliasCt(out, b)
-	aa, bb := ev.alignLevels(a, b)
-	ev.AddInto(out, a, b)
-	if !aliased {
-		ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
-			o0, o1 := out.C0.Coeffs[i], out.C1.Coeffs[i]
-			a0, a1 := aa.C0.Coeffs[i], aa.C1.Coeffs[i]
-			b0, b1 := bb.C0.Coeffs[i], bb.C1.Coeffs[i]
-			for j := range o0 {
-				if o0[j] != mod.Add(a0[j], b0[j]) || o1[j] != mod.Add(a1[j], b1[j]) {
-					return false
+	return ev.execTry(op, level, out, func(dst *Ciphertext) error {
+		if err := ev.guardInputs(op, a, b); err != nil {
+			return err
+		}
+		aliased := aliasCt(dst, a) || aliasCt(dst, b)
+		aa, bb := ev.alignLevels(a, b)
+		ev.AddInto(dst, a, b)
+		if !aliased {
+			ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
+				o0, o1 := dst.C0.Coeffs[i], dst.C1.Coeffs[i]
+				a0, a1 := aa.C0.Coeffs[i], aa.C1.Coeffs[i]
+				b0, b1 := bb.C0.Coeffs[i], bb.C1.Coeffs[i]
+				for j := range o0 {
+					if o0[j] != mod.Add(a0[j], b0[j]) || o1[j] != mod.Add(a1[j], b1[j]) {
+						return false
+					}
 				}
-			}
-			return true
-		})
-	}
-	ev.guardSeal(out)
-	return out, nil
+				return true
+			})
+		}
+		return nil
+	})
 }
 
 // TrySubInto computes out = a − b. out may alias a or b.
@@ -142,27 +144,28 @@ func (ev *Evaluator) TrySubInto(out, a, b *Ciphertext) (res *Ciphertext, err err
 	if !sameScale(a.Scale, b.Scale) {
 		return nil, opErr(op, level, ErrScaleMismatch, "scales %g vs %g", a.Scale, b.Scale)
 	}
-	if err := ev.guardInputs(op, a, b); err != nil {
-		return nil, err
-	}
-	aliased := aliasCt(out, a) || aliasCt(out, b)
-	aa, bb := ev.alignLevels(a, b)
-	ev.SubInto(out, a, b)
-	if !aliased {
-		ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
-			o0, o1 := out.C0.Coeffs[i], out.C1.Coeffs[i]
-			a0, a1 := aa.C0.Coeffs[i], aa.C1.Coeffs[i]
-			b0, b1 := bb.C0.Coeffs[i], bb.C1.Coeffs[i]
-			for j := range o0 {
-				if o0[j] != mod.Sub(a0[j], b0[j]) || o1[j] != mod.Sub(a1[j], b1[j]) {
-					return false
+	return ev.execTry(op, level, out, func(dst *Ciphertext) error {
+		if err := ev.guardInputs(op, a, b); err != nil {
+			return err
+		}
+		aliased := aliasCt(dst, a) || aliasCt(dst, b)
+		aa, bb := ev.alignLevels(a, b)
+		ev.SubInto(dst, a, b)
+		if !aliased {
+			ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
+				o0, o1 := dst.C0.Coeffs[i], dst.C1.Coeffs[i]
+				a0, a1 := aa.C0.Coeffs[i], aa.C1.Coeffs[i]
+				b0, b1 := bb.C0.Coeffs[i], bb.C1.Coeffs[i]
+				for j := range o0 {
+					if o0[j] != mod.Sub(a0[j], b0[j]) || o1[j] != mod.Sub(a1[j], b1[j]) {
+						return false
+					}
 				}
-			}
-			return true
-		})
-	}
-	ev.guardSeal(out)
-	return out, nil
+				return true
+			})
+		}
+		return nil
+	})
 }
 
 // TryNegInto computes out = −a. out may alias a.
@@ -176,25 +179,26 @@ func (ev *Evaluator) TryNegInto(out, a *Ciphertext) (res *Ciphertext, err error)
 	if err := ev.validDest(op, out, a.Level); err != nil {
 		return nil, err
 	}
-	if err := ev.guardInputs(op, a); err != nil {
-		return nil, err
-	}
-	aliased := aliasCt(out, a)
-	ev.NegInto(out, a)
-	if !aliased {
-		ev.spotElementwise(op, a.Level, func(mod numeric.Modulus, i int) bool {
-			o0, o1 := out.C0.Coeffs[i], out.C1.Coeffs[i]
-			a0, a1 := a.C0.Coeffs[i], a.C1.Coeffs[i]
-			for j := range o0 {
-				if o0[j] != mod.Neg(a0[j]) || o1[j] != mod.Neg(a1[j]) {
-					return false
+	return ev.execTry(op, a.Level, out, func(dst *Ciphertext) error {
+		if err := ev.guardInputs(op, a); err != nil {
+			return err
+		}
+		aliased := aliasCt(dst, a)
+		ev.NegInto(dst, a)
+		if !aliased {
+			ev.spotElementwise(op, a.Level, func(mod numeric.Modulus, i int) bool {
+				o0, o1 := dst.C0.Coeffs[i], dst.C1.Coeffs[i]
+				a0, a1 := a.C0.Coeffs[i], a.C1.Coeffs[i]
+				for j := range o0 {
+					if o0[j] != mod.Neg(a0[j]) || o1[j] != mod.Neg(a1[j]) {
+						return false
+					}
 				}
-			}
-			return true
-		})
-	}
-	ev.guardSeal(out)
-	return out, nil
+				return true
+			})
+		}
+		return nil
+	})
 }
 
 // TryAddPlainInto computes out = ct + pt. out may alias ct.
@@ -215,25 +219,26 @@ func (ev *Evaluator) TryAddPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaint
 	if !sameScale(ct.Scale, pt.Scale) {
 		return nil, opErr(op, level, ErrScaleMismatch, "scales %g vs %g", ct.Scale, pt.Scale)
 	}
-	if err := ev.guardInputs(op, ct); err != nil {
-		return nil, err
-	}
-	aliased := aliasCt(out, ct)
-	ev.AddPlainInto(out, ct, pt)
-	if !aliased {
-		ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
-			o0 := out.C0.Coeffs[i]
-			c0, pv := ct.C0.Coeffs[i], pt.Value.Coeffs[i]
-			for j := range o0 {
-				if o0[j] != mod.Add(c0[j], pv[j]) {
-					return false
+	return ev.execTry(op, level, out, func(dst *Ciphertext) error {
+		if err := ev.guardInputs(op, ct); err != nil {
+			return err
+		}
+		aliased := aliasCt(dst, ct)
+		ev.AddPlainInto(dst, ct, pt)
+		if !aliased {
+			ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
+				o0 := dst.C0.Coeffs[i]
+				c0, pv := ct.C0.Coeffs[i], pt.Value.Coeffs[i]
+				for j := range o0 {
+					if o0[j] != mod.Add(c0[j], pv[j]) {
+						return false
+					}
 				}
-			}
-			return true
-		})
-	}
-	ev.guardSeal(out)
-	return out, nil
+				return true
+			})
+		}
+		return nil
+	})
 }
 
 // TryMulPlainInto computes out = ct · pt. out may alias ct. The noise guard
@@ -255,29 +260,30 @@ func (ev *Evaluator) TryMulPlainInto(out *Ciphertext, ct *Ciphertext, pt *Plaint
 	if err := ev.guardNoise(op, level, ct.Scale*pt.Scale); err != nil {
 		return nil, err
 	}
-	if err := ev.guardInputs(op, ct); err != nil {
-		return nil, err
-	}
-	aliased := aliasCt(out, ct)
-	ev.MulPlainInto(out, ct, pt)
-	if !aliased {
-		// The recompute uses the strict Barrett product — a genuinely
-		// different kernel from the memoized Montgomery path, proven
-		// bit-identical by the differential suites.
-		ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
-			o0, o1 := out.C0.Coeffs[i], out.C1.Coeffs[i]
-			c0, c1 := ct.C0.Coeffs[i], ct.C1.Coeffs[i]
-			pv := pt.Value.Coeffs[i]
-			for j := range o0 {
-				if o0[j] != mod.Mul(c0[j], pv[j]) || o1[j] != mod.Mul(c1[j], pv[j]) {
-					return false
+	return ev.execTry(op, level, out, func(dst *Ciphertext) error {
+		if err := ev.guardInputs(op, ct); err != nil {
+			return err
+		}
+		aliased := aliasCt(dst, ct)
+		ev.MulPlainInto(dst, ct, pt)
+		if !aliased {
+			// The recompute uses the strict Barrett product — a genuinely
+			// different kernel from the memoized Montgomery path, proven
+			// bit-identical by the differential suites.
+			ev.spotElementwise(op, level, func(mod numeric.Modulus, i int) bool {
+				o0, o1 := dst.C0.Coeffs[i], dst.C1.Coeffs[i]
+				c0, c1 := ct.C0.Coeffs[i], ct.C1.Coeffs[i]
+				pv := pt.Value.Coeffs[i]
+				for j := range o0 {
+					if o0[j] != mod.Mul(c0[j], pv[j]) || o1[j] != mod.Mul(c1[j], pv[j]) {
+						return false
+					}
 				}
-			}
-			return true
-		})
-	}
-	ev.guardSeal(out)
-	return out, nil
+				return true
+			})
+		}
+		return nil
+	})
 }
 
 // TryMulRelinInto computes out = a·b with relinearization. out must not
@@ -306,12 +312,13 @@ func (ev *Evaluator) TryMulRelinInto(out, a, b *Ciphertext) (res *Ciphertext, er
 	if err := ev.guardNoise(op, level, a.Scale*b.Scale); err != nil {
 		return nil, err
 	}
-	if err := ev.guardInputs(op, a, b); err != nil {
-		return nil, err
-	}
-	ev.MulRelinInto(out, a, b)
-	ev.guardSeal(out)
-	return out, nil
+	return ev.execTry(op, level, out, func(dst *Ciphertext) error {
+		if err := ev.guardInputs(op, a, b); err != nil {
+			return err
+		}
+		ev.MulRelinInto(dst, a, b)
+		return nil
+	})
 }
 
 // TryRescaleInto divides ct by the last active prime into out. A rescale at
@@ -329,12 +336,13 @@ func (ev *Evaluator) TryRescaleInto(out *Ciphertext, ct *Ciphertext) (res *Ciphe
 	if err := ev.validDest(op, out, ct.Level-1); err != nil {
 		return nil, err
 	}
-	if err := ev.guardInputs(op, ct); err != nil {
-		return nil, err
-	}
-	ev.RescaleInto(out, ct)
-	ev.guardSeal(out)
-	return out, nil
+	return ev.execTry(op, ct.Level-1, out, func(dst *Ciphertext) error {
+		if err := ev.guardInputs(op, ct); err != nil {
+			return err
+		}
+		ev.RescaleInto(dst, ct)
+		return nil
+	})
 }
 
 // TryRotateInto rotates the slot vector by steps into out. A missing
@@ -357,12 +365,13 @@ func (ev *Evaluator) TryRotateInto(out *Ciphertext, ct *Ciphertext, steps int) (
 			return nil, opErr(op, ct.Level, ErrKeyMissing, "no rotation key for step %d (Galois element %d)", steps, g)
 		}
 	}
-	if err := ev.guardInputs(op, ct); err != nil {
-		return nil, err
-	}
-	ev.RotateInto(out, ct, steps)
-	ev.guardSeal(out)
-	return out, nil
+	return ev.execTry(op, ct.Level, out, func(dst *Ciphertext) error {
+		if err := ev.guardInputs(op, ct); err != nil {
+			return err
+		}
+		ev.RotateInto(dst, ct, steps)
+		return nil
+	})
 }
 
 // TryConjugateInto conjugates every slot into out. out may alias ct.
@@ -384,12 +393,13 @@ func (ev *Evaluator) TryConjugateInto(out *Ciphertext, ct *Ciphertext) (res *Cip
 			return nil, opErr(op, ct.Level, ErrKeyMissing, "no conjugation key (Galois element %d)", g)
 		}
 	}
-	if err := ev.guardInputs(op, ct); err != nil {
-		return nil, err
-	}
-	ev.ConjugateInto(out, ct)
-	ev.guardSeal(out)
-	return out, nil
+	return ev.execTry(op, ct.Level, out, func(dst *Ciphertext) error {
+		if err := ev.guardInputs(op, ct); err != nil {
+			return err
+		}
+		ev.ConjugateInto(dst, ct)
+		return nil
+	})
 }
 
 // TryKeySwitchInto re-encrypts ct under swk into out. out may alias ct.
@@ -406,12 +416,13 @@ func (ev *Evaluator) TryKeySwitchInto(out *Ciphertext, ct *Ciphertext, swk *Swit
 	if swk == nil || len(swk.B) == 0 || len(swk.A) == 0 {
 		return nil, opErr(op, ct.Level, ErrKeyMissing, "nil or empty switching key")
 	}
-	if err := ev.guardInputs(op, ct); err != nil {
-		return nil, err
-	}
-	ev.KeySwitchInto(out, ct, swk)
-	ev.guardSeal(out)
-	return out, nil
+	return ev.execTry(op, ct.Level, out, func(dst *Ciphertext) error {
+		if err := ev.guardInputs(op, ct); err != nil {
+			return err
+		}
+		ev.KeySwitchInto(dst, ct, swk)
+		return nil
+	})
 }
 
 // Allocating conveniences over the Try* destination-passing forms.

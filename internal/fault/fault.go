@@ -103,6 +103,64 @@ func (s Site) String() string {
 // operator cores); StuckLane faults repeat with this stride.
 const LaneWidth = 512
 
+// Persistence classifies how injected corruption behaves on subsequent
+// reads of the same data — the property that decides whether op-level
+// re-execution can ever succeed.
+type Persistence int
+
+const (
+	// Sticky corruption stays in the (modeled) memory cell: every re-read
+	// of the corrupted limb sees the corrupted words until something
+	// rewrites them. A retry from the same inputs is doomed. This is the
+	// latched-error model and the behavior of ArmAt.
+	Sticky Persistence = iota
+	// Transient corruption clears on re-read: after the corrupted limb has
+	// been read `decay` further times, the injector restores the original
+	// words — a single-event upset scrubbed by the next refresh cycle.
+	// decay bounds how many re-executions still observe the fault, so a
+	// retry budget larger than decay recovers and a smaller one does not.
+	Transient
+)
+
+// String names the persistence mode for reports.
+func (p Persistence) String() string {
+	if p == Transient {
+		return "transient"
+	}
+	return "sticky"
+}
+
+// healRecord tracks one pending transient corruption: the slice identity
+// (arena storage is reused, so &c[0] plus the corrupted values pin the
+// match), the indices touched, and both the original and corrupted words.
+// The record heals — restores orig — once remaining matching reads have
+// elapsed, and is dropped without healing if the data was rewritten in the
+// meantime (the corruption is gone; restoring stale words would itself be
+// a corruption).
+type healRecord struct {
+	site      Site
+	limb      int
+	ptr       *uint64
+	idx       []int
+	orig      []uint64
+	cur       []uint64
+	remaining int
+}
+
+// matches reports whether a read of c at site/limb addresses this record's
+// still-corrupted data.
+func (h *healRecord) matches(site Site, limb int, c []uint64) bool {
+	if site != h.site || limb != h.limb || len(c) == 0 || &c[0] != h.ptr {
+		return false
+	}
+	for k, j := range h.idx {
+		if j >= len(c) || c[j] != h.cur[k] {
+			return false
+		}
+	}
+	return true
+}
+
 // Injection records one applied fault, for campaign attribution.
 type Injection struct {
 	Site  Site
@@ -117,6 +175,7 @@ type Injection struct {
 type Stats struct {
 	Visits   [numSites]uint64 // per-site injection-point visits
 	Injected uint64           // faults actually applied
+	Healed   uint64           // transient corruptions restored after decay
 }
 
 // VisitsAt returns the visit count recorded for one site.
@@ -136,8 +195,12 @@ type Injector struct {
 	armSite    Site
 	armClass   Class
 	armVisit   uint64 // fire when the site counter reaches this value
+	armMode    Persistence
+	armDecay   int
 	injected   uint64
+	healed     uint64
 	injections []Injection
+	heals      []*healRecord // pending transient corruptions awaiting decay
 }
 
 // NewInjector creates an injector whose corruption choices (coefficient,
@@ -148,27 +211,40 @@ func NewInjector(seed int64) *Injector {
 
 // ResetVisits zeroes the per-site visit counters (arming state and
 // injection log are preserved), so each campaign trial addresses visits
-// from zero.
+// from zero. Pending transient heal records are dropped: a new trial
+// rebuilds its data, and stale undo records must never touch reused arena
+// storage.
 func (in *Injector) ResetVisits() {
 	in.mu.Lock()
 	in.visits = [numSites]uint64{}
+	in.heals = nil
 	in.mu.Unlock()
 }
 
-// ArmAt schedules one fault of the given class at the visit-th upcoming
-// visit of site (counting from the current ResetVisits). The injector
-// disarms after firing.
+// ArmAt schedules one Sticky fault of the given class at the visit-th
+// upcoming visit of site (counting from the current ResetVisits). The
+// injector disarms after firing.
 func (in *Injector) ArmAt(site Site, class Class, visit uint64) {
+	in.ArmAtMode(site, class, visit, Sticky, 0)
+}
+
+// ArmAtMode is ArmAt with an explicit persistence mode. decay only applies
+// to Transient faults: the corruption self-heals after the corrupted limb
+// has been re-read decay further times (decay 0 heals on the very next
+// re-read).
+func (in *Injector) ArmAtMode(site Site, class Class, visit uint64, mode Persistence, decay int) {
 	in.mu.Lock()
 	in.armed = true
 	in.armSite = site
 	in.armClass = class
 	in.armVisit = visit
+	in.armMode = mode
+	in.armDecay = decay
 	in.mu.Unlock()
 }
 
-// ArmRandom arms one fault of the given class at a uniformly random visit
-// in [0, totalVisits) of site, and returns the chosen visit.
+// ArmRandom arms one Sticky fault of the given class at a uniformly random
+// visit in [0, totalVisits) of site, and returns the chosen visit.
 func (in *Injector) ArmRandom(site Site, class Class, totalVisits uint64) uint64 {
 	in.mu.Lock()
 	var v uint64
@@ -179,8 +255,38 @@ func (in *Injector) ArmRandom(site Site, class Class, totalVisits uint64) uint64
 	in.armSite = site
 	in.armClass = class
 	in.armVisit = v
+	in.armMode = Sticky
+	in.armDecay = 0
 	in.mu.Unlock()
 	return v
+}
+
+// ArmWithin arms one fault at a uniformly random visit within the next
+// `window` visits of site, counting from the live visit counter — the
+// arming primitive for chaos campaigns against a running system, where
+// visit counts grow monotonically and arming relative to zero would never
+// fire. Returns the chosen absolute visit.
+func (in *Injector) ArmWithin(site Site, class Class, window uint64, mode Persistence, decay int) uint64 {
+	in.mu.Lock()
+	v := in.visits[site]
+	if window > 0 {
+		v += uint64(in.rng.Int63n(int64(window)))
+	}
+	in.armed = true
+	in.armSite = site
+	in.armClass = class
+	in.armVisit = v
+	in.armMode = mode
+	in.armDecay = decay
+	in.mu.Unlock()
+	return v
+}
+
+// Pending reports whether a fault is armed and has not fired yet.
+func (in *Injector) Pending() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.armed
 }
 
 // Disarm cancels any pending fault.
@@ -194,7 +300,7 @@ func (in *Injector) Disarm() {
 func (in *Injector) Stats() Stats {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return Stats{Visits: in.visits, Injected: in.injected}
+	return Stats{Visits: in.visits, Injected: in.injected, Healed: in.healed}
 }
 
 // Injections returns the applied-fault log.
@@ -215,6 +321,9 @@ func (in *Injector) OnLimbRead(site Site, limb int, c []uint64) {
 	in.mu.Lock()
 	v := in.visits[site]
 	in.visits[site]++
+	if len(in.heals) > 0 {
+		in.decayHeals(site, limb, c)
+	}
 	fire := in.armed && site == in.armSite && v == in.armVisit
 	if !fire {
 		in.mu.Unlock()
@@ -230,31 +339,87 @@ func (in *Injector) OnLimbRead(site Site, limb int, c []uint64) {
 		in.mu.Unlock()
 		panic(fmt.Sprintf("fault: injected panic at %s visit %d (limb %d)", site, v, limb))
 	}
-	rec := in.corrupt(class, c)
+	var h *healRecord
+	if in.armMode == Transient {
+		h = &healRecord{site: site, limb: limb, remaining: in.armDecay}
+		if len(c) > 0 {
+			h.ptr = &c[0]
+		}
+	}
+	rec := in.corrupt(class, c, h)
 	rec.Site, rec.Class, rec.Visit, rec.Limb = site, class, v, limb
+	if h != nil && len(h.idx) > 0 {
+		in.heals = append(in.heals, h)
+	}
 	in.injected++
 	in.injections = append(in.injections, rec)
 	in.mu.Unlock()
 }
 
-// corrupt applies one fault of the given class to c. Caller holds the lock.
-func (in *Injector) corrupt(class Class, c []uint64) Injection {
+// decayHeals walks the pending transient corruptions for one that matches
+// this read. A match still within its decay window stays corrupted for
+// this read; one whose window has elapsed is restored in place (the caller
+// reads clean data). Records whose data was rewritten since injection are
+// dropped without touching memory. Caller holds the lock.
+func (in *Injector) decayHeals(site Site, limb int, c []uint64) {
+	for i := 0; i < len(in.heals); i++ {
+		h := in.heals[i]
+		if !h.matches(site, limb, c) {
+			if site == h.site && limb == h.limb && len(c) > 0 && &c[0] == h.ptr {
+				// Same storage, different words: the corruption was
+				// overwritten by new data. The fault is gone; forget it.
+				in.heals = append(in.heals[:i], in.heals[i+1:]...)
+				i--
+			}
+			continue
+		}
+		if h.remaining > 0 {
+			h.remaining--
+			return
+		}
+		for k, j := range h.idx {
+			c[j] = h.orig[k]
+		}
+		in.healed++
+		in.heals = append(in.heals[:i], in.heals[i+1:]...)
+		return
+	}
+}
+
+// corrupt applies one fault of the given class to c, recording undo
+// information into h when the fault is transient. Caller holds the lock.
+func (in *Injector) corrupt(class Class, c []uint64, h *healRecord) Injection {
 	rec := Injection{Coeff: -1, Bit: -1}
 	if len(c) == 0 {
 		return rec
+	}
+	note := func(j int) {
+		if h != nil {
+			h.idx = append(h.idx, j)
+			h.orig = append(h.orig, c[j])
+		}
+	}
+	wrote := func(j int) {
+		if h != nil {
+			h.cur = append(h.cur, c[j])
+		}
 	}
 	switch class {
 	case BitFlip:
 		j := in.rng.Intn(len(c))
 		b := in.rng.Intn(64)
+		note(j)
 		c[j] ^= 1 << uint(b)
+		wrote(j)
 		rec.Coeff, rec.Bit = j, b
 	case MultiBitFlip:
 		j := in.rng.Intn(len(c))
 		k := 2 + in.rng.Intn(7) // 2..8 bits
+		note(j)
 		for i := 0; i < k; i++ {
 			c[j] ^= 1 << uint(in.rng.Intn(64))
 		}
+		wrote(j)
 		rec.Coeff = j
 	case StuckLane:
 		width := LaneWidth
@@ -264,7 +429,9 @@ func (in *Injector) corrupt(class Class, c []uint64) Injection {
 		lane := in.rng.Intn(width)
 		stuck := ^c[lane] // complement guarantees the limb changes
 		for j := lane; j < len(c); j += width {
+			note(j)
 			c[j] = stuck
+			wrote(j)
 		}
 		rec.Coeff = lane
 	case DroppedTwiddle:
@@ -277,7 +444,9 @@ func (in *Injector) corrupt(class Class, c []uint64) Injection {
 		stride := 1 << uint(1+in.rng.Intn(maxK))
 		off := in.rng.Intn(stride)
 		for j := off; j < len(c); j += stride {
+			note(j)
 			c[j] = 0
+			wrote(j)
 		}
 		rec.Coeff = off
 	}

@@ -151,3 +151,117 @@ func TestResetVisits(t *testing.T) {
 		t.Fatal("post-reset visit 0 did not fire")
 	}
 }
+
+// A transient fault must stay visible for exactly `decay` further reads of
+// the corrupted limb, then heal in place: the next read sees the original
+// words again.
+func TestTransientFaultHealsAfterDecay(t *testing.T) {
+	mod := testModulus(t)
+	in := NewInjector(11)
+	in.ArmAtMode(SiteHBM, BitFlip, 0, Transient, 2)
+	ref := testLimb(mod, 128)
+	c := testLimb(mod, 128)
+
+	corrupted := func() bool {
+		for j := range c {
+			if c[j] != ref[j] {
+				return true
+			}
+		}
+		return false
+	}
+
+	in.OnLimbRead(SiteHBM, 0, c) // fires
+	if !corrupted() {
+		t.Fatal("armed transient fault did not corrupt")
+	}
+	for r := 0; r < 2; r++ { // decay window: still corrupted
+		in.OnLimbRead(SiteHBM, 0, c)
+		if !corrupted() {
+			t.Fatalf("read %d inside decay window already healed", r+1)
+		}
+	}
+	in.OnLimbRead(SiteHBM, 0, c) // window elapsed: heals
+	if corrupted() {
+		t.Fatal("transient fault did not heal after decay window")
+	}
+	if st := in.Stats(); st.Healed != 1 || st.Injected != 1 {
+		t.Fatalf("stats = %+v, want 1 injection and 1 heal", st)
+	}
+}
+
+// Sticky is the default and must never heal, no matter how many re-reads.
+func TestStickyFaultNeverHeals(t *testing.T) {
+	mod := testModulus(t)
+	in := NewInjector(12)
+	in.ArmAtMode(SiteHBM, BitFlip, 0, Sticky, 0)
+	ref := testLimb(mod, 128)
+	c := testLimb(mod, 128)
+	for v := 0; v < 8; v++ {
+		in.OnLimbRead(SiteHBM, 0, c)
+	}
+	same := true
+	for j := range c {
+		if c[j] != ref[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("sticky fault vanished")
+	}
+	if st := in.Stats(); st.Healed != 0 {
+		t.Fatalf("sticky fault healed: %+v", st)
+	}
+}
+
+// If the corrupted storage is rewritten before the decay window elapses,
+// the heal record must be dropped without restoring: writing the old words
+// over fresh data would itself be a corruption (arena storage is reused).
+func TestTransientHealDroppedOnRewrite(t *testing.T) {
+	mod := testModulus(t)
+	in := NewInjector(13)
+	in.ArmAtMode(SiteHBM, BitFlip, 0, Transient, 0)
+	c := testLimb(mod, 128)
+	in.OnLimbRead(SiteHBM, 0, c) // fires; next matching read would heal
+
+	// Rewrite the limb in place (same backing array — the arena-reuse case).
+	fresh := make([]uint64, len(c))
+	for j := range fresh {
+		fresh[j] = uint64(j) * 31
+	}
+	copy(c, fresh)
+
+	in.OnLimbRead(SiteHBM, 0, c)
+	for j := range c {
+		if c[j] != fresh[j] {
+			t.Fatalf("heal restored stale words over rewritten data at coeff %d", j)
+		}
+	}
+	if st := in.Stats(); st.Healed != 0 {
+		t.Fatalf("dropped record counted as healed: %+v", st)
+	}
+}
+
+// ArmWithin must arm relative to the live visit counter and fire inside the
+// window — the primitive chaos campaigns use against a running system.
+func TestArmWithinFiresInsideWindow(t *testing.T) {
+	mod := testModulus(t)
+	in := NewInjector(14)
+	c := testLimb(mod, 64)
+	for v := 0; v < 10; v++ { // advance the live counter past zero
+		in.OnLimbRead(SiteHBM, 0, c)
+	}
+	v := in.ArmWithin(SiteHBM, BitFlip, 5, Transient, 1)
+	if v < 10 || v >= 15 {
+		t.Fatalf("ArmWithin chose visit %d, want within [10, 15)", v)
+	}
+	for i := 0; i < 5; i++ {
+		in.OnLimbRead(SiteHBM, 0, c)
+	}
+	if in.Stats().Injected != 1 {
+		t.Fatal("ArmWithin fault did not fire inside its window")
+	}
+	if in.Pending() {
+		t.Fatal("injector still pending after firing")
+	}
+}

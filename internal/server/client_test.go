@@ -1,0 +1,189 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"poseidon/internal/ckks"
+)
+
+// flakyHandler answers /v1/eval with the scripted status codes, then
+// serves a valid ciphertext.
+type flakyHandler struct {
+	t        *testing.T
+	script   []int // status codes for the first len(script) requests
+	retryHdr string
+	body     []byte
+	calls    atomic.Int32
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(f.calls.Add(1)) - 1
+	if n < len(f.script) {
+		if f.retryHdr != "" {
+			w.Header().Set("Retry-After", f.retryHdr)
+		}
+		http.Error(w, "scripted failure", f.script[n])
+		return
+	}
+	w.Write(f.body)
+}
+
+func flakyCtBytes(t *testing.T) []byte {
+	t.Helper()
+	params := newServeParams(t, 1)
+	ct := ckks.NewCiphertext(params, params.MaxLevel())
+	ct.Scale = params.Scale
+	b, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Client retry against a flaky server, table-driven: bounded attempts,
+// only-overload-retried, Retry-After honored, exponential jitter bounds.
+func TestClientRetryFlakyServer(t *testing.T) {
+	ctBytes := flakyCtBytes(t)
+	base := 50 * time.Millisecond
+	cases := []struct {
+		name       string
+		script     []int
+		retryHdr   string
+		policy     RetryPolicy
+		wantErr    error
+		wantCalls  int32
+		wantSleeps int
+		checkSleep func(i int, d time.Duration) bool
+	}{
+		{
+			name:      "clean first try needs no retry",
+			policy:    RetryPolicy{MaxAttempts: 3},
+			wantCalls: 1,
+		},
+		{
+			name:       "two 503s then success",
+			script:     []int{503, 503},
+			policy:     RetryPolicy{MaxAttempts: 3, BaseBackoff: base},
+			wantCalls:  3,
+			wantSleeps: 2,
+			checkSleep: func(i int, d time.Duration) bool {
+				// retry i+1 waits in [b/2, b] with b = base << i
+				b := base << uint(i)
+				return d >= b/2 && d <= b
+			},
+		},
+		{
+			name:       "budget exhausted surfaces ErrOverloaded",
+			script:     []int{503, 503, 503},
+			policy:     RetryPolicy{MaxAttempts: 3, BaseBackoff: base},
+			wantErr:    ErrOverloaded,
+			wantCalls:  3,
+			wantSleeps: 2, // waits precede attempts 2 and 3; the final failure returns
+		},
+		{
+			name:      "single-shot default does not retry",
+			script:    []int{503},
+			wantErr:   ErrOverloaded,
+			wantCalls: 1,
+		},
+		{
+			name:      "400 is not retried",
+			script:    []int{400, 400},
+			policy:    RetryPolicy{MaxAttempts: 3},
+			wantErr:   ErrBadRequest,
+			wantCalls: 1,
+		},
+		{
+			name:       "Retry-After is honored exactly",
+			script:     []int{503},
+			retryHdr:   "1",
+			policy:     RetryPolicy{MaxAttempts: 2, BaseBackoff: base},
+			wantCalls:  2,
+			wantSleeps: 1,
+			checkSleep: func(i int, d time.Duration) bool { return d == time.Second },
+		},
+		{
+			name:       "Retry-After capped at MaxBackoff",
+			script:     []int{503},
+			retryHdr:   "3600",
+			policy:     RetryPolicy{MaxAttempts: 2, BaseBackoff: base, MaxBackoff: 2 * time.Second},
+			wantCalls:  2,
+			wantSleeps: 1,
+			checkSleep: func(i int, d time.Duration) bool { return d == 2*time.Second },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fh := &flakyHandler{t: t, script: tc.script, retryHdr: tc.retryHdr, body: ctBytes}
+			hs := httptest.NewServer(fh)
+			defer hs.Close()
+
+			var sleeps []time.Duration
+			cl := &Client{
+				Base:  hs.URL,
+				Retry: tc.policy,
+				sleep: func(ctx context.Context, d time.Duration) error {
+					sleeps = append(sleeps, d)
+					return nil // no wall time in tests
+				},
+			}
+			ct, _, err := cl.Eval(&EvalRequest{Tenant: "x", Op: OpNegate, Ct: []byte{1}})
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("got %v, want %v", err, tc.wantErr)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if ct == nil {
+					t.Fatal("no ciphertext decoded")
+				}
+			}
+			if got := fh.calls.Load(); got != tc.wantCalls {
+				t.Fatalf("server saw %d calls, want %d", got, tc.wantCalls)
+			}
+			if len(sleeps) != tc.wantSleeps {
+				t.Fatalf("client slept %d times (%v), want %d", len(sleeps), sleeps, tc.wantSleeps)
+			}
+			if tc.checkSleep != nil {
+				for i, d := range sleeps {
+					if !tc.checkSleep(i, d) {
+						t.Fatalf("sleep %d = %v out of policy bounds", i, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// A context cancelled during backoff must abort the retry loop with the
+// context's error, not keep hammering the server.
+func TestClientRetryContextCancelledDuringBackoff(t *testing.T) {
+	fh := &flakyHandler{t: t, script: []int{503, 503, 503, 503}, body: flakyCtBytes(t)}
+	hs := httptest.NewServer(fh)
+	defer hs.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cl := &Client{
+		Base:  hs.URL,
+		Retry: RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond},
+		sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // the deadline lands mid-backoff
+			return ctx.Err()
+		},
+	}
+	_, _, err := cl.EvalCtx(ctx, &EvalRequest{Tenant: "x", Op: OpNegate, Ct: []byte{1}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := fh.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls after cancel, want 1", got)
+	}
+}

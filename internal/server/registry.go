@@ -19,11 +19,12 @@ import (
 // tenants through a 16-entry registry and decrypt-validates every response
 // to prove that discipline.
 type Registry struct {
-	mu        sync.Mutex
-	params    *ckks.Parameters
-	capacity  int
-	observer  ckks.OpObserver // installed on every tenant evaluator (telemetry)
-	guardSeed int64           // non-zero arms integrity guards on every tenant evaluator
+	mu         sync.Mutex
+	params     *ckks.Parameters
+	capacity   int
+	observer   ckks.OpObserver // installed on every tenant evaluator (telemetry)
+	guardSeed  int64           // non-zero arms integrity guards on every tenant evaluator
+	opAttempts int             // >1 installs an op-level recovery policy on every tenant evaluator
 
 	entries map[string]*tenantEntry
 	lru     *list.List // front = most recently used
@@ -46,14 +47,15 @@ type tenantEntry struct {
 // Evaluator returns the tenant's keyed evaluator.
 func (e *tenantEntry) Evaluator() *ckks.Evaluator { return e.ev }
 
-func newRegistry(params *ckks.Parameters, capacity int, observer ckks.OpObserver, guardSeed int64) *Registry {
+func newRegistry(params *ckks.Parameters, capacity int, observer ckks.OpObserver, guardSeed int64, opAttempts int) *Registry {
 	return &Registry{
-		params:    params,
-		capacity:  capacity,
-		observer:  observer,
-		guardSeed: guardSeed,
-		entries:   map[string]*tenantEntry{},
-		lru:       list.New(),
+		params:     params,
+		capacity:   capacity,
+		observer:   observer,
+		guardSeed:  guardSeed,
+		opAttempts: opAttempts,
+		entries:    map[string]*tenantEntry{},
+		lru:        list.New(),
 	}
 }
 
@@ -71,6 +73,9 @@ func (r *Registry) Register(tenant string, rlk *ckks.RelinearizationKey, rtk *ck
 	}
 	if r.observer != nil {
 		ev.SetObserver(r.observer)
+	}
+	if r.opAttempts > 1 {
+		ev.SetRecoveryPolicy(&ckks.RecoveryPolicy{MaxAttempts: r.opAttempts})
 	}
 
 	r.mu.Lock()

@@ -8,7 +8,7 @@ import (
 
 func newTestRegistry(t *testing.T, capacity int) *Registry {
 	t.Helper()
-	return newRegistry(newServeParams(t, 1), capacity, nil, 0)
+	return newRegistry(newServeParams(t, 1), capacity, nil, 0, 0)
 }
 
 func TestRegistryEvictsLRU(t *testing.T) {

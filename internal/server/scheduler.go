@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -56,10 +57,29 @@ type job struct {
 	digest    [sha256.Size]byte
 	hasDigest bool
 
+	// ctx is the request's context (nil = none): an expired job is skipped
+	// cheaply by the executor and never re-enqueued by the retry path.
+	ctx context.Context
+	// attempt counts scheduler-level re-executions of this job after
+	// integrity failures (0 = first run).
+	attempt int
+
 	done chan jobResult // buffered(1): the executor never blocks delivering
 }
 
 func (j *job) level() int { return j.ct.Level }
+
+// ctxErr reports the job's context expiry, wrapped for the HTTP layer
+// (context.DeadlineExceeded maps to 504).
+func (j *job) ctxErr() error {
+	if j.ctx == nil {
+		return nil
+	}
+	if err := j.ctx.Err(); err != nil {
+		return fmt.Errorf("server: request abandoned: %w", err)
+	}
+	return nil
+}
 
 type jobResult struct {
 	ct    *ckks.Ciphertext
@@ -84,6 +104,13 @@ type scheduler struct {
 	hoistGroups atomic.Uint64   // batches of ≥2 rotations sharing a decomposition
 	hoistShared atomic.Uint64   // decompositions saved by sharing
 	guardTrips  atomic.Uint64
+
+	// job-level recovery counters: re-enqueues after integrity failures,
+	// jobs that eventually succeeded on a retry, and jobs that exhausted
+	// the attempt budget (the only ones that trip the degradation ladder).
+	jobRetries       atomic.Uint64
+	jobRecovered     atomic.Uint64
+	jobUnrecoverable atomic.Uint64
 
 	// testExec, when set (tests only), replaces the evaluator call for a
 	// job: a non-nil return is delivered as the op's failure. It lets the
@@ -122,14 +149,27 @@ func (s *scheduler) enqueue(j *job) error {
 
 // stop closes the queue and waits for the dispatcher to drain every
 // admitted job — graceful: queued work completes, new work is refused.
-func (s *scheduler) stop() {
+func (s *scheduler) stop() { s.stopCtx(context.Background()) }
+
+// stopCtx is stop with a drain bound: when ctx expires before the
+// dispatcher has drained the queue, stopCtx returns the expiry error with
+// the dispatcher still running (it keeps draining in the background —
+// abandoning it would strand queued requesters on their done channels).
+// Jobs parked in retry backoff are not waited for: their re-enqueue fails
+// against the closed queue and delivers the original failure.
+func (s *scheduler) stopCtx(ctx context.Context) error {
 	s.qmu.Lock()
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
 	}
 	s.qmu.Unlock()
-	<-s.done
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w (%d jobs still queued)", ctx.Err(), len(s.queue))
+	}
 }
 
 // currentMode returns the dispatch mode after applying cooldown decay:
@@ -294,7 +334,12 @@ func (s *scheduler) execHoistGroup(group []*job, batchSize int) {
 	}
 	h, err := ev.TryHoist(group[0].ct)
 	if err != nil {
-		s.noteErr(err)
+		// The fallback re-executes each member individually, where the
+		// job-retry path applies; with retries off, the failure drives the
+		// ladder here as before (execOne sees per-job errors itself).
+		if !s.retryEnabled() {
+			s.noteErr(err)
+		}
 		for _, j := range group {
 			s.execOne(j, batchSize)
 		}
@@ -305,15 +350,16 @@ func (s *scheduler) execHoistGroup(group []*job, batchSize int) {
 	s.hoistShared.Add(uint64(len(group) - 1))
 	for _, j := range group {
 		res, err := h.TryRotate(j.steps)
-		if err != nil {
-			s.noteErr(err)
-		}
-		j.done <- jobResult{ct: res, batch: batchSize, err: err}
+		s.finish(j, res, batchSize, err)
 	}
 }
 
 // execOne runs a single job through its tenant's evaluator.
 func (s *scheduler) execOne(j *job, batchSize int) {
+	if err := j.ctxErr(); err != nil {
+		j.done <- jobResult{batch: batchSize, err: err}
+		return
+	}
 	var res *ckks.Ciphertext
 	var err error
 	if s.testExec != nil {
@@ -322,11 +368,59 @@ func (s *scheduler) execOne(j *job, batchSize int) {
 	if err == nil {
 		res, err = s.eval(j)
 	}
-	if err != nil {
-		s.noteErr(err)
-		res = nil
+	s.finish(j, res, batchSize, err)
+}
+
+func (s *scheduler) retryEnabled() bool { return s.cfg.MaxJobAttempts > 1 }
+
+// finish delivers a job outcome, routing integrity failures through the
+// job-retry path first: a retryable job is re-enqueued after a backoff and
+// its response deferred; only a job that exhausts the attempt budget (or
+// fails for a non-integrity reason) is answered with the error, and only
+// that unrecoverable integrity failure trips the degradation ladder — a
+// fault the system recovers from is not a reason to shed load.
+func (s *scheduler) finish(j *job, res *ckks.Ciphertext, batchSize int, err error) {
+	if err == nil {
+		if j.attempt > 0 {
+			s.jobRecovered.Add(1)
+		}
+		j.done <- jobResult{ct: res, batch: batchSize}
+		return
 	}
-	j.done <- jobResult{ct: res, batch: batchSize, err: err}
+	if errors.Is(err, ckks.ErrIntegrity) {
+		if s.retryJob(j, batchSize, err) {
+			return
+		}
+		s.jobUnrecoverable.Add(1)
+		s.tripGuard()
+	}
+	j.done <- jobResult{batch: batchSize, err: err}
+}
+
+// retryJob re-enqueues an integrity-failed job with exponential backoff,
+// bounded by MaxJobAttempts and the job's context. The backoff runs on a
+// timer so the dispatcher never sleeps; if the re-enqueue races a closed
+// or full queue, the original failure is delivered instead of being lost.
+func (s *scheduler) retryJob(j *job, batchSize int, cause error) bool {
+	if !s.retryEnabled() || j.attempt+1 >= s.cfg.MaxJobAttempts {
+		return false
+	}
+	if j.ctxErr() != nil {
+		return false
+	}
+	j.attempt++
+	s.jobRetries.Add(1)
+	backoff := s.cfg.RetryBackoff << uint(j.attempt-1)
+	if lim := 250 * time.Millisecond; backoff > lim {
+		backoff = lim
+	}
+	time.AfterFunc(backoff, func() {
+		if err := s.enqueue(j); err != nil {
+			j.done <- jobResult{batch: batchSize,
+				err: fmt.Errorf("%w (retry %d not enqueued: %v)", cause, j.attempt, err)}
+		}
+	})
+	return true
 }
 
 func (s *scheduler) eval(j *job) (*ckks.Ciphertext, error) {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -37,6 +38,23 @@ type Config struct {
 	// evaluator; guard trips drive the degradation ladder.
 	GuardSeed int64
 
+	// Fault recovery. OpMaxAttempts > 1 installs a ckks.RecoveryPolicy on
+	// every tenant evaluator: ops failing with ErrIntegrity re-execute
+	// transactionally up to that many total attempts. MaxJobAttempts > 1
+	// additionally re-enqueues integrity-failed jobs with exponential
+	// backoff (base RetryBackoff, doubled per attempt, capped at 250ms)
+	// instead of failing the response; only a job that exhausts the budget
+	// trips the degradation ladder. Both default to 1 (off), preserving
+	// the zero-allocation steady state.
+	OpMaxAttempts  int
+	MaxJobAttempts int
+	RetryBackoff   time.Duration // default 5ms
+
+	// DefaultDeadline bounds every HTTP evaluation request that does not
+	// carry its own X-Poseidon-Deadline header (0 = unbounded). Expiry
+	// returns 504 and the scheduler skips the abandoned job.
+	DefaultDeadline time.Duration
+
 	// Collector, when set, receives per-op spans from every tenant
 	// evaluator and exports the server gauges on its /metrics page.
 	Collector *telemetry.Collector
@@ -60,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DegradeCooldown <= 0 {
 		c.DegradeCooldown = 2 * time.Second
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
 	}
 	return c
 }
@@ -87,6 +108,7 @@ type EvalServer struct {
 	rejected    atomic.Uint64 // 503s from admission control
 	badRequests atomic.Uint64
 	opErrors    atomic.Uint64 // admitted requests whose evaluation failed
+	timeouts    atomic.Uint64 // requests abandoned at their context deadline
 	bytesIn     atomic.Uint64
 	bytesOut    atomic.Uint64
 
@@ -109,7 +131,7 @@ func NewEvalServer(cfg Config) (*EvalServer, error) {
 	if cfg.Collector != nil {
 		obs = cfg.Collector
 	}
-	s.registry = newRegistry(cfg.Params, cfg.RegistryCap, obs, cfg.GuardSeed)
+	s.registry = newRegistry(cfg.Params, cfg.RegistryCap, obs, cfg.GuardSeed, cfg.OpMaxAttempts)
 	s.sched = newScheduler(cfg, cfg.Params)
 	s.initGauges()
 	return s, nil
@@ -135,6 +157,14 @@ func (s *EvalServer) initGauges() {
 		func() float64 { return float64(s.rejected.Load()) })
 	g.NewFunc("poseidon_serve_guard_trips_total", "integrity guard trips observed by the scheduler",
 		func() float64 { return float64(s.sched.guardTrips.Load()) })
+	g.NewFunc("poseidon_serve_job_retries_total", "integrity-failed jobs re-enqueued by the scheduler",
+		func() float64 { return float64(s.sched.jobRetries.Load()) })
+	g.NewFunc("poseidon_serve_job_recovered_total", "jobs that succeeded on a retry attempt",
+		func() float64 { return float64(s.sched.jobRecovered.Load()) })
+	g.NewFunc("poseidon_serve_job_unrecoverable_total", "jobs that exhausted the retry budget",
+		func() float64 { return float64(s.sched.jobUnrecoverable.Load()) })
+	g.NewFunc("poseidon_serve_timeouts_total", "requests abandoned at their context deadline",
+		func() float64 { return float64(s.timeouts.Load()) })
 	s.gauges = g
 	if s.cfg.Collector != nil {
 		s.cfg.Collector.RegisterAux(g.WritePrometheus)
@@ -144,6 +174,12 @@ func (s *EvalServer) initGauges() {
 // Close drains the dispatch queue and stops the dispatcher. In-flight and
 // queued requests complete; new ones are refused with ErrOverloaded.
 func (s *EvalServer) Close() { s.sched.stop() }
+
+// Shutdown closes the dispatch queue and waits for queued jobs to drain,
+// bounded by ctx. On expiry it returns the drain error while the dispatcher
+// keeps working in the background; jobs already dispatched still complete
+// and deliver their results.
+func (s *EvalServer) Shutdown(ctx context.Context) error { return s.sched.stopCtx(ctx) }
 
 // Registry exposes the tenant key registry (tests, in-process embedding).
 func (s *EvalServer) Registry() *Registry { return s.registry }
@@ -197,14 +233,28 @@ func (s *EvalServer) admit() error {
 }
 
 // Eval runs one decoded request through admission, the registry, and the
-// batch scheduler, returning the result ciphertext and the occupancy of
-// the batch that carried it. This is the in-process entry point; the HTTP
-// handler wraps it.
-func (s *EvalServer) Eval(req *EvalRequest) (ct *ckks.Ciphertext, batch int, err error) {
+// batch scheduler with no deadline. This is the in-process entry point;
+// the HTTP handler wraps EvalCtx.
+func (s *EvalServer) Eval(req *EvalRequest) (*ckks.Ciphertext, int, error) {
+	return s.EvalCtx(context.Background(), req)
+}
+
+// EvalCtx is Eval under a caller-supplied context: when ctx expires before
+// the job's result is delivered, EvalCtx returns ctx's error immediately
+// (the HTTP layer maps DeadlineExceeded to 504) and the scheduler notices
+// the abandoned job at dispatch or retry time and skips the evaluation.
+// Returns the result ciphertext and the occupancy of the batch that
+// carried it.
+func (s *EvalServer) EvalCtx(ctx context.Context, req *EvalRequest) (ct *ckks.Ciphertext, batch int, err error) {
 	start := time.Now()
 	defer func() {
 		s.reqHist.Observe(uint64(time.Since(start).Nanoseconds()))
-		if err != nil && !errors.Is(err, ErrBadRequest) && !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrUnknownTenant) {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.timeouts.Add(1)
+		case errors.Is(err, ErrBadRequest), errors.Is(err, ErrOverloaded), errors.Is(err, ErrUnknownTenant):
+		default:
 			s.opErrors.Add(1)
 		}
 	}()
@@ -227,6 +277,7 @@ func (s *EvalServer) Eval(req *EvalRequest) (ct *ckks.Ciphertext, batch int, err
 		op:    req.Op,
 		steps: req.Steps,
 		width: req.Width,
+		ctx:   ctx,
 		done:  make(chan jobResult, 1),
 	}
 	j.ct = new(ckks.Ciphertext)
@@ -241,6 +292,16 @@ func (s *EvalServer) Eval(req *EvalRequest) (ct *ckks.Ciphertext, batch int, err
 			return nil, 0, fmt.Errorf("%w: second ciphertext: %w", ErrBadRequest, err)
 		}
 	}
+	if entry.ev.GuardsEnabled() {
+		// Seal inputs at ingest so faults corrupting request operands while
+		// they sit queued (the serving analogue of resident-HBM corruption)
+		// are caught at the operator's input boundary — and so a scheduler
+		// retry re-verifies the operands it re-executes from.
+		entry.ev.SealIntegrity(j.ct)
+		if j.ct2 != nil {
+			entry.ev.SealIntegrity(j.ct2)
+		}
+	}
 	if req.Op == OpRotate {
 		// Digest the raw bytes so the executor can recognize same-input
 		// rotations and share one hoisted decomposition across them.
@@ -251,12 +312,19 @@ func (s *EvalServer) Eval(req *EvalRequest) (ct *ckks.Ciphertext, batch int, err
 		s.rejected.Add(1)
 		return nil, 0, err
 	}
-	res := <-j.done
-	s.requests.Add(1)
-	if res.err != nil {
-		return nil, res.batch, res.err
+	select {
+	case res := <-j.done:
+		s.requests.Add(1)
+		if res.err != nil {
+			return nil, res.batch, res.err
+		}
+		return res.ct, res.batch, nil
+	case <-ctx.Done():
+		// The job stays queued; the scheduler skips it (or its retry) once
+		// it notices the context is dead. Count it as accepted work.
+		s.requests.Add(1)
+		return nil, 0, fmt.Errorf("server: request deadline: %w", ctx.Err())
 	}
-	return res.ct, res.batch, nil
 }
 
 // validateEval checks the request fields the wire decoder cannot: opcode
@@ -311,6 +379,10 @@ type Stats struct {
 	HoistGroups    uint64   `json:"hoist_groups"`
 	HoistShared    uint64   `json:"hoist_shared"` // decompositions saved by sharing
 	GuardTrips     uint64   `json:"guard_trips"`
+	Timeouts       uint64   `json:"timeouts"`          // requests abandoned at their deadline
+	JobRetries     uint64   `json:"job_retries"`       // integrity-failed jobs re-enqueued
+	JobRecovered   uint64   `json:"job_recovered"`     // jobs that succeeded on a retry attempt
+	JobUnrecovered uint64   `json:"job_unrecoverable"` // jobs that exhausted the attempt budget
 	ResidentKeys   int      `json:"resident_keys"`
 	Evictions      uint64   `json:"evictions"`
 	PinnedSkips    uint64   `json:"pinned_skips"`
@@ -349,6 +421,10 @@ func (s *EvalServer) Stats() Stats {
 		HoistGroups:    s.sched.hoistGroups.Load(),
 		HoistShared:    s.sched.hoistShared.Load(),
 		GuardTrips:     s.sched.guardTrips.Load(),
+		Timeouts:       s.timeouts.Load(),
+		JobRetries:     s.sched.jobRetries.Load(),
+		JobRecovered:   s.sched.jobRecovered.Load(),
+		JobUnrecovered: s.sched.jobUnrecoverable.Load(),
 		ResidentKeys:   s.registry.Resident(),
 		Evictions:      s.registry.Evictions(),
 		PinnedSkips:    s.registry.PinnedSkips(),
@@ -386,9 +462,12 @@ func (s *EvalServer) Handler() http.Handler {
 
 // httpStatus maps the typed error surface onto status codes: structural
 // rejections are 400, unknown tenants 404, evaluation failures on valid
-// envelopes 422, overload 503 (with Retry-After), anything else 500.
+// envelopes 422, overload 503 (with Retry-After), expired request
+// deadlines 504, anything else 500.
 func httpStatus(err error) int {
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownTenant):
@@ -432,7 +511,23 @@ func (s *EvalServer) handleEval(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	ct, batch, err := s.Eval(req)
+	ctx := r.Context()
+	deadline := s.cfg.DefaultDeadline
+	if h := r.Header.Get("X-Poseidon-Deadline"); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil || d <= 0 {
+			s.badRequests.Add(1)
+			s.fail(w, badf("X-Poseidon-Deadline %q: want a positive Go duration", h))
+			return
+		}
+		deadline = d
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	ct, batch, err := s.EvalCtx(ctx, req)
 	if err != nil {
 		s.fail(w, err)
 		return

@@ -65,6 +65,26 @@ func (s *Snapshot) WritePrometheus(w io.Writer) {
 		}
 	}
 
+	if r := s.Recovery; r != nil {
+		fmt.Fprintf(w, "# HELP poseidon_recovery_attempts_total Op re-executions performed by the recovery layer.\n")
+		fmt.Fprintf(w, "# TYPE poseidon_recovery_attempts_total counter\n")
+		fmt.Fprintf(w, "poseidon_recovery_attempts_total{workload=%q} %d\n", s.Workload, r.Attempts)
+		fmt.Fprintf(w, "# HELP poseidon_recovery_recovered_total Ops that succeeded after at least one re-execution.\n")
+		fmt.Fprintf(w, "# TYPE poseidon_recovery_recovered_total counter\n")
+		fmt.Fprintf(w, "poseidon_recovery_recovered_total{workload=%q} %d\n", s.Workload, r.Recovered)
+		fmt.Fprintf(w, "# HELP poseidon_recovery_unrecoverable_total Ops that exhausted their attempt budget still failing integrity.\n")
+		fmt.Fprintf(w, "# TYPE poseidon_recovery_unrecoverable_total counter\n")
+		fmt.Fprintf(w, "poseidon_recovery_unrecoverable_total{workload=%q} %d\n", s.Workload, r.Unrecoverable)
+		fmt.Fprintf(w, "# HELP poseidon_recovery_latency_seconds Wall time from first integrity failure to recovered result.\n")
+		fmt.Fprintf(w, "# TYPE poseidon_recovery_latency_seconds summary\n")
+		for _, q := range []struct {
+			q  string
+			ns float64
+		}{{"0.5", r.P50Ns}, {"0.95", r.P95Ns}, {"0.99", r.P99Ns}, {"1", float64(r.MaxNs)}} {
+			fmt.Fprintf(w, "poseidon_recovery_latency_seconds{workload=%q,quantile=%q} %g\n", s.Workload, q.q, q.ns/1e9)
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP poseidon_unknown_ops_total Observations dropped for an op name outside the trace kind set.\n")
 	fmt.Fprintf(w, "# TYPE poseidon_unknown_ops_total counter\n")
 	fmt.Fprintf(w, "poseidon_unknown_ops_total{workload=%q} %d\n", s.Workload, s.UnknownOps)

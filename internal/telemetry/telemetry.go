@@ -61,6 +61,14 @@ type Collector struct {
 	phaseMu sync.Mutex
 	phases  map[string]PhaseStat
 
+	// recovery counters (ckks.RecoveryObserver): op re-executions under a
+	// recovery policy, their outcomes, and the latency of recovered ops
+	// from first failure to final success.
+	recAttempts      atomic.Uint64
+	recRecovered     atomic.Uint64
+	recUnrecoverable atomic.Uint64
+	recHist          *Histogram
+
 	events atomic.Pointer[EventLog]
 	start  time.Time
 
@@ -81,8 +89,35 @@ func NewCollector(workload string) *Collector {
 		hists:    make([]atomic.Pointer[Histogram], n),
 		errs:     map[string]uint64{},
 		phases:   map[string]PhaseStat{},
+		recHist:  NewHistogram(),
 		start:    time.Now(),
 	}
+}
+
+// ObserveRecovery implements the ckks.RecoveryObserver interface: one call
+// per operation that entered the recovery loop, carrying the number of
+// re-executions performed, whether the op eventually succeeded, and the
+// wall time from first failure to final outcome. Recovered ops contribute
+// a latency sample; unrecoverable ones only count.
+func (c *Collector) ObserveRecovery(op string, retries int, recovered bool, dur time.Duration) {
+	c.recAttempts.Add(uint64(retries))
+	if recovered {
+		c.recRecovered.Add(1)
+		c.recHist.Observe(uint64(dur))
+	} else {
+		c.recUnrecoverable.Add(1)
+	}
+}
+
+// RecoverySnapshot summarizes the recovery counters.
+type RecoverySnapshot struct {
+	Attempts      uint64  `json:"attempts"`      // re-executions performed
+	Recovered     uint64  `json:"recovered"`     // ops recovered by re-execution
+	Unrecoverable uint64  `json:"unrecoverable"` // ops that exhausted their budget
+	P50Ns         float64 `json:"p50_ns"`        // recovery latency (failure → success)
+	P95Ns         float64 `json:"p95_ns"`
+	P99Ns         float64 `json:"p99_ns"`
+	MaxNs         uint64  `json:"max_ns"`
 }
 
 // PhaseStat summarizes one engine sub-phase: how many spans landed under
@@ -220,6 +255,7 @@ type Snapshot struct {
 	UnknownOps uint64               `json:"unknown_ops"`
 	Errors     map[string]uint64    `json:"errors,omitempty"`
 	Phases     map[string]PhaseStat `json:"phases,omitempty"`
+	Recovery   *RecoverySnapshot    `json:"recovery,omitempty"`
 }
 
 // Snapshot merges every shard and materializes quantiles. Keys are sorted
@@ -269,6 +305,18 @@ func (c *Collector) Snapshot() *Snapshot {
 	c.errMu.Unlock()
 	if ph := c.Phases(); len(ph) > 0 {
 		snap.Phases = ph
+	}
+	if att, rec, unrec := c.recAttempts.Load(), c.recRecovered.Load(), c.recUnrecoverable.Load(); att+rec+unrec > 0 {
+		hs := c.recHist.Snapshot()
+		snap.Recovery = &RecoverySnapshot{
+			Attempts:      att,
+			Recovered:     rec,
+			Unrecoverable: unrec,
+			P50Ns:         hs.Quantile(0.50),
+			P95Ns:         hs.Quantile(0.95),
+			P99Ns:         hs.Quantile(0.99),
+			MaxNs:         hs.MaxNs,
+		}
 	}
 	return snap
 }

@@ -117,6 +117,12 @@ type FaultStats struct {
 	SpotChecks      uint64 // redundant-limb recomputations compared
 	IntegrityFaults uint64 // checksum or spot-check mismatches detected
 	NoiseFlags      uint64 // operations refused for exhausted noise budget
+
+	// Recovery counters (zero unless a recovery policy was installed):
+	// detected faults the evaluator re-executed through, and how that went.
+	RetryAttempts uint64 // op re-executions performed by the recovery layer
+	Recovered     uint64 // ops that succeeded after ≥1 re-execution
+	Unrecoverable uint64 // ops that exhausted their attempt budget
 }
 
 // KindCalib is one row of a model-vs-measured calibration: for one basic

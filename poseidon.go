@@ -119,6 +119,13 @@ type OpError = ckks.OpError
 // GuardStats counts integrity-guard activity on an evaluator.
 type GuardStats = ckks.GuardStats
 
+// RecoveryPolicy makes an evaluator transparently re-execute Try* ops that
+// fail integrity verification (Evaluator.SetRecoveryPolicy).
+type RecoveryPolicy = ckks.RecoveryPolicy
+
+// RecoveryStats counts op re-executions and their outcomes.
+type RecoveryStats = ckks.RecoveryStats
+
 // Sentinel errors carried by OpError; see internal/ckks/errors.go.
 var (
 	// ErrLevelExhausted: the modulus chain cannot absorb the operation.

@@ -86,12 +86,15 @@ func (r *TraceRecorder) CaptureArena(params *Parameters) {
 	r.tr.Mem.PeakArenaBytes = st.PeakBytes
 }
 
-// CaptureGuards snapshots an evaluator's integrity-guard counters into the
-// trace's fault profile: seals computed, boundary verifications, spot
-// checks, detected faults and noise-budget refusals. Call it after the
-// workload has run; a guard-free evaluator records all zeros.
+// CaptureGuards snapshots an evaluator's integrity-guard and recovery
+// counters into the trace's fault profile: seals computed, boundary
+// verifications, spot checks, detected faults, noise-budget refusals, and
+// — when a recovery policy is installed — re-execution attempts and their
+// outcomes. Call it after the workload has run; a guard-free evaluator
+// records all zeros.
 func (r *TraceRecorder) CaptureGuards(ev *Evaluator) {
 	gs := ev.GuardStats()
+	rs := ev.RecoveryStats()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.tr.Fault = &trace.FaultStats{
@@ -100,6 +103,9 @@ func (r *TraceRecorder) CaptureGuards(ev *Evaluator) {
 		SpotChecks:      gs.SpotChecks,
 		IntegrityFaults: gs.IntegrityFaults,
 		NoiseFlags:      gs.NoiseFlags,
+		RetryAttempts:   rs.Attempts,
+		Recovered:       rs.Recovered,
+		Unrecoverable:   rs.Unrecoverable,
 	}
 }
 
