@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"poseidon/internal/ckks"
+	"poseidon/internal/telemetry"
+	"poseidon/internal/tracing"
+)
+
+func init() {
+	register("benchtrace", "request-tracing overhead gates (idle sink: 0 allocs/op and ≤1% on the op chain) plus the informational active-trace cost, emitted as JSON", runBenchTrace)
+}
+
+// traceOverhead is the paired chain measurement the gate inspects:
+// collector-only baseline vs collector+idle-tracing-sink, both sides timed
+// back to back inside each trial so machine drift cancels.
+type traceOverhead struct {
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"` // collector only
+	IdleNsPerOp     float64 `json:"idle_ns_per_op"`     // collector + idle sink
+	OverheadPct     float64 `json:"overhead_pct"`
+	Trials          int     `json:"trials"` // the median-ratio pair is reported
+}
+
+// traceReport is the BENCH_trace.json schema.
+type traceReport struct {
+	GeneratedBy string `json:"generated_by"`
+	LogN        int    `json:"log_n"`
+	QLimbs      int    `json:"q_limbs"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	// IdleChainAllocs is testing.AllocsPerRun over the into-op chain with
+	// the tracing sink installed but no request active — the sink must
+	// preserve the evaluator's zero-allocation contract exactly.
+	IdleChainAllocs float64       `json:"idle_chain_allocs"`
+	Overhead        traceOverhead `json:"overhead"`
+
+	// Active-trace cost, informational (not gated): the same chain with a
+	// live span tree attached, priced per op span. Tracing a request is
+	// allowed to cost — it happens once per sampled request, not on the
+	// steady-state path.
+	ActiveNsPerOp   float64 `json:"active_ns_per_op"`
+	ActiveSpanNs    float64 `json:"active_span_ns_per_op"` // ActiveNsPerOp - IdleNsPerOp, per chain op
+	SpansPerRequest int     `json:"spans_per_request"`
+
+	Gate struct {
+		Enabled bool    `json:"enabled"`
+		MaxPct  float64 `json:"max_pct"`
+		Pass    bool    `json:"pass"`
+	} `json:"gate"`
+}
+
+// runBenchTrace prices the request-tracing layer the same way benchtelemetry
+// prices the collector: the evaluator op chain is timed with the tracing
+// sink idle (installed, no active request — the steady-state serving
+// configuration when a request was not sampled or tracing is off) against a
+// collector-only baseline, as the median-ratio pair of back-to-back trials.
+// The gate holds the idle sink to at most -maxpct percent overhead and
+// exactly zero allocations per op — tracing must be free until a request
+// actually carries a span tree. The active-trace cost is measured too, but
+// reported informationally: it is paid per sampled request, not per op.
+func runBenchTrace(fs *flag.FlagSet, args []string) error {
+	logN := fs.Int("logn", 12, "ring degree log2")
+	out := fs.String("o", "BENCH_trace.json", "output path ('-' for stdout)")
+	gate := fs.Bool("gate", false, "fail unless the idle sink costs 0 allocs/op and at most -maxpct percent")
+	maxPct := fs.Float64("maxpct", 1.0, "idle-sink chain overhead limit, percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     *logN,
+		LogQ:     []int{55, 45, 45, 45, 45, 45},
+		LogP:     []int{58, 58},
+		LogScale: 45,
+		Workers:  1,
+	})
+	if err != nil {
+		return err
+	}
+	kgen := ckks.NewKeyGenerator(params, 42)
+	sk := kgen.GenSecretKey()
+	rlk := kgen.GenRelinearizationKey(sk)
+	rtk := kgen.GenRotationKeys(sk, []int{1}, true)
+	pk := kgen.GenPublicKey(sk)
+	encr := ckks.NewEncryptor(params, pk, 7)
+	enc := ckks.NewEncoder(params)
+	z := make([]complex128, params.Slots)
+	for i := range z {
+		z[i] = complex(float64(i%17)/17, float64(i%5)/5)
+	}
+	level := params.MaxLevel()
+	ct1 := encr.Encrypt(enc.Encode(z, level, params.Scale))
+	ct2 := encr.Encrypt(enc.Encode(z, level, params.Scale))
+	ev := ckks.NewEvaluator(params, rlk, rtk)
+
+	// The same into-op chain benchtelemetry gates, so the two overhead
+	// figures compose: collector ≤2% over bare, idle sink ≤1% over
+	// collector.
+	prod := ckks.NewCiphertext(params, level)
+	dropped := ckks.NewCiphertext(params, level-1)
+	rot := ckks.NewCiphertext(params, level-1)
+	acc := ckks.NewCiphertext(params, level-1)
+	chain := func() {
+		ev.MulRelinInto(prod, ct1, ct2)
+		ev.RescaleInto(dropped, prod)
+		ev.RotateInto(rot, dropped, 1)
+		ev.AddInto(acc, dropped, rot)
+	}
+	const opsPerChain = 4
+
+	rep := traceReport{
+		GeneratedBy: "poseidon benchtrace",
+		LogN:        *logN,
+		QLimbs:      level + 1,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	collector := telemetry.NewCollector("benchtrace")
+	tracer := &tracing.Tracer{Recorder: tracing.NewFlightRecorder(64, 1, 0.95)}
+	sink := tracing.NewEvalObserver(tracer)
+
+	// (1) Idle sink: installed in the fanout, no active request. This is
+	// the configuration every non-sampled request runs under, so it must
+	// hold the zero-allocation line.
+	ev.SetObserver(ckks.Fanout(collector, sink))
+	chain() // warm-up: arena free lists, permutation tables
+	rep.IdleChainAllocs = testing.AllocsPerRun(20, chain)
+	ev.SetObserver(nil)
+
+	// (2) Idle-sink overhead vs collector-only, median-ratio of paired
+	// back-to-back trials exactly as benchtelemetry measures its own cost:
+	// drift cancels inside a pair, the median rejects the pair a GC cycle
+	// landed in.
+	const trials = 7
+	timeChain := func(iters int) float64 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			chain()
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters)
+	}
+	rep.Overhead.Trials = trials
+	ev.SetObserver(collector)
+	iters := int(300e6/timeChain(3)) + 1 // ~0.3s per side per trial
+	pairs := make([][2]float64, trials)
+	for t := range pairs {
+		ev.SetObserver(ckks.Fanout(collector, sink))
+		traced := timeChain(iters)
+		ev.SetObserver(collector)
+		pairs[t] = [2]float64{traced, timeChain(iters)}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0]/pairs[i][1] < pairs[j][0]/pairs[j][1] })
+	med := pairs[trials/2]
+	rep.Overhead.IdleNsPerOp, rep.Overhead.BaselineNsPerOp = med[0], med[1]
+	rep.Overhead.OverheadPct = 100 * (rep.Overhead.IdleNsPerOp - rep.Overhead.BaselineNsPerOp) / rep.Overhead.BaselineNsPerOp
+
+	// (3) Active trace, informational: every chain iteration runs as one
+	// traced request (mint, attach, four op spans, finish, offer) — the
+	// full per-sampled-request cost including span allocation.
+	ev.SetObserver(ckks.Fanout(collector, sink))
+	activeIters := iters / 4
+	if activeIters < 1 {
+		activeIters = 1
+	}
+	start := time.Now()
+	for i := 0; i < activeIters; i++ {
+		rt := tracing.NewRequest(tracing.NewContext(), "benchtrace")
+		ex := rt.StartSpan(0, "exec")
+		sink.Activate(rt, ex)
+		chain()
+		sink.Deactivate()
+		rt.EndSpan(ex)
+		tracer.Offer(rt.Finish(200, nil))
+	}
+	rep.ActiveNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(activeIters)
+	ev.SetObserver(nil)
+	rep.ActiveSpanNs = (rep.ActiveNsPerOp - rep.Overhead.IdleNsPerOp) / opsPerChain
+	rep.SpansPerRequest = opsPerChain + 2 // root + exec + one span per chain op
+
+	rep.Gate.Enabled = *gate
+	rep.Gate.MaxPct = *maxPct
+	rep.Gate.Pass = rep.IdleChainAllocs == 0 && rep.Overhead.OverheadPct <= *maxPct
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(blob); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	fmt.Fprintf(os.Stderr, "  idle sink:   %.0f allocs/op, %.0f ns/op vs %.0f ns/op baseline (%+.2f%%)\n",
+		rep.IdleChainAllocs, rep.Overhead.IdleNsPerOp, rep.Overhead.BaselineNsPerOp, rep.Overhead.OverheadPct)
+	fmt.Fprintf(os.Stderr, "  active trace: %.0f ns/op (~%.0f ns per op span, %d spans/request)\n",
+		rep.ActiveNsPerOp, rep.ActiveSpanNs, rep.SpansPerRequest)
+
+	if *gate {
+		if rep.IdleChainAllocs != 0 {
+			return fmt.Errorf("trace gate: idle sink allocates %.0f allocs/op, want 0", rep.IdleChainAllocs)
+		}
+		if rep.Overhead.OverheadPct > *maxPct {
+			return fmt.Errorf("trace gate: idle sink overhead %.2f%% > %.2f%%", rep.Overhead.OverheadPct, *maxPct)
+		}
+		fmt.Fprintln(os.Stderr, "  trace gate: PASS")
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"poseidon/internal/fault"
 	"poseidon/internal/server"
 	"poseidon/internal/telemetry"
+	"poseidon/internal/tracing"
 )
 
 func init() {
@@ -82,6 +84,80 @@ type chaosReport struct {
 	} `json:"gate"`
 }
 
+// chaosEventLog is the -events JSONL sink: one line per injected fault,
+// per transient heal, per server-side retry/recovery episode, and per
+// client retry. Server and client lines carry the request's trace ID, so
+// the log joins against the flight recorder; injector lines join by
+// timestamp and site (the injector fires below the request layer and
+// cannot know which request's limb it corrupted until a guard attributes
+// it). Writes are mutex-serialized: sinks fire from request goroutines.
+type chaosEventLog struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+func openChaosEventLog(path string) (*chaosEventLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosEventLog{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// write marshals one event line. Nil-safe so call sites don't gate on the
+// flag; marshal failures are dropped (the log is diagnostic, never load-
+// bearing for the campaign result).
+func (l *chaosEventLog) write(v any) {
+	if l == nil {
+		return
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.w.Write(blob)
+	l.w.WriteByte('\n')
+	l.mu.Unlock()
+}
+
+func (l *chaosEventLog) close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// The three line shapes share ts_ns/source and flatten their payloads.
+type injectorEvent struct {
+	TsNs   int64  `json:"ts_ns"`
+	Source string `json:"source"` // "injector"
+	fault.Event
+}
+
+type serverEvent struct {
+	Source        string `json:"source"` // "server"
+	tracing.Event        // carries its own ts_ns, kind, trace, layer
+}
+
+type clientEvent struct {
+	TsNs       int64   `json:"ts_ns"`
+	Source     string  `json:"source"` // "client"
+	Kind       string  `json:"kind"`   // "retry"
+	Trace      string  `json:"trace"`
+	Attempt    int     `json:"attempt"`
+	BackoffMs  float64 `json:"backoff_ms"`
+	RetryAfter bool    `json:"retry_after,omitempty"`
+	Err        string  `json:"err,omitempty"`
+}
+
 // chaosKeyset is one shared key material several simulated tenants register
 // (pointer-shared, read-only), with everything needed to issue and
 // decrypt-validate rotation requests against it.
@@ -122,8 +198,29 @@ func runChaosCampaign(fs *flag.FlagSet, args []string) error {
 	out := fs.String("o", "BENCH_chaos.json", "output path ('-' for stdout)")
 	gate := fs.Bool("gate", false, "fail unless eventual success ≥ -minsuccess with zero corrupted responses and ≥1 recovery on each layer exercised")
 	minSuccess := fs.Float64("minsuccess", 0.99, "required eventual-success fraction under chaos")
+	events := fs.String("events", "", "JSONL event log: injected/healed faults, server retry/recovery episodes, client retries — joinable by trace ID (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var evlog *chaosEventLog
+	if *events != "" {
+		l, err := openChaosEventLog(*events)
+		if err != nil {
+			return err
+		}
+		evlog = l
+		defer evlog.close()
+	}
+	// The tracer exists only to route the scheduler's job-retry and the
+	// evaluator's op-recovery events into the JSONL log with their trace
+	// IDs; no flight recorder is attached (the campaign's deliverable is
+	// the event stream, not the span trees).
+	var tracer *tracing.Tracer
+	if evlog != nil {
+		tracer = &tracing.Tracer{Events: func(ev tracing.Event) {
+			evlog.write(serverEvent{Source: "server", Event: ev})
+		}}
 	}
 
 	params, err := ckks.NewParameters(ckks.ParametersLiteral{
@@ -193,6 +290,7 @@ func runChaosCampaign(fs *flag.FlagSet, args []string) error {
 			RetryBackoff:    time.Millisecond,
 			DegradeCooldown: 75 * time.Millisecond,
 			Collector:       col,
+			Tracer:          tracer,
 		})
 		if err != nil {
 			return chaosPhase{}, err
@@ -233,6 +331,20 @@ func runChaosCampaign(fs *flag.FlagSet, args []string) error {
 						BaseBackoff: 5 * time.Millisecond,
 						MaxBackoff:  60 * time.Millisecond,
 					},
+				}
+				if evlog != nil {
+					cl.OnRetry = func(ev server.RetryEvent) {
+						ce := clientEvent{
+							TsNs: time.Now().UnixNano(), Source: "client", Kind: "retry",
+							Trace: ev.Trace, Attempt: ev.Attempt,
+							BackoffMs:  float64(ev.Backoff) / float64(time.Millisecond),
+							RetryAfter: ev.RetryAfter,
+						}
+						if ev.Err != nil {
+							ce.Err = ev.Err.Error()
+						}
+						evlog.write(ce)
+					}
 				}
 				req := &server.EvalRequest{
 					Tenant: names[ti], Op: server.OpRotate, Steps: 1, Ct: ks.ctBytes,
@@ -297,6 +409,11 @@ func runChaosCampaign(fs *flag.FlagSet, args []string) error {
 	// inside the evaluator's op retry and some need the scheduler's job
 	// re-enqueue.
 	inj := fault.NewInjector(*seed + 2)
+	if evlog != nil {
+		inj.SetEventSink(func(ev fault.Event) {
+			evlog.write(injectorEvent{TsNs: time.Now().UnixNano(), Source: "injector", Event: ev})
+		})
+	}
 	var transientArms, stickyArms atomic.Int64
 	armRNG := rand.New(rand.NewSource(*seed + 3))
 	driveChaos := func(run func() (chaosPhase, error)) (chaosPhase, error) {
@@ -415,6 +532,9 @@ func runChaosCampaign(fs *flag.FlagSet, args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	if evlog != nil {
+		fmt.Fprintf(os.Stderr, "  events: %s\n", *events)
 	}
 	fmt.Fprintf(os.Stderr,
 		"  chaos: %d/%d eventually succeeded (%.2f%%), %d corrupted, %d failed\n",

@@ -38,8 +38,8 @@ func main() {
 	if name == "all" {
 		sort.Slice(experiments, func(i, j int) bool { return experiments[i].name < experiments[j].name })
 		for _, e := range experiments {
-			if e.name == "cpu" || e.name == "benchkernels" || e.name == "benchalloc" || e.name == "faultcampaign" || e.name == "benchtelemetry" || e.name == "benchserve" || e.name == "benchlinalg" {
-				continue // slow; run explicitly
+			if e.name == "cpu" || e.name == "benchkernels" || e.name == "benchalloc" || e.name == "faultcampaign" || e.name == "benchtelemetry" || e.name == "benchserve" || e.name == "benchlinalg" || e.name == "chaoscampaign" || e.name == "benchtrace" || e.name == "tracereport" {
+				continue // slow (or, for tracereport, needs an input dump); run explicitly
 			}
 			fs := flag.NewFlagSet(e.name, flag.ExitOnError)
 			if err := e.run(fs, nil); err != nil {

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
+	"path/filepath"
 	"testing"
+
+	"poseidon/internal/tracing"
 )
 
 // Every registered experiment (except the slow CPU measurement) must run
@@ -24,6 +28,9 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range experiments {
 		if e.name == "cpu" || e.name == "benchkernels" || e.name == "benchserve" {
 			continue // slow measurement loops; exercised by their own tests/CI steps
+		}
+		if e.name == "tracereport" {
+			continue // requires an input dump; exercised by TestTraceReportConverts
 		}
 		e := e
 		t.Run(e.name, func(t *testing.T) {
@@ -101,5 +108,48 @@ func TestBenchServeSmoke(t *testing.T) {
 	}
 	if _, err := os.Stat(out); err != nil {
 		t.Fatalf("report not written: %v", err)
+	}
+}
+
+// tracereport must round-trip a flight-recorder dump into Chrome
+// trace_event JSON that a viewer can load.
+func TestTraceReportConverts(t *testing.T) {
+	rt := tracing.NewRequest(tracing.NewContext(), "unit")
+	sp := rt.StartSpan(0, "work")
+	rt.EndSpan(sp)
+	f := rt.Finish(200, nil)
+
+	dump, err := json.Marshal(map[string]any{"traces": []*tracing.Finished{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "dump.json")
+	out := filepath.Join(dir, "chrome.json")
+	if err := os.WriteFile(in, dump, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("tracereport", flag.ContinueOnError)
+	if err := runTraceReport(fs, []string{"-in", in, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &chrome); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	var slices int
+	for _, ev := range chrome.TraceEvents {
+		if ev["ph"] == "X" {
+			slices++
+		}
+	}
+	if slices != 2 {
+		t.Fatalf("got %d complete events, want root+work: %v", slices, chrome.TraceEvents)
 	}
 }

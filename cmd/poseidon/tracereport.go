@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"poseidon/internal/tracing"
+)
+
+func init() {
+	register("tracereport", "convert a flight-recorder dump (/debug/requests?format=json) into Chrome trace_event JSON loadable in Perfetto or chrome://tracing", runTraceReport)
+}
+
+// runTraceReport converts the flight recorder's JSON dump into the Chrome
+// trace_event format: each retained request becomes a named track whose
+// span tree renders as nested slices on a shared wall-clock axis. The
+// input is either a saved dump (-in) or fetched live from a running
+// poseidond's telemetry endpoint (-url, pointing at the base of the
+// telemetry mux or directly at /debug/requests).
+func runTraceReport(fs *flag.FlagSet, args []string) error {
+	in := fs.String("in", "", "flight-recorder JSON dump to convert")
+	url := fs.String("url", "", "fetch the dump live, e.g. http://127.0.0.1:9090/debug/requests")
+	out := fs.String("o", "trace.json", "Chrome trace_event output path ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*in == "") == (*url == "") {
+		return fmt.Errorf("tracereport: exactly one of -in or -url is required")
+	}
+
+	var blob []byte
+	var err error
+	switch {
+	case *in != "":
+		blob, err = os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+	default:
+		u := *url
+		if u[len(u)-1] == '/' {
+			u = u[:len(u)-1]
+		}
+		// Accept either the mux base or the endpoint itself.
+		if len(u) < len("/debug/requests") || u[len(u)-len("/debug/requests"):] != "/debug/requests" {
+			u += "/debug/requests"
+		}
+		cl := &http.Client{Timeout: 10 * time.Second}
+		resp, err := cl.Get(u + "?format=json")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("tracereport: GET %s: HTTP %d", u, resp.StatusCode)
+		}
+		blob, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+	}
+
+	var dump struct {
+		Traces []*tracing.Finished `json:"traces"`
+	}
+	if err := json.Unmarshal(blob, &dump); err != nil {
+		return fmt.Errorf("tracereport: parse dump: %w", err)
+	}
+	if len(dump.Traces) == 0 {
+		return fmt.Errorf("tracereport: dump holds no traces (is tracing enabled and sampled?)")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tracing.WriteChromeTrace(w, dump.Traces); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d traces) — load in https://ui.perfetto.dev or chrome://tracing\n",
+			*out, len(dump.Traces))
+	}
+	return nil
+}

@@ -31,6 +31,7 @@ import (
 	"poseidon/internal/ckks"
 	"poseidon/internal/server"
 	"poseidon/internal/telemetry"
+	"poseidon/internal/tracing"
 )
 
 // daemonConfig collects the tunables main parses from flags, so tests can
@@ -51,6 +52,9 @@ type daemonConfig struct {
 	jobAttempts int
 	deadline    time.Duration
 	drain       time.Duration
+	trace       bool
+	traceRing   int
+	traceSample int
 }
 
 // daemon is a running poseidond: the eval server, its HTTP front end, and
@@ -80,6 +84,12 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 	}
 
 	col := telemetry.NewCollector("poseidond")
+	var tracer *tracing.Tracer
+	if cfg.trace {
+		tracer = &tracing.Tracer{
+			Recorder: tracing.NewFlightRecorder(cfg.traceRing, cfg.traceSample, 0.95),
+		}
+	}
 	srv, err := server.NewEvalServer(server.Config{
 		Params:          params,
 		MaxBatch:        cfg.maxBatch,
@@ -93,6 +103,7 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 		MaxJobAttempts:  cfg.jobAttempts,
 		DefaultDeadline: cfg.deadline,
 		Collector:       col,
+		Tracer:          tracer,
 		DegradeCooldown: 2 * time.Second,
 	})
 	if err != nil {
@@ -101,7 +112,13 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 
 	d := &daemon{params: params, srv: srv, drain: cfg.drain}
 	if cfg.metricsAddr != "" {
-		d.ms, err = telemetry.StartServer(cfg.metricsAddr, col)
+		var routes []telemetry.Route
+		if tracer != nil {
+			routes = append(routes, telemetry.Route{
+				Pattern: "/debug/requests", Handler: tracer.Recorder.Handler(),
+			})
+		}
+		d.ms, err = telemetry.StartServer(cfg.metricsAddr, col, routes...)
 		if err != nil {
 			srv.Close()
 			return nil, fmt.Errorf("metrics: %w", err)
@@ -168,6 +185,9 @@ func main() {
 	flag.IntVar(&cfg.jobAttempts, "job-attempts", 1, "scheduler attempts per integrity-failed job (1 = off)")
 	flag.DurationVar(&cfg.deadline, "deadline", 0, "default per-request deadline (0 = unbounded)")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "shutdown drain budget")
+	flag.BoolVar(&cfg.trace, "trace", false, "enable request tracing: span trees on /debug/requests (telemetry mux), trace exemplars on /metrics")
+	flag.IntVar(&cfg.traceRing, "trace-ring", 1024, "flight-recorder capacity (retained request traces)")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 16, "keep 1/N of ordinary requests (errored and slowest are always kept)")
 	demoDir := flag.String("demo", "", "write curl-able demo request files to this directory")
 	flag.Parse()
 
@@ -182,6 +202,9 @@ func main() {
 	}
 	if d.ms != nil {
 		log.Printf("telemetry on http://%s/metrics", d.ms.Addr())
+		if cfg.trace {
+			log.Printf("request traces on http://%s/debug/requests", d.ms.Addr())
+		}
 	}
 	log.Printf("poseidond serving LogN=%d on http://%s (batch ≤%d, flush %v, registry cap %d)",
 		cfg.logN, d.Addr(), cfg.maxBatch, cfg.flush, cfg.registryCap)

@@ -124,6 +124,19 @@ func (f *fanout) Observe(op string, level int) {
 	}
 }
 
+// ObserveRecovery forwards recovery outcomes to every member that
+// implements RecoveryObserver. Without this, fanning a request-trace sink
+// next to the telemetry collector would silently sever the collector's
+// recovery feed — the evaluator type-asserts RecoveryObserver on whatever
+// single observer is installed.
+func (f *fanout) ObserveRecovery(op string, retries int, recovered bool, dur time.Duration) {
+	for _, o := range f.obs {
+		if r, ok := o.(RecoveryObserver); ok {
+			r.ObserveRecovery(op, retries, recovered, dur)
+		}
+	}
+}
+
 func (f *fanout) ObserveSpan(op string, level int, dur time.Duration, err error) {
 	for _, o := range f.obs {
 		if s, ok := o.(SpanObserver); ok {

@@ -184,3 +184,29 @@ func TestRecoveryObserverNotified(t *testing.T) {
 			obs.ops, obs.retries, obs.recovered)
 	}
 }
+
+// A fanout must forward recovery notifications to every member that
+// implements RecoveryObserver — the serving layer installs
+// Fanout(collector, traceSink) on tenant evaluators and both sides need
+// the recovery feed.
+func TestFanoutForwardsRecovery(t *testing.T) {
+	gc := newGuardContext(t)
+	ev := gc.ev
+	a, b, _ := gc.inputs(t, 14, gc.params.MaxLevel())
+	first, second := &recoveryObserver{}, &recoveryObserver{}
+	ev.SetObserver(Fanout(first, second))
+	in, _ := armRecovery(t, gc, 3)
+	ev.SealIntegrity(a)
+	ev.SealIntegrity(b)
+
+	in.ArmAtMode(fault.SiteHBM, fault.BitFlip, 0, fault.Transient, 0)
+	out := NewCiphertext(gc.params, a.Level)
+	if _, err := ev.TryAddInto(out, a, b); err != nil {
+		t.Fatalf("recovered call failed: %v", err)
+	}
+	for i, obs := range []*recoveryObserver{first, second} {
+		if len(obs.ops) != 1 || !obs.recovered[0] {
+			t.Fatalf("fanout member %d saw %v/%v, want one recovered episode", i, obs.ops, obs.recovered)
+		}
+	}
+}

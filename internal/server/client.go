@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"poseidon/internal/ckks"
+	"poseidon/internal/tracing"
 )
 
 // RetryPolicy bounds the client's response to 503 overload rejections:
@@ -40,6 +41,19 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// RetryEvent reports one client-side retry decision: which attempt just
+// failed with what, and how long the client will wait before the next
+// send. Trace is the request's trace ID (constant across its attempts),
+// so client-side retries join against server-side 503 counters and the
+// flight recorder.
+type RetryEvent struct {
+	Trace      string        // 32-hex trace ID the attempts share
+	Attempt    int           // the attempt that just failed (1-based)
+	Err        error         // the overload rejection that triggered the retry
+	Backoff    time.Duration // wait before the next attempt
+	RetryAfter bool          // true when the server's Retry-After hint set the wait
+}
+
 // Client is a thin typed client over the poseidond HTTP API, used by the
 // soak tests and the benchserve load harness. Safe for concurrent use
 // (http.Client is).
@@ -47,6 +61,12 @@ type Client struct {
 	Base  string // e.g. "http://127.0.0.1:8080"
 	HTTP  *http.Client
 	Retry RetryPolicy // zero value: single-shot, no retry
+
+	// OnRetry, when set, observes every retry decision before its backoff
+	// wait begins — retries were previously silent and impossible to
+	// correlate with server-side overload. Must be safe for concurrent
+	// use when the client is shared.
+	OnRetry func(RetryEvent)
 
 	// sleep is the backoff wait, injectable so the retry tests don't
 	// spend wall time. nil means wait on a real timer or ctx, whichever
@@ -70,9 +90,10 @@ func (c *Client) wait(ctx context.Context, d time.Duration) error {
 
 // EvalMeta reports transfer- and scheduling-side facts about one call.
 type EvalMeta struct {
-	Batch    int // occupancy of the batch the request rode in
-	BytesIn  int // request body size
-	BytesOut int // response body size
+	Batch    int    // occupancy of the batch the request rode in
+	BytesIn  int    // request body size
+	BytesOut int    // response body size
+	Trace    string // trace ID the call carried (echoed by a tracing server)
 }
 
 func (c *Client) hc() *http.Client {
@@ -121,35 +142,65 @@ func (c *Client) Eval(req *EvalRequest) (*ckks.Ciphertext, EvalMeta, error) {
 // EvalCtx is Eval under a caller-supplied context. The context bounds the
 // whole retry loop (sends and backoff waits), and its deadline rides to
 // the server as X-Poseidon-Deadline so both ends give up together.
+//
+// Every call carries an X-Poseidon-Trace header — the caller's, when the
+// context brought one via tracing.With, else a fresh ID minted here. The
+// ID is constant across the call's retries (that is what makes the retry
+// burst recognizable as one request server-side), reported in EvalMeta,
+// and stamped into every error the call returns.
 func (c *Client) EvalCtx(ctx context.Context, req *EvalRequest) (*ckks.Ciphertext, EvalMeta, error) {
 	pol := c.Retry.withDefaults()
 	body := EncodeEvalRequest(req)
-	meta := EvalMeta{BytesIn: len(body)}
+	tc := tracing.From(ctx).Context()
+	if !tc.Valid() {
+		tc = tracing.NewContext()
+	}
+	meta := EvalMeta{BytesIn: len(body), Trace: tc.Trace.String()}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		ct, retryAfter, err := c.evalOnce(ctx, body, &meta)
+		ct, retryAfter, err := c.evalOnce(ctx, body, tc, &meta)
 		if err == nil {
 			return ct, meta, nil
 		}
 		lastErr = err
 		if !errors.Is(err, ErrOverloaded) || attempt >= pol.MaxAttempts {
-			return nil, meta, err
+			return nil, meta, traceErr(err, meta.Trace)
 		}
 		d := backoff(pol, attempt, retryAfter)
+		if c.OnRetry != nil {
+			c.OnRetry(RetryEvent{
+				Trace:      meta.Trace,
+				Attempt:    attempt,
+				Err:        err,
+				Backoff:    d,
+				RetryAfter: retryAfter > 0,
+			})
+		}
 		if werr := c.wait(ctx, d); werr != nil {
-			return nil, meta, fmt.Errorf("%w (giving up after %d attempts: %v)", werr, attempt, lastErr)
+			return nil, meta, traceErr(
+				fmt.Errorf("%w (giving up after %d attempts: %v)", werr, attempt, lastErr), meta.Trace)
 		}
 	}
 }
 
+// traceErr stamps the request's trace ID onto a client error so a failed
+// call can be looked up in the server's flight recorder verbatim.
+func traceErr(err error, trace string) error {
+	if err == nil || trace == "" {
+		return err
+	}
+	return fmt.Errorf("%w [trace %s]", err, trace)
+}
+
 // evalOnce is one send. retryAfter is the server's Retry-After hint
 // (0 = none) so the retry loop can honor it.
-func (c *Client) evalOnce(ctx context.Context, body []byte, meta *EvalMeta) (*ckks.Ciphertext, time.Duration, error) {
+func (c *Client) evalOnce(ctx context.Context, body []byte, tc tracing.Context, meta *EvalMeta) (*ckks.Ciphertext, time.Duration, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/eval", bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/octet-stream")
+	hreq.Header.Set(tracing.Header, tc.Header())
 	if dl, ok := ctx.Deadline(); ok {
 		if remain := time.Until(dl); remain > 0 {
 			hreq.Header.Set("X-Poseidon-Deadline", remain.String())

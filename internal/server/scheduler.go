@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"poseidon/internal/ckks"
+	"poseidon/internal/tracing"
 )
 
 // The scheduler is the software analogue of the paper's operator
@@ -64,6 +65,20 @@ type job struct {
 	// integrity failures (0 = first run).
 	attempt int
 
+	// trace is the request's span tree (nil with tracing off; every use is
+	// a nil check). queueSpan is the currently-open queue-wait span: opened
+	// at enqueue (and re-opened per retry), closed when the dispatcher
+	// picks the job up. deliverSpan covers the result hand-back: opened by
+	// the executor just before it sends on done, closed by the caller when
+	// it receives — on a saturated machine the caller goroutine's wake-up
+	// can lag the result by many milliseconds, and that wait is request
+	// wall-clock the tree must account for. Both cross goroutines but
+	// never concurrently — the enqueue → channel → dispatch edge (and the
+	// send → receive edge on done) orders each hand-off.
+	trace       *tracing.RequestTrace
+	queueSpan   tracing.SpanRef
+	deliverSpan tracing.SpanRef
+
 	done chan jobResult // buffered(1): the executor never blocks delivering
 }
 
@@ -112,6 +127,12 @@ type scheduler struct {
 	jobRecovered     atomic.Uint64
 	jobUnrecoverable atomic.Uint64
 
+	// tracer receives job-retry events; sink is the evaluator-observation
+	// bridge the dispatcher activates around each job's evaluator call so
+	// per-op spans land on that job's trace. Both nil with tracing off.
+	tracer *tracing.Tracer
+	sink   *tracing.EvalObserver
+
 	// testExec, when set (tests only), replaces the evaluator call for a
 	// job: a non-nil return is delivered as the op's failure. It lets the
 	// degradation tests inject a deterministic mid-batch integrity fault
@@ -119,16 +140,51 @@ type scheduler struct {
 	testExec func(*job) error
 }
 
-func newScheduler(cfg Config, params *ckks.Parameters) *scheduler {
+func newScheduler(cfg Config, params *ckks.Parameters, tracer *tracing.Tracer, sink *tracing.EvalObserver) *scheduler {
 	s := &scheduler{
 		cfg:       cfg,
 		params:    params,
 		queue:     make(chan *job, cfg.QueueDepth),
 		done:      make(chan struct{}),
 		occupancy: make([]atomic.Uint64, cfg.MaxBatch+1),
+		tracer:    tracer,
+		sink:      sink,
 	}
 	go s.run()
 	return s
+}
+
+// beginExec closes the job's queue-wait span and opens its exec span,
+// pointing the evaluator's observation sink at this job's trace. Called
+// only from the dispatcher goroutine; nil-safe throughout.
+func (s *scheduler) beginExec(j *job, batchSize int) tracing.SpanRef {
+	j.trace.EndSpan(j.queueSpan)
+	j.queueSpan = 0
+	ex := j.trace.StartSpan(0, "exec")
+	j.trace.AnnotateInt(ex, "batch", int64(batchSize))
+	if j.attempt > 0 {
+		j.trace.AnnotateInt(ex, "attempt", int64(j.attempt+1))
+	}
+	if s.sink != nil && j.trace != nil {
+		s.sink.Activate(j.trace, ex)
+	}
+	return ex
+}
+
+// endExec detaches the sink and closes the exec span.
+func (s *scheduler) endExec(j *job, ex tracing.SpanRef, err error) {
+	if s.sink != nil {
+		s.sink.Deactivate()
+	}
+	j.trace.EndSpanErr(ex, err)
+}
+
+// deliver hands the job's outcome back to the waiting caller, opening the
+// deliver span the caller closes on receive (EvalCtx). done is buffered,
+// so the send never blocks the dispatcher.
+func (s *scheduler) deliver(j *job, res jobResult) {
+	j.deliverSpan = j.trace.StartSpan(0, "deliver")
+	j.done <- res
 }
 
 // enqueue admits a job to the dispatch queue without blocking: a full
@@ -332,8 +388,13 @@ func (s *scheduler) execHoistGroup(group []*job, batchSize int) {
 		}
 		return
 	}
+	lead := group[0]
+	lead.trace.EndSpan(lead.queueSpan) // the shared hoist is the leader's first exec work
+	hs := lead.trace.StartSpan(0, "hoist")
+	lead.trace.AnnotateInt(hs, "group", int64(len(group)))
 	h, err := ev.TryHoist(group[0].ct)
 	if err != nil {
+		lead.trace.EndSpanErr(hs, err)
 		// The fallback re-executes each member individually, where the
 		// job-retry path applies; with retries off, the failure drives the
 		// ladder here as before (execOne sees per-job errors itself).
@@ -345,11 +406,19 @@ func (s *scheduler) execHoistGroup(group []*job, batchSize int) {
 		}
 		return
 	}
+	lead.trace.EndSpan(hs)
 	defer h.Release()
 	s.hoistGroups.Add(1)
 	s.hoistShared.Add(uint64(len(group) - 1))
 	for _, j := range group {
+		ex := s.beginExec(j, batchSize)
+		if j == lead {
+			j.trace.Annotate(ex, "hoist", "leader")
+		} else {
+			j.trace.Annotate(ex, "hoist", "shared")
+		}
 		res, err := h.TryRotate(j.steps)
+		s.endExec(j, ex, err)
 		s.finish(j, res, batchSize, err)
 	}
 }
@@ -357,9 +426,12 @@ func (s *scheduler) execHoistGroup(group []*job, batchSize int) {
 // execOne runs a single job through its tenant's evaluator.
 func (s *scheduler) execOne(j *job, batchSize int) {
 	if err := j.ctxErr(); err != nil {
-		j.done <- jobResult{batch: batchSize, err: err}
+		j.trace.EndSpanErr(j.queueSpan, err) // abandoned while queued
+		j.queueSpan = 0
+		s.deliver(j, jobResult{batch: batchSize, err: err})
 		return
 	}
+	ex := s.beginExec(j, batchSize)
 	var res *ckks.Ciphertext
 	var err error
 	if s.testExec != nil {
@@ -368,6 +440,7 @@ func (s *scheduler) execOne(j *job, batchSize int) {
 	if err == nil {
 		res, err = s.eval(j)
 	}
+	s.endExec(j, ex, err)
 	s.finish(j, res, batchSize, err)
 }
 
@@ -384,7 +457,7 @@ func (s *scheduler) finish(j *job, res *ckks.Ciphertext, batchSize int, err erro
 		if j.attempt > 0 {
 			s.jobRecovered.Add(1)
 		}
-		j.done <- jobResult{ct: res, batch: batchSize}
+		s.deliver(j, jobResult{ct: res, batch: batchSize})
 		return
 	}
 	if errors.Is(err, ckks.ErrIntegrity) {
@@ -394,7 +467,7 @@ func (s *scheduler) finish(j *job, res *ckks.Ciphertext, batchSize int, err erro
 		s.jobUnrecoverable.Add(1)
 		s.tripGuard()
 	}
-	j.done <- jobResult{batch: batchSize, err: err}
+	s.deliver(j, jobResult{batch: batchSize, err: err})
 }
 
 // retryJob re-enqueues an integrity-failed job with exponential backoff,
@@ -414,10 +487,27 @@ func (s *scheduler) retryJob(j *job, batchSize int, cause error) bool {
 	if lim := 250 * time.Millisecond; backoff > lim {
 		backoff = lim
 	}
+	var bo tracing.SpanRef
+	if j.trace != nil {
+		bo = j.trace.StartSpan(0, "backoff")
+		j.trace.AnnotateInt(bo, "attempt", int64(j.attempt))
+		j.trace.Annotate(bo, "cause", cause.Error())
+		s.tracer.Emit(tracing.Event{
+			TimeNs:  time.Now().UnixNano(),
+			Kind:    "job-retry",
+			Trace:   j.trace.TraceID(),
+			Layer:   "job",
+			Attempt: j.attempt,
+			Err:     cause.Error(),
+		})
+	}
 	time.AfterFunc(backoff, func() {
+		j.trace.EndSpan(bo)
+		j.queueSpan = j.trace.StartSpan(0, "queue")
 		if err := s.enqueue(j); err != nil {
-			j.done <- jobResult{batch: batchSize,
-				err: fmt.Errorf("%w (retry %d not enqueued: %v)", cause, j.attempt, err)}
+			j.trace.EndSpanErr(j.queueSpan, err)
+			s.deliver(j, jobResult{batch: batchSize,
+				err: fmt.Errorf("%w (retry %d not enqueued: %v)", cause, j.attempt, err)})
 		}
 	})
 	return true

@@ -13,6 +13,7 @@ import (
 
 	"poseidon/internal/ckks"
 	"poseidon/internal/telemetry"
+	"poseidon/internal/tracing"
 )
 
 // Config parameterizes an EvalServer. The zero value of every tunable is
@@ -58,6 +59,14 @@ type Config struct {
 	// Collector, when set, receives per-op spans from every tenant
 	// evaluator and exports the server gauges on its /metrics page.
 	Collector *telemetry.Collector
+
+	// Tracer, when set, enables end-to-end request tracing: every request
+	// grows a span tree (ingest → queue → exec, with per-op evaluator
+	// spans, hoist attribution and retry/backoff children) that is
+	// tail-sampled into the tracer's flight recorder on completion. Nil
+	// disables tracing entirely — the hot path then pays only nil checks,
+	// preserving the zero-allocation steady state.
+	Tracer *tracing.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +121,11 @@ type EvalServer struct {
 	bytesIn     atomic.Uint64
 	bytesOut    atomic.Uint64
 
+	// tracer/sink are nil when tracing is disabled; health is always on.
+	tracer *tracing.Tracer
+	sink   *tracing.EvalObserver
+	health *healthTracker
+
 	gauges *telemetry.GaugeSet
 }
 
@@ -126,13 +140,22 @@ func NewEvalServer(cfg Config) (*EvalServer, error) {
 		params:  cfg.Params,
 		reqHist: telemetry.NewHistogram(),
 		p99Mu:   make(chan struct{}, 1),
+		health:  newHealthTracker(),
 	}
 	var obs ckks.OpObserver
 	if cfg.Collector != nil {
 		obs = cfg.Collector
 	}
+	if cfg.Tracer != nil {
+		// The trace sink rides a fanout next to the collector on every
+		// tenant evaluator; the scheduler activates it per job so per-op
+		// spans land on the right request's tree.
+		s.tracer = cfg.Tracer
+		s.sink = tracing.NewEvalObserver(cfg.Tracer)
+		obs = ckks.Fanout(obs, s.sink)
+	}
 	s.registry = newRegistry(cfg.Params, cfg.RegistryCap, obs, cfg.GuardSeed, cfg.OpMaxAttempts)
-	s.sched = newScheduler(cfg, cfg.Params)
+	s.sched = newScheduler(cfg, cfg.Params, s.tracer, s.sink)
 	s.initGauges()
 	return s, nil
 }
@@ -168,6 +191,10 @@ func (s *EvalServer) initGauges() {
 	s.gauges = g
 	if s.cfg.Collector != nil {
 		s.cfg.Collector.RegisterAux(g.WritePrometheus)
+		s.cfg.Collector.RegisterAux(s.health.WritePrometheus)
+		if s.tracer != nil && s.tracer.Recorder != nil {
+			s.cfg.Collector.RegisterAux(s.writeLatencyMetrics)
+		}
 	}
 }
 
@@ -247,6 +274,20 @@ func (s *EvalServer) Eval(req *EvalRequest) (*ckks.Ciphertext, int, error) {
 // carried it.
 func (s *EvalServer) EvalCtx(ctx context.Context, req *EvalRequest) (ct *ckks.Ciphertext, batch int, err error) {
 	start := time.Now()
+	// Adopt the trace the HTTP layer put on the context; in-process
+	// callers (soaks, benches, embeddings) get a root minted here so their
+	// requests reach the flight recorder too. rt stays nil with tracing
+	// off — every span call below degrades to a nil check.
+	rt := tracing.From(ctx)
+	ownTrace := false
+	if rt == nil && s.tracer != nil {
+		rt = s.tracer.NewRequest(tracing.NewContext(), "eval")
+		ownTrace = true
+	}
+	if rt != nil {
+		rt.Annotate(rt.Root(), "tenant", req.Tenant)
+		rt.Annotate(rt.Root(), "op", req.Op.String())
+	}
 	defer func() {
 		s.reqHist.Observe(uint64(time.Since(start).Nanoseconds()))
 		switch {
@@ -257,17 +298,35 @@ func (s *EvalServer) EvalCtx(ctx context.Context, req *EvalRequest) (ct *ckks.Ci
 		default:
 			s.opErrors.Add(1)
 		}
+		if err == nil {
+			t0 := time.Now()
+			s.health.sample(req.Tenant, ct, s.params)
+			if rt != nil && ct != nil {
+				rt.AnnotateInt(rt.Root(), "ct_level", int64(ct.Level))
+				rt.AnnotateInt(rt.Root(), "noise_budget_bits", int64(ckks.BudgetBits(s.params, ct)))
+				// The noise-budget estimate walks the ciphertext; charge it
+				// to the tree rather than leaving a coverage gap.
+				rt.AddSpan(0, "finalize", time.Since(t0), nil)
+			}
+		}
+		if ownTrace {
+			s.tracer.Offer(rt.Finish(statusOf(err), err))
+		}
 	}()
+	ingest := rt.StartSpan(0, "ingest")
 	if err := s.validateEval(req); err != nil {
 		s.badRequests.Add(1)
+		rt.EndSpanErr(ingest, err)
 		return nil, 0, err
 	}
 	if err := s.admit(); err != nil {
 		s.rejected.Add(1)
+		rt.EndSpanErr(ingest, err)
 		return nil, 0, err
 	}
 	entry, err := s.registry.Acquire(req.Tenant)
 	if err != nil {
+		rt.EndSpanErr(ingest, err)
 		return nil, 0, err
 	}
 	defer s.registry.Release(entry)
@@ -278,18 +337,23 @@ func (s *EvalServer) EvalCtx(ctx context.Context, req *EvalRequest) (ct *ckks.Ci
 		steps: req.Steps,
 		width: req.Width,
 		ctx:   ctx,
+		trace: rt,
 		done:  make(chan jobResult, 1),
 	}
 	j.ct = new(ckks.Ciphertext)
 	if err := j.ct.UnmarshalBinary(req.Ct); err != nil {
 		s.badRequests.Add(1)
-		return nil, 0, fmt.Errorf("%w: ciphertext: %w", ErrBadRequest, err)
+		err = fmt.Errorf("%w: ciphertext: %w", ErrBadRequest, err)
+		rt.EndSpanErr(ingest, err)
+		return nil, 0, err
 	}
 	if req.Op.twoOperand() {
 		j.ct2 = new(ckks.Ciphertext)
 		if err := j.ct2.UnmarshalBinary(req.Ct2); err != nil {
 			s.badRequests.Add(1)
-			return nil, 0, fmt.Errorf("%w: second ciphertext: %w", ErrBadRequest, err)
+			err = fmt.Errorf("%w: second ciphertext: %w", ErrBadRequest, err)
+			rt.EndSpanErr(ingest, err)
+			return nil, 0, err
 		}
 	}
 	if entry.ev.GuardsEnabled() {
@@ -308,12 +372,19 @@ func (s *EvalServer) EvalCtx(ctx context.Context, req *EvalRequest) (ct *ckks.Ci
 		j.digest = sha256.Sum256(req.Ct)
 		j.hasDigest = true
 	}
+	rt.EndSpan(ingest)
+	j.queueSpan = rt.StartSpan(0, "queue")
 	if err := s.sched.enqueue(j); err != nil {
 		s.rejected.Add(1)
+		rt.EndSpanErr(j.queueSpan, err)
 		return nil, 0, err
 	}
 	select {
 	case res := <-j.done:
+		// Close the hand-back span the executor opened at delivery: on a
+		// loaded machine this goroutine's wake-up lags the result, and
+		// that wait is part of the request's wall-clock.
+		rt.EndSpan(j.deliverSpan)
 		s.requests.Add(1)
 		if res.err != nil {
 			return nil, res.batch, res.err
@@ -499,26 +570,52 @@ func (s *EvalServer) handleEval(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	// Resolve the trace context before any work so the ID covers (and is
+	// echoed for) every outcome, including malformed requests.
+	var rt *tracing.RequestTrace
+	if s.tracer != nil {
+		tc, err := traceFromRequest(r.Header)
+		if err != nil {
+			s.badRequests.Add(1)
+			s.fail(w, err)
+			return
+		}
+		rt = s.tracer.NewRequest(tc, "http-eval")
+		w.Header().Set(tracing.Header, tc.Trace.String())
+	}
+	err := s.serveEval(w, r, rt)
+	if err != nil {
+		s.fail(w, err)
+	}
+	s.tracer.Offer(rt.Finish(statusOf(err), err))
+}
+
+// serveEval is handleEval's body behind a single error return so the
+// request trace is finished (and tail-sampled into the flight recorder)
+// on exactly one path.
+func (s *EvalServer) serveEval(w http.ResponseWriter, r *http.Request, rt *tracing.RequestTrace) error {
+	dec := rt.StartSpan(0, "decode")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		s.fail(w, badf("reading body: %v", err))
-		return
+		err = badf("reading body: %v", err)
+		rt.EndSpanErr(dec, err)
+		return err
 	}
 	s.bytesIn.Add(uint64(len(body)))
 	req, err := DecodeEvalRequest(body)
 	if err != nil {
 		s.badRequests.Add(1)
-		s.fail(w, err)
-		return
+		rt.EndSpanErr(dec, err)
+		return err
 	}
+	rt.EndSpan(dec)
 	ctx := r.Context()
 	deadline := s.cfg.DefaultDeadline
 	if h := r.Header.Get("X-Poseidon-Deadline"); h != "" {
 		d, err := time.ParseDuration(h)
 		if err != nil || d <= 0 {
 			s.badRequests.Add(1)
-			s.fail(w, badf("X-Poseidon-Deadline %q: want a positive Go duration", h))
-			return
+			return badf("X-Poseidon-Deadline %q: want a positive Go duration", h)
 		}
 		deadline = d
 	}
@@ -527,20 +624,22 @@ func (s *EvalServer) handleEval(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	ct, batch, err := s.EvalCtx(ctx, req)
+	ct, batch, err := s.EvalCtx(tracing.With(ctx, rt), req)
 	if err != nil {
-		s.fail(w, err)
-		return
+		return err
 	}
+	enc := rt.StartSpan(0, "encode")
 	out, err := ct.MarshalBinary()
 	if err != nil {
-		s.fail(w, err)
-		return
+		rt.EndSpanErr(enc, err)
+		return err
 	}
 	s.bytesOut.Add(uint64(len(out)))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Poseidon-Batch", fmt.Sprint(batch))
 	w.Write(out)
+	rt.EndSpan(enc)
+	return nil
 }
 
 func (s *EvalServer) handleKeys(w http.ResponseWriter, r *http.Request) {

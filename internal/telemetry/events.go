@@ -6,58 +6,139 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // EventLog is the structured JSONL event stream: one line per observed
 // span, for offline analysis (latency time series, per-op error
-// correlation, trace alignment). Attaching a stream adds an encode + write
-// per op, so it is meant for capture sessions, not steady-state serving —
-// the histograms stay the zero-allocation path.
+// correlation, trace alignment).
+//
+// The hot path never blocks on the sink: emit formats the line and hands
+// it to a background writer through a bounded queue with a non-blocking
+// send. A stalled writer (slow disk, wedged pipe) costs the evaluator
+// nothing — excess lines are counted in Dropped and discarded. Attaching
+// a stream still adds an encode + channel send per op, so it is meant for
+// capture sessions, not steady-state serving — the histograms stay the
+// zero-allocation path.
 type EventLog struct {
-	mu sync.Mutex
-	w  *bufio.Writer
-	n  uint64
+	w *bufio.Writer
+
+	ch      chan []byte
+	flushCh chan chan error
+	quit    chan struct{}
+	done    chan struct{}
+	closeMu sync.Once
+
+	accepted atomic.Uint64 // lines enqueued for the writer
+	dropped  atomic.Uint64 // lines discarded because the queue was full
 }
 
+// eventQueueDepth bounds the writer queue: deep enough to ride out write
+// latency spikes (a 4k-op burst at ~120 B/line is ~half a megabyte),
+// small enough that a wedged sink wastes bounded memory.
+const eventQueueDepth = 4096
+
 // StreamTo attaches a JSONL event stream writing to w; a nil w detaches
-// the current stream. Returns the attached log (nil when detaching) whose
-// Flush should be called when the capture ends.
+// (and closes) the current stream. Returns the attached log (nil when
+// detaching) whose Flush should be called when the capture ends.
 func (c *Collector) StreamTo(w io.Writer) *EventLog {
-	if w == nil {
-		c.events.Store(nil)
-		return nil
+	var ev *EventLog
+	if w != nil {
+		ev = &EventLog{
+			w:       bufio.NewWriter(w),
+			ch:      make(chan []byte, eventQueueDepth),
+			flushCh: make(chan chan error),
+			quit:    make(chan struct{}),
+			done:    make(chan struct{}),
+		}
+		go ev.run()
 	}
-	ev := &EventLog{w: bufio.NewWriter(w)}
-	c.events.Store(ev)
+	if prev := c.events.Swap(ev); prev != nil {
+		prev.Close()
+	}
 	return ev
 }
 
-// emit writes one event line. The fields are flat and stable:
+// emit hands one event line to the writer goroutine without ever
+// blocking: a full queue (stalled sink) drops the line and counts it.
+// The fields are flat and stable:
 // {"ts_ns":…,"op":"CMult","limbs":6,"dur_ns":…,"err":"…"}.
 func (e *EventLog) emit(op string, level int, dur time.Duration, err error) {
 	ts := time.Now().UnixNano()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.n++
+	var line []byte
 	if err == nil {
-		fmt.Fprintf(e.w, `{"ts_ns":%d,"op":%q,"limbs":%d,"dur_ns":%d}`+"\n", ts, op, level+1, dur.Nanoseconds())
-		return
+		line = fmt.Appendf(nil, `{"ts_ns":%d,"op":%q,"limbs":%d,"dur_ns":%d}`+"\n", ts, op, level+1, dur.Nanoseconds())
+	} else {
+		msg := strings.ReplaceAll(err.Error(), `"`, `'`)
+		line = fmt.Appendf(nil, `{"ts_ns":%d,"op":%q,"limbs":%d,"dur_ns":%d,"err":%q}`+"\n", ts, op, level+1, dur.Nanoseconds(), msg)
 	}
-	msg := strings.ReplaceAll(err.Error(), `"`, `'`)
-	fmt.Fprintf(e.w, `{"ts_ns":%d,"op":%q,"limbs":%d,"dur_ns":%d,"err":%q}`+"\n", ts, op, level+1, dur.Nanoseconds(), msg)
+	select {
+	case e.ch <- line:
+		e.accepted.Add(1)
+	default:
+		e.dropped.Add(1)
+	}
 }
 
-// Events reports how many lines have been emitted.
-func (e *EventLog) Events() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.n
+// run is the writer goroutine: it owns the bufio.Writer entirely, so a
+// slow sink stalls only this goroutine.
+func (e *EventLog) run() {
+	for {
+		select {
+		case line := <-e.ch:
+			e.w.Write(line)
+		case ack := <-e.flushCh:
+			e.drainQueued()
+			ack <- e.w.Flush()
+		case <-e.quit:
+			e.drainQueued()
+			e.w.Flush()
+			close(e.done)
+			return
+		}
+	}
 }
 
-// Flush drains the buffered writer.
+// drainQueued writes everything currently queued without blocking on the
+// channel.
+func (e *EventLog) drainQueued() {
+	for {
+		select {
+		case line := <-e.ch:
+			e.w.Write(line)
+		default:
+			return
+		}
+	}
+}
+
+// Events reports how many lines the stream has accepted (excluding
+// drops).
+func (e *EventLog) Events() uint64 { return e.accepted.Load() }
+
+// Dropped reports how many lines were discarded because the writer could
+// not keep up — the observable that proves a stalled sink sheds instead
+// of blocking.
+func (e *EventLog) Dropped() uint64 { return e.dropped.Load() }
+
+// Flush writes everything queued so far through to the sink. Unlike
+// emit, Flush is allowed to block on a slow sink: it is a capture-end
+// operation, not a hot-path one. Returns nil on a closed log.
 func (e *EventLog) Flush() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.w.Flush()
+	ack := make(chan error, 1)
+	select {
+	case e.flushCh <- ack:
+		return <-ack
+	case <-e.done:
+		return nil
+	}
+}
+
+// Close drains the queue, flushes the sink, and stops the writer
+// goroutine. Idempotent; called automatically when the collector detaches
+// the stream.
+func (e *EventLog) Close() {
+	e.closeMu.Do(func() { close(e.quit) })
+	<-e.done
 }

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingWriter wedges on every Write until released — the worst-case
+// StreamTo sink (full pipe, hung disk).
+type blockingWriter struct {
+	release chan struct{}
+	writes  int
+	mu      sync.Mutex
+}
+
+func (b *blockingWriter) Write(p []byte) (int, error) {
+	<-b.release
+	b.mu.Lock()
+	b.writes++
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+// A stalled sink must never block the evaluator hot path: every
+// ObserveSpan returns promptly and overflow is counted in Dropped, not
+// waited for. Run under -race: the emitters, the stalled writer
+// goroutine, and the late release all overlap.
+func TestEventLogStalledWriterNeverBlocks(t *testing.T) {
+	c := NewCollector("test")
+	bw := &blockingWriter{release: make(chan struct{})}
+	ev := c.StreamTo(bw)
+
+	const goroutines = 8
+	const perG = 2048 // 8×2048 ≫ queue depth: guarantees overflow
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.ObserveSpan("CMult", 3, 12*time.Microsecond, nil)
+			}
+		}()
+	}
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	select {
+	case <-wgDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("hot path blocked on a stalled event sink")
+	}
+	elapsed := time.Since(start)
+
+	total := goroutines * perG
+	acc, drop := ev.Events(), ev.Dropped()
+	if acc+drop != uint64(total) {
+		t.Fatalf("accounting leak: accepted %d + dropped %d != emitted %d", acc, drop, total)
+	}
+	if drop == 0 {
+		t.Fatalf("expected drops against a wedged sink (accepted %d of %d)", acc, total)
+	}
+	t.Logf("stalled sink: %d emitted in %v, %d accepted, %d dropped", total, elapsed, acc, drop)
+
+	// Release the sink: Close must drain what was queued and stop cleanly.
+	close(bw.release)
+	c.StreamTo(nil)
+	bw.mu.Lock()
+	writes := bw.writes
+	bw.mu.Unlock()
+	if writes == 0 {
+		t.Fatal("released sink saw no writes after Close drain")
+	}
+	// Post-close: the collector no longer routes to the log.
+	c.ObserveSpan("CMult", 3, time.Microsecond, nil)
+	if got := ev.Events() + ev.Dropped(); got != uint64(total) {
+		t.Fatalf("detached stream still counting: %d != %d", got, total)
+	}
+}
+
+func TestEventLogFlushDeliversQueuedLines(t *testing.T) {
+	c := NewCollector("test")
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	ev := c.StreamTo(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}))
+	c.ObserveSpan("HAdd", 2, time.Millisecond, nil)
+	c.ObserveSpan("Rescale", 2, time.Millisecond, errors.New(`bad "scale"`))
+	if err := ev.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("flushed %d lines, want 2: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], `"op":"HAdd"`) || !strings.Contains(lines[0], `"limbs":3`) {
+		t.Fatalf("line 0 malformed: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"err":"bad 'scale'"`) {
+		t.Fatalf("error line lost its message: %s", lines[1])
+	}
+	if ev.Dropped() != 0 {
+		t.Fatalf("dropped %d with a live sink", ev.Dropped())
+	}
+	c.StreamTo(nil)
+	if err := ev.Flush(); err != nil {
+		t.Fatalf("Flush on closed log: %v", err)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

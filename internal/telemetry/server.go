@@ -22,11 +22,19 @@ type Server struct {
 	ln  net.Listener
 }
 
+// Route mounts an extra handler on the telemetry mux — how hosts attach
+// endpoints the collector itself does not know about (poseidond mounts
+// the flight recorder's /debug/requests page this way).
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // StartServer starts serving the collector's metrics on addr ("host:port";
 // use "127.0.0.1:0" to bind an ephemeral port and read it back from Addr).
 // The collector is also published to expvar so /debug/vars carries the
-// same snapshot.
-func StartServer(addr string, c *Collector) (*Server, error) {
+// same snapshot. Extra routes are mounted after the built-ins.
+func StartServer(addr string, c *Collector, extra ...Route) (*Server, error) {
 	c.PublishExpvar()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", c.MetricsHandler())
@@ -36,6 +44,9 @@ func StartServer(addr string, c *Collector) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

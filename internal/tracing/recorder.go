@@ -1,0 +1,242 @@
+package tracing
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecorder keeps the most recent "interesting" request traces in a
+// fixed-size lock-free ring. Tail-sampling policy, decided at Offer time
+// (after the request completes, hence "tail"):
+//
+//  1. always keep errored and deadline-exceeded requests (Status >= 400
+//     or a recorded error),
+//  2. always keep the slowest-percentile requests — the threshold comes
+//     from a log2-bucketed duration histogram of everything offered, so
+//     it adapts to the live latency distribution at factor-of-2
+//     resolution with no locks,
+//  3. keep 1/sampleEvery of the remainder (xorshift, not modulo-time, so
+//     bursts are sampled uniformly).
+//
+// Everything else is counted and dropped. Writers race only on atomics;
+// readers snapshot pointer-by-pointer, so a torn view can at worst miss
+// or duplicate a slot, never observe a partial trace.
+type FlightRecorder struct {
+	ring        []atomic.Pointer[Finished]
+	pos         atomic.Uint64 // next write slot (monotonic)
+	sampleEvery uint64
+	slowPct     float64 // e.g. 0.95: keep the slowest 5%
+	rng         atomic.Uint64
+
+	buckets [65]atomic.Uint64 // log2(durNs) histogram of all offers
+
+	total       atomic.Uint64
+	keptErr     atomic.Uint64
+	keptSlow    atomic.Uint64
+	keptSampled atomic.Uint64
+	dropped     atomic.Uint64
+
+	lastErr  atomic.Pointer[Exemplar]
+	lastSlow atomic.Pointer[Exemplar]
+}
+
+// Exemplar is a pointer from an aggregate metric to one concrete trace.
+type Exemplar struct {
+	TraceID string
+	Kind    string // "error" | "slow"
+	DurNs   int64
+	TimeNs  int64
+}
+
+// RecorderStats summarizes the recorder's sampling decisions.
+type RecorderStats struct {
+	Capacity        int     `json:"capacity"`
+	Total           uint64  `json:"total"`
+	KeptError       uint64  `json:"kept_error"`
+	KeptSlow        uint64  `json:"kept_slow"`
+	KeptSampled     uint64  `json:"kept_sampled"`
+	Dropped         uint64  `json:"dropped"`
+	SlowThresholdNs int64   `json:"slow_threshold_ns"`
+	SlowPct         float64 `json:"slow_pct"`
+	SampleEvery     uint64  `json:"sample_every"`
+}
+
+// NewFlightRecorder builds a recorder holding up to capacity traces,
+// probabilistically keeping 1/sampleEvery unremarkable requests
+// (sampleEvery <= 1 keeps everything) and always keeping the slowest
+// (1-slowPct) fraction. slowPct outside (0,1) defaults to 0.95.
+func NewFlightRecorder(capacity, sampleEvery int, slowPct float64) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	if slowPct <= 0 || slowPct >= 1 {
+		slowPct = 0.95
+	}
+	r := &FlightRecorder{
+		ring:        make([]atomic.Pointer[Finished], capacity),
+		sampleEvery: uint64(sampleEvery),
+		slowPct:     slowPct,
+	}
+	r.rng.Store(nextID() | 1)
+	return r
+}
+
+// Offer submits a completed trace; returns whether it was retained.
+func (r *FlightRecorder) Offer(f *Finished) bool {
+	if r == nil || f == nil {
+		return false
+	}
+	r.total.Add(1)
+	dur := f.DurNs
+	if dur < 0 {
+		dur = 0
+	}
+	thresh := r.slowThresholdNs() // before recording self: a lone first request is not "slow"
+	r.buckets[bits.Len64(uint64(dur))].Add(1)
+
+	now := time.Now().UnixNano()
+	switch {
+	case f.Status >= 400 || f.Err != "":
+		f.Keep = "error"
+		r.keptErr.Add(1)
+		r.lastErr.Store(&Exemplar{TraceID: f.TraceID, Kind: "error", DurNs: dur, TimeNs: now})
+	case dur >= thresh:
+		f.Keep = "slow"
+		r.keptSlow.Add(1)
+		r.lastSlow.Store(&Exemplar{TraceID: f.TraceID, Kind: "slow", DurNs: dur, TimeNs: now})
+	case r.sampleEvery <= 1 || r.roll()%r.sampleEvery == 0:
+		f.Keep = "sampled"
+		r.keptSampled.Add(1)
+	default:
+		r.dropped.Add(1)
+		return false
+	}
+
+	slot := (r.pos.Add(1) - 1) % uint64(len(r.ring))
+	r.ring[slot].Store(f)
+	return true
+}
+
+// slowThresholdNs returns the duration above which a request counts as
+// slowest-percentile. With log2 buckets the cut is at a power-of-two
+// boundary: the smallest 2^k such that at most (1-slowPct) of observed
+// requests took >= 2^k. Before any history accumulates it returns
+// MaxInt64 (nothing is "slow" yet).
+func (r *FlightRecorder) slowThresholdNs() int64 {
+	var counts [65]uint64
+	var total uint64
+	for i := range r.buckets {
+		counts[i] = r.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 1<<63 - 1
+	}
+	allowed := uint64(float64(total) * (1 - r.slowPct))
+	var above uint64
+	for b := 64; b >= 1; b-- {
+		above += counts[b]
+		if above > allowed {
+			// Bucket b holds durations in [2^(b-1), 2^b). Including it
+			// busts the allowance, so the cut is its upper edge: only
+			// durations clear of the bulk bucket count as slow. The
+			// factor-of-2 resolution makes the policy conservative
+			// (never keeps more than the slowest fraction, may keep
+			// less when the distribution is tight), which is the right
+			// bias for a bounded ring.
+			if b >= 63 {
+				return 1<<63 - 1
+			}
+			return int64(1) << b
+		}
+	}
+	return 0
+}
+
+// roll is a lock-free xorshift64 step.
+func (r *FlightRecorder) roll() uint64 {
+	for {
+		old := r.rng.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if r.rng.CompareAndSwap(old, x) {
+			return x
+		}
+	}
+}
+
+// Stats returns the recorder's sampling counters.
+func (r *FlightRecorder) Stats() RecorderStats {
+	if r == nil {
+		return RecorderStats{}
+	}
+	thresh := r.slowThresholdNs()
+	if thresh == 1<<63-1 {
+		thresh = 0
+	}
+	return RecorderStats{
+		Capacity:        len(r.ring),
+		Total:           r.total.Load(),
+		KeptError:       r.keptErr.Load(),
+		KeptSlow:        r.keptSlow.Load(),
+		KeptSampled:     r.keptSampled.Load(),
+		Dropped:         r.dropped.Load(),
+		SlowThresholdNs: thresh,
+		SlowPct:         r.slowPct,
+		SampleEvery:     r.sampleEvery,
+	}
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *FlightRecorder) Snapshot() []*Finished {
+	if r == nil {
+		return nil
+	}
+	pos := r.pos.Load()
+	n := uint64(len(r.ring))
+	if pos < n {
+		n = pos
+	}
+	out := make([]*Finished, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		if f := r.ring[(pos-i)%uint64(len(r.ring))].Load(); f != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Find returns the retained trace with the given 32-hex ID, or nil.
+func (r *FlightRecorder) Find(traceID string) *Finished {
+	if r == nil {
+		return nil
+	}
+	for i := range r.ring {
+		if f := r.ring[i].Load(); f != nil && f.TraceID == traceID {
+			return f
+		}
+	}
+	return nil
+}
+
+// Exemplars returns the most recent error and slow exemplars (either may
+// be absent) for attachment to Prometheus latency families.
+func (r *FlightRecorder) Exemplars() []Exemplar {
+	if r == nil {
+		return nil
+	}
+	var out []Exemplar
+	if e := r.lastErr.Load(); e != nil {
+		out = append(out, *e)
+	}
+	if e := r.lastSlow.Load(); e != nil {
+		out = append(out, *e)
+	}
+	return out
+}

@@ -1,0 +1,438 @@
+package tracing
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	tc := NewContext()
+	if !tc.Valid() {
+		t.Fatal("NewContext produced an invalid context")
+	}
+	h := tc.Header()
+	if len(h) != 32 {
+		t.Fatalf("bare header length = %d, want 32: %q", len(h), h)
+	}
+	got, err := ParseHeader(h)
+	if err != nil {
+		t.Fatalf("ParseHeader(%q): %v", h, err)
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v want %+v", got, tc)
+	}
+
+	tc.Span = 0xdeadbeef
+	h = tc.Header()
+	if len(h) != 49 {
+		t.Fatalf("spanned header length = %d, want 49: %q", len(h), h)
+	}
+	got, err = ParseHeader(h)
+	if err != nil || got != tc {
+		t.Fatalf("spanned round trip: got %+v, %v; want %+v", got, err, tc)
+	}
+
+	// Uppercase hex is accepted.
+	if _, err := ParseHeader(strings.ToUpper(tc.Trace.String())); err != nil {
+		t.Fatalf("uppercase: %v", err)
+	}
+
+	for _, bad := range []string{"", "xyz", strings.Repeat("0", 32), strings.Repeat("g", 32),
+		strings.Repeat("a", 31), strings.Repeat("a", 33), strings.Repeat("a", 32) + "_" + strings.Repeat("b", 16)} {
+		if _, err := ParseHeader(bad); err == nil {
+			t.Errorf("ParseHeader(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := NewContext().Trace.String()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var rt *RequestTrace
+	ref := rt.StartSpan(0, "x")
+	if ref != 0 {
+		t.Fatalf("nil StartSpan ref = %d, want 0", ref)
+	}
+	rt.EndSpan(ref)
+	rt.EndSpanErr(ref, errors.New("boom"))
+	rt.AddOpSpan(0, "HAdd", 2, time.Millisecond, nil)
+	rt.Annotate(ref, "k", "v")
+	rt.AnnotateInt(ref, "k", 42)
+	if f := rt.Finish(200, nil); f != nil {
+		t.Fatal("nil Finish returned non-nil")
+	}
+	if id := rt.TraceID(); id != "" {
+		t.Fatalf("nil TraceID = %q", id)
+	}
+	var tr *Tracer
+	if tr.NewRequest(NewContext(), "r") != nil {
+		t.Fatal("nil Tracer minted a trace")
+	}
+	tr.Offer(nil)
+	tr.Emit(Event{Kind: "x"})
+}
+
+func TestSpanTree(t *testing.T) {
+	rt := NewRequest(NewContext(), "request")
+	rt.Annotate(rt.Root(), "tenant", "t0")
+	ingest := rt.StartSpan(rt.Root(), "ingest")
+	time.Sleep(2 * time.Millisecond)
+	rt.EndSpan(ingest)
+	ex := rt.StartSpan(0, "exec")
+	rt.AnnotateInt(ex, "batch", 4)
+	rt.AddOpSpan(ex, "HAdd", 2, 500*time.Microsecond, nil)
+	rt.AddOpSpan(ex, "LinTrans/hoist", 2, time.Millisecond, nil)
+	rt.EndSpanErr(ex, errors.New("integrity"))
+	f := rt.Finish(500, errors.New("integrity"))
+	if f == nil {
+		t.Fatal("Finish returned nil")
+	}
+	if n := len(f.Spans); n != 5 {
+		t.Fatalf("span count = %d, want 5", n)
+	}
+	if f.Spans[0].Ref != 1 || f.Spans[0].Parent != 0 {
+		t.Fatalf("root span malformed: %+v", f.Spans[0])
+	}
+	byName := map[string]Span{}
+	for _, sp := range f.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["HAdd"].Parent != byName["exec"].Ref {
+		t.Fatal("op span not parented under exec")
+	}
+	if byName["HAdd"].Limbs != 3 {
+		t.Fatalf("HAdd limbs = %d, want level+1 = 3", byName["HAdd"].Limbs)
+	}
+	if byName["exec"].Err != "integrity" {
+		t.Fatalf("exec err = %q", byName["exec"].Err)
+	}
+	if f.RootAttr("tenant") != "t0" {
+		t.Fatalf("root attr tenant = %q", f.RootAttr("tenant"))
+	}
+	if f.Status != 500 || f.Err != "integrity" {
+		t.Fatalf("finished status/err = %d/%q", f.Status, f.Err)
+	}
+	// Mutations after Finish are dropped.
+	if ref := rt.StartSpan(0, "late"); ref != 0 {
+		t.Fatal("StartSpan after Finish returned a live ref")
+	}
+	if rt.Finish(200, nil) != nil {
+		t.Fatal("double Finish returned non-nil")
+	}
+	if n := len(f.Spans); n != 5 {
+		t.Fatalf("late span leaked into finished trace: %d spans", n)
+	}
+}
+
+func TestFinishClosesOpenSpans(t *testing.T) {
+	rt := NewRequest(NewContext(), "request")
+	open := rt.StartSpan(0, "queue")
+	time.Sleep(time.Millisecond)
+	f := rt.Finish(504, context.DeadlineExceeded)
+	for _, sp := range f.Spans {
+		if sp.DurNs < 0 {
+			t.Fatalf("span %q left open after Finish", sp.Name)
+		}
+	}
+	_ = open
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	rt := NewRequest(NewContext(), "request")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ref := rt.StartSpan(0, "exec")
+				rt.AnnotateInt(ref, "i", int64(i))
+				rt.AddOpSpan(ref, "HAdd", 1, time.Microsecond, nil)
+				rt.EndSpan(ref)
+			}
+		}()
+	}
+	wg.Wait()
+	f := rt.Finish(200, nil)
+	if len(f.Spans) != 1+8*200*2 {
+		t.Fatalf("span count = %d, want %d", len(f.Spans), 1+8*200*2)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	rt := NewRequest(NewContext(), "request")
+	a := rt.StartSpan(0, "a")
+	time.Sleep(4 * time.Millisecond)
+	rt.EndSpan(a)
+	b := rt.StartSpan(0, "b")
+	time.Sleep(4 * time.Millisecond)
+	rt.EndSpan(b)
+	f := rt.Finish(200, nil)
+	if cov := f.Coverage(); cov < 0.9 || cov > 1 {
+		t.Fatalf("coverage = %.3f, want ~1 (back-to-back children)", cov)
+	}
+}
+
+func finished(id TraceID, dur time.Duration, status int, err string) *Finished {
+	return &Finished{
+		TraceID: id.String(),
+		Name:    "request",
+		StartNs: time.Now().UnixNano(),
+		DurNs:   int64(dur),
+		Status:  status,
+		Err:     err,
+		Spans:   []Span{{Ref: 1, Name: "request", DurNs: int64(dur)}},
+	}
+}
+
+func TestRecorderKeepsErrors(t *testing.T) {
+	r := NewFlightRecorder(64, 1000000, 0.95) // sampling effectively off
+	var errIDs []string
+	for i := 0; i < 500; i++ {
+		tc := NewContext()
+		if i%50 == 7 {
+			f := finished(tc.Trace, time.Millisecond, 504, "deadline")
+			errIDs = append(errIDs, f.TraceID)
+			r.Offer(f)
+		} else {
+			r.Offer(finished(tc.Trace, time.Millisecond, 200, ""))
+		}
+	}
+	for _, id := range errIDs {
+		f := r.Find(id)
+		if f == nil {
+			t.Fatalf("errored trace %s not retained", id)
+		}
+		if f.Keep != "error" {
+			t.Fatalf("errored trace kept as %q", f.Keep)
+		}
+	}
+	st := r.Stats()
+	if st.KeptError != uint64(len(errIDs)) {
+		t.Fatalf("kept_error = %d, want %d", st.KeptError, len(errIDs))
+	}
+	if st.Total != 500 {
+		t.Fatalf("total = %d, want 500", st.Total)
+	}
+	exs := r.Exemplars()
+	if len(exs) == 0 || exs[0].Kind != "error" {
+		t.Fatalf("exemplars = %+v, want leading error exemplar", exs)
+	}
+}
+
+func TestRecorderKeepsSlowTail(t *testing.T) {
+	r := NewFlightRecorder(256, 1000000, 0.95)
+	// Warm the histogram with a tight fast distribution, then offer a
+	// 100x outlier: it must be retained as "slow".
+	for i := 0; i < 400; i++ {
+		r.Offer(finished(NewContext().Trace, time.Millisecond, 200, ""))
+	}
+	slow := finished(NewContext().Trace, 100*time.Millisecond, 200, "")
+	if !r.Offer(slow) {
+		t.Fatal("100x latency outlier dropped")
+	}
+	if slow.Keep != "slow" {
+		t.Fatalf("outlier kept as %q, want slow", slow.Keep)
+	}
+	st := r.Stats()
+	if st.SlowThresholdNs <= int64(time.Millisecond) || st.SlowThresholdNs > int64(100*time.Millisecond) {
+		t.Fatalf("slow threshold = %v, want within (1ms, 100ms]", time.Duration(st.SlowThresholdNs))
+	}
+}
+
+func TestRecorderSamplesRest(t *testing.T) {
+	r := NewFlightRecorder(1024, 8, 0.95)
+	for i := 0; i < 4000; i++ {
+		r.Offer(finished(NewContext().Trace, time.Millisecond, 200, ""))
+	}
+	st := r.Stats()
+	kept := st.KeptSampled
+	if kept < 200 || kept > 1200 {
+		t.Fatalf("sampled %d of 4000 at 1/8, want roughly 500", kept)
+	}
+	if st.Total != st.KeptError+st.KeptSlow+st.KeptSampled+st.Dropped {
+		t.Fatalf("counter mismatch: %+v", st)
+	}
+}
+
+func TestRecorderSnapshotNewestFirst(t *testing.T) {
+	r := NewFlightRecorder(4, 1, 0.95)
+	var last string
+	for i := 0; i < 10; i++ {
+		f := finished(NewContext().Trace, time.Millisecond, 200, "")
+		r.Offer(f)
+		last = f.TraceID
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot size = %d, want ring capacity 4", len(snap))
+	}
+	if snap[0].TraceID != last {
+		t.Fatal("snapshot not newest-first")
+	}
+}
+
+func TestEvalObserverAttachesToActiveScope(t *testing.T) {
+	var events []Event
+	tr := &Tracer{Events: func(ev Event) { events = append(events, ev) }}
+	o := NewEvalObserver(tr)
+
+	// No scope: observations fall through.
+	o.ObserveSpan("HAdd", 1, time.Microsecond, nil)
+
+	rt := NewRequest(NewContext(), "request")
+	ex := rt.StartSpan(0, "exec")
+	o.Activate(rt, ex)
+	o.ObserveSpan("PMult", 2, time.Millisecond, nil)
+	o.ObserveRecovery("PMult", 2, true, 3*time.Millisecond)
+	o.Deactivate()
+	o.ObserveSpan("HAdd", 1, time.Microsecond, nil) // after deactivate: dropped
+
+	f := rt.Finish(200, nil)
+	var ops, recov int
+	for _, sp := range f.Spans {
+		switch sp.Name {
+		case "PMult":
+			ops++
+			if sp.Parent != ex {
+				t.Fatalf("op span parent = %d, want exec %d", sp.Parent, ex)
+			}
+		case "recovery":
+			recov++
+		case "HAdd":
+			t.Fatal("observation outside active scope leaked into trace")
+		}
+	}
+	if ops != 1 || recov != 1 {
+		t.Fatalf("ops=%d recovery=%d, want 1/1", ops, recov)
+	}
+	if len(events) != 1 || events[0].Kind != "op-recovery" || events[0].Trace != f.TraceID {
+		t.Fatalf("events = %+v, want one op-recovery with trace ID", events)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	rt := NewRequest(NewContext(), "request")
+	ex := rt.StartSpan(0, "exec")
+	rt.AddOpSpan(ex, "Rescale", 2, time.Millisecond, nil)
+	rt.EndSpan(ex)
+	f := rt.Finish(200, nil)
+
+	var buf strings.Builder
+	if err := WriteChromeTrace(&buf, []*Finished{f}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Name == "Rescale" {
+				if lvl, ok := ev.Args["level"].(float64); !ok || lvl != 2 {
+					t.Fatalf("Rescale level arg = %v", ev.Args["level"])
+				}
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 1 || complete != 3 {
+		t.Fatalf("events meta=%d complete=%d, want 1/3", meta, complete)
+	}
+}
+
+func TestDebugRequestsHandler(t *testing.T) {
+	r := NewFlightRecorder(16, 1, 0.95)
+	rt := NewRequest(NewContext(), "request")
+	rt.Annotate(rt.Root(), "tenant", "acme<script>")
+	ex := rt.StartSpan(0, "exec")
+	rt.AddOpSpan(ex, "HAdd", 1, time.Millisecond, nil)
+	rt.EndSpan(ex)
+	f := rt.Finish(200, nil)
+	r.Offer(f)
+
+	for _, tt := range []struct {
+		url      string
+		wantCT   string
+		wantBody string
+	}{
+		{"/debug/requests", "text/html", f.TraceID},
+		{"/debug/requests?format=json", "application/json", f.TraceID},
+		{"/debug/requests?format=chrome", "application/json", "traceEvents"},
+		{"/debug/requests?trace=" + f.TraceID + "&format=json", "application/json", f.TraceID},
+	} {
+		rec := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", tt.url, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: status %d", tt.url, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, tt.wantCT) {
+			t.Fatalf("%s: content type %q, want %q", tt.url, ct, tt.wantCT)
+		}
+		if !strings.Contains(rec.Body.String(), tt.wantBody) {
+			t.Fatalf("%s: body missing %q", tt.url, tt.wantBody)
+		}
+	}
+	// Tenant attribute must be escaped in the HTML view.
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests", nil))
+	if strings.Contains(rec.Body.String(), "<script>") {
+		t.Fatal("HTML view does not escape attribute values")
+	}
+	// JSON round-trips into []*Finished for tracereport.
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests?format=json", nil))
+	var doc struct {
+		Stats  RecorderStats `json:"stats"`
+		Traces []*Finished   `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Traces) != 1 || len(doc.Traces[0].Spans) != 3 {
+		t.Fatalf("JSON round trip lost spans: %+v", doc.Traces)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if From(ctx) != nil {
+		t.Fatal("empty context carried a trace")
+	}
+	if With(ctx, nil) != ctx {
+		t.Fatal("With(nil) should be the identity")
+	}
+	rt := NewRequest(NewContext(), "r")
+	if got := From(With(ctx, rt)); got != rt {
+		t.Fatal("trace lost in context round trip")
+	}
+}
